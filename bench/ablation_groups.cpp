@@ -1,0 +1,91 @@
+// Ablation — group size w.
+//
+// DESIGN.md calls out the trade-off behind the paper's w = 64 default:
+// larger groups make on-demand cleaning more reliable (more insertions per
+// group per cycle, Eq. 1) and cut the mark overhead, but coarsen the age
+// granularity so more cells sit in the ignored/young band and cleaning is
+// blunter.  We sweep w for SHE-BF (FPR) and SHE-BM (RE) at fixed total
+// memory, also reporting the reset traffic per item.
+#include <iostream>
+
+#include "common.hpp"
+#include "common/stats.hpp"
+#include "hw/access_trace.hpp"
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+
+namespace she::bench {
+namespace {
+
+constexpr std::uint64_t kN = 1u << 14;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+void bf_sweep() {
+  std::printf("\n--- SHE-BF: FPR vs group size w (memory fixed) ---\n");
+  Table table({"w", "groups", "FPR", "resets/item", "marks memory"});
+  constexpr std::size_t kBits = 1u << 17;
+  auto trace = stream::distinct_trace(8 * kN, kSeed);
+  auto probes = absent_probes(50000);
+
+  for (std::size_t w : {8, 16, 32, 64, 128, 256, 512}) {
+    SheConfig cfg;
+    cfg.window = kN;
+    cfg.cells = kBits;
+    cfg.group_cells = w;
+    cfg.alpha = 3.0;
+    SheBloomFilter bf(cfg, 8);
+    for (auto k : trace) bf.insert(k);
+    std::size_t fp = 0;
+    for (auto p : probes)
+      if (bf.contains(p)) ++fp;
+    auto stats = hw::trace_insertions(cfg, 8, trace);
+    table.add(w, cfg.groups(),
+              fmt(static_cast<double>(fp) / static_cast<double>(probes.size())),
+              fmt(stats.resets_per_item()), memory_label((cfg.groups() + 7) / 8));
+  }
+  table.print(std::cout);
+}
+
+void bm_sweep() {
+  std::printf("\n--- SHE-BM: RE vs group size w (memory fixed) ---\n");
+  Table table({"w", "groups", "RE"});
+  constexpr std::size_t kBits = 1u << 15;
+  auto trace = caida_like(6 * kN);
+
+  for (std::size_t w : {8, 16, 32, 64, 128, 256, 512}) {
+    SheConfig cfg;
+    cfg.window = kN;
+    cfg.cells = kBits;
+    cfg.group_cells = w;
+    cfg.alpha = 0.2;
+    SheBitmap bm(cfg);
+    stream::WindowOracle oracle(kN);
+    RunningStats err;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      bm.insert(trace[i]);
+      oracle.insert(trace[i]);
+      if (i > 2 * kN && i % (kN / 2) == 0)
+        err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                               bm.cardinality()));
+    }
+    table.add(w, cfg.groups(), fmt(err.mean()));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace she::bench
+
+int main() {
+  she::bench::banner("Ablation — group size w",
+                     "Accuracy and reset traffic across group sizes at a "
+                     "fixed memory budget (paper default: w = 64).");
+  she::bench::bf_sweep();
+  she::bench::bm_sweep();
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace she::bench {
+
+stream::Trace caida_like(std::uint64_t length, std::uint64_t seed) {
+  stream::ZipfTraceConfig cfg;
+  cfg.length = length;
+  cfg.universe = 600'000;
+  cfg.skew = 1.0;
+  cfg.seed = seed;
+  return stream::zipf_trace(cfg);
+}
+
+std::vector<std::uint64_t> absent_probes(std::size_t count) {
+  std::vector<std::uint64_t> probes;
+  probes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    probes.push_back((std::uint64_t{1} << 40) + i);
+  return probes;
+}
+
+void banner(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("seed=%llu\n", static_cast<unsigned long long>(kSeed));
+  std::printf("==============================================================\n");
+}
+
+std::string memory_label(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.3g MB", static_cast<double>(bytes) / (1024 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.3g KB", static_cast<double>(bytes) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace she::bench

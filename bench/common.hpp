@@ -1,0 +1,54 @@
+// Shared benchmark-harness utilities.
+//
+// Every fig*/table* binary prints the same rows/series the paper's figure
+// reports, preceded by a header naming the experiment and the seed, so runs
+// are reproducible and greppable.  Scales default to the paper's settings
+// (window 2^16; SHE-HLL uses a larger window) but are trimmed where a
+// figure would otherwise take minutes; each binary prints its actual
+// parameters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "stream/trace.hpp"
+
+namespace she::bench {
+
+/// Default experiment seed (printed by every harness).
+inline constexpr std::uint64_t kSeed = 20220829;  // ICPP'22 conference date
+
+/// Paper-default window: N = 2^16 items.
+inline constexpr std::uint64_t kWindow = 1u << 16;
+
+/// CAIDA-substitute stream (DESIGN.md §5): Zipf 1.0 over 600K ranks.
+stream::Trace caida_like(std::uint64_t length, std::uint64_t seed = kSeed);
+
+/// Probe keys guaranteed absent from any generator-produced stream (their
+/// key space is bounded; probes start at 2^40).
+std::vector<std::uint64_t> absent_probes(std::size_t count);
+
+/// Print the standard experiment banner.
+void banner(const std::string& experiment, const std::string& description);
+
+/// Wall-clock timer returning million-operations-per-second.
+class MopsTimer {
+ public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+  /// Mops for `ops` operations since start().
+  [[nodiscard]] double stop(std::uint64_t ops) const {
+    auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_);
+    return static_cast<double>(ops) / dt.count() / 1e6;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Human-readable memory label ("0.5 KB", "2 MB").
+std::string memory_label(std::size_t bytes);
+
+}  // namespace she::bench

@@ -1,0 +1,192 @@
+// Fig. 6 — adaptation to the window size: error vs. window size at three
+// fixed memory sizes per task.  The claim to reproduce: SHE's error stays
+// roughly flat as the window grows (given the memory suits the task scale),
+// i.e. the framework has no hidden per-item state.
+#include <iostream>
+
+#include "common.hpp"
+#include "common/stats.hpp"
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+
+namespace she::bench {
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+stream::Trace window_trace(std::uint64_t window) {
+  // Keep the stream's distinct-rate similar across windows: universe scales
+  // with the window (a fixed-universe stream would saturate small windows).
+  stream::ZipfTraceConfig tc;
+  tc.length = 5 * window;
+  tc.universe = std::max<std::uint64_t>(4 * window, 4096);
+  tc.skew = 1.0;
+  tc.seed = kSeed;
+  return stream::zipf_trace(tc);
+}
+
+void fig6a_bitmap() {
+  std::printf("\n--- Fig. 6a  Cardinality (Bitmap): RE vs window size ---\n");
+  Table table({"window", "0.5 KB", "1 KB", "2 KB"});
+  for (std::uint64_t w : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    auto trace = window_trace(w);
+    std::vector<std::string> row = {std::to_string(w)};
+    for (std::size_t bytes : {512, 1024, 2048}) {
+      SheConfig cfg;
+      cfg.window = w;
+      cfg.cells = bytes * 8;
+      cfg.group_cells = 64;
+      cfg.alpha = 0.2;
+      SheBitmap bm(cfg);
+      stream::WindowOracle oracle(w);
+      RunningStats err;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        bm.insert(trace[i]);
+        oracle.insert(trace[i]);
+        if (i > 2 * w && i % (w / 2) == 0)
+          err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                                 bm.cardinality()));
+      }
+      row.push_back(fmt(err.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void fig6b_hll() {
+  std::printf("\n--- Fig. 6b  Cardinality (HLL): RE vs window size ---\n");
+  Table table({"window", "128 B", "512 B", "2 KB"});
+  for (std::uint64_t w : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    auto trace = window_trace(w);
+    std::vector<std::string> row = {std::to_string(w)};
+    for (std::size_t bytes : {128, 512, 2048}) {
+      SheConfig cfg;
+      cfg.window = w;
+      cfg.cells = bytes * 8 / 6;
+      cfg.group_cells = 1;
+      cfg.alpha = 0.2;
+      SheHyperLogLog hll(cfg);
+      stream::WindowOracle oracle(w);
+      RunningStats err;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        hll.insert(trace[i]);
+        oracle.insert(trace[i]);
+        if (i > 2 * w && i % (w / 2) == 0)
+          err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                                 hll.cardinality()));
+      }
+      row.push_back(fmt(err.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void fig6c_cm() {
+  std::printf("\n--- Fig. 6c  Frequency: ARE vs window size ---\n");
+  Table table({"window", "1 MB", "2 MB", "4 MB"});
+  for (std::uint64_t w : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    auto trace = window_trace(w);
+    std::vector<std::string> row = {std::to_string(w)};
+    for (std::size_t mb : {1, 2, 4}) {
+      SheConfig cfg;
+      cfg.window = w;
+      cfg.cells = mb * (1u << 20) / 4;
+      cfg.group_cells = 64;
+      cfg.alpha = 1.0;
+      SheCountMin cm(cfg, 8);
+      stream::WindowOracle oracle(w);
+      RunningStats are;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        cm.insert(trace[i]);
+        oracle.insert(trace[i]);
+        if (i > 2 * w && i % w == w / 2) {
+          std::size_t sampled = 0;
+          for (const auto& [key, f] : oracle.counts()) {
+            if (++sampled % 17 != 0) continue;
+            are.add(relative_error(static_cast<double>(f),
+                                   static_cast<double>(cm.frequency(key))));
+          }
+        }
+      }
+      row.push_back(fmt(are.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void fig6d_bf() {
+  std::printf("\n--- Fig. 6d  Membership: FPR vs window size ---\n");
+  Table table({"window", "2 KB", "8 KB", "32 KB"});
+  auto probes = absent_probes(50000);
+  for (std::uint64_t w : {1u << 8, 1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    auto trace = window_trace(w);
+    std::vector<std::string> row = {std::to_string(w)};
+    for (std::size_t kb : {2, 8, 32}) {
+      std::size_t bits = kb * 1024 * 8;
+      SheConfig cfg;
+      cfg.window = w;
+      cfg.cells = bits;
+      cfg.group_cells = 64;
+      cfg.alpha = optimal_alpha_bf(bits, 64, 0.4 * static_cast<double>(w), 8);
+      SheBloomFilter bf(cfg, 8);
+      for (auto k : trace) bf.insert(k);
+      std::size_t fp = 0;
+      for (auto p : probes)
+        if (bf.contains(p)) ++fp;
+      row.push_back(fmt(static_cast<double>(fp) / static_cast<double>(probes.size())));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void fig6e_mh() {
+  std::printf("\n--- Fig. 6e  Similarity: RE vs window size ---\n");
+  Table table({"window", "1 KB", "2 KB", "4 KB"});
+  for (std::uint64_t w : {1u << 12, 1u << 13, 1u << 14, 1u << 15}) {
+    auto pair = stream::relevant_pair(5 * w, 4 * w, 0.6, 0.8, kSeed);
+    std::vector<std::string> row = {std::to_string(w)};
+    for (std::size_t kb : {1, 2, 4}) {
+      SheConfig cfg;
+      cfg.window = w;
+      cfg.cells = kb * 1024 * 8 / 25;
+      cfg.group_cells = 1;
+      cfg.alpha = 0.2;
+      SheMinHash a(cfg), b(cfg);
+      stream::JaccardOracle oracle(w);
+      RunningStats err;
+      for (std::size_t i = 0; i < pair.a.size(); ++i) {
+        a.insert(pair.a[i]);
+        b.insert(pair.b[i]);
+        oracle.insert(pair.a[i], pair.b[i]);
+        if (i > 2 * w && i % (w / 2) == 0)
+          err.add(relative_error(oracle.jaccard(), SheMinHash::jaccard(a, b)));
+      }
+      row.push_back(fmt(err.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace she::bench
+
+int main() {
+  she::bench::banner("Fig. 6 — adaptation to the window size",
+                     "Error vs window size at three memory sizes per task; "
+                     "flat series = scale-free behaviour.");
+  she::bench::fig6a_bitmap();
+  she::bench::fig6b_hll();
+  she::bench::fig6c_cm();
+  she::bench::fig6d_bf();
+  she::bench::fig6e_mh();
+  return 0;
+}

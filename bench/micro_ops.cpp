@@ -1,0 +1,211 @@
+// Google-benchmark micro-operations: per-insert and per-query cost of every
+// estimator and baseline on a pre-generated CAIDA-like key sequence.
+// Complements the trace-level Mips figures (Fig. 10/11) with steady-state
+// per-op numbers and their variance.
+#include <benchmark/benchmark.h>
+
+#include <span>
+
+#include "baselines/cvs.hpp"
+#include "baselines/ecm.hpp"
+#include "baselines/shll.hpp"
+#include "baselines/swamp.hpp"
+#include "baselines/tbf.hpp"
+#include "baselines/tobf.hpp"
+#include "baselines/tsv.hpp"
+#include "common.hpp"
+#include "she/she.hpp"
+
+namespace she::bench {
+namespace {
+
+const stream::Trace& keys() {
+  static stream::Trace t = caida_like(1 << 20);
+  return t;
+}
+
+constexpr std::uint64_t kN = 1u << 16;
+
+template <typename T>
+void drive_inserts(benchmark::State& state, T& sketch) {
+  const auto& ks = keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.insert(ks[i]);
+    i = (i + 1) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SheBloomInsert(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 1u << 20;
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  SheBloomFilter bf(cfg, static_cast<unsigned>(state.range(0)));
+  drive_inserts(state, bf);
+}
+BENCHMARK(BM_SheBloomInsert)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SheBitmapInsert(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 1u << 16;
+  cfg.group_cells = static_cast<std::size_t>(state.range(0));
+  cfg.alpha = 0.2;
+  SheBitmap bm(cfg);
+  drive_inserts(state, bm);
+}
+BENCHMARK(BM_SheBitmapInsert)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SheHllInsert(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 2048;
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  SheHyperLogLog hll(cfg);
+  drive_inserts(state, hll);
+}
+BENCHMARK(BM_SheHllInsert);
+
+void BM_SheCmInsert(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 1u << 18;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  SheCountMin cm(cfg, 8);
+  drive_inserts(state, cm);
+}
+BENCHMARK(BM_SheCmInsert);
+
+void BM_SheMinHashInsert(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = static_cast<std::size_t>(state.range(0));
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  SheMinHash mh(cfg);
+  drive_inserts(state, mh);
+}
+BENCHMARK(BM_SheMinHashInsert)->Arg(64)->Arg(256);
+
+void BM_SheBloomInsertBatch(benchmark::State& state) {
+  // Batch insert with prefetch on a filter sized past the last-level cache:
+  // compare against BM_SheBloomInsert/8 at the same (cells, hashes).
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(state.range(0));
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  SheBloomFilter bf(cfg, 8);
+  const auto& ks = keys();
+  std::size_t i = 0;
+  constexpr std::size_t kChunk = 512;
+  for (auto _ : state) {
+    bf.insert_batch(std::span<const std::uint64_t>(ks.data() + i, kChunk));
+    i = (i + kChunk) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kChunk);
+}
+BENCHMARK(BM_SheBloomInsertBatch)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_SheBloomInsertScalarLarge(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(state.range(0));
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  SheBloomFilter bf(cfg, 8);
+  drive_inserts(state, bf);
+}
+BENCHMARK(BM_SheBloomInsertScalarLarge)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_FixedBloomInsert(benchmark::State& state) {
+  fixed::BloomFilter bf(1u << 20, 8);
+  drive_inserts(state, bf);
+}
+BENCHMARK(BM_FixedBloomInsert);
+
+void BM_SwampInsert(benchmark::State& state) {
+  baselines::Swamp sw(kN, 16);
+  drive_inserts(state, sw);
+}
+BENCHMARK(BM_SwampInsert);
+
+void BM_TobfInsert(benchmark::State& state) {
+  baselines::TimeOutBloomFilter tobf(1u << 17, 8, kN);
+  drive_inserts(state, tobf);
+}
+BENCHMARK(BM_TobfInsert);
+
+void BM_TbfInsert(benchmark::State& state) {
+  baselines::TimingBloomFilter tbf(1u << 17, 8, kN, 18);
+  drive_inserts(state, tbf);
+}
+BENCHMARK(BM_TbfInsert);
+
+void BM_TsvInsert(benchmark::State& state) {
+  baselines::TimestampVector tsv(1u << 16, kN);
+  drive_inserts(state, tsv);
+}
+BENCHMARK(BM_TsvInsert);
+
+void BM_CvsInsert(benchmark::State& state) {
+  baselines::CounterVectorSketch cvs(1u << 16, kN, 10, kSeed);
+  drive_inserts(state, cvs);
+}
+BENCHMARK(BM_CvsInsert);
+
+void BM_ShllInsert(benchmark::State& state) {
+  baselines::SlidingHyperLogLog shll(2048, kN);
+  drive_inserts(state, shll);
+}
+BENCHMARK(BM_ShllInsert);
+
+void BM_EcmInsert(benchmark::State& state) {
+  baselines::EcmSketch ecm(4096, 4, kN);
+  drive_inserts(state, ecm);
+}
+BENCHMARK(BM_EcmInsert);
+
+void BM_SheBloomQuery(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 1u << 20;
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  SheBloomFilter bf(cfg, 8);
+  const auto& ks = keys();
+  for (std::size_t i = 0; i < 4 * kN; ++i) bf.insert(ks[i]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.contains(ks[i]));
+    i = (i + 1) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SheBloomQuery);
+
+void BM_SheCmQuery(benchmark::State& state) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = 1u << 18;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  SheCountMin cm(cfg, 8);
+  const auto& ks = keys();
+  for (std::size_t i = 0; i < 4 * kN; ++i) cm.insert(ks[i]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.frequency(ks[i]));
+    i = (i + 1) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SheCmQuery);
+
+}  // namespace
+}  // namespace she::bench

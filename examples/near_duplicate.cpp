@@ -1,0 +1,63 @@
+// Near-duplicate stream detection with SHE-MH (the paper's similarity task;
+// cf. min-hash near-duplicate detection in its related work).
+//
+// Scenario: two content ingestion pipelines (e.g. two mirrors of a crawl)
+// each emit a stream of shingle IDs.  The operator wants to know, on a
+// rolling basis, how similar the two feeds' recent content is — a sudden
+// drop means one mirror diverged (stale cache, partial outage).
+//
+// The example drives three phases (mirrored -> partially diverged -> fully
+// diverged) and prints the sliding Jaccard estimate against the exact value.
+#include <cstdio>
+#include <cstdint>
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+
+int main() {
+  constexpr std::uint64_t kWindow = 1u << 13;
+  constexpr std::uint64_t kPhase = 2 * kWindow;
+
+  she::SheConfig cfg;
+  cfg.window = kWindow;
+  cfg.cells = 384;  // ~1.2 KB signature per feed
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  she::SheMinHash feed_a(cfg), feed_b(cfg);
+  she::stream::JaccardOracle oracle(kWindow);
+
+  she::Rng rng(5);
+  std::printf("%-10s %-12s %-10s %-10s\n", "items", "phase", "SHE-MH", "exact");
+
+  for (std::uint64_t t = 0; t < 3 * kPhase; ++t) {
+    int phase = static_cast<int>(t / kPhase);
+    std::uint64_t a = she::hash64(rng.below(50'000), 1);
+    std::uint64_t b;
+    if (phase == 0) {
+      b = a;  // mirrored
+    } else if (phase == 1) {
+      // 50% of B's items diverge.
+      b = (rng.below(2) == 0) ? a : she::hash64(rng.below(50'000), 2);
+    } else {
+      b = she::hash64(rng.below(50'000), 2);  // fully diverged
+    }
+    feed_a.insert(a);
+    feed_b.insert(b);
+    oracle.insert(a, b);
+
+    if ((t + 1) % kWindow == 0) {
+      static const char* names[] = {"mirrored", "partial", "diverged"};
+      std::printf("%-10llu %-12s %-10.3f %-10.3f\n",
+                  static_cast<unsigned long long>(t + 1), names[phase],
+                  she::SheMinHash::jaccard(feed_a, feed_b), oracle.jaccard());
+    }
+  }
+
+  std::printf("\nsignature memory per feed: %zu bytes (vs %zu for the exact "
+              "window sets)\n",
+              feed_a.memory_bytes(),
+              oracle.a().counts().size() * 16);
+  return 0;
+}

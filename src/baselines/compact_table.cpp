@@ -1,0 +1,105 @@
+#include "baselines/compact_table.hpp"
+
+#include <stdexcept>
+
+namespace she::baselines {
+
+CompactCountingTable::CompactCountingTable(std::size_t buckets,
+                                           unsigned slots_per_bucket,
+                                           unsigned fp_bits, unsigned count_bits,
+                                           std::uint32_t seed)
+    : buckets_(buckets),
+      slots_(slots_per_bucket),
+      seed_(seed),
+      fps_(buckets * slots_per_bucket, fp_bits),
+      counts_(buckets * slots_per_bucket, count_bits) {
+  if (buckets == 0)
+    throw std::invalid_argument("CompactCountingTable: buckets must be > 0");
+  if (slots_per_bucket == 0)
+    throw std::invalid_argument("CompactCountingTable: slots must be > 0");
+  if (count_bits == 0 || count_bits > 16)
+    throw std::invalid_argument("CompactCountingTable: count_bits in [1,16]");
+}
+
+bool CompactCountingTable::insert(std::uint32_t fp) {
+  std::uint64_t fp_stored = fp & fps_.max_value();
+  std::size_t home = home_bucket(fp);
+  std::size_t free_slot = fps_.size();  // sentinel: none found yet
+  bool existing_seen = false;
+
+  for (std::size_t hop = 0; hop < kChain; ++hop) {
+    std::size_t bucket = (home + hop) % buckets_;
+    for (unsigned s = 0; s < slots_; ++s) {
+      std::size_t slot = bucket * slots_ + s;
+      std::uint64_t c = counts_.get(slot);
+      if (c == 0) {
+        if (free_slot == fps_.size()) free_slot = slot;
+        continue;
+      }
+      if (fps_.get(slot) != fp_stored) continue;
+      existing_seen = true;
+      if (c < counts_.max_value()) {
+        counts_.set(slot, c + 1);
+        return true;
+      }
+      // Saturated entry: fall through and chain-count in a fresh slot.
+    }
+  }
+  if (free_slot == fps_.size()) {
+    ++dropped_;  // the bounded chain is what stops TinyTable's domino effect
+    return false;
+  }
+  fps_.set(free_slot, fp_stored);
+  counts_.set(free_slot, 1);
+  if (!existing_seen) ++distinct_;
+  return true;
+}
+
+bool CompactCountingTable::remove(std::uint32_t fp) {
+  std::uint64_t fp_stored = fp & fps_.max_value();
+  std::size_t home = home_bucket(fp);
+  std::size_t victim = fps_.size();
+  std::size_t occurrences = 0;
+
+  for (std::size_t hop = 0; hop < kChain; ++hop) {
+    std::size_t bucket = (home + hop) % buckets_;
+    for (unsigned s = 0; s < slots_; ++s) {
+      std::size_t slot = bucket * slots_ + s;
+      if (counts_.get(slot) == 0 || fps_.get(slot) != fp_stored) continue;
+      ++occurrences;
+      // Prefer decrementing an unsaturated (chain-tail) entry so saturated
+      // base entries stay intact.
+      if (victim == fps_.size() || counts_.get(slot) < counts_.get(victim))
+        victim = slot;
+    }
+  }
+  if (victim == fps_.size()) return false;
+  std::uint64_t c = counts_.get(victim);
+  counts_.set(victim, c - 1);
+  if (c == 1 && occurrences == 1) --distinct_;
+  return true;
+}
+
+std::uint64_t CompactCountingTable::count(std::uint32_t fp) const {
+  std::uint64_t fp_stored = fp & fps_.max_value();
+  std::size_t home = home_bucket(fp);
+  std::uint64_t total = 0;
+  for (std::size_t hop = 0; hop < kChain; ++hop) {
+    std::size_t bucket = (home + hop) % buckets_;
+    for (unsigned s = 0; s < slots_; ++s) {
+      std::size_t slot = bucket * slots_ + s;
+      if (counts_.get(slot) != 0 && fps_.get(slot) == fp_stored)
+        total += counts_.get(slot);
+    }
+  }
+  return total;
+}
+
+void CompactCountingTable::clear() {
+  fps_.clear();
+  counts_.clear();
+  distinct_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,80 @@
+// CompactCountingTable — a TinyTable-style compact fingerprint multiset.
+//
+// SWAMP's companion structure stores, for every fingerprint in the window
+// queue, how many times it occurs.  TinyTable does this in packed buckets
+// with chain spilling; we implement the same shape: `buckets` buckets of
+// `slots_per_bucket` packed (fingerprint, small-count) entries, insertions
+// probing a bounded chain of consecutive buckets (the chain bound is what
+// *prevents* the unbounded domino effect in software — at the cost of
+// occasionally dropping an entry when the chain is saturated, which the
+// caller can observe via the return value / dropped()).
+//
+// Counts are `count_bits` wide; a fingerprint hotter than the count ceiling
+// occupies additional slots (chain counting), keeping insert/remove exactly
+// balanced, which the sliding queue requires.  count == 0 marks a free
+// slot, so no extra occupancy bitmap is needed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bobhash.hpp"
+#include "common/packed_array.hpp"
+
+namespace she::baselines {
+
+class CompactCountingTable {
+ public:
+  /// `buckets` x `slots_per_bucket` slots of (`fp_bits`, `count_bits`).
+  CompactCountingTable(std::size_t buckets, unsigned slots_per_bucket,
+                       unsigned fp_bits, unsigned count_bits = 4,
+                       std::uint32_t seed = 0);
+
+  /// Add one occurrence of `fp`.  Returns false (and counts a drop) when
+  /// the whole probe chain is full.
+  bool insert(std::uint32_t fp);
+
+  /// Remove one occurrence.  Returns false if `fp` is not present (e.g. its
+  /// insert was dropped).
+  bool remove(std::uint32_t fp);
+
+  /// Occurrences of `fp` currently stored.
+  [[nodiscard]] std::uint64_t count(std::uint32_t fp) const;
+
+  [[nodiscard]] bool contains(std::uint32_t fp) const { return count(fp) > 0; }
+
+  /// Number of distinct fingerprints currently stored (maintained
+  /// incrementally).
+  [[nodiscard]] std::size_t distinct() const { return distinct_; }
+
+  /// Inserts dropped because the probe chain was saturated.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+  [[nodiscard]] std::size_t slot_count() const { return fps_.size(); }
+
+  /// Real payload bytes: packed fingerprints + packed counts.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return fps_.memory_bytes() + counts_.memory_bytes();
+  }
+
+  /// Buckets probed per operation (the bounded chain).  8 buckets x 4 slots
+  /// keeps the drop probability negligible at TinyTable's ~0.8 load factor
+  /// while still bounding the worst case (no domino effect).
+  static constexpr std::size_t kChain = 8;
+
+ private:
+  [[nodiscard]] std::size_t home_bucket(std::uint32_t fp) const {
+    return BobHash32(seed_)(static_cast<std::uint64_t>(fp)) % buckets_;
+  }
+
+  std::size_t buckets_;
+  unsigned slots_;
+  std::uint32_t seed_;
+  PackedArray fps_;     // fingerprint per slot
+  PackedArray counts_;  // occurrence count per slot; 0 = free
+  std::size_t distinct_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,49 @@
+#include "baselines/cvs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sketch/bitmap.hpp"
+
+namespace she::baselines {
+
+CounterVectorSketch::CounterVectorSketch(std::size_t counters, std::uint64_t window,
+                                         unsigned cmax, std::uint32_t seed)
+    : slots_(counters),
+      window_(window),
+      cmax_(cmax),
+      seed_(seed),
+      decrements_per_insert_(static_cast<double>(counters) * cmax /
+                             static_cast<double>(window)),
+      rng_(seed ^ 0xC5EDu),
+      cells_(counters, 0) {
+  if (counters == 0) throw std::invalid_argument("CVS: counters must be > 0");
+  if (window == 0) throw std::invalid_argument("CVS: window must be > 0");
+  if (cmax == 0 || cmax > 15) throw std::invalid_argument("CVS: cmax must be in [1,15]");
+}
+
+void CounterVectorSketch::insert(std::uint64_t key) {
+  ++time_;
+  cells_[BobHash32(seed_)(key) % slots_] = static_cast<std::uint8_t>(cmax_);
+  pending_ += decrements_per_insert_;
+  while (pending_ >= 1.0) {
+    pending_ -= 1.0;
+    std::uint8_t& c = cells_[rng_.below(slots_)];
+    if (c > 0) --c;
+  }
+}
+
+double CounterVectorSketch::cardinality() const {
+  std::size_t zeros = 0;
+  for (std::uint8_t c : cells_)
+    if (c == 0) ++zeros;
+  return fixed::linear_counting(zeros, slots_, static_cast<double>(slots_));
+}
+
+void CounterVectorSketch::clear() {
+  std::fill(cells_.begin(), cells_.end(), std::uint8_t{0});
+  pending_ = 0.0;
+  time_ = 0;
+}
+
+}  // namespace she::baselines

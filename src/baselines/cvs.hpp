@@ -1,0 +1,50 @@
+// CVS — Counter Vector Sketch [Shan et al., Neurocomputing 2016].
+//
+// A vector of small saturating counters (max value c).  Insert sets the
+// hashed counter to c and then decrements `m*c/N` randomly chosen counters
+// (fractional part accumulated), so that a counter written once decays to
+// zero in roughly one window.  Cardinality is linear counting over the
+// non-zero counters.  The random decrement is CVS's accuracy weakness
+// (the paper's Sec. 2.2): expiry is only correct in expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+
+namespace she::baselines {
+
+class CounterVectorSketch {
+ public:
+  /// `counters` cells with maximum value `cmax` (paper setting: 10),
+  /// window of `window` items.
+  CounterVectorSketch(std::size_t counters, std::uint64_t window,
+                      unsigned cmax = 10, std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// Linear-counting cardinality over non-zero counters.
+  [[nodiscard]] double cardinality() const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+
+  /// 4-bit cells (cmax <= 15) packed.
+  [[nodiscard]] std::size_t memory_bytes() const { return (cells_.size() + 1) / 2; }
+
+ private:
+  std::size_t slots_;
+  std::uint64_t window_;
+  unsigned cmax_;
+  std::uint32_t seed_;
+  double decrements_per_insert_;
+  double pending_ = 0.0;  // fractional decrement accumulator
+  std::uint64_t time_ = 0;
+  Rng rng_;
+  std::vector<std::uint8_t> cells_;
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,96 @@
+#include "baselines/ecm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she::baselines {
+
+void ExpHistogram::add(std::uint64_t t) {
+  buckets_.push_back({t, 1});
+  // Cascade merges: at most k_+1 buckets of each size; merging the two
+  // oldest of a size produces one of the next size, which may overflow in
+  // turn.  Buckets are ordered oldest->newest with non-increasing sizes
+  // from the front, so the run of a given size is contiguous (but not
+  // necessarily at the tail once sizes above 1 exist).
+  std::uint64_t size = 1;
+  while (true) {
+    std::size_t first = buckets_.size();
+    unsigned count = 0;
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+      if (buckets_[i].size < size) continue;  // newer, smaller buckets
+      if (buckets_[i].size > size) break;     // passed the run
+      first = i;
+      ++count;
+    }
+    if (count <= k_ + 1) break;
+    // Merge the two *oldest* buckets of this size (indices first, first+1):
+    // the merged bucket keeps the newer timestamp and doubles in size.
+    buckets_[first + 1].size = size * 2;
+    buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(first));
+    size *= 2;
+  }
+}
+
+void ExpHistogram::expire(std::uint64_t now, std::uint64_t window) {
+  while (!buckets_.empty() && now - buckets_.front().newest >= window)
+    buckets_.pop_front();
+}
+
+double ExpHistogram::count(std::uint64_t now, std::uint64_t window) const {
+  double total = 0.0;
+  bool straddle_seen = false;
+  for (const auto& b : buckets_) {
+    if (now - b.newest >= window) continue;  // entirely expired (newest is out)
+    if (!straddle_seen) {
+      // Oldest in-window bucket may straddle the boundary: half weight.
+      straddle_seen = true;
+      total += b.size == 1 ? 1.0 : static_cast<double>(b.size) / 2.0;
+    } else {
+      total += static_cast<double>(b.size);
+    }
+  }
+  return total;
+}
+
+EcmSketch::EcmSketch(std::size_t counters, unsigned hashes, std::uint64_t window,
+                     unsigned k_eh, std::uint32_t seed)
+    : hashes_(hashes), window_(window), seed_(seed) {
+  if (counters == 0) throw std::invalid_argument("ECM: counters must be > 0");
+  if (hashes == 0) throw std::invalid_argument("ECM: hashes must be > 0");
+  if (window == 0) throw std::invalid_argument("ECM: window must be > 0");
+  if (k_eh == 0) throw std::invalid_argument("ECM: k_eh must be > 0");
+  cells_.assign(counters, ExpHistogram(k_eh));
+}
+
+void EcmSketch::insert(std::uint64_t key) {
+  ++time_;
+  for (unsigned i = 0; i < hashes_; ++i) {
+    ExpHistogram& cell = cells_[position(key, i)];
+    cell.expire(time_, window_);
+    cell.add(time_);
+  }
+}
+
+double EcmSketch::frequency(std::uint64_t key) const {
+  double best = -1.0;
+  for (unsigned i = 0; i < hashes_; ++i) {
+    double c = cells_[position(key, i)].count(time_, window_);
+    if (best < 0.0 || c < best) best = c;
+  }
+  return best < 0.0 ? 0.0 : best;
+}
+
+std::size_t EcmSketch::memory_bytes() const {
+  // Per live bucket: a 64-bit timestamp (the size exponent is implied by
+  // the bucket's position), plus a directory slot per counter.
+  std::size_t buckets = 0;
+  for (const auto& c : cells_) buckets += c.bucket_count();
+  return buckets * 8 + cells_.size() * sizeof(void*);
+}
+
+void EcmSketch::clear() {
+  for (auto& c : cells_) c.clear();
+  time_ = 0;
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,85 @@
+// ECM — Exponential-histogram Count-Min [Papapetrou, Garofalakis &
+// Deligiannakis, VLDB 2012].
+//
+// A Count-Min sketch whose counters are Exponential Histograms (Datar et
+// al.): each counter keeps buckets of power-of-two sizes with at most
+// `k_eh + 1` buckets per size, merging the two oldest of a size on
+// overflow.  A window query sums the in-window buckets, counting the oldest
+// straddling bucket at half weight — the EH's (1 + 1/k_eh) approximation.
+// Exact-ish expiry, but each counter costs O(k_eh * log N) bucket records;
+// memory_bytes() reports the real footprint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+/// One exponential-histogram counter over a count-based window.
+class ExpHistogram {
+ public:
+  /// `k` controls accuracy: relative count error <= 1/(2k) roughly.
+  explicit ExpHistogram(unsigned k) : k_(k) {}
+
+  /// Record one event at time `t` (monotone non-decreasing).
+  void add(std::uint64_t t);
+
+  /// Drop buckets that can no longer intersect a window of `window` items
+  /// ending at `now` (standard EH expiry: a bucket leaves when its newest
+  /// element leaves).
+  void expire(std::uint64_t now, std::uint64_t window);
+
+  /// Events within (now - window, now].
+  [[nodiscard]] double count(std::uint64_t now, std::uint64_t window) const;
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  void clear() { buckets_.clear(); }
+
+ private:
+  struct Bucket {
+    std::uint64_t newest;  // timestamp of the most recent event merged in
+    std::uint64_t size;    // power of two
+  };
+
+  unsigned k_;
+  std::deque<Bucket> buckets_;  // oldest at front
+};
+
+class EcmSketch {
+ public:
+  /// `counters` EH cells probed by `hashes` functions; EH accuracy knob
+  /// `k_eh` (paper default experiments use 4 hash functions).
+  EcmSketch(std::size_t counters, unsigned hashes, std::uint64_t window,
+            unsigned k_eh = 4, std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// Estimated frequency in the last-`window()` items: min over probes.
+  [[nodiscard]] double frequency(std::uint64_t key) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::uint64_t window() const { return window_; }
+
+  /// Real footprint: 8 bytes per live EH bucket (64-bit timestamp; size is
+  /// positional) + a directory slot per counter.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(seed_ + i)(key) % cells_.size();
+  }
+
+  unsigned hashes_;
+  std::uint64_t window_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  std::vector<ExpHistogram> cells_;
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,73 @@
+#include "baselines/shll.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+#include "sketch/hyperloglog.hpp"
+
+namespace she::baselines {
+
+SlidingHyperLogLog::SlidingHyperLogLog(std::size_t registers,
+                                       std::uint64_t max_window,
+                                       std::uint32_t seed)
+    : max_window_(max_window), seed_(seed), lfpm_(registers) {
+  if (registers == 0) throw std::invalid_argument("SHLL: registers must be > 0");
+  if (max_window == 0) throw std::invalid_argument("SHLL: max_window must be > 0");
+}
+
+void SlidingHyperLogLog::insert(std::uint64_t key) {
+  ++time_;
+  std::size_t i = BobHash32(seed_)(key) % lfpm_.size();
+  std::uint32_t h = BobHash32(seed_ + 0x5eed)(key);
+  std::uint8_t rank = hll_rank(h, 32);
+
+  auto& q = lfpm_[i];
+  // Expire entries that can never matter again.
+  while (!q.empty() && time_ - q.front().t >= max_window_) {
+    q.pop_front();
+    --entries_;
+  }
+  // Maintain the monotone property: the new entry supersedes every queued
+  // entry with rank <= its own (they are older *and* no larger).
+  while (!q.empty() && q.back().rank <= rank) {
+    q.pop_back();
+    --entries_;
+  }
+  q.push_back({time_, rank});
+  ++entries_;
+  peak_bytes_ = std::max(peak_bytes_, memory_bytes());
+}
+
+double SlidingHyperLogLog::cardinality(std::uint64_t window) const {
+  if (window > max_window_)
+    throw std::invalid_argument("SHLL: window exceeds max_window");
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (const auto& q : lfpm_) {
+    std::uint8_t best = 0;
+    for (const auto& e : q) {
+      if (time_ - e.t < window && e.rank > best) best = e.rank;
+    }
+    if (best == 0) ++zeros;
+    sum += std::ldexp(1.0, -static_cast<int>(best));
+  }
+  double m = static_cast<double>(lfpm_.size());
+  return fixed::HyperLogLog::estimate(sum, lfpm_.size(), m, zeros);
+}
+
+std::size_t SlidingHyperLogLog::memory_bytes() const {
+  // Paper accounting: 64-bit timestamp + rank byte per queued entry, plus a
+  // pointer-sized directory slot per register.
+  return entries_ * 9 + lfpm_.size() * sizeof(void*);
+}
+
+void SlidingHyperLogLog::clear() {
+  for (auto& q : lfpm_) q.clear();
+  entries_ = 0;
+  peak_bytes_ = 0;
+  time_ = 0;
+}
+
+}  // namespace she::baselines

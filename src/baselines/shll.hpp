@@ -1,0 +1,56 @@
+// SHLL — Sliding HyperLogLog [Chabchoub & Hébrail, ICDMW 2010].
+//
+// Each HLL register keeps a List of Future Possible Maxima: (rank, time)
+// pairs such that ranks strictly decrease with recency.  An arriving item
+// pops every entry with rank <= its own before pushing itself, and entries
+// older than the maximum supported window are dropped.  Queries take the
+// max rank among in-window entries per register and apply the standard HLL
+// estimator.  Expiry is exact, but the per-register queues make memory
+// data-dependent and unbounded in the worst case — the drawback the paper
+// cites; memory_bytes()/peak_memory_bytes() report the actual footprint at
+// the paper's 64-bit-timestamp accounting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+class SlidingHyperLogLog {
+ public:
+  /// `registers` LFPM queues; answers any window up to `max_window`.
+  SlidingHyperLogLog(std::size_t registers, std::uint64_t max_window,
+                     std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// Cardinality of the last `window` items (window <= max_window).
+  [[nodiscard]] double cardinality(std::uint64_t window) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+
+  /// Current footprint: one (8-byte time, 1-byte rank) entry per queued
+  /// maximum, plus the register directory.
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] std::size_t peak_memory_bytes() const { return peak_bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t t;
+    std::uint8_t rank;
+  };
+
+  std::uint64_t max_window_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  std::size_t entries_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::vector<std::deque<Entry>> lfpm_;  // newest at back, ranks decrease to back
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,60 @@
+#include "baselines/strawman_minhash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she::baselines {
+
+StrawmanMinHash::StrawmanMinHash(std::size_t slots, std::uint64_t window,
+                                 std::uint32_t seed, bool overwrite_expired)
+    : window_(window),
+      seed_(seed),
+      overwrite_expired_(overwrite_expired),
+      sig_(slots, kEmpty),
+      ts_(slots, 0) {
+  if (slots == 0) throw std::invalid_argument("StrawmanMinHash: slots must be > 0");
+  if (window == 0) throw std::invalid_argument("StrawmanMinHash: window must be > 0");
+}
+
+void StrawmanMinHash::insert(std::uint64_t key) {
+  ++time_;
+  for (std::size_t i = 0; i < sig_.size(); ++i) {
+    std::uint32_t v = value(key, i);
+    if (v <= sig_[i] || (overwrite_expired_ && !live(i))) {
+      sig_[i] = v;
+      ts_[i] = time_;
+    }
+  }
+}
+
+std::size_t StrawmanMinHash::live_slots() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < sig_.size(); ++i)
+    if (live(i)) ++n;
+  return n;
+}
+
+double StrawmanMinHash::jaccard(const StrawmanMinHash& a, const StrawmanMinHash& b) {
+  if (a.sig_.size() != b.sig_.size() || a.seed_ != b.seed_ ||
+      a.overwrite_expired_ != b.overwrite_expired_)
+    throw std::invalid_argument("StrawmanMinHash::jaccard: incompatible signatures");
+  std::size_t match = 0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
+    bool la = a.live(i);
+    bool lb = b.live(i);
+    if (!la && !lb) continue;
+    ++compared;
+    if (la && lb && a.sig_[i] == b.sig_[i]) ++match;
+  }
+  return compared == 0 ? 0.0
+                       : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+void StrawmanMinHash::clear() {
+  std::fill(sig_.begin(), sig_.end(), kEmpty);
+  std::fill(ts_.begin(), ts_.end(), 0);
+  time_ = 0;
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,69 @@
+// Straw-man sliding MinHash (paper Sec. 7.1): classic MinHash with a 64-bit
+// timestamp attached to each signature slot.
+//
+// The paper describes it only as "the modified MinHash by adding a 64-bit
+// timestamp for each pair of counters to indicate if the counters need to
+// be cleaned".  The natural naive implementation keeps pure min-update
+// semantics: a slot is re-stamped only when its minimum is (re)established,
+// and a slot whose stored minimum has left the window is invalid at query
+// time.  The flaw — the reason SHE-MH beats it ~10x in Fig. 9e — is that a
+// stale minimum *poisons* its slot: larger in-window values cannot displace
+// it, so the slot stays invalid until an even smaller hash happens to
+// arrive, and the number of usable slots decays over the stream's life.
+//
+// `overwrite_expired = true` selects a repaired variant (an expired slot is
+// overwritten by the next arrival, TOBF-style) used by the ablation benches
+// to show how much of the gap the naive timestamping accounts for.
+//
+// Memory: 3-byte value + 8-byte timestamp per slot — 11 bytes/slot vs.
+// SHE-MH's 3 bytes + 1 mark bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+class StrawmanMinHash {
+ public:
+  /// `slots` signature slots over a window of `window` items.  Two
+  /// signatures to be compared must share `seed` and the variant flag.
+  StrawmanMinHash(std::size_t slots, std::uint64_t window,
+                  std::uint32_t seed = 0, bool overwrite_expired = false);
+
+  void insert(std::uint64_t key);
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::size_t slot_count() const { return sig_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const { return sig_.size() * 11; }
+
+  /// Slots whose stored minimum is inside the window (usable at query).
+  [[nodiscard]] std::size_t live_slots() const;
+
+  static constexpr std::uint32_t kEmpty = 1u << 24;
+
+  /// Jaccard estimate: a slot counts when at least one side is usable;
+  /// it matches when both sides are usable and equal.
+  static double jaccard(const StrawmanMinHash& a, const StrawmanMinHash& b);
+
+ private:
+  [[nodiscard]] std::uint32_t value(std::uint64_t key, std::size_t i) const {
+    return BobHash32(seed_ + static_cast<std::uint32_t>(i))(key) & 0xFFFFFFu;
+  }
+  [[nodiscard]] bool live(std::size_t i) const {
+    return ts_[i] != 0 && time_ - ts_[i] < window_;
+  }
+
+  std::uint64_t window_;
+  std::uint32_t seed_;
+  bool overwrite_expired_;
+  std::uint64_t time_ = 0;
+  std::vector<std::uint32_t> sig_;
+  std::vector<std::uint64_t> ts_;
+};
+
+}  // namespace she::baselines

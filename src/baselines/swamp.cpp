@@ -1,0 +1,83 @@
+#include "baselines/swamp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace she::baselines {
+
+namespace {
+constexpr unsigned kSlotsPerBucket = 4;
+constexpr unsigned kCountBits = 4;
+constexpr double kSlotSlack = 1.5;  // slot headroom absorbing chain clustering
+}  // namespace
+
+std::size_t Swamp::table_buckets(std::uint64_t window) {
+  auto slots = static_cast<std::size_t>(kSlotSlack * static_cast<double>(window));
+  return (slots + kSlotsPerBucket - 1) / kSlotsPerBucket + 1;
+}
+
+Swamp::Swamp(std::uint64_t window, unsigned fingerprint_bits, std::uint32_t seed)
+    : window_(window),
+      fbits_(fingerprint_bits),
+      fmask_((fingerprint_bits >= 32 ? ~std::uint32_t{0}
+                                     : ((std::uint32_t{1} << fingerprint_bits) - 1))),
+      seed_(seed),
+      queue_(window, fingerprint_bits),
+      counts_(table_buckets(window), kSlotsPerBucket, fingerprint_bits,
+              kCountBits, seed + 0x5A5A) {
+  if (window == 0) throw std::invalid_argument("Swamp: window must be > 0");
+  if (fingerprint_bits == 0 || fingerprint_bits > 31)
+    throw std::invalid_argument("Swamp: fingerprint_bits must be in [1,31]");
+}
+
+void Swamp::insert(std::uint64_t key) {
+  std::uint32_t fp = fingerprint(key);
+  if (filled_ == window_) {
+    auto old = static_cast<std::uint32_t>(queue_.get(head_));
+    counts_.remove(old);  // false only if the original insert was dropped
+  } else {
+    ++filled_;
+  }
+  queue_.set(head_, fp);
+  counts_.insert(fp);
+  head_ = (head_ + 1) % window_;
+  ++time_;
+}
+
+bool Swamp::contains(std::uint64_t key) const {
+  return counts_.contains(fingerprint(key));
+}
+
+std::uint64_t Swamp::frequency(std::uint64_t key) const {
+  return counts_.count(fingerprint(key));
+}
+
+double Swamp::cardinality() const {
+  double space = std::ldexp(1.0, static_cast<int>(fbits_));  // L = 2^f
+  double d = static_cast<double>(counts_.distinct());
+  if (d >= space) return space * std::log(space);  // saturated fingerprint space
+  // MLE inversion of the collision process (SWAMP's DISTINCT estimator).
+  return std::log(1.0 - d / space) / std::log(1.0 - 1.0 / space);
+}
+
+void Swamp::clear() {
+  counts_.clear();
+  queue_.clear();
+  head_ = filled_ = time_ = 0;
+}
+
+std::size_t Swamp::memory_bytes() const {
+  return queue_.memory_bytes() + counts_.memory_bytes();
+}
+
+std::optional<unsigned> Swamp::fingerprint_bits_for_memory(std::uint64_t window,
+                                                           std::size_t bytes) {
+  // Total bits = W*f (queue) + 1.5*W*(f + 4) (table) = W*(2.5 f + 6).
+  double f = (8.0 * static_cast<double>(bytes) / static_cast<double>(window) -
+              kSlotSlack * kCountBits) /
+             (1.0 + kSlotSlack);
+  if (f < 1.0) return std::nullopt;
+  return static_cast<unsigned>(std::min(f, 31.0));
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,85 @@
+// SWAMP [Assaf, Ben Basat, Einziger et al., INFOCOM 2018] — the paper's main
+// generic competitor.
+//
+// A cyclic queue holds the fingerprints of the last W items (W = the window
+// size); a companion TinyTable-style compact table (CompactCountingTable)
+// counts how many times each fingerprint occurs among those W.  Membership
+// (ISMEMBER), frequency, and cardinality (DISTINCT maximum-likelihood,
+// correcting for fingerprint collisions) all read that table.
+//
+// Memory: the queue stores W fingerprints of `fingerprint_bits` each; the
+// table provides 1.5*W slots of (fingerprint + 4-bit count) — slot slack
+// absorbing probe-chain clustering.  memory_bytes() reports the *real*
+// packed footprint.  SWAMP's accuracy at a budget B follows from
+// f = (8B/W - 6) / 2.5 fingerprint bits: small budgets force tiny
+// fingerprints and collision-dominated answers (the paper's Fig. 9), and
+// below f = 1 SWAMP cannot run at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/compact_table.hpp"
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+class Swamp {
+ public:
+  /// Window of `window` items, fingerprints of `fingerprint_bits` (1..31).
+  Swamp(std::uint64_t window, unsigned fingerprint_bits, std::uint32_t seed = 0);
+
+  /// Insert one item: evict the W-old fingerprint, enqueue the new one.
+  void insert(std::uint64_t key);
+
+  /// ISMEMBER estimator: true iff the key's fingerprint occurs in the window.
+  /// One-sided (no false negatives) up to fingerprint collisions and the
+  /// table's (rare) chain-saturation drops.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// Frequency estimator: occurrences of the key's fingerprint.
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
+
+  /// DISTINCT MLE estimator: corrects observed distinct-fingerprint count d
+  /// for collisions in a 2^f space: n_hat = ln(1 - d/L) / ln(1 - 1/L).
+  [[nodiscard]] double cardinality() const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::uint64_t window() const { return window_; }
+  [[nodiscard]] unsigned fingerprint_bits() const { return fbits_; }
+
+  /// Inserts the compact table had to drop (diagnostic; ~0 when sized
+  /// normally).
+  [[nodiscard]] std::uint64_t table_drops() const { return counts_.dropped(); }
+
+  /// Real memory: packed queue + packed table.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Largest fingerprint width (bits) fitting in `bytes` for a window of
+  /// `window` items; nullopt if even 1 bit does not fit (SWAMP infeasible
+  /// at this budget — the paper's small-memory regime).
+  static std::optional<unsigned> fingerprint_bits_for_memory(std::uint64_t window,
+                                                             std::size_t bytes);
+
+ private:
+  [[nodiscard]] std::uint32_t fingerprint(std::uint64_t key) const {
+    return BobHash32(seed_)(key) & fmask_;
+  }
+
+  static std::size_t table_buckets(std::uint64_t window);
+
+  std::uint64_t window_;
+  unsigned fbits_;
+  std::uint32_t fmask_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  PackedArray queue_;   // cyclic, `window` fingerprints
+  std::uint64_t head_ = 0;
+  std::uint64_t filled_ = 0;
+  CompactCountingTable counts_;
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,58 @@
+#include "baselines/tbf.hpp"
+
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+
+namespace she::baselines {
+
+TimingBloomFilter::TimingBloomFilter(std::size_t slots, unsigned hashes,
+                                     std::uint64_t window, unsigned counter_bits,
+                                     std::uint32_t seed)
+    : hashes_(hashes),
+      window_(window),
+      seed_(seed),
+      scan_step_(static_cast<std::size_t>(ceil_div(slots, window))),
+      cells_(slots, counter_bits) {
+  if (hashes == 0) throw std::invalid_argument("TBF: hashes must be > 0");
+  if (window == 0) throw std::invalid_argument("TBF: window must be > 0");
+  if ((std::uint64_t{1} << counter_bits) < 2 * window + 2)
+    throw std::invalid_argument("TBF: counter_bits too small for the window");
+  if (scan_step_ == 0) scan_step_ = 1;
+}
+
+bool TimingBloomFilter::expired(std::uint64_t cell) const {
+  if (cell == 0) return true;
+  std::uint64_t wrap = cells_.max_value();  // stamps live in [1, wrap]
+  std::uint64_t now = stamp(time_);
+  // Wrapped age: how many ticks ago the stamp was written, modulo `wrap`.
+  std::uint64_t age = now >= cell ? now - cell : now + wrap - cell;
+  return age >= window_;
+}
+
+void TimingBloomFilter::insert(std::uint64_t key) {
+  ++time_;
+  // Background expiry: revisit the whole array at least once per window so
+  // wrapped times never become ambiguous.
+  for (std::size_t s = 0; s < scan_step_; ++s) {
+    std::size_t idx = scan_;
+    scan_ = (scan_ + 1) % cells_.size();
+    if (expired(cells_.get(idx))) cells_.set(idx, 0);
+  }
+  std::uint64_t now = stamp(time_);
+  for (unsigned i = 0; i < hashes_; ++i) cells_.set(position(key, i), now);
+}
+
+bool TimingBloomFilter::contains(std::uint64_t key) const {
+  for (unsigned i = 0; i < hashes_; ++i)
+    if (expired(cells_.get(position(key, i)))) return false;
+  return true;
+}
+
+void TimingBloomFilter::clear() {
+  cells_.clear();
+  time_ = 0;
+  scan_ = 0;
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,56 @@
+// TBF — Timing Bloom Filter [Zhang & Guan, ICDCS 2008].
+//
+// Like TOBF, but stores *wraparound* b-bit times instead of raw 64-bit
+// timestamps (paper setting: 18-bit counters), plus a background scan that
+// expires out-dated slots: each insertion advances a scan pointer by
+// ceil(m / N) slots so the whole array is revisited at least once per
+// window, keeping wrapped ages unambiguous as long as 2^b exceeds ~2N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+#include "common/packed_array.hpp"
+
+namespace she::baselines {
+
+class TimingBloomFilter {
+ public:
+  /// `slots` cells of `counter_bits` (paper: 18), `hashes` probes, window N.
+  TimingBloomFilter(std::size_t slots, unsigned hashes, std::uint64_t window,
+                    unsigned counter_bits = 18, std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// True iff all k hashed slots hold an in-window wrapped time.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::size_t memory_bytes() const { return cells_.memory_bytes(); }
+
+ private:
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(seed_ + i)(key) % cells_.size();
+  }
+
+  /// Wrapped stamp of time t: (t mod (2^b - 1)) + 1, so 0 always = empty.
+  [[nodiscard]] std::uint64_t stamp(std::uint64_t t) const {
+    return (t % (cells_.max_value())) + 1;
+  }
+
+  /// True if the slot is empty or its wrapped age is >= window.
+  [[nodiscard]] bool expired(std::uint64_t cell) const;
+
+  unsigned hashes_;
+  std::uint64_t window_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  std::size_t scan_ = 0;       // background expiry pointer
+  std::size_t scan_step_;      // slots expired per insertion
+  PackedArray cells_;          // wrapped times, 0 = empty
+};
+
+}  // namespace she::baselines

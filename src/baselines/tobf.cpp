@@ -1,0 +1,34 @@
+#include "baselines/tobf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she::baselines {
+
+TimeOutBloomFilter::TimeOutBloomFilter(std::size_t slots, unsigned hashes,
+                                       std::uint64_t window, std::uint32_t seed)
+    : hashes_(hashes), window_(window), seed_(seed), ts_(slots, 0) {
+  if (slots == 0) throw std::invalid_argument("TOBF: slots must be > 0");
+  if (hashes == 0) throw std::invalid_argument("TOBF: hashes must be > 0");
+  if (window == 0) throw std::invalid_argument("TOBF: window must be > 0");
+}
+
+void TimeOutBloomFilter::insert(std::uint64_t key) {
+  ++time_;
+  for (unsigned i = 0; i < hashes_; ++i) ts_[position(key, i)] = time_;
+}
+
+bool TimeOutBloomFilter::contains(std::uint64_t key) const {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::uint64_t t = ts_[position(key, i)];
+    if (t == 0 || time_ - t >= window_) return false;
+  }
+  return true;
+}
+
+void TimeOutBloomFilter::clear() {
+  std::fill(ts_.begin(), ts_.end(), 0);
+  time_ = 0;
+}
+
+}  // namespace she::baselines

@@ -1,0 +1,45 @@
+// TOBF — Time-Out Bloom Filter [Kong et al., ICOIN 2006].
+//
+// A Bloom filter whose bits are replaced by full 64-bit arrival timestamps.
+// Insert stamps all k hashed slots; membership requires every hashed slot
+// to hold an in-window timestamp.  Exact expiry, no false negatives, but
+// 64 bits per cell — the memory cost the paper's Fig. 9d exposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+class TimeOutBloomFilter {
+ public:
+  TimeOutBloomFilter(std::size_t slots, unsigned hashes, std::uint64_t window,
+                     std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// True iff all k hashed slots were stamped within the window.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return ts_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(seed_ + i)(key) % ts_.size();
+  }
+
+  unsigned hashes_;
+  std::uint64_t window_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  std::vector<std::uint64_t> ts_;  // 0 = never written
+};
+
+}  // namespace she::baselines

@@ -1,0 +1,35 @@
+#include "baselines/tsv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sketch/bitmap.hpp"
+
+namespace she::baselines {
+
+TimestampVector::TimestampVector(std::size_t slots, std::uint64_t window,
+                                 std::uint32_t seed)
+    : slots_(slots), window_(window), seed_(seed), ts_(slots, 0) {
+  if (slots == 0) throw std::invalid_argument("TimestampVector: slots must be > 0");
+  if (window == 0) throw std::invalid_argument("TimestampVector: window must be > 0");
+}
+
+void TimestampVector::insert(std::uint64_t key) {
+  ++time_;
+  ts_[BobHash32(seed_)(key) % slots_] = time_;
+}
+
+double TimestampVector::cardinality() const {
+  std::size_t active = 0;
+  for (std::uint64_t t : ts_)
+    if (t != 0 && time_ - t < window_) ++active;
+  return fixed::linear_counting(slots_ - active, slots_,
+                                static_cast<double>(slots_));
+}
+
+void TimestampVector::clear() {
+  std::fill(ts_.begin(), ts_.end(), 0);
+  time_ = 0;
+}
+
+}  // namespace she::baselines

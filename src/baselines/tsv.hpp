@@ -1,0 +1,42 @@
+// TSV — Timestamp-Vector [Kim & O'Hallaron, GLOBECOM 2003].
+//
+// A Bitmap where each bit is replaced by a full 64-bit arrival timestamp.
+// Insert stamps the hashed slot; the cardinality query counts slots whose
+// timestamp falls inside the window ("active") and feeds the zero count to
+// the same linear-counting MLE as Bitmap.  Exact expiry, but 64x the memory
+// per cell — the memory inefficiency the paper criticizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::baselines {
+
+class TimestampVector {
+ public:
+  /// `slots` timestamp cells, window of `window` items.
+  TimestampVector(std::size_t slots, std::uint64_t window, std::uint32_t seed = 0);
+
+  void insert(std::uint64_t key);
+
+  /// Linear-counting cardinality over the active slots.
+  [[nodiscard]] double cardinality() const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return ts_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t slots_;
+  std::uint64_t window_;
+  std::uint32_t seed_;
+  std::uint64_t time_ = 0;
+  std::vector<std::uint64_t> ts_;  // 0 = never written
+};
+
+}  // namespace she::baselines

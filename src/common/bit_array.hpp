@@ -1,0 +1,82 @@
+// Packed bit vector with the operations SHE's bit-celled sketches need:
+// single-bit set/test, fast popcount over ranges (Bitmap cardinality queries
+// count zeros over the legal groups), and word-aligned range clears (group
+// cleaning resets w contiguous bits at once, mirroring the FPGA's ability to
+// rewrite a whole group per memory access).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace she {
+
+class BitArray {
+ public:
+  BitArray() = default;
+
+  /// Construct an all-zero array of `nbits` bits.
+  explicit BitArray(std::size_t nbits);
+
+  /// Number of addressable bits.
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+
+  /// Memory footprint of the payload in bytes (what the paper's memory
+  /// budgets count).
+  [[nodiscard]] std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  /// Set bit `i` to 1.
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+
+  /// Clear bit `i`.
+  void reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+
+  /// Read bit `i`.
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Hint the cache to fetch the line holding bit `i` (no-op semantics).
+  void prefetch(std::size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&words_[i >> 6], 1 /*write*/, 1);
+#else
+    (void)i;
+#endif
+  }
+
+  /// Clear all bits.
+  void clear();
+
+  /// Clear bits [first, first+count).  Group cleaning uses this.
+  void clear_range(std::size_t first, std::size_t count);
+
+  /// Number of 1-bits in the whole array.
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Number of 1-bits in [first, first+count).
+  [[nodiscard]] std::size_t popcount_range(std::size_t first, std::size_t count) const;
+
+  /// Number of 0-bits in [first, first+count).
+  [[nodiscard]] std::size_t zeros_range(std::size_t first, std::size_t count) const {
+    return count - popcount_range(first, count);
+  }
+
+  /// Checkpoint to / restore from a binary stream.
+  void save(BinaryWriter& out) const;
+  static BitArray load(BinaryReader& in);
+
+  /// Bitwise union / intersection with an equal-sized array (throws
+  /// std::invalid_argument on size mismatch) — the primitive behind sketch
+  /// merging.
+  BitArray& operator|=(const BitArray& other);
+  BitArray& operator&=(const BitArray& other);
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace she

@@ -1,0 +1,55 @@
+#include "common/bobhash.hpp"
+
+#include <cstring>
+
+namespace she {
+namespace {
+
+// lookup2 mixing step (Bob Jenkins, Dr. Dobb's 1997).
+inline void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  a -= b; a -= c; a ^= (c >> 13);
+  b -= c; b -= a; b ^= (a << 8);
+  c -= a; c -= b; c ^= (b >> 13);
+  a -= b; a -= c; a ^= (c >> 12);
+  b -= c; b -= a; b ^= (a << 16);
+  c -= a; c -= b; c ^= (b >> 5);
+  a -= b; a -= c; a ^= (c >> 3);
+  b -= c; b -= a; b ^= (a << 10);
+  c -= a; c -= b; c ^= (b >> 15);
+}
+
+inline std::uint32_t load_le32(const unsigned char* p, std::size_t n) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t BobHash32::operator()(const void* data, std::size_t len) const {
+  const auto* k = static_cast<const unsigned char*>(data);
+  std::uint32_t a = 0x9e3779b9u;
+  std::uint32_t b = 0x9e3779b9u;
+  std::uint32_t c = seed_;
+  std::size_t remaining = len;
+
+  while (remaining >= 12) {
+    a += load_le32(k, 4);
+    b += load_le32(k + 4, 4);
+    c += load_le32(k + 8, 4);
+    mix(a, b, c);
+    k += 12;
+    remaining -= 12;
+  }
+
+  c += static_cast<std::uint32_t>(len);
+  if (remaining > 0) {
+    a += load_le32(k, remaining < 4 ? remaining : 4);
+    if (remaining > 4) b += load_le32(k + 4, remaining - 4 < 4 ? remaining - 4 : 4);
+    if (remaining > 8) c += load_le32(k + 8, remaining - 8) << 8;
+  }
+  mix(a, b, c);
+  return c;
+}
+
+}  // namespace she

@@ -1,0 +1,61 @@
+// BOBHash — Bob Jenkins' lookup2/lookup3-style hash, the hash family used by
+// the SHE paper's released code ("we use BOBHash [3] as the hash function").
+//
+// Two front-ends are provided:
+//   * BobHash32 — faithful lookup2 over an arbitrary byte string, with a
+//     per-instance seed so that independent hash functions h1..hk can be
+//     instantiated (Bloom filter / Count-Min need k independent functions).
+//   * hash64    — a SplitMix64-style finalizer for fixed 64-bit keys; used
+//     where the key is already an integer item ID and full avalanche is all
+//     that is required (HyperLogLog rank bits, MinHash values).
+//
+// Both are deterministic across platforms and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace she {
+
+/// Bob Jenkins' 32-bit hash (lookup2).  Seeded; distinct seeds give
+/// effectively independent hash functions.
+class BobHash32 {
+ public:
+  /// Construct hash function number `seed` of the family (seed >= 0).
+  constexpr explicit BobHash32(std::uint32_t seed = 0) : seed_(seed) {}
+
+  /// Hash an arbitrary byte string.
+  [[nodiscard]] std::uint32_t operator()(const void* data, std::size_t len) const;
+
+  /// Hash a string view.
+  [[nodiscard]] std::uint32_t operator()(std::string_view s) const {
+    return (*this)(s.data(), s.size());
+  }
+
+  /// Hash a 64-bit key (the common case for stream item IDs).
+  [[nodiscard]] std::uint32_t operator()(std::uint64_t key) const {
+    return (*this)(&key, sizeof(key));
+  }
+
+  [[nodiscard]] constexpr std::uint32_t seed() const { return seed_; }
+
+ private:
+  std::uint32_t seed_;
+};
+
+/// SplitMix64 finalizer: bijective full-avalanche mix of a 64-bit key.
+/// `seed` selects a member of the family (key is pre-whitened with it).
+[[nodiscard]] constexpr std::uint64_t hash64(std::uint64_t key, std::uint64_t seed = 0) {
+  std::uint64_t z = key + seed * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Convenience: 32-bit slice of hash64.
+[[nodiscard]] constexpr std::uint32_t hash32(std::uint64_t key, std::uint64_t seed = 0) {
+  return static_cast<std::uint32_t>(hash64(key, seed) >> 32);
+}
+
+}  // namespace she

@@ -1,0 +1,58 @@
+// Integer math helpers shared by every module.
+//
+// The SHE group clock uses *negative* time offsets (d_gid <= 0), so the mark
+// and age computations need floored division/modulo rather than C++'s
+// truncating operators. These helpers are the single source of truth for that
+// arithmetic; GroupClock and the hardware pipeline model both build on them.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace she {
+
+/// Floored integer division: rounds toward negative infinity.
+/// floor_div(-1, 8) == -1, floor_div(7, 8) == 0, floor_div(-8, 8) == -1.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Floored modulo: result always has the sign of the divisor.
+/// For positive b the result is in [0, b).  floor_mod(-1, 8) == 7.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return v <= 1 ? 1 : std::uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// HyperLogLog rank: position of the leftmost 1-bit in the low `width` bits
+/// of h, counting from 1; returns width+1 when those bits are all zero.
+/// This equals (number of leading zero bits) + 1, the paper's l_zero + 1.
+constexpr std::uint8_t hll_rank(std::uint64_t h, unsigned width) {
+  h &= (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  if (h == 0) return static_cast<std::uint8_t>(width + 1);
+  unsigned lz = static_cast<unsigned>(std::countl_zero(h)) - (64 - width);
+  return static_cast<std::uint8_t>(lz + 1);
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace she

@@ -1,0 +1,112 @@
+#include "common/io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace she {
+
+namespace {
+// The format is little-endian on disk; byteswap on big-endian hosts.
+template <typename T>
+T to_le(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    T out;
+    auto* src = reinterpret_cast<const unsigned char*>(&v);
+    auto* dst = reinterpret_cast<unsigned char*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  }
+  return v;
+}
+}  // namespace
+
+void BinaryWriter::raw(const void* p, std::size_t n) {
+  os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!os_) throw std::runtime_error("BinaryWriter: write failed");
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  v = to_le(v);
+  raw(&v, 4);
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  v = to_le(v);
+  raw(&v, 8);
+}
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  u64(bits);
+}
+
+void BinaryWriter::u64_vector(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void BinaryWriter::u32_vector(const std::vector<std::uint32_t>& v) {
+  u64(v.size());
+  for (std::uint32_t x : v) u32(x);
+}
+
+void BinaryReader::raw(void* p, std::size_t n) {
+  is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n)
+    throw std::runtime_error("BinaryReader: unexpected end of stream");
+}
+
+std::uint8_t BinaryReader::u8() {
+  std::uint8_t v;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  std::uint32_t v;
+  raw(&v, 4);
+  return to_le(v);
+}
+
+std::uint64_t BinaryReader::u64() {
+  std::uint64_t v;
+  raw(&v, 8);
+  return to_le(v);
+}
+
+double BinaryReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void BinaryReader::expect_tag(const char (&t)[5]) {
+  char got[4];
+  raw(got, 4);
+  if (std::memcmp(got, t, 4) != 0)
+    throw std::runtime_error(std::string("BinaryReader: expected tag '") + t +
+                             "', stream holds something else");
+}
+
+std::vector<std::uint64_t> BinaryReader::u64_vector() {
+  std::uint64_t n = u64();
+  if (n > (std::uint64_t{1} << 32))
+    throw std::runtime_error("BinaryReader: implausible vector length");
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = u64();
+  return v;
+}
+
+std::vector<std::uint32_t> BinaryReader::u32_vector() {
+  std::uint64_t n = u64();
+  if (n > (std::uint64_t{1} << 32))
+    throw std::runtime_error("BinaryReader: implausible vector length");
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = u32();
+  return v;
+}
+
+}  // namespace she

@@ -1,0 +1,60 @@
+// Minimal binary (de)serialization substrate.
+//
+// Estimators support save()/load() so a long-lived monitor can checkpoint
+// its sliding-window state (e.g. across process restarts) and resume with
+// identical answers.  The format is little-endian fixed-width fields behind
+// a per-type magic tag and version byte; readers throw std::runtime_error
+// on truncation or tag mismatch rather than returning garbage.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace she {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  /// 4-byte section tag, e.g. "SHBF".
+  void tag(const char (&t)[5]) { raw(t, 4); }
+
+  void u64_vector(const std::vector<std::uint64_t>& v);
+  void u32_vector(const std::vector<std::uint32_t>& v);
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+
+  /// Read and verify a 4-byte section tag; throws on mismatch.
+  void expect_tag(const char (&t)[5]);
+
+  std::vector<std::uint64_t> u64_vector();
+  std::vector<std::uint32_t> u32_vector();
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::istream& is_;
+};
+
+}  // namespace she

@@ -1,0 +1,74 @@
+#include "common/packed_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she {
+
+PackedArray::PackedArray(std::size_t count, unsigned bits_per_cell)
+    : count_(count),
+      bits_(bits_per_cell),
+      mask_(bits_per_cell >= 64 ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << bits_per_cell) - 1)),
+      words_((count * bits_per_cell + 63) / 64, 0) {
+  if (bits_per_cell == 0 || bits_per_cell > 64)
+    throw std::invalid_argument("PackedArray: bits_per_cell must be in [1,64]");
+}
+
+std::uint64_t PackedArray::get(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("PackedArray::get");
+  std::size_t bitpos = i * bits_;
+  std::size_t w = bitpos >> 6;
+  unsigned off = bitpos & 63;
+  std::uint64_t v = words_[w] >> off;
+  if (off + bits_ > 64) v |= words_[w + 1] << (64 - off);
+  return v & mask_;
+}
+
+void PackedArray::set(std::size_t i, std::uint64_t v) {
+  if (i >= count_) throw std::out_of_range("PackedArray::set");
+  v &= mask_;
+  std::size_t bitpos = i * bits_;
+  std::size_t w = bitpos >> 6;
+  unsigned off = bitpos & 63;
+  words_[w] = (words_[w] & ~(mask_ << off)) | (v << off);
+  if (off + bits_ > 64) {
+    unsigned spill = off + bits_ - 64;
+    std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
+    words_[w + 1] = (words_[w + 1] & ~spill_mask) | (v >> (bits_ - spill));
+  }
+}
+
+void PackedArray::add_saturating(std::size_t i, std::uint64_t delta) {
+  std::uint64_t v = get(i);
+  std::uint64_t room = mask_ - v;
+  set(i, v + std::min(delta, room));
+}
+
+void PackedArray::save(BinaryWriter& out) const {
+  out.tag("PAKD");
+  out.u64(count_);
+  out.u32(bits_);
+  out.u64_vector(words_);
+}
+
+PackedArray PackedArray::load(BinaryReader& in) {
+  in.expect_tag("PAKD");
+  std::uint64_t count = in.u64();
+  unsigned bits = in.u32();
+  PackedArray a(count, bits);
+  auto words = in.u64_vector();
+  if (words.size() != a.words_.size())
+    throw std::runtime_error("PackedArray::load: word count mismatch");
+  a.words_ = std::move(words);
+  return a;
+}
+
+void PackedArray::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void PackedArray::clear_range(std::size_t first, std::size_t count) {
+  if (first + count > count_) throw std::out_of_range("PackedArray::clear_range");
+  for (std::size_t i = first; i < first + count; ++i) set(i, 0);
+}
+
+}  // namespace she

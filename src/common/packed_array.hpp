@@ -1,0 +1,60 @@
+// Fixed-width packed counter array.
+//
+// HyperLogLog registers are 5 bits in the paper's setup ("store the numbers
+// of leading 0 of these hash values in 5-bit cells"); TBF uses 18-bit
+// wraparound counters.  PackedArray stores 2^many small counters at their
+// true bit width so the memory budgets in the figures are honest, while
+// keeping get/set O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace she {
+
+class PackedArray {
+ public:
+  PackedArray() = default;
+
+  /// `count` cells of `bits_per_cell` bits each (1..64), zero-initialized.
+  PackedArray(std::size_t count, unsigned bits_per_cell);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] unsigned cell_bits() const { return bits_; }
+
+  /// Payload bytes (rounded up to whole 64-bit words).
+  [[nodiscard]] std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  /// Largest storable value: 2^bits - 1.
+  [[nodiscard]] std::uint64_t max_value() const { return mask_; }
+
+  /// Read cell `i`.
+  [[nodiscard]] std::uint64_t get(std::size_t i) const;
+
+  /// Write cell `i`; `v` must fit in the cell width.
+  void set(std::size_t i, std::uint64_t v);
+
+  /// Saturating increment of cell `i` by `delta` (clamps at max_value()).
+  void add_saturating(std::size_t i, std::uint64_t delta = 1);
+
+  /// Zero every cell.
+  void clear();
+
+  /// Zero cells [first, first+count).
+  void clear_range(std::size_t first, std::size_t count);
+
+  /// Checkpoint to / restore from a binary stream.
+  void save(BinaryWriter& out) const;
+  static PackedArray load(BinaryReader& in);
+
+ private:
+  std::size_t count_ = 0;
+  unsigned bits_ = 0;
+  std::uint64_t mask_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace she

@@ -1,0 +1,56 @@
+// Deterministic, fast RNG used by every workload generator and by CVS's
+// random-decrement step.  All experiment randomness flows from explicit
+// seeds so that every figure in EXPERIMENTS.md is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace she {
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period, deterministic.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      word = t ^ (t >> 31);
+    }
+  }
+
+  std::uint64_t operator()() {
+    auto rotl = [](std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace she

@@ -1,0 +1,44 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace she {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double relative_error(double truth, double estimate) {
+  if (truth == 0.0) return estimate == 0.0 ? 0.0 : std::abs(estimate);
+  return std::abs(truth - estimate) / std::abs(truth);
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (pct < 0 || pct > 100) throw std::invalid_argument("percentile: pct out of range");
+  std::sort(samples.begin(), samples.end());
+  double idx = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  auto hi = std::min(lo + 1, samples.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+}  // namespace she

@@ -1,0 +1,37 @@
+// Small statistics accumulators used by the benchmark harnesses and tests
+// to aggregate per-trial error metrics (RE, ARE, FPR) exactly as the paper
+// defines them in Sec. 7.1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace she {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Relative error |f - f_hat| / f  (paper metric "RE").
+double relative_error(double truth, double estimate);
+
+/// Percentile (0..100) of a sample set; interpolated, copies and sorts.
+double percentile(std::vector<double> samples, double pct);
+
+}  // namespace she

@@ -1,0 +1,49 @@
+// Aligned console table + CSV writer used by the bench harnesses so every
+// figure/table prints the same rows/series the paper reports, in a form
+// that is both human-readable and machine-parsable.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace she {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row (must have the same arity as the header).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into a row.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Emit as CSV.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(unsigned long long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(int v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace she

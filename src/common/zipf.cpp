@@ -1,0 +1,33 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace she {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t universe, double skew)
+    : skew_(skew), cdf_(universe) {
+  if (universe == 0) throw std::invalid_argument("ZipfDistribution: empty universe");
+  if (skew < 0) throw std::invalid_argument("ZipfDistribution: negative skew");
+  double total = 0;
+  for (std::uint64_t i = 0; i < universe; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfDistribution::pmf");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace she

@@ -1,0 +1,29 @@
+#include "hw/access_trace.hpp"
+
+#include "common/bobhash.hpp"
+#include "she/group_clock.hpp"
+
+namespace she::hw {
+
+AccessStats trace_insertions(const SheConfig& cfg, unsigned hashes,
+                             std::span<const std::uint64_t> keys) {
+  cfg.validate();
+  GroupClock clock(cfg.groups(), cfg.tcycle(), cfg.mark_bits);
+  AccessStats stats;
+  std::uint64_t t = 0;
+  for (std::uint64_t key : keys) {
+    ++t;
+    ++stats.items;
+    ++stats.counter_accesses;  // stage 1: read + increment the item counter
+    for (unsigned i = 0; i < hashes; ++i) {
+      std::size_t pos = BobHash32(cfg.seed + i)(key) % cfg.cells;
+      std::size_t gid = pos / cfg.group_cells;
+      ++stats.mark_accesses;  // stage 3: one mark read (write folded in)
+      if (clock.touch(gid, t)) ++stats.group_resets;
+      ++stats.cell_accesses;  // stage 4: one group-wide read-modify-write
+    }
+  }
+  return stats;
+}
+
+}  // namespace she::hw

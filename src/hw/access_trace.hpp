@@ -1,0 +1,41 @@
+// Memory-access accounting for SHE inserts.
+//
+// Replays the exact SHE-BM / SHE-BF insertion logic (via the same
+// GroupClock) while counting accesses to each memory region, demonstrating
+// empirically what the pipeline checker shows structurally: every item
+// costs exactly one item-counter access, one mark access and one cell-group
+// access per hash lane — a fixed access budget, so the pipeline's
+// initiation interval is 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "she/config.hpp"
+
+namespace she::hw {
+
+struct AccessStats {
+  std::uint64_t items = 0;
+  std::uint64_t counter_accesses = 0;  ///< item-counter read/update
+  std::uint64_t mark_accesses = 0;     ///< time-mark read (+ conditional write)
+  std::uint64_t cell_accesses = 0;     ///< cell/group read-modify-write
+  std::uint64_t group_resets = 0;      ///< how many mark checks triggered a reset
+
+  [[nodiscard]] double mark_accesses_per_item() const {
+    return items ? static_cast<double>(mark_accesses) / static_cast<double>(items) : 0;
+  }
+  [[nodiscard]] double cell_accesses_per_item() const {
+    return items ? static_cast<double>(cell_accesses) / static_cast<double>(items) : 0;
+  }
+  [[nodiscard]] double resets_per_item() const {
+    return items ? static_cast<double>(group_resets) / static_cast<double>(items) : 0;
+  }
+};
+
+/// Replay `keys` through a SHE estimator with `hashes` lanes under `cfg`,
+/// counting region accesses (hashes = 1 reproduces SHE-BM).
+AccessStats trace_insertions(const SheConfig& cfg, unsigned hashes,
+                             std::span<const std::uint64_t> keys);
+
+}  // namespace she::hw

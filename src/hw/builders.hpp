@@ -1,0 +1,40 @@
+// Concrete pipeline instances (paper Sec. 6 and Sec. 2.3).
+//
+// make_she_bm_pipeline / make_she_bf_pipeline encode the four-stage design
+// of Sec. 6 (item counter -> hash -> time-mark check -> cell/group update);
+// SHE-BF replicates the three memory-touching stages into `hashes` parallel
+// lanes, each owning its own bit array and mark bank ("8 identical
+// processes" in the paper's FPGA build).  Their LUT figures are calibrated
+// to the paper's Virtex-7 synthesis (Table 2) and are a *model*, not a
+// synthesis result.
+//
+// make_swamp_pipeline encodes SWAMP's per-item work and deliberately fails
+// the checker, reproducing Sec. 2.3's argument for why SWAMP cannot be
+// implemented on such hardware: the queue slot is read and written in one
+// stage, the TinyTable is touched by both the insert and the eviction
+// paths, and bucket overflow triggers a data-dependent domino expansion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hw/pipeline.hpp"
+
+namespace she::hw {
+
+/// SHE-BM: `array_bits` bit array in groups of `group_bits`.
+/// Paper build: array_bits = 1024, group_bits = 64.
+Pipeline make_she_bm_pipeline(std::size_t array_bits = 1024,
+                              std::size_t group_bits = 64);
+
+/// SHE-BF: `hashes` parallel lanes, each a SHE-BM-like array.
+Pipeline make_she_bf_pipeline(std::size_t array_bits = 1024,
+                              std::size_t group_bits = 64,
+                              unsigned hashes = 8);
+
+/// SWAMP with window `window` items and `fingerprint_bits`-bit fingerprints;
+/// fails the constraint checker by construction.
+Pipeline make_swamp_pipeline(std::uint64_t window = 1u << 16,
+                             unsigned fingerprint_bits = 16);
+
+}  // namespace she::hw

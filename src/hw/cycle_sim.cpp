@@ -1,0 +1,41 @@
+#include "hw/cycle_sim.hpp"
+
+namespace she::hw {
+
+SimResult simulate(const Pipeline& pipeline, std::uint64_t items,
+                   std::uint64_t cascade_penalty) {
+  SimResult res;
+  res.items = items;
+  if (items == 0) return res;
+
+  // Per-item stall cycles from constraint violations.
+  std::uint64_t stall_per_item = 0;
+  for (const auto& stage : pipeline.stages()) {
+    if (stage.accesses.size() > 1)
+      stall_per_item += stage.accesses.size() - 1;  // recirculation per access
+    for (const auto& acc : stage.accesses) {
+      if (!acc.single_address) stall_per_item += 1;  // address-serialized
+      if (!acc.bounded) stall_per_item += cascade_penalty;
+    }
+  }
+  // A region shared by multiple stages forces a bubble between dependent
+  // stages for every item (read-write hazard interlock).
+  {
+    std::vector<int> owner(pipeline.regions().size(), -1);
+    for (std::size_t s = 0; s < pipeline.stages().size(); ++s) {
+      for (const auto& acc : pipeline.stages()[s].accesses) {
+        if (owner[acc.region] >= 0 && owner[acc.region] != static_cast<int>(s))
+          stall_per_item += 1;
+        owner[acc.region] = static_cast<int>(s);
+      }
+    }
+  }
+
+  std::uint64_t depth = pipeline.stages().size();
+  res.cycles = items * (1 + stall_per_item) + (depth == 0 ? 0 : depth - 1);
+  res.cycles_per_item =
+      static_cast<double>(res.cycles) / static_cast<double>(items);
+  return res;
+}
+
+}  // namespace she::hw

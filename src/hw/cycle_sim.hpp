@@ -1,0 +1,38 @@
+// Cycle-level pipeline simulation.
+//
+// Complements the structural constraint checker with a simple timing model:
+// a clean pipeline of D stages finishes n items in n + D - 1 cycles
+// (initiation interval 1).  Constraint violations serialize: an extra
+// memory access in a stage costs one recirculation cycle per item, a
+// multi-address access costs one cycle per address, and a data-dependent
+// cascade (e.g. TinyTable's domino expansion) costs `cascade_penalty`
+// expected extra cycles per item.  The model quantifies *why* SWAMP's
+// violations matter — its per-item cost rises above 1 cycle — rather than
+// predicting absolute silicon numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/pipeline.hpp"
+
+namespace she::hw {
+
+struct SimResult {
+  std::uint64_t items = 0;
+  std::uint64_t cycles = 0;
+  double cycles_per_item = 0.0;
+
+  /// Throughput in million items per second at `clock_mhz`.
+  [[nodiscard]] double mips(double clock_mhz) const {
+    return cycles == 0 ? 0.0
+                       : clock_mhz * static_cast<double>(items) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Simulate `items` items through `pipeline`.  `cascade_penalty` is the
+/// expected extra cycles charged per item for each unbounded access.
+SimResult simulate(const Pipeline& pipeline, std::uint64_t items,
+                   std::uint64_t cascade_penalty = 4);
+
+}  // namespace she::hw

@@ -1,0 +1,105 @@
+#include "hw/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace she::hw {
+
+Pipeline::Pipeline(std::string name, std::vector<MemoryRegion> regions,
+                   std::vector<Stage> stages)
+    : name_(std::move(name)), regions_(std::move(regions)), stages_(std::move(stages)) {
+  for (const auto& st : stages_)
+    for (const auto& acc : st.accesses)
+      if (acc.region >= regions_.size())
+        throw std::invalid_argument("Pipeline: access references unknown region");
+}
+
+std::size_t Pipeline::total_memory_bits() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) total += r.bits;
+  return total;
+}
+
+ConstraintReport Pipeline::check(std::size_t sram_budget_bits,
+                                 std::size_t max_access_bits) const {
+  ConstraintReport rep;
+
+  // (1) limited SRAM
+  rep.sram_fits = total_memory_bits() <= sram_budget_bits;
+  if (!rep.sram_fits)
+    rep.violations.push_back(name_ + ": total memory " +
+                             std::to_string(total_memory_bits()) +
+                             " bits exceeds the SRAM budget");
+
+  // (2) single stage memory access: region -> owning stage
+  rep.single_stage_access = true;
+  std::vector<int> owner(regions_.size(), -1);
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (const auto& acc : stages_[s].accesses) {
+      if (owner[acc.region] >= 0 && owner[acc.region] != static_cast<int>(s)) {
+        rep.single_stage_access = false;
+        rep.violations.push_back(name_ + ": region '" + regions_[acc.region].name +
+                                 "' accessed by stages '" +
+                                 stages_[static_cast<std::size_t>(owner[acc.region])].name +
+                                 "' and '" + stages_[s].name +
+                                 "' (read-write hazard)");
+      }
+      owner[acc.region] = static_cast<int>(s);
+    }
+  }
+
+  // (3) limited concurrent memory access
+  rep.limited_concurrent_access = true;
+  for (const auto& st : stages_) {
+    if (st.accesses.size() > 1) {
+      rep.limited_concurrent_access = false;
+      rep.violations.push_back(name_ + ": stage '" + st.name + "' issues " +
+                               std::to_string(st.accesses.size()) +
+                               " memory accesses per item (limit 1)");
+    }
+    for (const auto& acc : st.accesses) {
+      if (acc.bits > max_access_bits) {
+        rep.limited_concurrent_access = false;
+        rep.violations.push_back(name_ + ": stage '" + st.name + "' moves " +
+                                 std::to_string(acc.bits) +
+                                 " bits in one access (limit " +
+                                 std::to_string(max_access_bits) + ")");
+      }
+      if (!acc.single_address) {
+        rep.limited_concurrent_access = false;
+        rep.violations.push_back(name_ + ": stage '" + st.name +
+                                 "' accesses multiple addresses in one stage");
+      }
+      if (!acc.bounded) {
+        rep.limited_concurrent_access = false;
+        rep.violations.push_back(name_ + ": stage '" + st.name +
+                                 "' performs a data-dependent unbounded access"
+                                 " cascade");
+      }
+    }
+  }
+  return rep;
+}
+
+ResourceEstimate Pipeline::resources(std::size_t register_threshold_bits) const {
+  ResourceEstimate est;
+  for (const auto& r : regions_) {
+    if (r.bits <= register_threshold_bits)
+      est.registers += r.bits;
+    else
+      est.block_ram_bits += r.bits;
+  }
+  for (const auto& st : stages_) {
+    est.registers += st.latch_bits;
+    est.lut += st.logic_luts;
+    // Address decode / write-enable logic per access, proportional to width.
+    for (const auto& acc : st.accesses) est.lut += acc.bits / 8 + 16;
+  }
+  est.items_per_cycle = check().pipelined() ? 1.0 : 0.0;
+  return est;
+}
+
+double Pipeline::throughput_mips(double clock_mhz) const {
+  return check().pipelined() ? clock_mhz : 0.0;
+}
+
+}  // namespace she::hw

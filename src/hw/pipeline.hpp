@@ -1,0 +1,110 @@
+// Hardware pipeline model — the FPGA substitute (DESIGN.md §5).
+//
+// The paper's Table 2/3 claims are (i) SHE satisfies the three hardware
+// constraints of Sec. 2.3 as a short pipeline, and (ii) the resulting design
+// sustains one item per clock (544 Mips at the achieved 544 MHz on a
+// Virtex-7).  Without the device we verify (i) *structurally*: a Pipeline is
+// a list of stages, each declaring which memory regions it touches and how
+// many bits per access; check() evaluates the three constraints:
+//
+//   1. limited SRAM        — total region bits within a configurable budget
+//   2. single-stage access — no memory region is touched by two stages
+//   3. limited concurrency — each stage issues at most one access, of at
+//                            most `max_access_bits` bits, at one address
+//
+// and (ii) by cycle accounting: a pipeline that passes has initiation
+// interval 1, so throughput = clock * 1 item/cycle.  A coarse resource
+// model (pipeline latch bits, LUT-equivalents for hash/compare logic)
+// produces Table-2-shaped rows; builders.hpp instantiates SHE-BM, SHE-BF
+// and (deliberately failing) SWAMP pipelines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace she::hw {
+
+/// A physical memory block (register bank / SRAM) of `bits` bits.
+struct MemoryRegion {
+  std::string name;
+  std::size_t bits = 0;
+};
+
+/// One memory access a stage performs per item.
+struct MemoryAccess {
+  std::size_t region = 0;      ///< index into the pipeline's regions
+  std::size_t bits = 0;        ///< bits moved per access
+  bool write = false;
+  bool single_address = true;  ///< false = scatter access (constraint 3 breach)
+  bool bounded = true;         ///< false = data-dependent cascade (e.g. TinyTable
+                               ///  domino expansion) — unbounded concurrency
+};
+
+/// One pipeline stage: combinational logic plus at most one memory access
+/// (more, wider, or unbounded accesses are reported as violations).
+struct Stage {
+  std::string name;
+  std::vector<MemoryAccess> accesses;
+  std::size_t latch_bits = 0;  ///< pipeline registers carried to the next stage
+  std::size_t logic_luts = 0;  ///< modeled LUT-equivalents of this stage's logic
+};
+
+/// Result of evaluating the three constraints of Sec. 2.3.
+struct ConstraintReport {
+  bool sram_fits = false;
+  bool single_stage_access = false;
+  bool limited_concurrent_access = false;
+  std::vector<std::string> violations;
+
+  /// All three constraints hold: the design pipelines at 1 item/cycle.
+  [[nodiscard]] bool pipelined() const {
+    return sram_fits && single_stage_access && limited_concurrent_access;
+  }
+};
+
+/// Table-2/3-shaped summary.
+struct ResourceEstimate {
+  std::size_t lut = 0;            ///< modeled LUT-equivalents
+  std::size_t registers = 0;      ///< pipeline latches + memory held in registers
+  std::size_t block_ram_bits = 0; ///< regions too large for registers
+  double items_per_cycle = 0.0;   ///< 1.0 when the constraint report passes
+};
+
+class Pipeline {
+ public:
+  Pipeline(std::string name, std::vector<MemoryRegion> regions,
+           std::vector<Stage> stages);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<MemoryRegion>& regions() const { return regions_; }
+  [[nodiscard]] const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Evaluate the three hardware constraints.  `sram_budget_bits` defaults
+  /// to 30 MB (the paper's Virtex-7 on-chip bound), `max_access_bits` to
+  /// 1024 (one FPGA memory fetch).
+  [[nodiscard]] ConstraintReport check(
+      std::size_t sram_budget_bits = std::size_t{30} * 8 * 1024 * 1024,
+      std::size_t max_access_bits = 1024) const;
+
+  /// Coarse resource/throughput model.  Regions of at most
+  /// `register_threshold_bits` are assumed register-implemented (the
+  /// paper's 1024-bit arrays are), larger ones go to block RAM.
+  [[nodiscard]] ResourceEstimate resources(
+      std::size_t register_threshold_bits = 4096) const;
+
+  /// Throughput in million items per second at `clock_mhz`, given the
+  /// constraint report (0 if the pipeline cannot sustain 1 item/cycle).
+  [[nodiscard]] double throughput_mips(double clock_mhz) const;
+
+  /// Total bits across all memory regions.
+  [[nodiscard]] std::size_t total_memory_bits() const;
+
+ private:
+  std::string name_;
+  std::vector<MemoryRegion> regions_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace she::hw

@@ -1,0 +1,56 @@
+#include "hw/switch_profile.hpp"
+
+#include <sstream>
+
+namespace she::hw {
+
+SwitchProfile tofino_like() { return SwitchProfile{}; }
+
+ConstraintReport check_switch(const Pipeline& pipeline,
+                              const SwitchProfile& profile,
+                              std::size_t parallel_lanes) {
+  // Start from the three generic hardware constraints at the profile's
+  // tighter access width / SRAM budget.
+  ConstraintReport rep =
+      pipeline.check(profile.sram_budget_bits, profile.max_access_bits);
+
+  // Stage-count constraint: lanes share stages side-by-side.
+  std::size_t stages = pipeline.stages().size();
+  std::size_t depth =
+      parallel_lanes <= 1 || stages <= 1
+          ? stages
+          : 1 + (stages - 1 + parallel_lanes - 1) / parallel_lanes;
+  if (depth > profile.max_stages) {
+    rep.limited_concurrent_access = false;  // cannot be laid out
+    rep.violations.push_back(
+        pipeline.name() + ": needs " + std::to_string(depth) +
+        " sequential stages, profile provides " +
+        std::to_string(profile.max_stages));
+  }
+  return rep;
+}
+
+std::string describe(const Pipeline& pipeline) {
+  std::ostringstream os;
+  os << "pipeline " << pipeline.name() << " ("
+     << pipeline.total_memory_bits() << " memory bits)\n";
+  for (std::size_t s = 0; s < pipeline.stages().size(); ++s) {
+    const auto& st = pipeline.stages()[s];
+    os << "  stage " << s << "  " << st.name;
+    if (st.accesses.empty()) {
+      os << "  [no memory access]";
+    } else {
+      for (const auto& acc : st.accesses) {
+        os << "  [" << pipeline.regions()[acc.region].name << " "
+           << acc.bits << "b" << (acc.write ? " rw" : " ro");
+        if (!acc.single_address) os << " multi-address";
+        if (!acc.bounded) os << " UNBOUNDED";
+        os << "]";
+      }
+    }
+    os << "  latch=" << st.latch_bits << "b logic~" << st.logic_luts << "LUT\n";
+  }
+  return os.str();
+}
+
+}  // namespace she::hw

@@ -1,0 +1,43 @@
+// Programmable-switch (P4 / RMT) constraint profile.
+//
+// The paper targets FPGAs *and* programmable switches (Sec. 1, Sec. 2.3).
+// Switch pipelines are harsher than FPGAs: a fixed number of match-action
+// stages, narrow per-stage register accesses, and no free recirculation.
+// check_switch() evaluates a Pipeline against such a profile; SHE-BM fits a
+// Tofino-like profile directly, SHE-BF fits once its hash lanes are laid
+// out side-by-side (parallel tables in shared stages), and SWAMP cannot fit
+// at all — reproducing the paper's "P4 switches" claim alongside the FPGA
+// one.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/pipeline.hpp"
+
+namespace she::hw {
+
+/// Constraint envelope of an RMT-style switch pipeline.
+struct SwitchProfile {
+  std::size_t max_stages = 12;            ///< match-action stages available
+  std::size_t max_access_bits = 128;      ///< register width per stage access
+  std::size_t sram_budget_bits =
+      std::size_t{10} * 8 * 1024 * 1024;  ///< total stateful memory
+};
+
+/// A Tofino-generation profile (12 stages, 128-bit stateful ALU ops).
+[[nodiscard]] SwitchProfile tofino_like();
+
+/// Evaluate `pipeline` against `profile`.  `parallel_lanes` is the number
+/// of identical lane replicas that share stages side-by-side (SHE-BF lays
+/// its `hashes` lanes out in parallel: the front stage plus one hash /
+/// mark / update stage triple occupied concurrently by every lane).
+/// Sequential depth is therefore 1 + ceil((stages - 1) / lanes).
+[[nodiscard]] ConstraintReport check_switch(const Pipeline& pipeline,
+                                            const SwitchProfile& profile,
+                                            std::size_t parallel_lanes = 1);
+
+/// Human-readable stage table (a P4-planning artifact: one row per stage
+/// with its memory region, access width and modeled logic).
+[[nodiscard]] std::string describe(const Pipeline& pipeline);
+
+}  // namespace she::hw

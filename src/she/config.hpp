@@ -1,0 +1,45 @@
+// Shared configuration for every SHE estimator (Table 1 notation).
+//
+//   N       window        — size of the sliding window (count-based: the
+//                           last N inserted items)
+//   M       cells         — number of cells in the base sketch
+//   w       group_cells   — cells per group (G = M / w groups)
+//   alpha                 — (Tcycle - N) / N; Tcycle = (1 + alpha) * N
+//   beta                  — two-sided queries accept groups with age in
+//                           [beta*N, Tcycle); beta < 1 but close to 1
+//   mark_bits             — width of the per-group time mark.  The paper's
+//                           hardware design uses 1 bit; wider marks remove
+//                           the mark-aliasing error and exist for ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/io.hpp"
+
+namespace she {
+
+struct SheConfig {
+  std::uint64_t window = 1u << 16;  ///< N, in items
+  std::size_t cells = 1u << 16;     ///< M
+  std::size_t group_cells = 64;     ///< w
+  double alpha = 0.2;               ///< (Tcycle - N) / N
+  double beta = 0.9;                ///< legal-age lower bound fraction
+  std::uint32_t seed = 0;           ///< hash family selector
+  unsigned mark_bits = 1;           ///< time-mark width (1 = paper's design)
+
+  /// Cleaning-cycle length in items: round((1 + alpha) * N).  Always > N.
+  [[nodiscard]] std::uint64_t tcycle() const;
+
+  /// Number of groups G = ceil(M / w).
+  [[nodiscard]] std::size_t groups() const;
+
+  /// Throws std::invalid_argument if any field is out of range.
+  void validate() const;
+
+  /// Checkpoint to / restore from a binary stream.
+  void save(BinaryWriter& out) const;
+  static SheConfig load(BinaryReader& in);
+};
+
+}  // namespace she

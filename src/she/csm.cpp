@@ -1,0 +1,68 @@
+#include "she/csm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sketch/bitmap.hpp"
+#include "sketch/hyperloglog.hpp"
+
+namespace she::csm {
+
+template <CsmPolicy P>
+  requires std::same_as<P, BitmapPolicy>
+double cardinality(const SlidingEstimator<P>& est) {
+  std::size_t zeros = 0;
+  std::size_t observed = 0;
+  for (std::size_t pos = 0; pos < est.cell_count(); ++pos) {
+    if (!est.legal(pos)) continue;
+    ++observed;
+    if (est.view(pos).value == 0) ++zeros;
+  }
+  return fixed::linear_counting(zeros, observed,
+                                static_cast<double>(est.cell_count()));
+}
+
+template double cardinality<BitmapPolicy>(const SlidingEstimator<BitmapPolicy>&);
+
+template <CsmPolicy P>
+  requires std::same_as<P, HllPolicy>
+double cardinality(const SlidingEstimator<P>& est) {
+  double sum = 0.0;
+  std::size_t observed = 0;
+  std::size_t zeros = 0;
+  for (std::size_t pos = 0; pos < est.cell_count(); ++pos) {
+    if (!est.legal(pos)) continue;
+    ++observed;
+    auto r = est.view(pos).value;
+    if (r == 0) ++zeros;
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+  }
+  return fixed::HyperLogLog::estimate(sum, observed,
+                                      static_cast<double>(est.cell_count()),
+                                      zeros);
+}
+
+template double cardinality<HllPolicy>(const SlidingEstimator<HllPolicy>&);
+
+double jaccard(const SlidingEstimator<MinHashPolicy>& a,
+               const SlidingEstimator<MinHashPolicy>& b) {
+  if (a.cell_count() != b.cell_count() ||
+      a.policy().seed != b.policy().seed)
+    throw std::invalid_argument("csm::jaccard: incompatible signatures");
+  if (a.time() != b.time())
+    throw std::invalid_argument("csm::jaccard: signatures not in lock-step");
+  std::size_t match = 0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    if (!a.legal(i)) continue;  // ages identical on both sides
+    auto va = a.view(i).value;
+    auto vb = b.view(i).value;
+    if (va == MinHashPolicy::kEmpty && vb == MinHashPolicy::kEmpty) continue;
+    ++compared;
+    if (va == vb) ++match;
+  }
+  return compared == 0 ? 0.0
+                       : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+}  // namespace she::csm

@@ -1,0 +1,62 @@
+#include "she/group_clock.hpp"
+
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+
+namespace she {
+
+GroupClock::GroupClock(std::size_t groups, std::uint64_t tcycle, unsigned mark_bits)
+    : tcycle_(tcycle), offsets_(groups), marks_(groups, mark_bits) {
+  if (groups == 0) throw std::invalid_argument("GroupClock: groups must be > 0");
+  if (tcycle == 0) throw std::invalid_argument("GroupClock: tcycle must be > 0");
+  // d_gid = -floor(Tcycle * gid / G); gid < G keeps the magnitude below
+  // Tcycle.  Cached: recomputing costs a 64-bit division on every access.
+  for (std::size_t gid = 0; gid < groups; ++gid)
+    offsets_[gid] = -static_cast<std::int64_t>(tcycle * gid / groups);
+  reset();
+}
+
+std::uint64_t GroupClock::current_mark(std::size_t gid, std::uint64_t t) const {
+  std::int64_t shifted = static_cast<std::int64_t>(t) + offsets_[gid];
+  std::int64_t cycle = floor_div(shifted, static_cast<std::int64_t>(tcycle_));
+  // Power-of-two modulus: masking a two's-complement value equals the
+  // floored modulo, so negative cycle indices (before a group's first
+  // boundary) wrap correctly.
+  return static_cast<std::uint64_t>(cycle) & marks_.max_value();
+}
+
+std::uint64_t GroupClock::age(std::size_t gid, std::uint64_t t) const {
+  std::int64_t shifted = static_cast<std::int64_t>(t) + offset(gid);
+  return static_cast<std::uint64_t>(
+      floor_mod(shifted, static_cast<std::int64_t>(tcycle_)));
+}
+
+bool GroupClock::touch(std::size_t gid, std::uint64_t t) {
+  std::uint64_t cur = current_mark(gid, t);
+  if (marks_.get(gid) == cur) return false;
+  marks_.set(gid, cur);
+  return true;
+}
+
+void GroupClock::reset() {
+  for (std::size_t g = 0; g < marks_.size(); ++g)
+    marks_.set(g, current_mark(g, 0));
+}
+
+void GroupClock::save(BinaryWriter& out) const {
+  out.tag("GCLK");
+  out.u64(tcycle_);
+  marks_.save(out);
+}
+
+GroupClock GroupClock::load(BinaryReader& in) {
+  in.expect_tag("GCLK");
+  std::uint64_t tcycle = in.u64();
+  PackedArray marks = PackedArray::load(in);
+  GroupClock clock(marks.size(), tcycle, marks.cell_bits());
+  clock.marks_ = std::move(marks);
+  return clock;
+}
+
+}  // namespace she

@@ -1,0 +1,85 @@
+// GroupClock — the heart of SHE's hardware version (paper Sec. 3.3).
+//
+// The cell array is split into G groups.  Group gid carries a fixed time
+// offset d_gid = -floor(Tcycle * gid / G), evenly spacing the groups'
+// cleaning boundaries over one cycle, and a small stored time mark m[gid].
+// The *current* mark of a group is
+//
+//     cur(gid, t) = floor((t + d_gid) / Tcycle) mod 2^mark_bits
+//
+// which flips once per Tcycle.  A group whose stored mark differs from the
+// current mark has not been touched since its last cleaning boundary — its
+// content is out-dated and must be reset before use (Algorithm 1's
+// CheckGroup).  The *age* of a group,
+//
+//     age(gid, t) = (t + d_gid) mod Tcycle      (floored mod, in [0, Tcycle)),
+//
+// is the time since its most recent cleaning boundary and classifies its
+// cells as young (< N), perfect (== N) or aged (> N).
+//
+// With the paper's 1-bit marks, a group untouched for two whole cycles
+// aliases back to a "fresh" mark and retains stale content — the on-demand
+// cleaning error analyzed in Sec. 5.1.  mark_bits > 1 suppresses that error
+// exponentially and is provided for the ablation benches.
+//
+// GroupClock owns only the marks; the estimator owning the cells performs
+// the actual reset when touch() reports one is due.  Queries use stale() /
+// age() and never mutate, so estimator query paths stay const.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+#include "common/packed_array.hpp"
+
+namespace she {
+
+class GroupClock {
+ public:
+  /// `groups` groups, cleaning cycle of `tcycle` items, marks of
+  /// `mark_bits` bits (1 = the paper's hardware design).
+  GroupClock(std::size_t groups, std::uint64_t tcycle, unsigned mark_bits = 1);
+
+  [[nodiscard]] std::size_t groups() const { return marks_.size(); }
+  [[nodiscard]] std::uint64_t tcycle() const { return tcycle_; }
+
+  /// Marks' memory footprint (counted toward the estimator's budget; the
+  /// per-group offsets are derived constants — combinational logic on
+  /// hardware — and are cached here purely as a software optimization).
+  [[nodiscard]] std::size_t memory_bytes() const { return marks_.memory_bytes(); }
+
+  /// Fixed offset of a group: d_gid = -floor(Tcycle * gid / G) <= 0.
+  [[nodiscard]] std::int64_t offset(std::size_t gid) const { return offsets_[gid]; }
+
+  /// Current mark: floor((t + d_gid) / Tcycle) mod 2^mark_bits.
+  [[nodiscard]] std::uint64_t current_mark(std::size_t gid, std::uint64_t t) const;
+
+  /// Items since the group's latest cleaning boundary, in [0, Tcycle).
+  [[nodiscard]] std::uint64_t age(std::size_t gid, std::uint64_t t) const;
+
+  /// True if the stored mark lags the current mark, i.e. the group content
+  /// predates its latest cleaning boundary and must be treated as zero.
+  [[nodiscard]] bool stale(std::size_t gid, std::uint64_t t) const {
+    return marks_.get(gid) != current_mark(gid, t);
+  }
+
+  /// Algorithm 1 CheckGroup: if the group is stale, record the current mark
+  /// and return true — the caller must reset the group's cells.
+  bool touch(std::size_t gid, std::uint64_t t);
+
+  /// Reset every mark to the state at time 0 (used by estimator clear()).
+  void reset();
+
+  /// Checkpoint to / restore from a binary stream.
+  void save(BinaryWriter& out) const;
+  static GroupClock load(BinaryReader& in);
+
+ private:
+  std::uint64_t tcycle_;
+  std::vector<std::int64_t> offsets_;
+  PackedArray marks_;
+};
+
+}  // namespace she

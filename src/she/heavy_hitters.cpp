@@ -1,0 +1,70 @@
+#include "she/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she {
+
+HeavyHitters::HeavyHitters(const SheConfig& cfg, unsigned hashes,
+                           std::size_t capacity)
+    : sketch_(cfg, hashes), capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("HeavyHitters: capacity must be > 0");
+  candidates_.reserve(capacity + 1);
+}
+
+void HeavyHitters::insert(std::uint64_t key) {
+  sketch_.insert(key);
+  // Periodic refresh: stored candidate estimates decay with the window, so
+  // re-estimate the whole table once per `capacity_` inserts (amortized
+  // O(1) sketch queries per item).
+  if (++since_refresh_ >= capacity_) {
+    since_refresh_ = 0;
+    for (auto& [cand, est] : candidates_) est = sketch_.frequency(cand);
+  }
+  maybe_admit(key, sketch_.frequency(key));
+}
+
+void HeavyHitters::maybe_admit(std::uint64_t key, std::uint64_t estimate) {
+  auto it = candidates_.find(key);
+  if (it != candidates_.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (candidates_.size() < capacity_) {
+    candidates_.emplace(key, estimate);
+    return;
+  }
+  // Evict the weakest stored candidate if the newcomer beats it.  Stored
+  // values may lag by up to one refresh period, which only makes eviction
+  // conservative.
+  auto weakest = candidates_.begin();
+  for (auto cand = candidates_.begin(); cand != candidates_.end(); ++cand)
+    if (cand->second < weakest->second) weakest = cand;
+  if (estimate > weakest->second) {
+    candidates_.erase(weakest);
+    candidates_.emplace(key, estimate);
+  }
+}
+
+std::vector<HeavyHitters::Entry> HeavyHitters::top(std::size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(candidates_.size());
+  for (const auto& [key, stale] : candidates_) {
+    (void)stale;
+    out.push_back({key, sketch_.frequency(key)});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate : a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void HeavyHitters::clear() {
+  sketch_.clear();
+  candidates_.clear();
+  since_refresh_ = 0;
+}
+
+}  // namespace she

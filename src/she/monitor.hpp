@@ -1,0 +1,84 @@
+// StreamMonitor — one-stop sliding-window telemetry.
+//
+// Applications usually want several window statistics at once (the QoS
+// example hand-rolls exactly this).  StreamMonitor bundles SHE-BF
+// membership, SHE-BM or SHE-HLL cardinality, and SHE-CM frequency + heavy
+// hitters behind a single insert(), with one memory budget split across
+// the sketches, a consolidated report, and whole-monitor
+// checkpoint/restore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/io.hpp"
+#include "she/heavy_hitters.hpp"
+#include "she/she_bloom.hpp"
+#include "she/she_bitmap.hpp"
+#include "she/she_hll.hpp"
+#include "she/tuning.hpp"
+
+namespace she {
+
+/// Monitor configuration: one window, one budget, task toggles.
+struct MonitorConfig {
+  std::uint64_t window = 1u << 16;      ///< sliding window, in items
+  std::size_t memory_bytes = 1u << 20;  ///< total budget across sketches
+  bool track_membership = true;
+  bool track_cardinality = true;
+  bool track_frequency = true;
+  bool use_hll = false;        ///< cardinality via HLL instead of Bitmap
+  double expected_cardinality = 0;  ///< 0 = assume window/4 (for Eq. 2)
+  std::size_t heavy_hitter_slots = 64;
+  std::uint32_t seed = 0;
+
+  void validate() const;
+};
+
+/// A consolidated snapshot of the window.
+struct MonitorReport {
+  std::uint64_t items = 0;                  ///< stream position
+  std::optional<double> cardinality;        ///< distinct keys in window
+  std::vector<HeavyHitters::Entry> top;     ///< heaviest keys, descending
+};
+
+class StreamMonitor {
+ public:
+  explicit StreamMonitor(const MonitorConfig& cfg);
+
+  /// Feed one stream item to every enabled sketch.
+  void insert(std::uint64_t key);
+
+  /// Was `key` seen in the window?  (Requires track_membership; one-sided.)
+  [[nodiscard]] bool seen(std::uint64_t key) const;
+
+  /// Window frequency of `key` (requires track_frequency).
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
+
+  /// Consolidated snapshot (top-k limited to `top_k`).
+  [[nodiscard]] MonitorReport report(std::size_t top_k = 10) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
+
+  /// Actual bytes across enabled sketches (close to, and never wildly
+  /// above, cfg.memory_bytes).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Checkpoint / restore the whole monitor.
+  void save(BinaryWriter& out) const;
+  static StreamMonitor load(BinaryReader& in);
+
+ private:
+  MonitorConfig cfg_;
+  std::uint64_t time_ = 0;
+  std::optional<SheBloomFilter> membership_;
+  std::optional<SheBitmap> card_bm_;
+  std::optional<SheHyperLogLog> card_hll_;
+  std::optional<HeavyHitters> freq_;
+};
+
+}  // namespace she

@@ -1,0 +1,138 @@
+// Sharded — multi-core scaling for SHE estimators.
+//
+// The FPGA pipeline processes one item per cycle; on CPUs the equivalent
+// lever is key-space partitioning: route each key to one of S shards by an
+// independent hash, give every shard its own estimator over a window of
+// N/S items, and feed the shards from worker threads.  Because a shard only
+// ever sees its own keys:
+//
+//   * membership / frequency queries go to the owning shard;
+//   * cardinality adds across shards (distinct keys are partitioned);
+//   * each shard's count-based window of N/S items approximates the global
+//     last-N window — an item's shard-local depth is binomially distributed
+//     around global_depth/S, so the window edge blurs by O(sqrt(N/S)) items
+//     (quantified in the tests).  Deep-in-window items are still always
+//     found: SHE-BF's no-false-negative property holds for any item whose
+//     global depth is comfortably below N.
+//
+// insert_bulk() partitions a batch once and then runs the shards in
+// parallel with std::thread; per-shard insertion order equals the arrival
+// order, so the result is bit-identical to sequential routing (tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she {
+
+template <typename Estimator>
+class Sharded {
+ public:
+  /// `shards` estimators built by `factory(shard_index)`; `route_seed`
+  /// selects the routing hash (independent of the estimators' families).
+  Sharded(std::size_t shards,
+          const std::function<Estimator(std::size_t)>& factory,
+          std::uint64_t route_seed = 0x5ead5eedULL)
+      : route_seed_(route_seed) {
+    if (shards == 0) throw std::invalid_argument("Sharded: shards must be > 0");
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shards_.push_back(factory(s));
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Owning shard of a key.
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(hash64(key, route_seed_) % shards_.size());
+  }
+
+  /// Route one item to its shard (single-threaded path).
+  void insert(std::uint64_t key) { shards_[shard_of(key)].insert(key); }
+
+  /// Partition `keys` by shard, then insert each partition on its own
+  /// thread (up to `threads` running at once; 0 = hardware concurrency).
+  /// Final state is identical to calling insert() over `keys` in order.
+  void insert_bulk(std::span<const std::uint64_t> keys, unsigned threads = 0);
+
+  /// Owning-shard access for queries, e.g.
+  /// `sharded.owner(key).contains(key)`.
+  [[nodiscard]] Estimator& owner(std::uint64_t key) { return shards_[shard_of(key)]; }
+  [[nodiscard]] const Estimator& owner(std::uint64_t key) const {
+    return shards_[shard_of(key)];
+  }
+
+  [[nodiscard]] Estimator& shard(std::size_t s) { return shards_[s]; }
+  [[nodiscard]] const Estimator& shard(std::size_t s) const { return shards_[s]; }
+
+  /// Total payload memory across shards.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.memory_bytes();
+    return total;
+  }
+
+ private:
+  std::uint64_t route_seed_;
+  std::vector<Estimator> shards_;
+};
+
+template <typename Estimator>
+void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
+                                     unsigned threads) {
+  const std::size_t n_shards = shards_.size();
+  // Partition pass: per-shard key lists in arrival order.
+  std::vector<std::vector<std::uint64_t>> parts(n_shards);
+  for (auto& p : parts) p.reserve(keys.size() / n_shards + 16);
+  for (std::uint64_t key : keys) parts[shard_of(key)].push_back(key);
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || n_shards == 1) {
+    for (std::size_t s = 0; s < n_shards; ++s)
+      for (std::uint64_t key : parts[s]) shards_[s].insert(key);
+    return;
+  }
+
+  // Static block assignment: shard s handled by worker s % threads; each
+  // shard is touched by exactly one thread, so no synchronization is
+  // needed on the estimators.
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([this, &parts, w, threads, n_shards] {
+      for (std::size_t s = w; s < n_shards; s += threads)
+        for (std::uint64_t key : parts[s]) shards_[s].insert(key);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Membership across shards (SHE-BF semantics preserved per shard).
+template <typename E>
+[[nodiscard]] bool sharded_contains(const Sharded<E>& s, std::uint64_t key) {
+  return s.owner(key).contains(key);
+}
+
+/// Frequency across shards.
+template <typename E>
+[[nodiscard]] std::uint64_t sharded_frequency(const Sharded<E>& s,
+                                              std::uint64_t key) {
+  return s.owner(key).frequency(key);
+}
+
+/// Cardinality across shards: distinct keys are partitioned, so estimates
+/// add.
+template <typename E>
+[[nodiscard]] double sharded_cardinality(const Sharded<E>& s) {
+  double total = 0;
+  for (std::size_t i = 0; i < s.shard_count(); ++i)
+    total += s.shard(i).cardinality();
+  return total;
+}
+
+}  // namespace she

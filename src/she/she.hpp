@@ -1,0 +1,27 @@
+// Umbrella header for the SHE library's public API.
+//
+//   #include "she/she.hpp"
+//
+// pulls in the framework core (SheConfig, GroupClock, tuning helpers), the
+// five sliding-window estimators (SHE-BF/BM/HLL/CM/MH), the software-sweep
+// variant, and the fixed-window base sketches.
+#pragma once
+
+#include "she/config.hpp"
+#include "she/group_clock.hpp"
+#include "she/she_bitmap.hpp"
+#include "she/she_bloom.hpp"
+#include "she/she_cm.hpp"
+#include "she/she_hll.hpp"
+#include "she/she_minhash.hpp"
+#include "she/heavy_hitters.hpp"
+#include "she/monitor.hpp"
+#include "she/sharded.hpp"
+#include "she/soft_bloom.hpp"
+#include "she/tuning.hpp"
+
+#include "sketch/bitmap.hpp"
+#include "sketch/bloom_filter.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/minhash.hpp"

@@ -1,0 +1,105 @@
+#include "she/she_bitmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sketch/bitmap.hpp"
+
+namespace she {
+
+SheBitmap::SheBitmap(const SheConfig& cfg)
+    : cfg_(cfg), clock_(cfg.groups(), cfg.tcycle(), cfg.mark_bits), bits_(cfg.cells) {
+  cfg_.validate();
+}
+
+void SheBitmap::insert(std::uint64_t key) { insert_at(key, time_ + 1); }
+
+void SheBitmap::advance_to(std::uint64_t t) {
+  if (t < time_)
+    throw std::invalid_argument("SheBitmap: time must not move backwards");
+  time_ = t;
+}
+
+void SheBitmap::insert_at(std::uint64_t key, std::uint64_t t) {
+  advance_to(t);
+  std::size_t pos = BobHash32(cfg_.seed)(key) % cfg_.cells;
+  std::size_t gid = pos / cfg_.group_cells;
+  if (clock_.touch(gid, time_)) {
+    std::size_t first = gid * cfg_.group_cells;
+    bits_.clear_range(first, std::min(cfg_.group_cells, cfg_.cells - first));
+  }
+  bits_.set(pos);
+}
+
+bool SheBitmap::legal_age(std::uint64_t age) const {
+  auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
+  return age >= lower;
+}
+
+std::size_t SheBitmap::legal_groups() const {
+  std::size_t legal = 0;
+  for (std::size_t g = 0; g < clock_.groups(); ++g)
+    if (legal_age(clock_.age(g, time_))) ++legal;
+  return legal;
+}
+
+double SheBitmap::cardinality() const {
+  std::size_t zeros = 0;
+  std::size_t observed = 0;
+  for (std::size_t g = 0; g < clock_.groups(); ++g) {
+    if (!legal_age(clock_.age(g, time_))) continue;
+    std::size_t first = g * cfg_.group_cells;
+    std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+    observed += count;
+    zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
+  }
+  return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
+}
+
+double SheBitmap::cardinality(std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheBitmap: query window must be in [1, N]");
+  auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(window));
+  auto upper = static_cast<std::uint64_t>((2.0 - cfg_.beta) * static_cast<double>(window));
+  std::size_t zeros = 0;
+  std::size_t observed = 0;
+  for (std::size_t g = 0; g < clock_.groups(); ++g) {
+    std::uint64_t age = clock_.age(g, time_);
+    if (age < lower || age >= upper) continue;
+    std::size_t first = g * cfg_.group_cells;
+    std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+    observed += count;
+    zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
+  }
+  if (observed == 0) return 0.0;  // no group's age matches this sub-window yet
+  return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
+}
+
+void SheBitmap::save(BinaryWriter& out) const {
+  out.tag("SHBM");
+  cfg_.save(out);
+  out.u64(time_);
+  clock_.save(out);
+  bits_.save(out);
+}
+
+SheBitmap SheBitmap::load(BinaryReader& in) {
+  in.expect_tag("SHBM");
+  SheConfig cfg = SheConfig::load(in);
+  SheBitmap bm(cfg);
+  bm.time_ = in.u64();
+  bm.clock_ = GroupClock::load(in);
+  bm.bits_ = BitArray::load(in);
+  if (bm.clock_.groups() != cfg.groups() || bm.bits_.size() != cfg.cells)
+    throw std::runtime_error("SheBitmap::load: shape mismatch");
+  return bm;
+}
+
+void SheBitmap::clear() {
+  bits_.clear();
+  clock_.reset();
+  time_ = 0;
+}
+
+}  // namespace she

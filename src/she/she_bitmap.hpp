@@ -1,0 +1,73 @@
+// SHE-BM — linear-counting Bitmap under the SHE framework (paper Sec. 4.1).
+//
+// Insert sets the single hashed bit after CheckGroup-ing its group.  The
+// cardinality query collects the *legal* groups — those with age in
+// [beta*N, Tcycle), i.e. near-perfect young cells plus all aged cells (the
+// base estimator has two-sided error, so near-window young cells reduce
+// bias) — counts their zero bits, and extrapolates the zero fraction to the
+// whole array: C_hat = -M * ln(u / (w * l)).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bit_array.hpp"
+#include "common/bobhash.hpp"
+#include "she/config.hpp"
+#include "she/group_clock.hpp"
+
+namespace she {
+
+class SheBitmap {
+ public:
+  explicit SheBitmap(const SheConfig& cfg);
+
+  /// Insert one item; advances the stream clock by one.
+  void insert(std::uint64_t key);
+
+  /// Time-based windows: insert at explicit timestamp `t` (monotone
+  /// non-decreasing; throws std::invalid_argument if it moves backwards).
+  /// With insert_at, `window` counts time units instead of items.
+  void insert_at(std::uint64_t key, std::uint64_t t);
+
+  /// Advance the clock to `t` without inserting, so queries reflect the
+  /// window (t - N, t] even during arrival gaps.
+  void advance_to(std::uint64_t t);
+
+  /// Estimated number of distinct items in the last-N window (paper
+  /// estimator: legal ages [beta*N, Tcycle)).
+  [[nodiscard]] double cardinality() const;
+
+  /// Multi-window query: distinct items in the last `window` items for any
+  /// window in [1, N].  Uses the symmetric legal band
+  /// [beta*window, (2-beta)*window) so the lumped group ages centre on the
+  /// queried window; smaller windows leave fewer legal groups (higher
+  /// variance).
+  [[nodiscard]] double cardinality(std::uint64_t window) const;
+
+  /// Number of groups currently in the legal age range (diagnostic; the
+  /// variance analysis of Sec. 5.3 depends on it).
+  [[nodiscard]] std::size_t legal_groups() const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] const SheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return bits_.memory_bytes() + clock_.memory_bytes();
+  }
+
+  /// Checkpoint the full sliding-window state; load() resumes with
+  /// identical answers.
+  void save(BinaryWriter& out) const;
+  static SheBitmap load(BinaryReader& in);
+
+ private:
+  [[nodiscard]] bool legal_age(std::uint64_t age) const;
+
+  SheConfig cfg_;
+  GroupClock clock_;
+  BitArray bits_;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace she

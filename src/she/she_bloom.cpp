@@ -1,0 +1,117 @@
+#include "she/she_bloom.hpp"
+
+#include <stdexcept>
+
+namespace she {
+
+SheBloomFilter::SheBloomFilter(const SheConfig& cfg, unsigned hashes)
+    : cfg_(cfg),
+      hashes_(hashes),
+      clock_(cfg.groups(), cfg.tcycle(), cfg.mark_bits),
+      bits_(cfg.cells) {
+  cfg_.validate();
+  if (hashes == 0) throw std::invalid_argument("SheBloomFilter: hashes must be > 0");
+}
+
+void SheBloomFilter::insert(std::uint64_t key) { insert_at(key, time_ + 1); }
+
+void SheBloomFilter::advance_to(std::uint64_t t) {
+  if (t < time_)
+    throw std::invalid_argument("SheBloomFilter: time must not move backwards");
+  time_ = t;
+}
+
+void SheBloomFilter::insert_at(std::uint64_t key, std::uint64_t t) {
+  advance_to(t);
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::size_t pos = position(key, i);
+    std::size_t gid = pos / cfg_.group_cells;
+    if (clock_.touch(gid, time_)) {
+      std::size_t first = gid * cfg_.group_cells;
+      std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+      bits_.clear_range(first, count);
+    }
+    bits_.set(pos);
+  }
+}
+
+void SheBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
+  // Software pipeline: hash a block of keys once into a position buffer,
+  // issue prefetches for every touched cache line, then apply the updates
+  // from the buffer.  The hash latency of key i+1 and the memory latency of
+  // key i overlap, which is where the win over scalar insert() comes from
+  // once the bit array outgrows the cache.
+  constexpr std::size_t kBlock = 16;
+  positions_.resize(kBlock * hashes_);
+  std::size_t i = 0;
+  for (; i + kBlock <= keys.size(); i += kBlock) {
+    std::size_t* out = positions_.data();
+    for (std::size_t b = 0; b < kBlock; ++b) {
+      for (unsigned h = 0; h < hashes_; ++h) {
+        std::size_t pos = position(keys[i + b], h);
+        *out++ = pos;
+        bits_.prefetch(pos);
+      }
+    }
+    const std::size_t* in = positions_.data();
+    for (std::size_t b = 0; b < kBlock; ++b) {
+      ++time_;
+      for (unsigned h = 0; h < hashes_; ++h) {
+        std::size_t pos = *in++;
+        std::size_t gid = pos / cfg_.group_cells;
+        if (clock_.touch(gid, time_)) {
+          std::size_t first = gid * cfg_.group_cells;
+          std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+          bits_.clear_range(first, count);
+        }
+        bits_.set(pos);
+      }
+    }
+  }
+  for (; i < keys.size(); ++i) insert(keys[i]);
+}
+
+bool SheBloomFilter::contains(std::uint64_t key, std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheBloomFilter: query window must be in [1, N]");
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::size_t pos = position(key, i);
+    std::size_t gid = pos / cfg_.group_cells;
+    std::uint64_t age = clock_.age(gid, time_);
+    if (age < window) continue;  // young cell: ignore (no false negatives)
+    bool bit = clock_.stale(gid, time_) ? false : bits_.test(pos);
+    if (!bit) return false;  // a zero mature bit proves absence
+  }
+  // All probes were young or 1: no evidence of absence.
+  return true;
+}
+
+void SheBloomFilter::save(BinaryWriter& out) const {
+  out.tag("SHBF");
+  cfg_.save(out);
+  out.u32(hashes_);
+  out.u64(time_);
+  clock_.save(out);
+  bits_.save(out);
+}
+
+SheBloomFilter SheBloomFilter::load(BinaryReader& in) {
+  in.expect_tag("SHBF");
+  SheConfig cfg = SheConfig::load(in);
+  unsigned hashes = in.u32();
+  SheBloomFilter bf(cfg, hashes);
+  bf.time_ = in.u64();
+  bf.clock_ = GroupClock::load(in);
+  bf.bits_ = BitArray::load(in);
+  if (bf.clock_.groups() != cfg.groups() || bf.bits_.size() != cfg.cells)
+    throw std::runtime_error("SheBloomFilter::load: shape mismatch");
+  return bf;
+}
+
+void SheBloomFilter::clear() {
+  bits_.clear();
+  clock_.reset();
+  time_ = 0;
+}
+
+}  // namespace she

@@ -1,0 +1,89 @@
+#include "she/she_cm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace she {
+
+SheCountMin::SheCountMin(const SheConfig& cfg, unsigned hashes)
+    : cfg_(cfg),
+      hashes_(hashes),
+      clock_(cfg.groups(), cfg.tcycle(), cfg.mark_bits),
+      cells_(cfg.cells, 0) {
+  cfg_.validate();
+  if (hashes == 0) throw std::invalid_argument("SheCountMin: hashes must be > 0");
+}
+
+void SheCountMin::insert(std::uint64_t key) { insert_at(key, time_ + 1); }
+
+void SheCountMin::advance_to(std::uint64_t t) {
+  if (t < time_)
+    throw std::invalid_argument("SheCountMin: time must not move backwards");
+  time_ = t;
+}
+
+void SheCountMin::insert_at(std::uint64_t key, std::uint64_t t) {
+  advance_to(t);
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::size_t pos = position(key, i);
+    std::size_t gid = pos / cfg_.group_cells;
+    if (clock_.touch(gid, time_)) {
+      std::size_t first = gid * cfg_.group_cells;
+      std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+      std::fill(cells_.begin() + first, cells_.begin() + first + count, 0u);
+    }
+    std::uint32_t& c = cells_[pos];
+    if (c != std::numeric_limits<std::uint32_t>::max()) ++c;
+  }
+}
+
+std::uint64_t SheCountMin::frequency(std::uint64_t key,
+                                     std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheCountMin: query window must be in [1, N]");
+  std::uint64_t best_mature = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_any = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::size_t pos = position(key, i);
+    std::size_t gid = pos / cfg_.group_cells;
+    std::uint64_t value = clock_.stale(gid, time_) ? 0 : cells_[pos];
+    best_any = std::min(best_any, value);
+    if (clock_.age(gid, time_) >= window)
+      best_mature = std::min(best_mature, value);
+  }
+  if (best_mature != std::numeric_limits<std::uint64_t>::max()) return best_mature;
+  ++all_young_;  // every probe young: best-effort answer, may underestimate
+  return best_any;
+}
+
+void SheCountMin::save(BinaryWriter& out) const {
+  out.tag("SHCM");
+  cfg_.save(out);
+  out.u32(hashes_);
+  out.u64(time_);
+  clock_.save(out);
+  out.u32_vector(cells_);
+}
+
+SheCountMin SheCountMin::load(BinaryReader& in) {
+  in.expect_tag("SHCM");
+  SheConfig cfg = SheConfig::load(in);
+  unsigned hashes = in.u32();
+  SheCountMin cm(cfg, hashes);
+  cm.time_ = in.u64();
+  cm.clock_ = GroupClock::load(in);
+  cm.cells_ = in.u32_vector();
+  if (cm.clock_.groups() != cfg.groups() || cm.cells_.size() != cfg.cells)
+    throw std::runtime_error("SheCountMin::load: shape mismatch");
+  return cm;
+}
+
+void SheCountMin::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0u);
+  clock_.reset();
+  time_ = 0;
+  all_young_ = 0;
+}
+
+}  // namespace she

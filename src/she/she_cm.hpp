@@ -1,0 +1,80 @@
+// SHE-CM — Count-Min sketch under the SHE framework (paper Sec. 4.4).
+//
+// Insert adds 1 to each of the k hashed 32-bit counters after CheckGroup-ing
+// their groups.  The frequency query takes the minimum over the *mature*
+// probed counters (age >= N); young counters are ignored because they may
+// have lost in-window increments, which would break Count-Min's
+// never-underestimate guarantee.  If every probe lands on a young group
+// (probability (N/Tcycle)^k, e.g. 2^-8 at alpha = 1, k = 8) the query falls
+// back to the minimum over all probes and may underestimate — the only
+// two-sided corner, surfaced via `all_young_queries()`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+#include "she/config.hpp"
+#include "she/group_clock.hpp"
+
+namespace she {
+
+class SheCountMin {
+ public:
+  SheCountMin(const SheConfig& cfg, unsigned hashes);
+
+  /// Insert one item; advances the stream clock by one.
+  void insert(std::uint64_t key);
+
+  /// Time-based windows: insert at explicit timestamp `t` (monotone
+  /// non-decreasing; throws std::invalid_argument if it moves backwards).
+  /// With insert_at, `window` counts time units instead of items.
+  void insert_at(std::uint64_t key, std::uint64_t t);
+
+  /// Advance the clock to `t` without inserting, so queries reflect the
+  /// window (t - N, t] even during arrival gaps.
+  void advance_to(std::uint64_t t);
+
+  /// Estimated frequency of `key` in the last-N window.
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const {
+    return frequency(key, cfg_.window);
+  }
+
+  /// Multi-window query: frequency in the last `window` items for any
+  /// window in [1, N] — counters with age >= window never under-count the
+  /// sub-window; smaller windows include more aged overshoot.
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key,
+                                        std::uint64_t window) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] const SheConfig& config() const { return cfg_; }
+  [[nodiscard]] unsigned hash_count() const { return hashes_; }
+
+  /// Queries so far whose probes were all young (fallback path taken).
+  [[nodiscard]] std::uint64_t all_young_queries() const { return all_young_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return cells_.size() * sizeof(std::uint32_t) + clock_.memory_bytes();
+  }
+
+  /// Checkpoint the full sliding-window state; load() resumes with
+  /// identical answers (the all-young diagnostic counter restarts at 0).
+  void save(BinaryWriter& out) const;
+  static SheCountMin load(BinaryReader& in);
+
+ private:
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(cfg_.seed + i)(key) % cfg_.cells;
+  }
+
+  SheConfig cfg_;
+  unsigned hashes_;
+  GroupClock clock_;
+  std::vector<std::uint32_t> cells_;
+  std::uint64_t time_ = 0;
+  mutable std::uint64_t all_young_ = 0;
+};
+
+}  // namespace she

@@ -1,0 +1,118 @@
+#include "she/she_hll.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+#include "sketch/hyperloglog.hpp"
+
+namespace she {
+
+namespace {
+constexpr unsigned kRankBits = 5;
+constexpr unsigned kValueBits = 32;
+}  // namespace
+
+SheHyperLogLog::SheHyperLogLog(const SheConfig& cfg)
+    : cfg_(cfg),
+      clock_(cfg.groups(), cfg.tcycle(), cfg.mark_bits),
+      regs_(cfg.cells, kRankBits) {
+  cfg_.validate();
+  if (cfg.group_cells != 1)
+    throw std::invalid_argument("SheHyperLogLog: group_cells must be 1 (w = 1)");
+}
+
+void SheHyperLogLog::insert(std::uint64_t key) { insert_at(key, time_ + 1); }
+
+void SheHyperLogLog::advance_to(std::uint64_t t) {
+  if (t < time_)
+    throw std::invalid_argument("SheHyperLogLog: time must not move backwards");
+  time_ = t;
+}
+
+void SheHyperLogLog::insert_at(std::uint64_t key, std::uint64_t t) {
+  advance_to(t);
+  std::size_t i = BobHash32(cfg_.seed)(key) % cfg_.cells;
+  std::uint32_t h = BobHash32(cfg_.seed + 0x5eed)(key);
+  std::uint64_t rank = hll_rank(h, kValueBits);
+  if (rank > regs_.max_value()) rank = regs_.max_value();
+  if (clock_.touch(i, time_)) regs_.set(i, 0);
+  if (rank > regs_.get(i)) regs_.set(i, rank);
+}
+
+bool SheHyperLogLog::legal_age(std::uint64_t age) const {
+  auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
+  return age >= lower;
+}
+
+std::size_t SheHyperLogLog::legal_groups() const {
+  std::size_t legal = 0;
+  for (std::size_t g = 0; g < clock_.groups(); ++g)
+    if (legal_age(clock_.age(g, time_))) ++legal;
+  return legal;
+}
+
+double SheHyperLogLog::cardinality() const {
+  double sum = 0.0;
+  std::size_t observed = 0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    if (!legal_age(clock_.age(i, time_))) continue;
+    ++observed;
+    std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
+    if (r == 0) ++zeros;
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+  }
+  return fixed::HyperLogLog::estimate(sum, observed,
+                                      static_cast<double>(regs_.size()), zeros);
+}
+
+double SheHyperLogLog::cardinality(std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheHyperLogLog: query window must be in [1, N]");
+  auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(window));
+  auto upper =
+      static_cast<std::uint64_t>((2.0 - cfg_.beta) * static_cast<double>(window));
+  double sum = 0.0;
+  std::size_t observed = 0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    std::uint64_t age = clock_.age(i, time_);
+    if (age < lower || age >= upper) continue;
+    ++observed;
+    std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
+    if (r == 0) ++zeros;
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+  }
+  if (observed == 0) return 0.0;
+  return fixed::HyperLogLog::estimate(sum, observed,
+                                      static_cast<double>(regs_.size()), zeros);
+}
+
+void SheHyperLogLog::save(BinaryWriter& out) const {
+  out.tag("SHLL");
+  cfg_.save(out);
+  out.u64(time_);
+  clock_.save(out);
+  regs_.save(out);
+}
+
+SheHyperLogLog SheHyperLogLog::load(BinaryReader& in) {
+  in.expect_tag("SHLL");
+  SheConfig cfg = SheConfig::load(in);
+  SheHyperLogLog hll(cfg);
+  hll.time_ = in.u64();
+  hll.clock_ = GroupClock::load(in);
+  hll.regs_ = PackedArray::load(in);
+  if (hll.clock_.groups() != cfg.groups() || hll.regs_.size() != cfg.cells)
+    throw std::runtime_error("SheHyperLogLog::load: shape mismatch");
+  return hll;
+}
+
+void SheHyperLogLog::clear() {
+  regs_.clear();
+  clock_.reset();
+  time_ = 0;
+}
+
+}  // namespace she

@@ -1,0 +1,110 @@
+#include "she/she_minhash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she {
+
+SheMinHash::SheMinHash(const SheConfig& cfg)
+    : cfg_(cfg),
+      clock_(cfg.groups(), cfg.tcycle(), cfg.mark_bits),
+      sig_(cfg.cells, kEmpty) {
+  cfg_.validate();
+  if (cfg.group_cells != 1)
+    throw std::invalid_argument("SheMinHash: group_cells must be 1 (w = 1)");
+}
+
+void SheMinHash::insert(std::uint64_t key) { insert_at(key, time_ + 1); }
+
+void SheMinHash::advance_to(std::uint64_t t) {
+  if (t < time_)
+    throw std::invalid_argument("SheMinHash: time must not move backwards");
+  time_ = t;
+}
+
+void SheMinHash::insert_at(std::uint64_t key, std::uint64_t t) {
+  advance_to(t);
+  for (std::size_t i = 0; i < sig_.size(); ++i) {
+    if (clock_.touch(i, time_)) sig_[i] = kEmpty;
+    sig_[i] = std::min(sig_[i], value(key, i));
+  }
+}
+
+bool SheMinHash::legal_age(std::uint64_t age) const {
+  auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
+  return age >= lower;
+}
+
+double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b) {
+  if (a.sig_.size() != b.sig_.size() || a.cfg_.seed != b.cfg_.seed)
+    throw std::invalid_argument("SheMinHash::jaccard: incompatible signatures");
+  if (a.time_ != b.time_)
+    throw std::invalid_argument("SheMinHash::jaccard: signatures not in lock-step");
+  std::size_t match = 0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
+    // Ages are identical on both sides (same cfg, same time).
+    if (!a.legal_age(a.clock_.age(i, a.time_))) continue;
+    std::uint32_t va = a.effective_slot(i);
+    std::uint32_t vb = b.effective_slot(i);
+    if (va == kEmpty && vb == kEmpty) continue;  // neither window seen here
+    ++compared;
+    if (va == vb) ++match;
+  }
+  return compared == 0 ? 0.0
+                       : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b,
+                           std::uint64_t window) {
+  if (window == 0 || window > a.cfg_.window)
+    throw std::invalid_argument("SheMinHash::jaccard: query window must be in [1, N]");
+  if (a.sig_.size() != b.sig_.size() || a.cfg_.seed != b.cfg_.seed)
+    throw std::invalid_argument("SheMinHash::jaccard: incompatible signatures");
+  if (a.time_ != b.time_)
+    throw std::invalid_argument("SheMinHash::jaccard: signatures not in lock-step");
+  auto lower = static_cast<std::uint64_t>(a.cfg_.beta * static_cast<double>(window));
+  auto upper =
+      static_cast<std::uint64_t>((2.0 - a.cfg_.beta) * static_cast<double>(window));
+  std::size_t match = 0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
+    std::uint64_t age = a.clock_.age(i, a.time_);
+    if (age < lower || age >= upper) continue;
+    std::uint32_t va = a.effective_slot(i);
+    std::uint32_t vb = b.effective_slot(i);
+    if (va == kEmpty && vb == kEmpty) continue;
+    ++compared;
+    if (va == vb) ++match;
+  }
+  return compared == 0 ? 0.0
+                       : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+void SheMinHash::save(BinaryWriter& out) const {
+  out.tag("SHMH");
+  cfg_.save(out);
+  out.u64(time_);
+  clock_.save(out);
+  out.u32_vector(sig_);
+}
+
+SheMinHash SheMinHash::load(BinaryReader& in) {
+  in.expect_tag("SHMH");
+  SheConfig cfg = SheConfig::load(in);
+  SheMinHash mh(cfg);
+  mh.time_ = in.u64();
+  mh.clock_ = GroupClock::load(in);
+  mh.sig_ = in.u32_vector();
+  if (mh.clock_.groups() != cfg.groups() || mh.sig_.size() != cfg.cells)
+    throw std::runtime_error("SheMinHash::load: shape mismatch");
+  return mh;
+}
+
+void SheMinHash::clear() {
+  std::fill(sig_.begin(), sig_.end(), kEmpty);
+  clock_.reset();
+  time_ = 0;
+}
+
+}  // namespace she

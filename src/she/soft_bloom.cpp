@@ -1,0 +1,62 @@
+#include "she/soft_bloom.hpp"
+
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+
+namespace she {
+
+SoftSheBloomFilter::SoftSheBloomFilter(const SheConfig& cfg, unsigned hashes)
+    : cfg_(cfg), hashes_(hashes), bits_(cfg.cells) {
+  cfg_.validate();
+  if (hashes == 0)
+    throw std::invalid_argument("SoftSheBloomFilter: hashes must be > 0");
+}
+
+std::uint64_t SoftSheBloomFilter::swept_by(std::uint64_t t) const {
+  // 128-bit product: M * t can exceed 64 bits on long streams.
+  unsigned __int128 prod = static_cast<unsigned __int128>(cfg_.cells) * t;
+  return static_cast<std::uint64_t>(prod / cfg_.tcycle());
+}
+
+void SoftSheBloomFilter::insert(std::uint64_t key) {
+  // Advance the sweep: clean every cell the pointer passed during this tick.
+  std::uint64_t from = swept_by(time_);
+  ++time_;
+  std::uint64_t to = swept_by(time_);
+  for (std::uint64_t c = from; c < to; ++c)
+    bits_.reset(static_cast<std::size_t>(c % cfg_.cells));
+
+  for (unsigned i = 0; i < hashes_; ++i) bits_.set(position(key, i));
+}
+
+std::uint64_t SoftSheBloomFilter::cell_age(std::size_t pos) const {
+  std::uint64_t s = swept_by(time_);
+  if (s <= pos) return time_;  // never swept: content dates back to t = 0
+  // Most recent global sweep index of this cell: largest c < s with
+  // c === pos (mod M).
+  std::uint64_t c = (s - 1) - static_cast<std::uint64_t>(floor_mod(
+                                  static_cast<std::int64_t>(s - 1 - pos),
+                                  static_cast<std::int64_t>(cfg_.cells)));
+  // Sweep index c is executed on the first tick t with swept_by(t) > c.
+  unsigned __int128 num = static_cast<unsigned __int128>(cfg_.tcycle()) * (c + 1);
+  std::uint64_t t_clean = static_cast<std::uint64_t>(
+      (num + cfg_.cells - 1) / cfg_.cells);  // ceil(T*(c+1)/M)
+  return time_ - t_clean;
+}
+
+bool SoftSheBloomFilter::contains(std::uint64_t key) const {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    std::size_t pos = position(key, i);
+    if (cell_age(pos) < cfg_.window) continue;  // young: ignore
+    if (!bits_.test(pos)) return false;
+  }
+  return true;
+}
+
+void SoftSheBloomFilter::clear() {
+  bits_.clear();
+  time_ = 0;
+}
+
+}  // namespace she

@@ -1,0 +1,60 @@
+// SHEsoft-BF — the *software* version of the SHE framework applied to the
+// Bloom filter (paper Sec. 3.2 and Fig. 3).
+//
+// Instead of grouped lazy cleaning, a cleaning process sweeps the bit array
+// left-to-right at constant speed, resetting one cell at a time, completing
+// a full pass every Tcycle items and then wrapping.  Cell ages follow from
+// the distance to the sweep pointer.  Queries ignore young cells exactly as
+// the hardware version does.
+//
+// This variant exists (a) for fidelity to the paper and (b) as the
+// reference in the soft-vs-hardware equivalence tests/ablation: with group
+// size w the hardware version is a block-granular approximation of this
+// sweep.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bit_array.hpp"
+#include "common/bobhash.hpp"
+#include "she/config.hpp"
+
+namespace she {
+
+class SoftSheBloomFilter {
+ public:
+  /// `cfg.group_cells` is ignored (cell-granular sweep); other fields as in
+  /// SheBloomFilter.
+  SoftSheBloomFilter(const SheConfig& cfg, unsigned hashes);
+
+  /// Insert one item; advances the stream clock and the sweep pointer.
+  void insert(std::uint64_t key);
+
+  /// Membership in the last-N window; one-sided like SHE-BF.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+  [[nodiscard]] const SheConfig& config() const { return cfg_; }
+
+  /// Items since cell `pos` was last swept; `time()` if never swept yet.
+  [[nodiscard]] std::uint64_t cell_age(std::size_t pos) const;
+
+  [[nodiscard]] std::size_t memory_bytes() const { return bits_.memory_bytes(); }
+
+ private:
+  /// Total cells swept by time t: floor(M * t / Tcycle).
+  [[nodiscard]] std::uint64_t swept_by(std::uint64_t t) const;
+
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(cfg_.seed + i)(key) % cfg_.cells;
+  }
+
+  SheConfig cfg_;
+  unsigned hashes_;
+  BitArray bits_;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace she

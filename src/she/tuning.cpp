@@ -1,0 +1,78 @@
+#include "she/tuning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace she {
+
+double bf_retention_q(std::size_t cells, std::size_t group_cells,
+                      double cardinality, unsigned hashes) {
+  if (group_cells < 2)
+    throw std::invalid_argument("bf_retention_q: group_cells must be >= 2");
+  double groups = static_cast<double>(cells) / static_cast<double>(group_cells);
+  double per_group = cardinality * hashes / groups;
+  return std::pow(1.0 - 1.0 / static_cast<double>(group_cells), per_group);
+}
+
+double optimal_ratio(double q) {
+  if (!(q > 0.0) || q >= 1.0)
+    throw std::invalid_argument("optimal_ratio: q must be in (0,1)");
+  const double lnq = std::log(q);
+  auto dg = [&](double r) { return std::pow(q, r) * (r * lnq - 1.0) + q; };
+  // dg is monotonically increasing, dg(0) = q - 1 < 0, dg(inf) -> q > 0.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (dg(hi) < 0.0) {
+    hi *= 2.0;
+    if (hi > 1e9) throw std::runtime_error("optimal_ratio: no root found");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    (dg(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double optimal_alpha_bf(std::size_t cells, std::size_t group_cells,
+                        double cardinality, unsigned hashes) {
+  double q = bf_retention_q(cells, group_cells, cardinality, hashes);
+  double alpha = optimal_ratio(q) - 1.0;
+  return alpha > 0.01 ? alpha : 0.01;
+}
+
+double bf_fpr_model(double q, double ratio, unsigned hashes) {
+  if (!(q > 0.0) || q >= 1.0)
+    throw std::invalid_argument("bf_fpr_model: q must be in (0,1)");
+  if (!(ratio > 0.0)) throw std::invalid_argument("bf_fpr_model: ratio must be > 0");
+  double zero_fraction = (std::pow(q, ratio) - q) / (std::log(q) * ratio);
+  return std::pow(1.0 - zero_fraction, static_cast<double>(hashes));
+}
+
+double expected_failed_groups(std::size_t groups, double cardinality,
+                              unsigned hashes, double alpha) {
+  double g = static_cast<double>(groups);
+  double insertions = (1.0 + alpha) * cardinality * hashes;
+  return g * std::exp(-insertions / g);
+}
+
+std::size_t max_groups_for_failure(double cardinality, unsigned hashes,
+                                   double alpha, double eps) {
+  if (!(eps > 0.0)) throw std::invalid_argument("max_groups_for_failure: eps <= 0");
+  // E(G) is increasing in G; binary search the threshold.
+  std::size_t lo = 1;
+  std::size_t hi = 1;
+  while (expected_failed_groups(hi, cardinality, hashes, alpha) <= eps &&
+         hi < (std::size_t{1} << 40))
+    hi *= 2;
+  if (hi == 1) return 1;
+  while (hi - lo > 1) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (expected_failed_groups(mid, cardinality, hashes, alpha) <= eps)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace she

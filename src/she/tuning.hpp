@@ -1,0 +1,47 @@
+// Parameter tuning from the paper's analysis (Sec. 5).
+//
+//  * Eq. (2): the optimal cleaning-speed ratio alpha for SHE-BF minimizes
+//    FPR(R) = [1 - (Q^R - Q) / (ln(Q) R)]^H with R = alpha + 1 and
+//    Q = (1 - 1/w)^(C*H/G) the per-cycle zero-bit retention factor.
+//    The optimum is the root R0 of dg/dR = Q^R (R ln Q - 1) + Q = 0
+//    (monotonically increasing), giving alpha = R0 - 1.
+//
+//  * Eq. (1): on-demand cleaning fails for a group that receives no
+//    insertion in a full cycle; the expected number of failed groups is
+//    E(G) = G * (1 - 1/G)^((1+alpha) C H) ≈ G e^(-(1+alpha) C H / G).
+//    max_groups_for_failure() returns the largest G keeping E(G) <= eps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace she {
+
+/// Zero-bit retention factor Q for a SHE-BF with `cells` bits in groups of
+/// `group_cells`, window cardinality `cardinality` and `hashes` probes:
+/// Q = (1 - 1/w)^(C*H/G).
+double bf_retention_q(std::size_t cells, std::size_t group_cells,
+                      double cardinality, unsigned hashes);
+
+/// Root R0 of Q^R (R ln Q - 1) + Q = 0 (Eq. 2's derivative).  Q in (0,1).
+double optimal_ratio(double q);
+
+/// Optimal alpha = R0 - 1 for SHE-BF (Eq. 2).  Clamped below at a small
+/// positive value since Tcycle must exceed N.
+double optimal_alpha_bf(std::size_t cells, std::size_t group_cells,
+                        double cardinality, unsigned hashes);
+
+/// The paper's closed-form FPR model, used by tests to cross-check the
+/// alpha optimum: FPR(R) = [1 - (Q^R - Q)/(ln(Q) R)]^H.
+double bf_fpr_model(double q, double ratio, unsigned hashes);
+
+/// Expected number of groups that receive no insertion within one cleaning
+/// cycle (on-demand cleaning failures), Eq. (1)'s left side.
+double expected_failed_groups(std::size_t groups, double cardinality,
+                              unsigned hashes, double alpha);
+
+/// Largest group count G with expected_failed_groups(G) <= eps; at least 1.
+std::size_t max_groups_for_failure(double cardinality, unsigned hashes,
+                                   double alpha, double eps);
+
+}  // namespace she

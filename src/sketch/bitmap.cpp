@@ -1,0 +1,36 @@
+#include "sketch/bitmap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace she::fixed {
+
+Bitmap::Bitmap(std::size_t bits, std::uint32_t seed) : bits_(bits), seed_(seed) {
+  if (bits == 0) throw std::invalid_argument("Bitmap: bits must be > 0");
+}
+
+void Bitmap::insert(std::uint64_t key) { bits_.set(position(key)); }
+
+void Bitmap::merge(const Bitmap& other) {
+  if (bits_.size() != other.bits_.size() || seed_ != other.seed_)
+    throw std::invalid_argument("Bitmap::merge: incompatible bitmaps");
+  bits_ |= other.bits_;
+}
+
+double Bitmap::cardinality() const {
+  std::size_t zeros = bits_.size() - bits_.popcount();
+  return linear_counting(zeros, bits_.size(), static_cast<double>(bits_.size()));
+}
+
+double linear_counting(std::size_t zeros, std::size_t observed_bits,
+                       double scale_bits) {
+  if (observed_bits == 0) return 0.0;
+  if (zeros == 0) {
+    // Saturated: report the largest value the estimator can resolve.
+    return scale_bits * std::log(static_cast<double>(observed_bits));
+  }
+  double fraction = static_cast<double>(zeros) / static_cast<double>(observed_bits);
+  return -scale_bits * std::log(fraction);
+}
+
+}  // namespace she::fixed

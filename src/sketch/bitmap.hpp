@@ -1,0 +1,50 @@
+// Fixed-window linear-counting Bitmap [Whang et al. 1990] — CSM triple
+// <bit, 1, F(x,y)=1>.  Cardinality is the maximum-likelihood estimate
+// -n·ln(u/n) where u is the number of zero bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_array.hpp"
+#include "common/bobhash.hpp"
+
+namespace she::fixed {
+
+class Bitmap {
+ public:
+  explicit Bitmap(std::size_t bits, std::uint32_t seed = 0);
+
+  /// Insert: set the single hashed bit.
+  void insert(std::uint64_t key);
+
+  /// MLE cardinality: -n·ln(u/n).  Returns n·ln(n) (the saturation value)
+  /// when every bit is set.
+  [[nodiscard]] double cardinality() const;
+
+  void clear() { bits_.clear(); }
+
+  /// Union with an identically-configured bitmap: the merged cardinality
+  /// estimates the union of the two inserted key sets.
+  void merge(const Bitmap& other);
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const { return bits_.memory_bytes(); }
+
+  [[nodiscard]] std::size_t position(std::uint64_t key) const {
+    return BobHash32(seed_)(key) % bits_.size();
+  }
+
+ private:
+  BitArray bits_;
+  std::uint32_t seed_;
+};
+
+/// Linear-counting estimator shared by Bitmap, SHE-BM, TSV and CVS:
+/// cardinality ≈ -scale_bits · ln(zeros / observed_bits).
+/// `observed_bits` is the number of bits actually inspected and
+/// `scale_bits` the array size the estimate is extrapolated to.
+double linear_counting(std::size_t zeros, std::size_t observed_bits,
+                       double scale_bits);
+
+}  // namespace she::fixed

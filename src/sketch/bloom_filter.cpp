@@ -1,0 +1,29 @@
+#include "sketch/bloom_filter.hpp"
+
+#include <stdexcept>
+
+namespace she::fixed {
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned k, std::uint32_t seed)
+    : bits_(bits), k_(k), seed_(seed) {
+  if (bits == 0) throw std::invalid_argument("BloomFilter: bits must be > 0");
+  if (k == 0) throw std::invalid_argument("BloomFilter: k must be > 0");
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  for (unsigned i = 0; i < k_; ++i) bits_.set(position(key, i));
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (bits_.size() != other.bits_.size() || k_ != other.k_ || seed_ != other.seed_)
+    throw std::invalid_argument("BloomFilter::merge: incompatible filters");
+  bits_ |= other.bits_;
+}
+
+bool BloomFilter::contains(std::uint64_t key) const {
+  for (unsigned i = 0; i < k_; ++i)
+    if (!bits_.test(position(key, i))) return false;
+  return true;
+}
+
+}  // namespace she::fixed

@@ -1,0 +1,51 @@
+// Fixed-window Bloom filter [Bloom 1970] — CSM triple <bit, k, F(x,y)=1>.
+//
+// Used (a) standalone as the paper's "Ideal" membership baseline (rebuild
+// from the exact window contents and query), and (b) as the base algorithm
+// SHE-BF extends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_array.hpp"
+#include "common/bobhash.hpp"
+
+namespace she::fixed {
+
+class BloomFilter {
+ public:
+  /// `bits` bit cells, `k` hash functions, hash family selected by `seed`.
+  BloomFilter(std::size_t bits, unsigned k, std::uint32_t seed = 0);
+
+  /// Insert a key: set the k hashed bits.
+  void insert(std::uint64_t key);
+
+  /// Query: true iff all k hashed bits are set (one-sided error:
+  /// false positives possible, false negatives impossible).
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// Reset to empty.
+  void clear() { bits_.clear(); }
+
+  /// Union with a filter of identical geometry and hash family: afterwards
+  /// this filter answers true for every key inserted into either side.
+  /// Throws std::invalid_argument on mismatched size/k/seed.
+  void merge(const BloomFilter& other);
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_.size(); }
+  [[nodiscard]] unsigned hash_count() const { return k_; }
+  [[nodiscard]] std::size_t memory_bytes() const { return bits_.memory_bytes(); }
+
+  /// i-th hash position for `key` (exposed so SHE-BF maps to identical cells).
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(seed_ + i)(key) % bits_.size();
+  }
+
+ private:
+  BitArray bits_;
+  unsigned k_;
+  std::uint32_t seed_;
+};
+
+}  // namespace she::fixed

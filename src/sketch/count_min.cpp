@@ -1,0 +1,43 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace she::fixed {
+
+CountMin::CountMin(std::size_t counters, unsigned k, std::uint32_t seed)
+    : cells_(counters, 0), k_(k), seed_(seed) {
+  if (counters == 0) throw std::invalid_argument("CountMin: counters must be > 0");
+  if (k == 0) throw std::invalid_argument("CountMin: k must be > 0");
+}
+
+void CountMin::insert(std::uint64_t key) {
+  for (unsigned i = 0; i < k_; ++i) {
+    std::uint32_t& c = cells_[position(key, i)];
+    if (c != std::numeric_limits<std::uint32_t>::max()) ++c;
+  }
+}
+
+std::uint64_t CountMin::frequency(std::uint64_t key) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned i = 0; i < k_; ++i)
+    best = std::min<std::uint64_t>(best, cells_[position(key, i)]);
+  return best;
+}
+
+void CountMin::merge(const CountMin& other) {
+  if (cells_.size() != other.cells_.size() || k_ != other.k_ ||
+      seed_ != other.seed_)
+    throw std::invalid_argument("CountMin::merge: incompatible sketches");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    std::uint64_t sum = std::uint64_t{cells_[i]} + other.cells_[i];
+    cells_[i] = sum > std::numeric_limits<std::uint32_t>::max()
+                    ? std::numeric_limits<std::uint32_t>::max()
+                    : static_cast<std::uint32_t>(sum);
+  }
+}
+
+void CountMin::clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+}  // namespace she::fixed

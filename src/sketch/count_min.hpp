@@ -1,0 +1,51 @@
+// Fixed-window Count-Min sketch [Cormode & Muthukrishnan 2005] — CSM triple
+// <counter, k, F(x,y)=y+1>.
+//
+// The paper's CSM presents CM as a single n-counter array with k hash
+// positions (the "one-row, k probes" layout also used by its released code),
+// rather than the k-row matrix; we follow that layout so SHE-CM maps onto
+// identical cells.  Counters are 32-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::fixed {
+
+class CountMin {
+ public:
+  /// `counters` 32-bit cells probed by `k` hash functions.
+  CountMin(std::size_t counters, unsigned k, std::uint32_t seed = 0);
+
+  /// Insert: add 1 to each of the k hashed counters.
+  void insert(std::uint64_t key);
+
+  /// Query: min over the k hashed counters.  Never under-estimates.
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
+
+  void clear();
+
+  /// Counter-wise (saturating) sum with an identically-configured sketch:
+  /// the merged sketch answers frequency queries for the combined streams.
+  void merge(const CountMin& other);
+
+  [[nodiscard]] std::size_t counter_count() const { return cells_.size(); }
+  [[nodiscard]] unsigned hash_count() const { return k_; }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return cells_.size() * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
+    return BobHash32(seed_ + i)(key) % cells_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  unsigned k_;
+  std::uint32_t seed_;
+};
+
+}  // namespace she::fixed

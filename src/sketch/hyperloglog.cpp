@@ -1,0 +1,74 @@
+#include "sketch/hyperloglog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/int_math.hpp"
+
+namespace she::fixed {
+
+namespace {
+constexpr unsigned kRankBits = 5;    // register width
+constexpr unsigned kValueBits = 32;  // hashed value width fed to the rank
+}  // namespace
+
+HyperLogLog::HyperLogLog(std::size_t registers, std::uint32_t seed)
+    : regs_(registers, kRankBits), seed_(seed) {
+  if (registers == 0) throw std::invalid_argument("HyperLogLog: registers must be > 0");
+}
+
+std::uint8_t HyperLogLog::rank(std::uint64_t key) const {
+  std::uint32_t h = BobHash32(seed_ + 0x5eed)(key);
+  return hll_rank(h, kValueBits);
+}
+
+void HyperLogLog::insert(std::uint64_t key) {
+  std::size_t i = index(key);
+  std::uint64_t r = rank(key);
+  if (r > regs_.max_value()) r = regs_.max_value();
+  if (r > regs_.get(i)) regs_.set(i, r);
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (regs_.size() != other.regs_.size() || seed_ != other.seed_)
+    throw std::invalid_argument("HyperLogLog::merge: incompatible sketches");
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    std::uint64_t o = other.regs_.get(i);
+    if (o > regs_.get(i)) regs_.set(i, o);
+  }
+}
+
+double HyperLogLog::alpha(std::size_t m) {
+  if (m <= 16) return 0.673;
+  if (m <= 32) return 0.697;
+  if (m <= 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+double HyperLogLog::estimate(double inv_power_sum, std::size_t observed,
+                             double m_total, std::size_t zeros) {
+  if (observed == 0) return 0.0;
+  double k = static_cast<double>(observed);
+  double raw = alpha(observed) * k * m_total / inv_power_sum;
+  // Small-range correction: fall back to linear counting over the observed
+  // registers, scaled to the full array.
+  if (raw <= 2.5 * m_total && zeros > 0) {
+    double lc = -k * std::log(static_cast<double>(zeros) / k);
+    return lc * (m_total / k);
+  }
+  return raw;
+}
+
+double HyperLogLog::cardinality() const {
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  const std::size_t m = regs_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    std::uint64_t r = regs_.get(i);
+    if (r == 0) ++zeros;
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+  }
+  return estimate(sum, m, static_cast<double>(m), zeros);
+}
+
+}  // namespace she::fixed

@@ -1,0 +1,58 @@
+// Fixed-window HyperLogLog [Flajolet et al. 2007] — CSM triple
+// <counter, 1, F(x,y)=max(rank(x), y)>.
+//
+// Registers are 5-bit packed cells (the paper stores leading-zero counts of
+// 32-bit hash values in 5-bit cells).  The estimator includes the standard
+// bias constant alpha_m and the small-range linear-counting correction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bobhash.hpp"
+#include "common/packed_array.hpp"
+
+namespace she::fixed {
+
+class HyperLogLog {
+ public:
+  /// `registers` counters (need not be a power of two; indexing uses mod).
+  explicit HyperLogLog(std::size_t registers, std::uint32_t seed = 0);
+
+  /// Insert: C[i] = max(C[i], rank) where rank = #leading-zeros + 1 of the
+  /// value hash, i = index hash mod m.
+  void insert(std::uint64_t key);
+
+  /// Bias-corrected harmonic-mean estimate with small-range correction.
+  [[nodiscard]] double cardinality() const;
+
+  void clear() { regs_.clear(); }
+
+  /// Register-wise max with an identically-configured sketch: the merged
+  /// estimate is the cardinality of the union of the inserted key sets.
+  void merge(const HyperLogLog& other);
+
+  [[nodiscard]] std::size_t register_count() const { return regs_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const { return regs_.memory_bytes(); }
+
+  /// Index and rank decomposition (exposed so SHE-HLL maps identically).
+  [[nodiscard]] std::size_t index(std::uint64_t key) const {
+    return BobHash32(seed_)(key) % regs_.size();
+  }
+  [[nodiscard]] std::uint8_t rank(std::uint64_t key) const;
+
+  /// Bias constant alpha_m for an m-register estimator.
+  static double alpha(std::size_t m);
+
+  /// Estimator shared with SHE-HLL: given the sum of 2^-reg over `observed`
+  /// registers (treating empty registers as 2^0), the register total `m_total`
+  /// the estimate is scaled to, and `zeros` = #empty observed registers.
+  static double estimate(double inv_power_sum, std::size_t observed,
+                         double m_total, std::size_t zeros);
+
+ private:
+  PackedArray regs_;  // 5-bit ranks, value 0 = empty
+  std::uint32_t seed_;
+};
+
+}  // namespace she::fixed

@@ -1,0 +1,40 @@
+#include "sketch/minhash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace she::fixed {
+
+MinHash::MinHash(std::size_t m, std::uint32_t seed)
+    : sig_(m, kEmpty), seed_(seed) {
+  if (m == 0) throw std::invalid_argument("MinHash: m must be > 0");
+}
+
+void MinHash::insert(std::uint64_t key) {
+  for (std::size_t i = 0; i < sig_.size(); ++i)
+    sig_[i] = std::min(sig_[i], value(key, i));
+}
+
+void MinHash::merge(const MinHash& other) {
+  if (sig_.size() != other.sig_.size() || seed_ != other.seed_)
+    throw std::invalid_argument("MinHash::merge: incompatible signatures");
+  for (std::size_t i = 0; i < sig_.size(); ++i)
+    sig_[i] = std::min(sig_[i], other.sig_[i]);
+}
+
+void MinHash::clear() { std::fill(sig_.begin(), sig_.end(), kEmpty); }
+
+double MinHash::jaccard(const MinHash& a, const MinHash& b) {
+  if (a.sig_.size() != b.sig_.size())
+    throw std::invalid_argument("MinHash::jaccard: size mismatch");
+  std::size_t match = 0;
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
+    if (a.sig_[i] == kEmpty && b.sig_[i] == kEmpty) continue;
+    ++compared;
+    if (a.sig_[i] == b.sig_[i]) ++match;
+  }
+  return compared == 0 ? 0.0 : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+}  // namespace she::fixed

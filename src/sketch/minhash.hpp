@@ -1,0 +1,56 @@
+// Fixed-window MinHash [Broder 1997] — CSM triple
+// <counter, m, F(x,y)=min(hash_i(x), y)>.
+//
+// Two synchronized signature arrays (one per stream) of M counters; hash
+// function i keeps the minimum of H_i over all inserted keys.  The Jaccard
+// estimate is the fraction of matching signature slots.  Hash outputs are
+// 24-bit as in the paper's setup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bobhash.hpp"
+
+namespace she::fixed {
+
+/// One MinHash signature (one stream side).
+class MinHash {
+ public:
+  /// `m` hash functions / signature slots.
+  explicit MinHash(std::size_t m, std::uint32_t seed = 0);
+
+  /// Insert: slot i = min(slot i, H_i(key)) for all i.
+  void insert(std::uint64_t key);
+
+  void clear();
+
+  /// Slot-wise min with an identically-configured signature: the merged
+  /// signature represents the union of the two inserted key sets.
+  void merge(const MinHash& other);
+
+  [[nodiscard]] std::size_t slot_count() const { return sig_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sig_.size() * 3;  // 24-bit values
+  }
+  [[nodiscard]] std::uint32_t slot(std::size_t i) const { return sig_[i]; }
+
+  /// Empty-slot sentinel (no key inserted yet): all-ones 24-bit value + 1.
+  static constexpr std::uint32_t kEmpty = 1u << 24;
+
+  /// 24-bit hash value of `key` under function `i`.
+  [[nodiscard]] std::uint32_t value(std::uint64_t key, std::size_t i) const {
+    return BobHash32(seed_ + static_cast<std::uint32_t>(i))(key) & 0xFFFFFFu;
+  }
+
+  /// Jaccard estimate between two signatures of equal size: matching slots
+  /// (both non-empty and equal) over compared slots.
+  static double jaccard(const MinHash& a, const MinHash& b);
+
+ private:
+  std::vector<std::uint32_t> sig_;
+  std::uint32_t seed_;
+};
+
+}  // namespace she::fixed

@@ -1,0 +1,44 @@
+#include "stream/oracle.hpp"
+
+#include <stdexcept>
+
+namespace she::stream {
+
+WindowOracle::WindowOracle(std::uint64_t window) : window_(window) {
+  if (window == 0) throw std::invalid_argument("WindowOracle: window must be > 0");
+}
+
+void WindowOracle::insert(std::uint64_t key) {
+  recent_.push_back(key);
+  ++counts_[key];
+  ++time_;
+  if (recent_.size() > window_) {
+    std::uint64_t old = recent_.front();
+    recent_.pop_front();
+    auto it = counts_.find(old);
+    if (--it->second == 0) counts_.erase(it);
+  }
+}
+
+bool WindowOracle::contains(std::uint64_t key) const {
+  return counts_.find(key) != counts_.end();
+}
+
+std::uint64_t WindowOracle::frequency(std::uint64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double JaccardOracle::jaccard() const {
+  const auto& ca = a_.counts();
+  const auto& cb = b_.counts();
+  std::uint64_t inter = 0;
+  for (const auto& [key, cnt] : ca) {
+    (void)cnt;
+    if (cb.find(key) != cb.end()) ++inter;
+  }
+  std::uint64_t uni = ca.size() + cb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace she::stream

@@ -1,0 +1,75 @@
+// Exact sliding-window ground truth.
+//
+// Every accuracy figure in the paper compares an estimator against the true
+// window statistics.  WindowOracle maintains the last-N items of one stream
+// exactly (ring buffer + multiset counts); JaccardOracle does the same for a
+// pair of streams and reports the true Jaccard index of their window *sets*.
+// These are reference implementations: clarity over speed, O(1) amortized
+// per insert, O(1) membership/frequency/cardinality queries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace she::stream {
+
+/// Exact count-based sliding window over a single stream.
+class WindowOracle {
+ public:
+  /// Window of the most recent `window` items.
+  explicit WindowOracle(std::uint64_t window);
+
+  /// Append one item; evicts the (now out-dated) item N steps back.
+  void insert(std::uint64_t key);
+
+  /// True membership of `key` in the current window.
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// True frequency of `key` in the current window.
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
+
+  /// True number of distinct keys in the current window.
+  [[nodiscard]] std::uint64_t cardinality() const { return counts_.size(); }
+
+  /// Items inserted so far (the stream clock).
+  [[nodiscard]] std::uint64_t time() const { return time_; }
+
+  [[nodiscard]] std::uint64_t window() const { return window_; }
+
+  /// Iterate distinct keys currently in the window.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::uint64_t window_;
+  std::uint64_t time_ = 0;
+  std::deque<std::uint64_t> recent_;
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+/// Exact Jaccard similarity of the window *sets* of two synchronized streams.
+class JaccardOracle {
+ public:
+  explicit JaccardOracle(std::uint64_t window) : a_(window), b_(window) {}
+
+  /// Append one item to each stream (streams advance in lock-step, as in
+  /// the paper's SHE-MH setup).
+  void insert(std::uint64_t key_a, std::uint64_t key_b) {
+    a_.insert(key_a);
+    b_.insert(key_b);
+  }
+
+  /// |A ∩ B| / |A ∪ B| over the two windows' distinct-key sets.
+  [[nodiscard]] double jaccard() const;
+
+  [[nodiscard]] const WindowOracle& a() const { return a_; }
+  [[nodiscard]] const WindowOracle& b() const { return b_; }
+
+ private:
+  WindowOracle a_;
+  WindowOracle b_;
+};
+
+}  // namespace she::stream

@@ -1,0 +1,91 @@
+#include "stream/patterns.hpp"
+
+#include <stdexcept>
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+
+namespace she::stream {
+
+Trace burst_pattern(std::uint64_t length, std::uint64_t quiet,
+                    std::uint64_t burst, std::uint64_t seed) {
+  if (quiet + burst == 0)
+    throw std::invalid_argument("burst_pattern: quiet + burst must be > 0");
+  Trace out;
+  out.reserve(length);
+  std::uint64_t fresh = 0;
+  std::uint64_t cycle = quiet + burst;
+  for (std::uint64_t i = 0; i < length; ++i) {
+    std::uint64_t phase = i % cycle;
+    if (phase < quiet) {
+      out.push_back(hash64(0x407, seed));  // the lone hot key
+    } else {
+      out.push_back(hash64(fresh++, seed + 1));  // unique burst keys
+    }
+  }
+  return out;
+}
+
+Trace step_cardinality(std::uint64_t length, std::uint64_t phase_len,
+                       std::uint64_t max_keys, std::uint64_t seed) {
+  if (phase_len == 0) throw std::invalid_argument("step_cardinality: phase_len 0");
+  if (max_keys == 0) throw std::invalid_argument("step_cardinality: max_keys 0");
+  Rng rng(seed);
+  Trace out;
+  out.reserve(length);
+  std::uint64_t keys = 1;
+  std::uint64_t epoch = 0;
+  for (std::uint64_t i = 0; i < length; ++i) {
+    if (i > 0 && i % phase_len == 0) {
+      keys *= 2;
+      if (keys > max_keys) {
+        keys = 1;
+        ++epoch;  // restart with a fresh key space
+      }
+    }
+    out.push_back(hash64(rng.below(keys), seed + 13 * epoch + keys));
+  }
+  return out;
+}
+
+Trace periodic_key(std::uint64_t length, std::uint64_t period,
+                   std::uint64_t key, std::uint64_t seed) {
+  if (period == 0) throw std::invalid_argument("periodic_key: period 0");
+  Trace out;
+  out.reserve(length);
+  std::uint64_t fresh = 0;
+  for (std::uint64_t i = 0; i < length; ++i) {
+    if (i % period == 0) {
+      out.push_back(key);
+    } else {
+      out.push_back(hash64(fresh++, seed + 0xF00));
+    }
+  }
+  return out;
+}
+
+Trace alternating_pair(std::uint64_t length, std::uint64_t key_a,
+                       std::uint64_t key_b) {
+  Trace out;
+  out.reserve(length);
+  for (std::uint64_t i = 0; i < length; ++i)
+    out.push_back(i % 2 == 0 ? key_a : key_b);
+  return out;
+}
+
+Trace single_key_flood(std::uint64_t length, std::uint64_t key) {
+  return Trace(length, key);
+}
+
+Trace rolling_universe(std::uint64_t length, std::uint64_t width,
+                       std::uint64_t seed) {
+  if (width == 0) throw std::invalid_argument("rolling_universe: width 0");
+  Rng rng(seed);
+  Trace out;
+  out.reserve(length);
+  for (std::uint64_t i = 0; i < length; ++i)
+    out.push_back(hash64(i + rng.below(width), seed + 0xE0));
+  return out;
+}
+
+}  // namespace she::stream

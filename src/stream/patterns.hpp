@@ -1,0 +1,48 @@
+// Adversarial and structured stream patterns.
+//
+// The figure workloads (trace.hpp) model benign traffic.  Robustness
+// testing needs the shapes that break sliding-window summaries: bursts
+// that saturate and vanish, cardinality step-changes, periodic flows that
+// resonate with the cleaning cycle, single-key floods that starve group
+// refresh, and low-entropy alternations.  Each generator is deterministic
+// in its seed; the property tests assert SHE's invariants hold under all
+// of them.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/trace.hpp"
+
+namespace she::stream {
+
+/// `quiet` items of a single hot key, then a burst of `burst` distinct
+/// keys, repeated to `length` — alternating starvation and saturation.
+Trace burst_pattern(std::uint64_t length, std::uint64_t quiet,
+                    std::uint64_t burst, std::uint64_t seed = 1);
+
+/// Cardinality step function: each phase of `phase_len` items draws from a
+/// key set whose size doubles each phase (1, 2, 4, ... up to `max_keys`),
+/// then restarts.  Stress for cardinality estimators' adaptivity.
+Trace step_cardinality(std::uint64_t length, std::uint64_t phase_len,
+                       std::uint64_t max_keys, std::uint64_t seed = 1);
+
+/// A key that re-appears exactly every `period` items, embedded in distinct
+/// noise.  With period near Tcycle this resonates with the cleaning cycle —
+/// the worst case for mark aliasing.
+Trace periodic_key(std::uint64_t length, std::uint64_t period,
+                   std::uint64_t key, std::uint64_t seed = 1);
+
+/// Only two keys, alternating — minimal entropy, maximal group starvation.
+Trace alternating_pair(std::uint64_t length, std::uint64_t key_a = 0xA,
+                       std::uint64_t key_b = 0xB);
+
+/// One key repeated `length` times — the degenerate flood.
+Trace single_key_flood(std::uint64_t length, std::uint64_t key = 0xF100D);
+
+/// Sawtooth inter-arrival churn: key i is drawn from a window of `width`
+/// consecutive IDs that advances by one every item, so every key lives for
+/// exactly `width` items of the stream — uniform-age turnover.
+Trace rolling_universe(std::uint64_t length, std::uint64_t width,
+                       std::uint64_t seed = 1);
+
+}  // namespace she::stream

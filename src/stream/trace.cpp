@@ -1,0 +1,76 @@
+#include "stream/trace.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace she::stream {
+
+Trace zipf_trace(const ZipfTraceConfig& cfg) {
+  Rng rng(cfg.seed);
+  ZipfDistribution zipf(cfg.universe, cfg.skew);
+  Trace out;
+  out.reserve(cfg.length);
+  for (std::uint64_t i = 0; i < cfg.length; ++i) {
+    // Whiten the rank so that hot keys are not clustered in hash space.
+    std::uint64_t rank = zipf(rng);
+    out.push_back(hash64(rank, /*seed=*/0xC0FFEE) % (cfg.universe * 4) + cfg.key_offset);
+  }
+  return out;
+}
+
+Trace distinct_trace(std::uint64_t length, std::uint64_t seed) {
+  Trace out;
+  out.reserve(length);
+  // hash64 is a bijection on 64-bit ints, so seed+i values never collide.
+  for (std::uint64_t i = 0; i < length; ++i) out.push_back(hash64(i, seed));
+  return out;
+}
+
+RelevantPair relevant_pair(std::uint64_t length, std::uint64_t universe,
+                           double overlap, double skew, std::uint64_t seed) {
+  if (overlap < 0.0 || overlap > 1.0)
+    throw std::invalid_argument("relevant_pair: overlap must be in [0,1]");
+  Rng rng(seed);
+  ZipfDistribution zipf(universe, skew);
+  RelevantPair pair;
+  pair.a.reserve(length);
+  pair.b.reserve(length);
+  for (std::uint64_t i = 0; i < length; ++i) {
+    pair.a.push_back(zipf(rng));
+    std::uint64_t rank = zipf(rng);
+    bool shared = rng.uniform() < overlap;
+    pair.b.push_back(shared ? rank : rank + universe);
+  }
+  return pair;
+}
+
+Trace named_dataset(const std::string& name, std::uint64_t length,
+                    std::uint64_t seed) {
+  ZipfTraceConfig cfg;
+  cfg.length = length;
+  cfg.seed = seed;
+  if (name == "caida") {
+    cfg.universe = 600'000;
+    cfg.skew = 1.0;
+  } else if (name == "campus") {
+    cfg.universe = 200'000;
+    cfg.skew = 0.6;
+  } else if (name == "webpage") {
+    cfg.universe = 60'000;
+    cfg.skew = 1.3;
+  } else {
+    throw std::invalid_argument("named_dataset: unknown dataset '" + name + "'");
+  }
+  return zipf_trace(cfg);
+}
+
+std::uint64_t distinct_count(const Trace& t) {
+  std::unordered_set<std::uint64_t> seen(t.begin(), t.end());
+  return seen.size();
+}
+
+}  // namespace she::stream

@@ -1,0 +1,60 @@
+// Synthetic data-stream traces.
+//
+// The paper evaluates on four datasets (Sec. 7.1): CAIDA backbone traces,
+// a Distinct Stream (every item unique), Relevant Stream pairs (IMC10
+// derived), and Campus/Webpage traces for throughput.  None of these are
+// redistributable, so we generate seeded synthetic equivalents with matching
+// statistical shape (DESIGN.md §5).  All generators are deterministic in the
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace she::stream {
+
+/// A trace is a finite prefix of a data stream: item keys in arrival order.
+using Trace = std::vector<std::uint64_t>;
+
+/// Parameters of a Zipf-shaped trace.
+struct ZipfTraceConfig {
+  std::uint64_t length = 1u << 20;    ///< number of items
+  std::uint64_t universe = 600'000;   ///< number of distinct candidate keys
+  double skew = 1.0;                  ///< Zipf exponent
+  std::uint64_t seed = 1;             ///< RNG seed
+  std::uint64_t key_offset = 0;       ///< added to every key (disjoint universes)
+};
+
+/// Heavy-tailed trace; with defaults this mimics the paper's CAIDA slice
+/// (~600K distinct srcIPs, skewed frequencies).
+Trace zipf_trace(const ZipfTraceConfig& cfg);
+
+/// Every item distinct — the paper's "Distinct Stream", the worst case for
+/// SHE-BF (no repeated insertions to refresh groups).
+Trace distinct_trace(std::uint64_t length, std::uint64_t seed = 1);
+
+/// A pair of streams over a shared universe with tunable overlap, the
+/// paper's "Relevant Stream" for SHE-MH.  `overlap` in [0,1] is the
+/// probability that a B-item is drawn from A's universe rather than a
+/// disjoint one; the exact window Jaccard is computed by the oracle.
+struct RelevantPair {
+  Trace a;
+  Trace b;
+};
+RelevantPair relevant_pair(std::uint64_t length, std::uint64_t universe,
+                           double overlap, double skew = 0.8,
+                           std::uint64_t seed = 1);
+
+/// Named datasets used by the throughput figures (Fig. 10/11):
+///   "caida"   — skew 1.0, 600K universe (backbone-like)
+///   "campus"  — skew 0.6, 200K universe (flatter campus gateway mix)
+///   "webpage" — skew 1.3, 60K universe  (FIMI web-page items, strong skew)
+/// Throws std::invalid_argument on unknown names.
+Trace named_dataset(const std::string& name, std::uint64_t length,
+                    std::uint64_t seed = 1);
+
+/// Count of distinct keys in a trace (test/diagnostic helper).
+std::uint64_t distinct_count(const Trace& t);
+
+}  // namespace she::stream

@@ -1,0 +1,31 @@
+// Trace file IO: persist generated traces so experiment runs can share the
+// exact same input (or import externally-converted traces — any sequence of
+// 64-bit keys).  Format: "SHTR" magic, version byte, u64 count, u64 keys,
+// all little-endian.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stream/trace.hpp"
+
+namespace she::stream {
+
+/// Write `trace` to a binary stream / file.  Throws std::runtime_error on
+/// IO failure.
+void save_trace(std::ostream& os, const Trace& trace);
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/// Read a trace back.  Throws std::runtime_error on bad magic, version or
+/// truncation.
+Trace load_trace(std::istream& is);
+Trace load_trace_file(const std::string& path);
+
+/// Import keys from a text stream: one token per line (surrounding blanks
+/// ignored, empty lines and '#' comments skipped).  Decimal tokens become
+/// their integer value; anything else is hashed to a 64-bit key, so flow
+/// IDs like "10.0.0.1:443" work directly.
+Trace load_text_keys(std::istream& is);
+Trace load_text_keys_file(const std::string& path);
+
+}  // namespace she::stream

@@ -1,0 +1,490 @@
+// Baseline algorithm tests: each competitor must actually work (the paper's
+// comparisons are meaningless against broken baselines).
+#include "baselines/compact_table.hpp"
+#include "baselines/cvs.hpp"
+#include "baselines/ecm.hpp"
+#include "baselines/shll.hpp"
+#include "baselines/strawman_minhash.hpp"
+#include "baselines/swamp.hpp"
+#include "baselines/tbf.hpp"
+#include "baselines/tobf.hpp"
+#include "baselines/tsv.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she::baselines {
+namespace {
+
+// ------------------------- CompactCountingTable ----------------------------
+
+TEST(CompactTable, RejectsBadArguments) {
+  EXPECT_THROW(CompactCountingTable(0, 4, 16), std::invalid_argument);
+  EXPECT_THROW(CompactCountingTable(16, 0, 16), std::invalid_argument);
+  EXPECT_THROW(CompactCountingTable(16, 4, 16, 0), std::invalid_argument);
+}
+
+TEST(CompactTable, InsertRemoveCountBalance) {
+  CompactCountingTable t(64, 4, 16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(t.insert(7));
+  EXPECT_EQ(t.count(7), 10u);
+  EXPECT_EQ(t.distinct(), 1u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(t.remove(7));
+  EXPECT_EQ(t.count(7), 0u);
+  EXPECT_EQ(t.distinct(), 0u);
+  EXPECT_FALSE(t.remove(7));
+}
+
+TEST(CompactTable, ChainCountingBeyondCounterCeiling) {
+  // 4-bit counts saturate at 15; hotter fingerprints spill to extra slots.
+  CompactCountingTable t(64, 4, 16, 4);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(t.insert(9));
+  EXPECT_EQ(t.count(9), 40u);
+  EXPECT_EQ(t.distinct(), 1u);
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(t.remove(9));
+  EXPECT_EQ(t.count(9), 0u);
+  EXPECT_EQ(t.distinct(), 0u);
+}
+
+TEST(CompactTable, MatchesReferenceMultiset) {
+  CompactCountingTable t(512, 4, 20);
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    auto fp = static_cast<std::uint32_t>(rng.below(500));
+    if (rng.below(3) == 0 && ref[fp] > 0) {
+      EXPECT_TRUE(t.remove(fp));
+      --ref[fp];
+    } else {
+      EXPECT_TRUE(t.insert(fp));
+      ++ref[fp];
+    }
+    if (i % 501 == 0) {
+      std::size_t ref_distinct = 0;
+      for (const auto& [k, c] : ref) {
+        ASSERT_EQ(t.count(k), c) << "fp " << k << " step " << i;
+        if (c > 0) ++ref_distinct;
+      }
+      ASSERT_EQ(t.distinct(), ref_distinct) << "step " << i;
+    }
+  }
+}
+
+TEST(CompactTable, DropsWhenChainSaturates) {
+  // 2 buckets x 2 slots, chain 4 wraps the whole table: capacity 4 entries
+  // of distinct fingerprints with saturating-width counts.
+  CompactCountingTable t(2, 2, 16, 4);
+  std::uint64_t inserted = 0;
+  for (std::uint32_t fp = 0; fp < 50; ++fp)
+    if (t.insert(fp)) ++inserted;
+  EXPECT_LE(inserted, 4u);
+  EXPECT_GT(t.dropped(), 0u);
+}
+
+TEST(CompactTable, MemoryIsPackedSlots) {
+  CompactCountingTable t(1024, 4, 12, 4);
+  // 4096 slots x 16 bits = 8 KB (+ word rounding).
+  EXPECT_GE(t.memory_bytes(), 8192u);
+  EXPECT_LE(t.memory_bytes(), 8192u + 32u);
+}
+
+// ------------------------------ SWAMP --------------------------------------
+
+TEST(Swamp, RejectsBadArguments) {
+  EXPECT_THROW(Swamp(0, 16), std::invalid_argument);
+  EXPECT_THROW(Swamp(100, 0), std::invalid_argument);
+  EXPECT_THROW(Swamp(100, 32), std::invalid_argument);
+}
+
+TEST(Swamp, ExactWithWideFingerprints) {
+  // 31-bit fingerprints over a tiny window: collisions negligible, SWAMP
+  // answers match the oracle exactly.
+  constexpr std::uint64_t kWindow = 256;
+  Swamp sw(kWindow, 31);
+  stream::WindowOracle oracle(kWindow);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t k = rng.below(400);
+    sw.insert(k);
+    oracle.insert(k);
+    if (i % 53 == 0) {
+      for (std::uint64_t q = 0; q < 400; q += 7) {
+        ASSERT_EQ(sw.contains(q), oracle.contains(q)) << "i=" << i;
+        ASSERT_EQ(sw.frequency(q), oracle.frequency(q)) << "i=" << i;
+      }
+      ASSERT_NEAR(sw.cardinality(), static_cast<double>(oracle.cardinality()),
+                  1.0);
+    }
+  }
+}
+
+TEST(Swamp, NoFalseNegatives) {
+  Swamp sw(128, 12);
+  for (std::uint64_t k = 0; k < 128; ++k) sw.insert(k);
+  for (std::uint64_t k = 0; k < 128; ++k) EXPECT_TRUE(sw.contains(k));
+}
+
+TEST(Swamp, TinyFingerprintsCollide) {
+  // 4-bit fingerprints over a 4096 window: the fingerprint space saturates
+  // and membership answers become mostly false positives — the small-memory
+  // failure mode in Fig. 9d.
+  Swamp sw(4096, 4);
+  auto trace = stream::distinct_trace(8192, 3);
+  for (auto k : trace) sw.insert(k);
+  std::size_t fp = 0;
+  auto probes = stream::distinct_trace(1000, 999);
+  for (auto k : probes)
+    if (sw.contains(k)) ++fp;
+  EXPECT_GT(fp, 900u);
+}
+
+TEST(Swamp, MemoryModel) {
+  // Real packed footprint: W*f queue bits + 1.5*W slots of (f + 4) bits.
+  Swamp sw(1 << 16, 16);
+  double expected_bits = 65536.0 * 16 + 1.5 * 65536 * (16 + 4);
+  EXPECT_NEAR(static_cast<double>(sw.memory_bytes()), expected_bits / 8,
+              expected_bits / 8 * 0.01);
+  // The sizing helper inverts that formula.
+  auto f = Swamp::fingerprint_bits_for_memory(1 << 16, sw.memory_bytes());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GE(*f, 15u);
+  EXPECT_LE(*f, 17u);
+  // Below ~W*(2.5+6)/8 bytes SWAMP cannot run at all.
+  EXPECT_FALSE(Swamp::fingerprint_bits_for_memory(1 << 16, 10000).has_value());
+  // Round-trip: the suggested width must actually fit the budget.
+  Swamp sized(1 << 16, *f);
+  EXPECT_LE(sized.memory_bytes(), sw.memory_bytes() + 1024);
+}
+
+TEST(Swamp, TableDropsStayNegligible) {
+  Swamp sw(4096, 14);
+  auto trace = stream::distinct_trace(20000, 5);
+  for (auto k : trace) sw.insert(k);
+  // The bounded chain can drop under clustering; with 50% slot slack and an
+  // 8-bucket chain drops effectively vanish.
+  EXPECT_LT(sw.table_drops(), trace.size() / 1000);
+}
+
+// ------------------------------- TSV ---------------------------------------
+
+TEST(Tsv, TracksWindowCardinality) {
+  constexpr std::uint64_t kWindow = 2048;
+  TimestampVector tsv(1 << 14, kWindow);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(4 * kWindow, 5);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    tsv.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 2 * kWindow && i % 256 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             tsv.cardinality()));
+  }
+  EXPECT_LT(err.mean(), 0.05);
+}
+
+TEST(Tsv, MemoryIs64BitsPerSlot) {
+  EXPECT_EQ(TimestampVector(1000, 10).memory_bytes(), 8000u);
+}
+
+// ------------------------------- CVS ---------------------------------------
+
+TEST(Cvs, RejectsBadArguments) {
+  EXPECT_THROW(CounterVectorSketch(0, 10), std::invalid_argument);
+  EXPECT_THROW(CounterVectorSketch(10, 0), std::invalid_argument);
+  EXPECT_THROW(CounterVectorSketch(10, 10, 16), std::invalid_argument);
+}
+
+TEST(Cvs, RoughCardinalityOnSteadyStream) {
+  constexpr std::uint64_t kWindow = 2048;
+  CounterVectorSketch cvs(1 << 14, kWindow, 10, 1);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(6 * kWindow, 7);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    cvs.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 3 * kWindow && i % 512 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             cvs.cardinality()));
+  }
+  // CVS's random decay is noisy — accept a loose band (it is the weakest
+  // baseline in Fig. 9a too).
+  EXPECT_LT(err.mean(), 0.5);
+}
+
+TEST(Cvs, DecayEmptiesAfterTrafficStops) {
+  // Insert into one region then hammer a single key: other counters decay.
+  constexpr std::uint64_t kWindow = 512;
+  CounterVectorSketch cvs(4096, kWindow, 10, 2);
+  auto burst = stream::distinct_trace(2 * kWindow, 9);
+  for (auto k : burst) cvs.insert(k);
+  double high = cvs.cardinality();
+  for (std::uint64_t i = 0; i < 20 * kWindow; ++i) cvs.insert(42);
+  double low = cvs.cardinality();
+  EXPECT_LT(low, high / 2);
+}
+
+// ------------------------------- TOBF --------------------------------------
+
+TEST(Tobf, NoFalseNegatives) {
+  constexpr std::uint64_t kWindow = 1024;
+  TimeOutBloomFilter tobf(1 << 13, 4, kWindow);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(4 * kWindow, 3);
+  Rng rng(4);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    tobf.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i % 13 == 0 && i > 0) {
+      std::uint64_t back = rng.below(std::min<std::uint64_t>(i, kWindow - 1));
+      ASSERT_TRUE(tobf.contains(trace[i - back]));
+    }
+  }
+}
+
+TEST(Tobf, ExactExpiry) {
+  TimeOutBloomFilter tobf(1 << 14, 4, 100);
+  tobf.insert(7);
+  for (std::uint64_t i = 0; i < 99; ++i) tobf.insert(1000000 + i);
+  EXPECT_TRUE(tobf.contains(7));  // age 99 < 100
+  tobf.insert(2000000);
+  EXPECT_FALSE(tobf.contains(7));  // age 100 >= 100: exactly expired
+}
+
+// -------------------------------- TBF --------------------------------------
+
+TEST(Tbf, RejectsTooNarrowCounters) {
+  EXPECT_THROW(TimingBloomFilter(1024, 4, 1 << 16, 16), std::invalid_argument);
+  EXPECT_NO_THROW(TimingBloomFilter(1024, 4, 1 << 16, 18));
+}
+
+TEST(Tbf, NoFalseNegatives) {
+  constexpr std::uint64_t kWindow = 1024;
+  TimingBloomFilter tbf(1 << 13, 4, kWindow, 12);
+  auto trace = stream::distinct_trace(4 * kWindow, 3);
+  Rng rng(4);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    tbf.insert(trace[i]);
+    if (i % 13 == 0 && i > 0) {
+      std::uint64_t back = rng.below(std::min<std::uint64_t>(i, kWindow - 1));
+      ASSERT_TRUE(tbf.contains(trace[i - back])) << i;
+    }
+  }
+}
+
+TEST(Tbf, AgreesWithTobfOnMembership) {
+  // TBF is TOBF with wrapped counters; with ample counter bits they should
+  // give (nearly) identical answers.
+  constexpr std::uint64_t kWindow = 512;
+  TimeOutBloomFilter tobf(8192, 4, kWindow);
+  TimingBloomFilter tbf(8192, 4, kWindow, 14);
+  auto trace = stream::distinct_trace(4 * kWindow, 8);
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    tobf.insert(trace[i]);
+    tbf.insert(trace[i]);
+    if (i % 7 == 0) {
+      std::uint64_t probe = hash64(i, 321);
+      if (tobf.contains(probe) != tbf.contains(probe)) ++disagreements;
+      std::uint64_t recent = trace[i - std::min<std::size_t>(i, 100)];
+      if (tobf.contains(recent) != tbf.contains(recent)) ++disagreements;
+    }
+  }
+  EXPECT_LT(disagreements, 10u);
+}
+
+TEST(Tbf, OutdatedExpired) {
+  constexpr std::uint64_t kWindow = 256;
+  TimingBloomFilter tbf(1 << 13, 4, kWindow, 12);
+  tbf.insert(7);
+  auto noise = stream::distinct_trace(4 * kWindow, 5);
+  for (auto k : noise) tbf.insert(k);
+  EXPECT_FALSE(tbf.contains(7));
+}
+
+// -------------------------------- SHLL -------------------------------------
+
+TEST(Shll, TracksWindowCardinality) {
+  constexpr std::uint64_t kWindow = 1 << 14;
+  SlidingHyperLogLog shll(2048, kWindow);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(4 * kWindow, 5);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    shll.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 2 * kWindow && i % 2048 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             shll.cardinality(kWindow)));
+  }
+  EXPECT_LT(err.mean(), 0.12);
+}
+
+TEST(Shll, AnswersMultipleWindows) {
+  SlidingHyperLogLog shll(1024, 10000);
+  auto trace = stream::distinct_trace(20000, 6);
+  for (auto k : trace) shll.insert(k);
+  double small = shll.cardinality(1000);
+  double large = shll.cardinality(10000);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(small, 1000, 300);
+  EXPECT_NEAR(large, 10000, 3000);
+  EXPECT_THROW((void)shll.cardinality(20000), std::invalid_argument);
+}
+
+TEST(Shll, QueuesStayMonotone) {
+  // Memory stays bounded in practice but is data-dependent; on a distinct
+  // stream the expected LFPM length is O(log N) per register.
+  SlidingHyperLogLog shll(256, 1 << 14);
+  auto trace = stream::distinct_trace(1 << 16, 7);
+  for (auto k : trace) shll.insert(k);
+  EXPECT_GT(shll.memory_bytes(), 256u * 9);
+  EXPECT_LT(shll.memory_bytes(), 256u * 9 * 40);
+  EXPECT_GE(shll.peak_memory_bytes(), shll.memory_bytes());
+}
+
+// -------------------------------- ECM --------------------------------------
+
+TEST(ExpHist, ExactForTinyCounts) {
+  ExpHistogram eh(4);
+  for (std::uint64_t t = 1; t <= 4; ++t) eh.add(t);
+  EXPECT_NEAR(eh.count(4, 100), 4.0, 0.01);
+}
+
+TEST(ExpHist, WindowedCountWithinEhBound) {
+  ExpHistogram eh(8);
+  constexpr std::uint64_t kTotal = 4000;
+  for (std::uint64_t t = 1; t <= kTotal; ++t) eh.add(t);
+  for (std::uint64_t window : {100u, 500u, 1000u, 4000u}) {
+    double est = eh.count(kTotal, window);
+    double truth = static_cast<double>(window);
+    EXPECT_NEAR(est, truth, truth / 8.0 + 2)
+        << "window " << window;  // EH error <= ~1/(2k)
+  }
+}
+
+TEST(ExpHist, BucketCountLogarithmic) {
+  // The defining EH property: at most k+1 buckets per power-of-two size,
+  // so the total is O(k log n) — not O(n).
+  ExpHistogram eh(4);
+  for (std::uint64_t t = 1; t <= 100000; ++t) eh.add(t);
+  // log2(100000) ~ 17 size classes, (k+1) = 5 buckets each, plus slack.
+  EXPECT_LE(eh.bucket_count(), 5u * 18u + 5u);
+  EXPECT_GE(eh.bucket_count(), 17u);
+}
+
+TEST(ExpHist, SizesNonIncreasingFromOldest) {
+  // Structural invariant the merge logic relies on.
+  ExpHistogram eh(2);
+  for (std::uint64_t t = 1; t <= 5000; ++t) eh.add(t);
+  double total = eh.count(5000, 5000);
+  EXPECT_NEAR(total, 5000.0, 5000.0 / 4.0 + 2);  // k=2: ~25% worst case
+}
+
+TEST(ExpHist, ExpireDropsOldBuckets) {
+  ExpHistogram eh(2);
+  for (std::uint64_t t = 1; t <= 1000; ++t) eh.add(t);
+  std::size_t before = eh.bucket_count();
+  eh.expire(2000, 100);
+  EXPECT_LT(eh.bucket_count(), before);
+}
+
+TEST(Ecm, FrequencyTracksOracle) {
+  constexpr std::uint64_t kWindow = 2048;
+  EcmSketch ecm(4096, 4, kWindow);
+  stream::WindowOracle oracle(kWindow);
+  stream::ZipfTraceConfig tc;
+  tc.length = 4 * kWindow;
+  tc.universe = 512;
+  tc.skew = 1.0;
+  tc.seed = 3;
+  auto trace = stream::zipf_trace(tc);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ecm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 2 * kWindow && i % 499 == 0) {
+      for (const auto& [key, f] : oracle.counts()) {
+        if (f < 16) continue;
+        err.add(relative_error(static_cast<double>(f), ecm.frequency(key)));
+      }
+    }
+  }
+  EXPECT_LT(err.mean(), 0.4);
+}
+
+TEST(Ecm, MemoryGrowsWithCounters) {
+  EcmSketch small(256, 4, 1000), large(4096, 4, 1000);
+  auto trace = stream::distinct_trace(5000, 2);
+  for (auto k : trace) {
+    small.insert(k);
+    large.insert(k);
+  }
+  EXPECT_LT(small.memory_bytes(), large.memory_bytes());
+}
+
+// --------------------------- Straw-man MinHash -----------------------------
+
+TEST(StrawmanMh, IdenticalStreamsNearOne) {
+  constexpr std::uint64_t kWindow = 1024;
+  StrawmanMinHash a(128, kWindow), b(128, kWindow);
+  auto trace = stream::distinct_trace(3 * kWindow, 4);
+  for (auto k : trace) {
+    a.insert(k);
+    b.insert(k);
+  }
+  EXPECT_GT(StrawmanMinHash::jaccard(a, b), 0.9);
+}
+
+TEST(StrawmanMh, NoisierThanExactOracle) {
+  constexpr std::uint64_t kWindow = 2048;
+  StrawmanMinHash a(256, kWindow), b(256, kWindow);
+  stream::JaccardOracle oracle(kWindow);
+  auto pair = stream::relevant_pair(6 * kWindow, 2 * kWindow, 0.6, 0.8, 7);
+  RunningStats err;
+  for (std::size_t i = 0; i < pair.a.size(); ++i) {
+    a.insert(pair.a[i]);
+    b.insert(pair.b[i]);
+    oracle.insert(pair.a[i], pair.b[i]);
+    if (i > 3 * kWindow && i % 1024 == 0)
+      err.add(std::abs(StrawmanMinHash::jaccard(a, b) - oracle.jaccard()));
+  }
+  // It works, roughly — just worse than SHE-MH (asserted in integration).
+  EXPECT_LT(err.mean(), 0.35);
+}
+
+TEST(StrawmanMh, MemoryElevenBytesPerSlot) {
+  EXPECT_EQ(StrawmanMinHash(100, 10).memory_bytes(), 1100u);
+}
+
+TEST(StrawmanMh, NaiveVariantSlotsDecayOverTime) {
+  // The naive straw-man's flaw: a slot is live only while its all-time
+  // minimum sits inside the window, so live slots decay as the stream runs.
+  constexpr std::uint64_t kWindow = 1024;
+  StrawmanMinHash naive(256, kWindow, 0, /*overwrite_expired=*/false);
+  StrawmanMinHash repaired(256, kWindow, 0, /*overwrite_expired=*/true);
+  auto trace = stream::distinct_trace(16 * kWindow, 5);
+  for (auto k : trace) {
+    naive.insert(k);
+    repaired.insert(k);
+  }
+  EXPECT_LT(naive.live_slots(), repaired.live_slots());
+  EXPECT_EQ(repaired.live_slots(), 256u);  // overwrite keeps every slot live
+  EXPECT_LT(naive.live_slots(), 100u);     // most naive slots are poisoned
+}
+
+TEST(StrawmanMh, VariantFlagIncompatible) {
+  StrawmanMinHash a(64, 100, 0, false), b(64, 100, 0, true);
+  EXPECT_THROW(StrawmanMinHash::jaccard(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace she::baselines

@@ -1,0 +1,107 @@
+// BitArray tests, including parameterized sweeps over range offsets/widths
+// since group cleaning depends on word-straddling clear_range correctness.
+#include "common/bit_array.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(BitArray, StartsAllZero) {
+  BitArray a(200);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(a.popcount(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(a.test(i));
+}
+
+TEST(BitArray, SetTestReset) {
+  BitArray a(130);
+  a.set(0);
+  a.set(63);
+  a.set(64);
+  a.set(129);
+  EXPECT_TRUE(a.test(0));
+  EXPECT_TRUE(a.test(63));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(129));
+  EXPECT_FALSE(a.test(1));
+  EXPECT_EQ(a.popcount(), 4u);
+  a.reset(63);
+  EXPECT_FALSE(a.test(63));
+  EXPECT_EQ(a.popcount(), 3u);
+}
+
+TEST(BitArray, ClearZeroesEverything) {
+  BitArray a(100);
+  for (std::size_t i = 0; i < 100; i += 3) a.set(i);
+  a.clear();
+  EXPECT_EQ(a.popcount(), 0u);
+}
+
+TEST(BitArray, MemoryBytesRoundsToWords) {
+  EXPECT_EQ(BitArray(1).memory_bytes(), 8u);
+  EXPECT_EQ(BitArray(64).memory_bytes(), 8u);
+  EXPECT_EQ(BitArray(65).memory_bytes(), 16u);
+  EXPECT_EQ(BitArray(1024).memory_bytes(), 128u);
+}
+
+TEST(BitArray, RangeErrorsThrow) {
+  BitArray a(64);
+  EXPECT_THROW(a.clear_range(60, 5), std::out_of_range);
+  EXPECT_THROW((void)a.popcount_range(0, 65), std::out_of_range);
+  EXPECT_NO_THROW(a.clear_range(60, 4));
+}
+
+// Parameterized: clear_range / popcount_range over (first, count) pairs that
+// exercise in-word, word-aligned and multi-word-straddling geometries.
+class BitRangeTest : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BitRangeTest, ClearRangeMatchesReference) {
+  auto [first, count] = GetParam();
+  constexpr std::size_t kBits = 256;
+  BitArray a(kBits);
+  std::vector<bool> ref(kBits, false);
+  // Set a pseudo-random pattern.
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if ((i * 2654435761u) % 3 != 0) {
+      a.set(i);
+      ref[i] = true;
+    }
+  }
+  a.clear_range(first, count);
+  for (std::size_t i = first; i < first + count; ++i) ref[i] = false;
+  for (std::size_t i = 0; i < kBits; ++i)
+    ASSERT_EQ(a.test(i), ref[i]) << "bit " << i << " first=" << first
+                                 << " count=" << count;
+}
+
+TEST_P(BitRangeTest, PopcountRangeMatchesReference) {
+  auto [first, count] = GetParam();
+  constexpr std::size_t kBits = 256;
+  BitArray a(kBits);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if ((i * 0x9e3779b9u) % 5 < 2) a.set(i);
+  }
+  for (std::size_t i = first; i < first + count; ++i)
+    if (a.test(i)) ++expected;
+  EXPECT_EQ(a.popcount_range(first, count), expected);
+  EXPECT_EQ(a.zeros_range(first, count), count - expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BitRangeTest,
+    ::testing::Values(std::make_tuple(0, 0), std::make_tuple(0, 1),
+                      std::make_tuple(0, 64), std::make_tuple(0, 256),
+                      std::make_tuple(1, 62), std::make_tuple(1, 63),
+                      std::make_tuple(63, 1), std::make_tuple(63, 2),
+                      std::make_tuple(64, 64), std::make_tuple(32, 64),
+                      std::make_tuple(32, 128), std::make_tuple(5, 246),
+                      std::make_tuple(127, 2), std::make_tuple(128, 128),
+                      std::make_tuple(192, 64), std::make_tuple(200, 56)));
+
+}  // namespace
+}  // namespace she

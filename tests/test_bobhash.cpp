@@ -1,0 +1,78 @@
+// Tests for the BOBHash family: determinism, seed independence and rough
+// uniformity (the estimators' accuracy analysis assumes uniform hashing).
+#include "common/bobhash.hpp"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(BobHash, DeterministicAcrossInstances) {
+  BobHash32 h1(7);
+  BobHash32 h2(7);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(h1(k), h2(k));
+}
+
+TEST(BobHash, SeedsProduceDistinctFunctions) {
+  BobHash32 h0(0), h1(1);
+  std::size_t equal = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k)
+    if (h0(k) == h1(k)) ++equal;
+  EXPECT_LT(equal, 3u);  // collisions between functions should be ~0
+}
+
+TEST(BobHash, StringAndBytesAgree) {
+  BobHash32 h(3);
+  std::string s = "sliding-window";
+  EXPECT_EQ(h(s), h(s.data(), s.size()));
+}
+
+TEST(BobHash, HandlesAllTailLengths) {
+  // lookup2 consumes 12-byte blocks; exercise every remainder 0..11.
+  BobHash32 h(9);
+  std::vector<unsigned char> buf(64, 0xAB);
+  std::set<std::uint32_t> seen;
+  for (std::size_t len = 0; len <= 24; ++len) seen.insert(h(buf.data(), len));
+  EXPECT_EQ(seen.size(), 25u);  // every length hashes differently
+}
+
+TEST(BobHash, BucketsRoughlyUniform) {
+  BobHash32 h(5);
+  constexpr std::size_t kBuckets = 64;
+  constexpr std::size_t kKeys = 64000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::uint64_t k = 0; k < kKeys; ++k) ++counts[h(k) % kBuckets];
+  // Chi-squared with 63 dof: expect each bucket ~1000; allow +-20%.
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], 800u) << "bucket " << b;
+    EXPECT_LT(counts[b], 1200u) << "bucket " << b;
+  }
+}
+
+TEST(Hash64, BijectiveOnSample) {
+  // SplitMix64 finalizer is a bijection: no collisions on a large sample.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 100000; ++k) seen.insert(hash64(k));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Hash64, SeedChangesOutput) {
+  EXPECT_NE(hash64(42, 0), hash64(42, 1));
+}
+
+TEST(Hash32, TopBitsUsed) {
+  // hash32 takes the high 32 bits; should still look uniform mod small n.
+  std::vector<std::size_t> counts(16, 0);
+  for (std::uint64_t k = 0; k < 16000; ++k) ++counts[hash32(k) % 16];
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, 800u);
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+}  // namespace
+}  // namespace she

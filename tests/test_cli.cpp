@@ -1,0 +1,257 @@
+// CLI tests: argument parsing and every she_tool subcommand, driven
+// in-process through run_cli.
+#include "commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace she::tools {
+namespace {
+
+// ------------------------------- ArgMap ------------------------------------
+
+TEST(ArgMap, ParsesFlagsAndValues) {
+  auto args = ArgMap::parse({"--window", "1024", "--verbose", "--name", "x"});
+  EXPECT_EQ(args.get_u64("window", 0), 1024u);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("name", ""), "x");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgMap, PositionalRejected) {
+  EXPECT_THROW(ArgMap::parse({"oops"}), std::invalid_argument);
+  EXPECT_THROW(ArgMap::parse({"--ok", "1", "stray"}), std::invalid_argument);
+}
+
+TEST(ArgMap, RequireThrowsWhenMissing) {
+  auto args = ArgMap::parse({});
+  EXPECT_THROW((void)args.require("out"), std::invalid_argument);
+}
+
+TEST(ArgMap, SizeSuffixes) {
+  EXPECT_EQ(ArgMap::parse_size("4096"), 4096u);
+  EXPECT_EQ(ArgMap::parse_size("64K"), 64u * 1024);
+  EXPECT_EQ(ArgMap::parse_size("64KB"), 64u * 1024);
+  EXPECT_EQ(ArgMap::parse_size("2m"), 2u * 1024 * 1024);
+  EXPECT_EQ(ArgMap::parse_size("1G"), 1024ull * 1024 * 1024);
+  EXPECT_THROW(ArgMap::parse_size("12X"), std::invalid_argument);
+  EXPECT_THROW(ArgMap::parse_size(""), std::invalid_argument);
+}
+
+TEST(ArgMap, UnusedFlagsTracked) {
+  auto args = ArgMap::parse({"--used", "1", "--typo", "2"});
+  (void)args.get_u64("used", 0);
+  auto stray = args.unused();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "typo");
+}
+
+TEST(ArgMap, MalformedNumberThrows) {
+  auto args = ArgMap::parse({"--alpha", "1.5x"});
+  EXPECT_THROW((void)args.get_f64("alpha", 0), std::invalid_argument);
+}
+
+// ------------------------------- commands ----------------------------------
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool"}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "frobnicate"}, out), 2);
+  EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "help"}, out), 0);
+}
+
+TEST(Cli, UnknownFlagReported) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "membership", "--length", "10000",
+                    "--bogus-flag", "1"},
+                   out);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.str().find("bogus-flag"), std::string::npos);
+}
+
+TEST(Cli, GenerateAndInfoRoundTrip) {
+  std::string path = temp_path("cli_trace.bin");
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "generate", "--out", path, "--dataset",
+                    "distinct", "--length", "5000", "--seed", "3"},
+                   out);
+  ASSERT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("wrote 5000 items"), std::string::npos);
+  EXPECT_NE(out.str().find("5000 distinct"), std::string::npos);
+
+  std::ostringstream info;
+  rc = run_cli({"she_tool", "info", "--file", path}, info);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(info.str().find("trace, 5000 items"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MembershipRunsAndReportsNoFalseNegatives) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "membership", "--dataset", "distinct",
+                    "--length", "200000", "--window", "32768", "--memory",
+                    "32K", "--probes", "5000"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("false-positive rate"), std::string::npos);
+  EXPECT_NE(out.str().find("0/"), std::string::npos);  // zero false negatives
+}
+
+TEST(Cli, MembershipFromTraceFile) {
+  std::string path = temp_path("cli_trace_mem.bin");
+  std::ostringstream gen;
+  ASSERT_EQ(run_cli({"she_tool", "generate", "--out", path, "--dataset",
+                     "caida", "--length", "100000"},
+                    gen),
+            0);
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "membership", "--trace", path, "--window",
+                    "16384", "--memory", "16K"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  std::remove(path.c_str());
+}
+
+TEST(Cli, CardinalityBitmapAndHll) {
+  for (const char* algo : {"bitmap", "hll"}) {
+    std::ostringstream out;
+    int rc = run_cli({"she_tool", "cardinality", "--algo", algo, "--dataset",
+                      "campus", "--length", "200000", "--window", "32768",
+                      "--memory", "8K"},
+                     out);
+    EXPECT_EQ(rc, 0) << algo << ": " << out.str();
+    EXPECT_NE(out.str().find("mean relative error"), std::string::npos);
+  }
+}
+
+TEST(Cli, CardinalityRejectsBadAlgo) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "cardinality", "--algo", "sketchy"}, out), 2);
+}
+
+TEST(Cli, FrequencyPrintsTopK) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "frequency", "--dataset", "webpage",
+                    "--length", "200000", "--window", "32768", "--memory",
+                    "256K", "--top", "5"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("heavy hitters"), std::string::npos);
+  // 5 result rows below the header.
+  std::size_t rows = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  bool in_table = false;
+  while (std::getline(lines, line)) {
+    if (line.find("estimate") != std::string::npos) {
+      in_table = true;
+      continue;
+    }
+    if (in_table && !line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 5u);
+}
+
+TEST(Cli, SimilaritySyntheticPair) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "similarity", "--length", "100000",
+                    "--overlap", "0.7", "--window", "8192", "--slots", "256"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("estimated Jaccard"), std::string::npos);
+  EXPECT_NE(out.str().find("exact Jaccard"), std::string::npos);
+}
+
+TEST(Cli, SimilarityLengthMismatchRejected) {
+  std::string pa = temp_path("cli_a.bin");
+  std::string pb = temp_path("cli_b.bin");
+  std::ostringstream tmp;
+  ASSERT_EQ(run_cli({"she_tool", "generate", "--out", pa, "--dataset",
+                     "distinct", "--length", "1000"},
+                    tmp),
+            0);
+  ASSERT_EQ(run_cli({"she_tool", "generate", "--out", pb, "--dataset",
+                     "distinct", "--length", "2000"},
+                    tmp),
+            0);
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "similarity", "--trace-a", pa, "--trace-b",
+                     pb, "--window", "512"},
+                    out),
+            2);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(Cli, MembershipCheckpointSaveResumeInfo) {
+  std::string ckpt = temp_path("cli_bf.ckpt");
+  std::ostringstream out1;
+  int rc = run_cli({"she_tool", "membership", "--dataset", "caida", "--length",
+                    "60000", "--window", "16384", "--memory", "16K", "--save",
+                    ckpt, "--probes", "2000"},
+                   out1);
+  ASSERT_EQ(rc, 0) << out1.str();
+  EXPECT_NE(out1.str().find("checkpoint saved"), std::string::npos);
+
+  std::ostringstream info;
+  ASSERT_EQ(run_cli({"she_tool", "info", "--file", ckpt}, info), 0);
+  EXPECT_NE(info.str().find("SHE-BF checkpoint"), std::string::npos);
+  EXPECT_NE(info.str().find("stream position: 60000"), std::string::npos);
+
+  std::ostringstream out2;
+  rc = run_cli({"she_tool", "membership", "--resume", ckpt, "--dataset",
+                "caida", "--length", "30000", "--seed", "2", "--probes",
+                "2000"},
+               out2);
+  EXPECT_EQ(rc, 0) << out2.str();
+  std::remove(ckpt.c_str());
+}
+
+TEST(Cli, TextTraceIngestion) {
+  std::string path = temp_path("cli_keys.txt");
+  {
+    std::ofstream os(path);
+    os << "# flows\n";
+    for (int i = 0; i < 3000; ++i)
+      os << "10.0." << i % 256 << "." << i / 256 << ":443\n";
+  }
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "cardinality", "--trace-text", path,
+                    "--window", "1024", "--memory", "4K"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("mean relative error"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, InfoOnUnknownFileFormat) {
+  std::string path = temp_path("cli_junk.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "JUNKJUNKJUNK";
+  }
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "info", "--file", path}, out), 1);
+  EXPECT_NE(out.str().find("unknown format"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace she::tools

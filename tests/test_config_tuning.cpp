@@ -1,0 +1,171 @@
+// SheConfig validation and Sec.-5 tuning formula tests.
+#include "she/config.hpp"
+#include "she/tuning.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig valid_config() {
+  SheConfig cfg;
+  cfg.window = 1000;
+  cfg.cells = 4096;
+  cfg.group_cells = 64;
+  cfg.alpha = 0.5;
+  return cfg;
+}
+
+TEST(SheConfig, TcycleRounding) {
+  SheConfig cfg = valid_config();
+  cfg.alpha = 0.5;
+  EXPECT_EQ(cfg.tcycle(), 1500u);
+  cfg.alpha = 0.2;
+  EXPECT_EQ(cfg.tcycle(), 1200u);
+  cfg.window = 3;
+  cfg.alpha = 0.5;
+  EXPECT_EQ(cfg.tcycle(), 5u);  // round(4.5) -> 5 (llround half-up)
+}
+
+TEST(SheConfig, GroupCount) {
+  SheConfig cfg = valid_config();
+  EXPECT_EQ(cfg.groups(), 64u);
+  cfg.cells = 4097;
+  EXPECT_EQ(cfg.groups(), 65u);  // ceil
+  cfg.group_cells = 1;
+  EXPECT_EQ(cfg.groups(), 4097u);
+}
+
+TEST(SheConfig, ValidationCatchesEachField) {
+  SheConfig cfg = valid_config();
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = valid_config();
+  cfg.window = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.cells = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.group_cells = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.group_cells = cfg.cells + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.alpha = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.alpha = -0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.beta = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.beta = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.mark_bits = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = valid_config();
+  cfg.mark_bits = 33;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // alpha so small that Tcycle rounds to N.
+  cfg = valid_config();
+  cfg.alpha = 1e-9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Tuning, RetentionQInUnitInterval) {
+  double q = bf_retention_q(1 << 17, 64, 1 << 14, 8);
+  EXPECT_GT(q, 0.0);
+  EXPECT_LT(q, 1.0);
+}
+
+TEST(Tuning, RetentionQDecreasesWithLoad) {
+  double q_light = bf_retention_q(1 << 18, 64, 1000, 8);
+  double q_heavy = bf_retention_q(1 << 18, 64, 100000, 8);
+  EXPECT_GT(q_light, q_heavy);
+}
+
+TEST(Tuning, OptimalRatioIsRootOfDerivative) {
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    double r0 = optimal_ratio(q);
+    double lnq = std::log(q);
+    double dg = std::pow(q, r0) * (r0 * lnq - 1.0) + q;
+    EXPECT_NEAR(dg, 0.0, 1e-9) << "q=" << q;
+    EXPECT_GT(r0, 0.0);
+  }
+}
+
+TEST(Tuning, OptimalRatioRejectsBadQ) {
+  EXPECT_THROW(optimal_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW(optimal_ratio(1.0), std::invalid_argument);
+  EXPECT_THROW(optimal_ratio(-0.5), std::invalid_argument);
+}
+
+TEST(Tuning, FprModelMinimizedAtOptimalRatio) {
+  // Scan R around R0: the model FPR should be (weakly) larger elsewhere.
+  for (double q : {0.2, 0.5, 0.8}) {
+    double r0 = optimal_ratio(q);
+    double best = bf_fpr_model(q, r0, 8);
+    for (double r = 0.2; r < 4 * r0; r += 0.1) {
+      EXPECT_GE(bf_fpr_model(q, r, 8) + 1e-12, best)
+          << "q=" << q << " r=" << r << " r0=" << r0;
+    }
+  }
+}
+
+TEST(Tuning, FprModelDecreasesWithMoreMemory) {
+  // Higher Q (lighter load) -> lower minimum FPR.
+  double fpr_tight = bf_fpr_model(0.3, optimal_ratio(0.3), 8);
+  double fpr_roomy = bf_fpr_model(0.9, optimal_ratio(0.9), 8);
+  EXPECT_GT(fpr_tight, fpr_roomy);
+}
+
+TEST(Tuning, OptimalAlphaPositive) {
+  double a = optimal_alpha_bf(1 << 17, 64, 1 << 14, 8);
+  EXPECT_GE(a, 0.01);
+  EXPECT_LT(a, 100.0);
+}
+
+TEST(Tuning, ExpectedFailedGroupsMonotoneInG) {
+  double prev = 0.0;
+  for (std::size_t g = 1; g <= 1 << 12; g *= 2) {
+    double e = expected_failed_groups(g, 10000, 8, 0.5);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Tuning, MaxGroupsRespectsEps) {
+  std::size_t g = max_groups_for_failure(10000, 8, 0.5, 0.01);
+  EXPECT_GE(g, 1u);
+  EXPECT_LE(expected_failed_groups(g, 10000, 8, 0.5), 0.01);
+  EXPECT_GT(expected_failed_groups(g + 1, 10000, 8, 0.5), 0.01);
+}
+
+TEST(Tuning, MaxGroupsRejectsBadEps) {
+  EXPECT_THROW(max_groups_for_failure(1000, 8, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Tuning, MoreInsertionsAllowMoreGroups) {
+  std::size_t few = max_groups_for_failure(1000, 8, 0.5, 0.01);
+  std::size_t many = max_groups_for_failure(100000, 8, 0.5, 0.01);
+  EXPECT_GT(many, few);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,210 @@
+// CSM generic-framework tests: the policy-based SlidingEstimator must be
+// answer-equivalent to the hand-specialized classes (same hashing, same
+// clock), and must accept user-defined policies.
+#include "she/csm.hpp"
+
+#include <algorithm>
+
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she::csm {
+namespace {
+
+SheConfig cfg_of(std::uint64_t window, std::size_t cells, std::size_t w,
+                 double alpha, std::uint32_t seed = 0) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = cells;
+  cfg.group_cells = w;
+  cfg.alpha = alpha;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Csm, BloomEquivalentToSpecialized) {
+  SheConfig cfg = cfg_of(1024, 1 << 13, 64, 2.0, 7);
+  SlidingEstimator<BloomPolicy> generic(cfg, BloomPolicy{8, cfg.seed});
+  SheBloomFilter specialized(cfg, 8);
+
+  auto trace = stream::distinct_trace(6 * cfg.window, 3);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    generic.insert(trace[i]);
+    specialized.insert(trace[i]);
+    if (i % 101 != 0) continue;
+    // Compare on recent keys, old keys, and absent probes.
+    for (std::uint64_t probe :
+         {trace[i], trace[i / 2], trace[0], hash64(i, 99), hash64(i, 100)}) {
+      ASSERT_EQ(contains(generic, probe), specialized.contains(probe))
+          << "i=" << i << " probe=" << probe;
+    }
+  }
+}
+
+TEST(Csm, BitmapEquivalentToSpecialized) {
+  SheConfig cfg = cfg_of(2048, 1 << 14, 64, 0.2, 5);
+  SlidingEstimator<BitmapPolicy> generic(cfg, BitmapPolicy{cfg.seed});
+  SheBitmap specialized(cfg);
+
+  auto trace = stream::distinct_trace(6 * cfg.window, 9);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    generic.insert(trace[i]);
+    specialized.insert(trace[i]);
+    if (i % 509 == 0) {
+      ASSERT_DOUBLE_EQ(cardinality(generic), specialized.cardinality())
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(Csm, HllEquivalentToSpecialized) {
+  SheConfig cfg = cfg_of(4096, 1024, 1, 0.2, 11);
+  SlidingEstimator<HllPolicy> generic(cfg, HllPolicy{cfg.seed});
+  SheHyperLogLog specialized(cfg);
+
+  auto trace = stream::distinct_trace(5 * cfg.window, 13);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    generic.insert(trace[i]);
+    specialized.insert(trace[i]);
+    if (i % 997 == 0) {
+      ASSERT_DOUBLE_EQ(cardinality(generic), specialized.cardinality())
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(Csm, CountMinEquivalentToSpecialized) {
+  SheConfig cfg = cfg_of(1024, 1 << 13, 64, 1.0, 3);
+  SlidingEstimator<CountMinPolicy> generic(cfg, CountMinPolicy{8, cfg.seed});
+  SheCountMin specialized(cfg, 8);
+
+  stream::ZipfTraceConfig tc;
+  tc.length = 6 * cfg.window;
+  tc.universe = cfg.window;
+  tc.skew = 1.0;
+  tc.seed = 21;
+  auto trace = stream::zipf_trace(tc);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    generic.insert(trace[i]);
+    specialized.insert(trace[i]);
+    if (i % 211 == 0) {
+      ASSERT_EQ(frequency(generic, trace[i]), specialized.frequency(trace[i]))
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(Csm, MinHashEquivalentToSpecialized) {
+  SheConfig cfg = cfg_of(2048, 256, 1, 0.2, 17);
+  SlidingEstimator<MinHashPolicy> ga(cfg, MinHashPolicy{cfg.seed});
+  SlidingEstimator<MinHashPolicy> gb(cfg, MinHashPolicy{cfg.seed});
+  SheMinHash sa(cfg), sb(cfg);
+
+  auto pair = stream::relevant_pair(5 * cfg.window, 2 * cfg.window, 0.6, 0.8, 7);
+  for (std::size_t i = 0; i < pair.a.size(); ++i) {
+    ga.insert(pair.a[i]);
+    gb.insert(pair.b[i]);
+    sa.insert(pair.a[i]);
+    sb.insert(pair.b[i]);
+    if (i % 499 == 0) {
+      ASSERT_DOUBLE_EQ(jaccard(ga, gb), SheMinHash::jaccard(sa, sb)) << "i=" << i;
+    }
+  }
+}
+
+TEST(Csm, MinHashIncompatibilityChecks) {
+  SheConfig a_cfg = cfg_of(100, 64, 1, 0.5, 1);
+  SheConfig b_cfg = cfg_of(100, 64, 1, 0.5, 2);  // different hash family
+  SlidingEstimator<MinHashPolicy> a(a_cfg, MinHashPolicy{a_cfg.seed});
+  SlidingEstimator<MinHashPolicy> b(b_cfg, MinHashPolicy{b_cfg.seed});
+  EXPECT_THROW((void)jaccard(a, b), std::invalid_argument);
+}
+
+TEST(Csm, CellViewsClassifyAges) {
+  SheConfig cfg = cfg_of(100, 256, 16, 1.0);
+  SlidingEstimator<BitmapPolicy> est(cfg, BitmapPolicy{});
+  for (std::uint64_t i = 0; i < 500; ++i) est.insert(hash64(i));
+  std::size_t young = 0, perfect = 0, aged = 0;
+  for (std::size_t pos = 0; pos < est.cell_count(); pos += cfg.group_cells) {
+    switch (est.view(pos).age_class) {
+      case CellAge::kYoung: ++young; break;
+      case CellAge::kPerfect: ++perfect; break;
+      case CellAge::kAged: ++aged; break;
+    }
+  }
+  // Tcycle = 2N: roughly half the groups young, half aged.
+  EXPECT_GT(young, 0u);
+  EXPECT_GT(aged, 0u);
+  EXPECT_LE(perfect, 2u);
+}
+
+// --- a user-defined policy: sliding "maximum value" sketch ------------------
+//
+// Tracks the maximum of a per-item 16-bit payload over the window per hashed
+// cell — the kind of custom aggregate the CSM framework admits without
+// touching SHE internals.  F(x, y) = max(payload(x), y).
+struct MaxPolicy {
+  using Cell = std::uint16_t;
+  std::uint32_t seed = 0;
+
+  [[nodiscard]] unsigned probes(std::size_t) const { return 2; }
+  [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i,
+                                     std::size_t cells) const {
+    return BobHash32(seed + i)(key) % cells;
+  }
+  [[nodiscard]] Cell update(std::uint64_t key, unsigned, Cell old) const {
+    auto payload = static_cast<Cell>(key >> 48);  // payload rides in high bits
+    return payload > old ? payload : old;
+  }
+  static Cell empty_cell() { return 0; }
+  static std::size_t cell_bits() { return 16; }
+};
+static_assert(CsmPolicy<MaxPolicy>);
+
+TEST(Csm, CustomPolicyWorks) {
+  SheConfig cfg = cfg_of(1000, 4096, 64, 1.0);
+  SlidingEstimator<MaxPolicy> est(cfg, MaxPolicy{});
+
+  // Insert a burst of items with payload <= 100, then one spike of 60000,
+  // then keep streaming low payloads for several windows.
+  auto low_key = [](std::uint64_t i, std::uint64_t payload) {
+    return (payload << 48) | (hash64(i) & 0xFFFFFFFFFFFFULL);
+  };
+  for (std::uint64_t i = 0; i < 500; ++i) est.insert(low_key(i, i % 100));
+  est.insert(low_key(12345, 60000));
+
+  // Immediately after: the spike is visible through its mature probes.
+  std::uint16_t seen_max = 0;
+  for (unsigned p = 0; p < 2; ++p)
+    seen_max = std::max(seen_max, est.probe(low_key(12345, 60000), p).value);
+  EXPECT_EQ(seen_max, 60000);
+
+  // Several windows later, the spike has been cleaned away.
+  for (std::uint64_t i = 0; i < 8000; ++i) est.insert(low_key(i + 1000, i % 100));
+  std::uint16_t later_max = 0;
+  for (std::size_t pos = 0; pos < est.cell_count(); ++pos)
+    later_max = std::max(later_max, est.view(pos).value);
+  EXPECT_LT(later_max, 60000);
+}
+
+TEST(Csm, ClearResets) {
+  SheConfig cfg = cfg_of(100, 1024, 64, 1.0);
+  SlidingEstimator<BloomPolicy> est(cfg, BloomPolicy{4, 0});
+  est.insert(42);
+  est.clear();
+  EXPECT_EQ(est.time(), 0u);
+}
+
+TEST(Csm, MemoryModelCountsPolicyBits) {
+  SheConfig cfg = cfg_of(100, 1024, 64, 1.0);
+  SlidingEstimator<BloomPolicy> bf(cfg, BloomPolicy{4, 0});
+  // 1024 1-bit cells = 128 B + 16 marks.
+  EXPECT_LE(bf.memory_bytes(), 128u + 8u + 8u);
+  SlidingEstimator<CountMinPolicy> cm(cfg, CountMinPolicy{4, 0});
+  EXPECT_GE(cm.memory_bytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace she::csm

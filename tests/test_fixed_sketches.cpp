@@ -1,0 +1,179 @@
+// Fixed-window base sketch tests (Bloom, Bitmap, HLL, CM, MinHash) — these
+// are both the paper's "Ideal" goal and the kernels SHE extends, so their
+// one-sidedness/accuracy properties must hold before SHE's can.
+#include "sketch/bitmap.hpp"
+#include "sketch/bloom_filter.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/minhash.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include <gtest/gtest.h>
+
+namespace she::fixed {
+namespace {
+
+TEST(BloomFilter, RejectsBadArguments) {
+  EXPECT_THROW(BloomFilter(0, 4), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0), std::invalid_argument);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1 << 14, 4);
+  for (std::uint64_t k = 0; k < 1000; ++k) bf.insert(k);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(bf.contains(k));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  constexpr std::size_t kBits = 1 << 14;
+  constexpr unsigned kHashes = 4;
+  constexpr std::size_t kInserted = 2000;
+  BloomFilter bf(kBits, kHashes);
+  for (std::uint64_t k = 0; k < kInserted; ++k) bf.insert(k);
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 20000;
+  for (std::uint64_t k = 1000000; k < 1000000 + kProbes; ++k)
+    if (bf.contains(k)) ++fp;
+  double fpr = static_cast<double>(fp) / kProbes;
+  double theory = std::pow(1.0 - std::exp(-static_cast<double>(kHashes * kInserted) / kBits),
+                           kHashes);
+  EXPECT_NEAR(fpr, theory, theory + 0.002);  // within 2x + floor
+}
+
+TEST(BloomFilter, ClearEmpties) {
+  BloomFilter bf(1024, 3);
+  bf.insert(5);
+  bf.clear();
+  EXPECT_FALSE(bf.contains(5));
+}
+
+TEST(Bitmap, CardinalityAccurate) {
+  Bitmap bm(1 << 14);
+  std::unordered_set<std::uint64_t> keys;
+  Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    std::uint64_t k = rng();
+    keys.insert(k);
+    bm.insert(k);
+  }
+  double est = bm.cardinality();
+  EXPECT_NEAR(est, static_cast<double>(keys.size()), keys.size() * 0.05);
+}
+
+TEST(Bitmap, DuplicatesDoNotInflate) {
+  Bitmap bm(4096);
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t k = 0; k < 50; ++k) bm.insert(k);
+  EXPECT_NEAR(bm.cardinality(), 50.0, 10.0);
+}
+
+TEST(Bitmap, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Bitmap(1024).cardinality(), 0.0);
+}
+
+TEST(LinearCounting, SaturationHandled) {
+  // All bits set -> returns the resolvable maximum rather than infinity.
+  double v = linear_counting(0, 1024, 1024.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1024.0);
+}
+
+TEST(HyperLogLog, CardinalityWithinExpectedError) {
+  HyperLogLog hll(1024);
+  constexpr std::uint64_t kDistinct = 100000;
+  for (std::uint64_t k = 0; k < kDistinct; ++k) hll.insert(k);
+  // Standard error ~1.04/sqrt(1024) = 3.25%; allow 4 sigma.
+  EXPECT_NEAR(hll.cardinality(), static_cast<double>(kDistinct),
+              kDistinct * 0.13);
+}
+
+TEST(HyperLogLog, SmallRangeCorrectionKicksIn) {
+  HyperLogLog hll(1024);
+  for (std::uint64_t k = 0; k < 10; ++k) hll.insert(k);
+  EXPECT_NEAR(hll.cardinality(), 10.0, 3.0);
+}
+
+TEST(HyperLogLog, DuplicatesIdempotent) {
+  HyperLogLog a(256), b(256);
+  for (std::uint64_t k = 0; k < 1000; ++k) a.insert(k);
+  for (int rep = 0; rep < 5; ++rep)
+    for (std::uint64_t k = 0; k < 1000; ++k) b.insert(k);
+  EXPECT_DOUBLE_EQ(a.cardinality(), b.cardinality());
+}
+
+TEST(HyperLogLog, AlphaConstants) {
+  EXPECT_DOUBLE_EQ(HyperLogLog::alpha(16), 0.673);
+  EXPECT_DOUBLE_EQ(HyperLogLog::alpha(32), 0.697);
+  EXPECT_DOUBLE_EQ(HyperLogLog::alpha(64), 0.709);
+  EXPECT_NEAR(HyperLogLog::alpha(1024), 0.7213 / (1 + 1.079 / 1024), 1e-12);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMin cm(4096, 4);
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t k = rng.below(500);
+    cm.insert(k);
+    ++truth[k];
+  }
+  for (const auto& [k, f] : truth) EXPECT_GE(cm.frequency(k), f) << "key " << k;
+}
+
+TEST(CountMin, AccurateWithAmpleMemory) {
+  CountMin cm(1 << 16, 4);
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t k = 0; k < 20; ++k) cm.insert(k);
+  for (std::uint64_t k = 0; k < 20; ++k) EXPECT_EQ(cm.frequency(k), 100u);
+}
+
+TEST(CountMin, UnknownKeyLikelyZeroWithAmpleMemory) {
+  CountMin cm(1 << 16, 4);
+  for (std::uint64_t k = 0; k < 100; ++k) cm.insert(k);
+  std::size_t nonzero = 0;
+  for (std::uint64_t k = 1000; k < 2000; ++k)
+    if (cm.frequency(k) > 0) ++nonzero;
+  EXPECT_LT(nonzero, 10u);
+}
+
+TEST(MinHash, IdenticalSetsGiveOne) {
+  MinHash a(128, 1), b(128, 1);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    a.insert(k);
+    b.insert(k);
+  }
+  EXPECT_DOUBLE_EQ(MinHash::jaccard(a, b), 1.0);
+}
+
+TEST(MinHash, DisjointSetsNearZero) {
+  MinHash a(256, 1), b(256, 1);
+  for (std::uint64_t k = 0; k < 500; ++k) a.insert(k);
+  for (std::uint64_t k = 10000; k < 10500; ++k) b.insert(k);
+  EXPECT_LT(MinHash::jaccard(a, b), 0.05);
+}
+
+TEST(MinHash, EstimatesKnownJaccard) {
+  // |A|=|B|=600, |A ∩ B|=300 -> J = 300/900 = 1/3.
+  MinHash a(512, 2), b(512, 2);
+  for (std::uint64_t k = 0; k < 600; ++k) a.insert(k);
+  for (std::uint64_t k = 300; k < 900; ++k) b.insert(k);
+  EXPECT_NEAR(MinHash::jaccard(a, b), 1.0 / 3.0, 0.08);
+}
+
+TEST(MinHash, SizeMismatchThrows) {
+  MinHash a(64), b(128);
+  EXPECT_THROW(MinHash::jaccard(a, b), std::invalid_argument);
+}
+
+TEST(MinHash, EmptySignaturesGiveZero) {
+  MinHash a(64), b(64);
+  EXPECT_DOUBLE_EQ(MinHash::jaccard(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace she::fixed

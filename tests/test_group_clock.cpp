@@ -1,0 +1,154 @@
+// GroupClock tests — the correctness core of the hardware SHE version.
+#include "she/group_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/int_math.hpp"
+
+namespace she {
+namespace {
+
+TEST(GroupClock, RejectsBadArguments) {
+  EXPECT_THROW(GroupClock(0, 100), std::invalid_argument);
+  EXPECT_THROW(GroupClock(4, 0), std::invalid_argument);
+}
+
+TEST(GroupClock, OffsetsEvenlySpacedAndNonPositive) {
+  GroupClock c(4, 100);
+  EXPECT_EQ(c.offset(0), 0);
+  EXPECT_EQ(c.offset(1), -25);
+  EXPECT_EQ(c.offset(2), -50);
+  EXPECT_EQ(c.offset(3), -75);
+}
+
+TEST(GroupClock, AgeAlwaysInCycleRange) {
+  GroupClock c(7, 113);
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    for (std::size_t g = 0; g < 7; ++g) {
+      EXPECT_LT(c.age(g, t), 113u);
+    }
+  }
+}
+
+TEST(GroupClock, AgeAdvancesByOnePerTickUntilWrap) {
+  GroupClock c(4, 100);
+  for (std::size_t g = 0; g < 4; ++g) {
+    std::uint64_t prev = c.age(g, 10);
+    for (std::uint64_t t = 11; t < 300; ++t) {
+      std::uint64_t a = c.age(g, t);
+      if (a != 0) {
+        EXPECT_EQ(a, prev + 1) << "g=" << g << " t=" << t;
+      }
+      prev = a;
+    }
+  }
+}
+
+TEST(GroupClock, GroupZeroBoundariesAtCycleMultiples) {
+  GroupClock c(4, 100);
+  EXPECT_EQ(c.age(0, 0), 0u);
+  EXPECT_EQ(c.age(0, 99), 99u);
+  EXPECT_EQ(c.age(0, 100), 0u);
+  EXPECT_EQ(c.age(0, 250), 50u);
+}
+
+TEST(GroupClock, MarkFlipsOncePerCycle) {
+  GroupClock c(1, 50, 1);
+  std::uint64_t flips = 0;
+  std::uint64_t prev = c.current_mark(0, 0);
+  for (std::uint64_t t = 1; t <= 500; ++t) {
+    std::uint64_t m = c.current_mark(0, t);
+    if (m != prev) ++flips;
+    prev = m;
+  }
+  EXPECT_EQ(flips, 10u);  // 500 / 50
+}
+
+TEST(GroupClock, MarkBoundariesOffsetPerGroup) {
+  GroupClock c(2, 100);
+  // Group 1 has offset -50: its mark flips at t = 50, 150, ...
+  std::uint64_t m_before = c.current_mark(1, 49);
+  std::uint64_t m_after = c.current_mark(1, 50);
+  EXPECT_NE(m_before, m_after);
+  // Group 0 flips at t = 100.
+  EXPECT_EQ(c.current_mark(0, 49), c.current_mark(0, 50));
+  EXPECT_NE(c.current_mark(0, 99), c.current_mark(0, 100));
+}
+
+TEST(GroupClock, TouchDetectsExactlyBoundaryCrossings) {
+  GroupClock c(4, 100);
+  // Touch every group every tick: resets happen exactly once per cycle per
+  // group.
+  std::size_t resets = 0;
+  for (std::uint64_t t = 1; t <= 1000; ++t)
+    for (std::size_t g = 0; g < 4; ++g)
+      if (c.touch(g, t)) ++resets;
+  EXPECT_EQ(resets, 4u * 10u);
+}
+
+TEST(GroupClock, StaleAfterSkippedBoundary) {
+  GroupClock c(1, 100);
+  EXPECT_FALSE(c.stale(0, 50));
+  EXPECT_TRUE(c.stale(0, 150));  // boundary at t=100 not touched
+  EXPECT_TRUE(c.touch(0, 150));
+  EXPECT_FALSE(c.stale(0, 150));
+  EXPECT_FALSE(c.touch(0, 160));  // already current
+}
+
+TEST(GroupClock, OneBitMarkAliasesAfterTwoCycles) {
+  // The on-demand cleaning failure mode (paper Sec. 5.1): untouched for two
+  // full cycles, a 1-bit mark looks current again.
+  GroupClock c1(1, 100, 1);
+  EXPECT_FALSE(c1.stale(0, 250));  // 2 cycles skipped: aliased to "fresh"
+  // A 2-bit mark still catches it.
+  GroupClock c2(1, 100, 2);
+  EXPECT_TRUE(c2.stale(0, 250));
+  // ...until 4 cycles.
+  EXPECT_FALSE(c2.stale(0, 450));
+}
+
+TEST(GroupClock, ResetRestoresTimeZeroState) {
+  GroupClock c(4, 100);
+  for (std::uint64_t t = 1; t < 321; ++t)
+    for (std::size_t g = 0; g < 4; ++g) c.touch(g, t);
+  c.reset();
+  for (std::size_t g = 0; g < 4; ++g) EXPECT_FALSE(c.stale(g, 0));
+}
+
+TEST(GroupClock, MemoryBytesScalesWithMarkBits) {
+  EXPECT_LE(GroupClock(64, 100, 1).memory_bytes(), 8u);
+  EXPECT_GE(GroupClock(64, 100, 8).memory_bytes(), 64u);
+}
+
+// Parameterized consistency sweep: for arbitrary (G, Tcycle) geometry, the
+// mark flips exactly when the age wraps to 0.
+class ClockGeometry
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(ClockGeometry, MarkFlipCoincidesWithAgeWrap) {
+  auto [groups, tcycle] = GetParam();
+  GroupClock c(groups, tcycle);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::uint64_t prev_mark = c.current_mark(g, 0);
+    std::uint64_t prev_age = c.age(g, 0);
+    for (std::uint64_t t = 1; t < 3 * tcycle; ++t) {
+      std::uint64_t mark = c.current_mark(g, t);
+      std::uint64_t age = c.age(g, t);
+      bool wrapped = age < prev_age;
+      bool flipped = mark != prev_mark;
+      ASSERT_EQ(wrapped, flipped) << "g=" << g << " t=" << t;
+      prev_mark = mark;
+      prev_age = age;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ClockGeometry,
+    ::testing::Values(std::make_tuple(1u, 10u), std::make_tuple(2u, 10u),
+                      std::make_tuple(3u, 10u), std::make_tuple(4u, 97u),
+                      std::make_tuple(16u, 64u), std::make_tuple(5u, 123u),
+                      std::make_tuple(7u, 7u), std::make_tuple(13u, 200u)));
+
+}  // namespace
+}  // namespace she

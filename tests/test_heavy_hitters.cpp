@@ -1,0 +1,133 @@
+// HeavyHitters tests: top-k recovery against the exact oracle on skewed
+// streams, window decay of past heavy hitters, and candidate-table bounds.
+#include "she/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig hh_config(std::uint64_t window) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = 1 << 15;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  return cfg;
+}
+
+TEST(HeavyHitters, RejectsZeroCapacity) {
+  EXPECT_THROW(HeavyHitters(hh_config(1000), 8, 0), std::invalid_argument);
+}
+
+TEST(HeavyHitters, CapacityBoundRespected) {
+  HeavyHitters hh(hh_config(1000), 8, 16);
+  auto trace = stream::distinct_trace(5000, 3);
+  for (auto k : trace) hh.insert(k);
+  EXPECT_LE(hh.candidate_count(), 16u);
+}
+
+TEST(HeavyHitters, RecoversTopKeysOnZipfStream) {
+  constexpr std::uint64_t kWindow = 4096;
+  HeavyHitters hh(hh_config(kWindow), 8, 64);
+  stream::WindowOracle oracle(kWindow);
+
+  stream::ZipfTraceConfig tc;
+  tc.length = 4 * kWindow;
+  tc.universe = 2 * kWindow;
+  tc.skew = 1.1;
+  tc.seed = 5;
+  auto trace = stream::zipf_trace(tc);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    hh.insert(trace[i]);
+    oracle.insert(trace[i]);
+  }
+
+  // True top-5 of the window.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> truth(
+      oracle.counts().begin(), oracle.counts().end());
+  std::partial_sort(truth.begin(), truth.begin() + 5, truth.end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  auto reported = hh.top(10);
+  ASSERT_GE(reported.size(), 5u);
+  std::unordered_set<std::uint64_t> reported_keys;
+  for (const auto& e : reported) reported_keys.insert(e.key);
+  // All of the true top-5 must appear in the reported top-10.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(reported_keys.count(truth[static_cast<std::size_t>(i)].first))
+        << "missing true top key #" << i;
+}
+
+TEST(HeavyHitters, EstimatesNeverBelowTruthForReportedKeys) {
+  constexpr std::uint64_t kWindow = 4096;
+  HeavyHitters hh(hh_config(kWindow), 8, 32);
+  stream::WindowOracle oracle(kWindow);
+  stream::ZipfTraceConfig tc;
+  tc.length = 3 * kWindow;
+  tc.universe = kWindow;
+  tc.skew = 1.0;
+  tc.seed = 7;
+  auto trace = stream::zipf_trace(tc);
+  for (auto k : trace) {
+    hh.insert(k);
+    oracle.insert(k);
+  }
+  for (const auto& e : hh.top(10))
+    EXPECT_GE(e.estimate + 2, oracle.frequency(e.key)) << "key " << e.key;
+}
+
+TEST(HeavyHitters, FormerHittersDecayOut) {
+  constexpr std::uint64_t kWindow = 2048;
+  HeavyHitters hh(hh_config(kWindow), 8, 16);
+  // Phase 1: key A dominates.  Phase 2: key B dominates for many windows.
+  for (int i = 0; i < 2000; ++i) {
+    hh.insert(0xAAAA);
+    hh.insert(hash64(static_cast<std::uint64_t>(i), 1));
+  }
+  auto before = hh.top(1);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(before[0].key, 0xAAAAu);
+
+  for (int i = 0; i < 20000; ++i) {
+    hh.insert(0xBBBB);
+    hh.insert(hash64(static_cast<std::uint64_t>(i), 2));
+  }
+  auto after = hh.top(1);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].key, 0xBBBBu);
+  // A's re-estimated frequency must have decayed to near zero.
+  EXPECT_LT(hh.frequency(0xAAAA), 100u);
+}
+
+TEST(HeavyHitters, TopIsSortedAndDeterministic) {
+  HeavyHitters hh(hh_config(1024), 8, 32);
+  for (int rep = 0; rep < 300; ++rep)
+    for (std::uint64_t k = 0; k < 10; ++k)
+      for (std::uint64_t copy = 0; copy < k + 1; ++copy) hh.insert(k);
+  auto top = hh.top(10);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].estimate, top[i].estimate);
+  auto again = hh.top(10);
+  ASSERT_EQ(top.size(), again.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].key, again[i].key);
+    EXPECT_EQ(top[i].estimate, again[i].estimate);
+  }
+}
+
+TEST(HeavyHitters, ClearResets) {
+  HeavyHitters hh(hh_config(1024), 4, 8);
+  hh.insert(1);
+  hh.clear();
+  EXPECT_EQ(hh.candidate_count(), 0u);
+  EXPECT_EQ(hh.time(), 0u);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,204 @@
+// Hardware pipeline model tests: SHE designs satisfy the three constraints
+// of Sec. 2.3, SWAMP's design violates them (the paper's core hardware
+// argument), and the access trace confirms the fixed per-item budget.
+#include "hw/access_trace.hpp"
+#include "hw/builders.hpp"
+#include "hw/cycle_sim.hpp"
+#include "hw/switch_profile.hpp"
+#include "hw/pipeline.hpp"
+
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she::hw {
+namespace {
+
+TEST(Pipeline, RejectsDanglingRegionReference) {
+  std::vector<MemoryRegion> regions = {{"a", 8}};
+  std::vector<Stage> stages = {{"s", {{5, 8, true, true, true}}, 0, 0}};
+  EXPECT_THROW(Pipeline("bad", regions, stages), std::invalid_argument);
+}
+
+TEST(Pipeline, SheBmSatisfiesAllConstraints) {
+  auto p = make_she_bm_pipeline();
+  auto rep = p.check();
+  EXPECT_TRUE(rep.sram_fits);
+  EXPECT_TRUE(rep.single_stage_access);
+  EXPECT_TRUE(rep.limited_concurrent_access);
+  EXPECT_TRUE(rep.pipelined());
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(Pipeline, SheBfSatisfiesAllConstraints) {
+  auto p = make_she_bf_pipeline();
+  auto rep = p.check();
+  EXPECT_TRUE(rep.pipelined()) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(Pipeline, SheBmHasFourStages) {
+  auto p = make_she_bm_pipeline();
+  EXPECT_EQ(p.stages().size(), 4u);  // Sec. 6's four-stage decomposition
+}
+
+TEST(Pipeline, SwampViolatesConstraints) {
+  auto p = make_swamp_pipeline();
+  auto rep = p.check();
+  EXPECT_FALSE(rep.pipelined());
+  // The three argued failure modes: double access in queue_swap, shared
+  // table region across stages, unbounded domino expansion.
+  EXPECT_FALSE(rep.single_stage_access);
+  EXPECT_FALSE(rep.limited_concurrent_access);
+  EXPECT_GE(rep.violations.size(), 3u);
+}
+
+TEST(Pipeline, SwampThroughputZeroWhenNotPipelined) {
+  EXPECT_EQ(make_swamp_pipeline().throughput_mips(544.0), 0.0);
+  EXPECT_EQ(make_she_bm_pipeline().throughput_mips(544.0), 544.0);
+}
+
+TEST(Pipeline, TooWideAccessFlagged) {
+  std::vector<MemoryRegion> regions = {{"wide", 1 << 20}};
+  std::vector<Stage> stages = {{"s", {{0, 4096, true, true, true}}, 0, 0}};
+  Pipeline p("wide", regions, stages);
+  auto rep = p.check();
+  EXPECT_FALSE(rep.limited_concurrent_access);
+}
+
+TEST(Pipeline, SramBudgetEnforced) {
+  std::vector<MemoryRegion> regions = {{"huge", std::size_t{64} * 8 * 1024 * 1024}};
+  Pipeline p("huge", regions, {});
+  EXPECT_FALSE(p.check().sram_fits);
+  EXPECT_TRUE(p.check(std::size_t{128} * 8 * 1024 * 1024).sram_fits);
+}
+
+TEST(Pipeline, ResourceModelScalesWithLanes) {
+  auto bm = make_she_bm_pipeline().resources();
+  auto bf = make_she_bf_pipeline().resources();
+  EXPECT_GT(bm.lut, 1000u);
+  EXPECT_LT(bm.lut, 3000u);  // Table 2 ballpark: 1653
+  EXPECT_GT(bf.lut, 6 * bm.lut);  // 8 lanes
+  EXPECT_LT(bf.lut, 10 * bm.lut);
+  EXPECT_GT(bm.registers, 1024u);  // 1024-bit array held in registers
+  EXPECT_EQ(bm.block_ram_bits, 0u);  // Table 2: zero block memory
+  EXPECT_EQ(bf.block_ram_bits, 0u);
+  EXPECT_DOUBLE_EQ(bm.items_per_cycle, 1.0);
+}
+
+TEST(Pipeline, LargeArraysSpillToBlockRam) {
+  auto p = make_she_bm_pipeline(1 << 20, 64);
+  auto est = p.resources();
+  EXPECT_GT(est.block_ram_bits, 0u);
+}
+
+TEST(AccessTrace, FixedBudgetPerItem) {
+  SheConfig cfg;
+  cfg.window = 1024;
+  cfg.cells = 4096;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  auto trace = stream::distinct_trace(20000, 3);
+  auto stats = trace_insertions(cfg, 1, trace);
+  EXPECT_EQ(stats.items, 20000u);
+  EXPECT_EQ(stats.counter_accesses, 20000u);
+  EXPECT_DOUBLE_EQ(stats.mark_accesses_per_item(), 1.0);   // SHE-BM: k = 1
+  EXPECT_DOUBLE_EQ(stats.cell_accesses_per_item(), 1.0);
+  EXPECT_LE(stats.resets_per_item(), 1.0);  // resets folded into the access
+}
+
+TEST(AccessTrace, ScalesLinearlyWithHashCount) {
+  SheConfig cfg;
+  cfg.window = 1024;
+  cfg.cells = 1 << 14;
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  auto trace = stream::distinct_trace(10000, 4);
+  auto s8 = trace_insertions(cfg, 8, trace);
+  EXPECT_DOUBLE_EQ(s8.mark_accesses_per_item(), 8.0);
+  EXPECT_DOUBLE_EQ(s8.cell_accesses_per_item(), 8.0);
+}
+
+TEST(CycleSim, PipelinedDesignRunsAtOneItemPerCycle) {
+  auto res = simulate(make_she_bm_pipeline(), 1'000'000);
+  EXPECT_EQ(res.cycles, 1'000'000u + 3u);  // n + depth - 1, depth = 4
+  EXPECT_NEAR(res.cycles_per_item, 1.0, 0.001);
+  EXPECT_NEAR(res.mips(544.0), 544.0, 0.1);
+}
+
+TEST(CycleSim, SheBfLanesDoNotStall) {
+  auto res = simulate(make_she_bf_pipeline(), 100'000);
+  EXPECT_NEAR(res.cycles_per_item, 1.0, 0.001);
+}
+
+TEST(CycleSim, SwampViolationsSerialize) {
+  auto res = simulate(make_swamp_pipeline(), 100'000);
+  // queue double-access (+1), domino cascade (+4 default), multi-address
+  // (+1), shared-table hazard (+1): well above 1 cycle/item.
+  EXPECT_GT(res.cycles_per_item, 4.0);
+  EXPECT_LT(res.mips(544.0), 544.0 / 4);
+}
+
+TEST(CycleSim, CascadePenaltyParameter) {
+  auto cheap = simulate(make_swamp_pipeline(), 10'000, 1);
+  auto costly = simulate(make_swamp_pipeline(), 10'000, 16);
+  EXPECT_LT(cheap.cycles, costly.cycles);
+}
+
+TEST(CycleSim, ZeroItems) {
+  auto res = simulate(make_she_bm_pipeline(), 0);
+  EXPECT_EQ(res.cycles, 0u);
+  EXPECT_EQ(res.mips(500.0), 0.0);
+}
+
+TEST(SwitchProfile, SheBmFitsTofinoLike) {
+  auto rep = check_switch(make_she_bm_pipeline(), tofino_like());
+  EXPECT_TRUE(rep.pipelined()) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(SwitchProfile, SheBfNeedsParallelLanes) {
+  auto p = make_she_bf_pipeline();  // 25 stages as a straight line
+  EXPECT_FALSE(check_switch(p, tofino_like(), 1).pipelined());
+  EXPECT_TRUE(check_switch(p, tofino_like(), 8).pipelined());
+}
+
+TEST(SwitchProfile, SwampFailsRegardlessOfLanes) {
+  auto p = make_swamp_pipeline();
+  EXPECT_FALSE(check_switch(p, tofino_like(), 1).pipelined());
+  EXPECT_FALSE(check_switch(p, tofino_like(), 8).pipelined());
+}
+
+TEST(SwitchProfile, NarrowAccessWidthEnforced) {
+  // A 512-bit group exceeds the 128-bit stateful ALU width.
+  auto p = make_she_bm_pipeline(4096, 512);
+  EXPECT_FALSE(check_switch(p, tofino_like()).pipelined());
+  EXPECT_TRUE(p.check().pipelined());  // still fine on the FPGA profile
+}
+
+TEST(SwitchProfile, DescribeListsEveryStage) {
+  auto text = describe(make_she_bm_pipeline());
+  EXPECT_NE(text.find("fetch_time"), std::string::npos);
+  EXPECT_NE(text.find("hash_index"), std::string::npos);
+  EXPECT_NE(text.find("mark_check"), std::string::npos);
+  EXPECT_NE(text.find("cell_update"), std::string::npos);
+  EXPECT_NE(text.find("bit_array 64b rw"), std::string::npos);
+  // SWAMP's description flags the unbounded access.
+  EXPECT_NE(describe(make_swamp_pipeline()).find("UNBOUNDED"), std::string::npos);
+}
+
+TEST(AccessTrace, ResetsBoundedByCycleRate) {
+  // Each group resets at most once per Tcycle, so resets/item <= k (and in
+  // aggregate <= G * items / Tcycle when every group stays warm).
+  SheConfig cfg;
+  cfg.window = 1 << 12;
+  cfg.cells = 1 << 14;
+  cfg.group_cells = 64;
+  cfg.alpha = 0.5;
+  auto trace = stream::distinct_trace(1 << 16, 5);
+  auto stats = trace_insertions(cfg, 1, trace);
+  double max_resets = static_cast<double>(cfg.groups()) *
+                      static_cast<double>(stats.items) /
+                      static_cast<double>(cfg.tcycle());
+  EXPECT_LE(static_cast<double>(stats.group_resets), max_resets * 1.1);
+}
+
+}  // namespace
+}  // namespace she::hw

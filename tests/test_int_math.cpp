@@ -1,0 +1,110 @@
+// Unit tests for the floored-division arithmetic everything else builds on.
+#include "common/int_math.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(IntMath, FloorDivMatchesMathematicalDefinition) {
+  // Exhaustive over a signed range: floor_div(a,b) == floor(a/b).
+  for (std::int64_t a = -50; a <= 50; ++a) {
+    for (std::int64_t b = 1; b <= 12; ++b) {
+      double exact = static_cast<double>(a) / static_cast<double>(b);
+      std::int64_t expected = static_cast<std::int64_t>(std::floor(exact));
+      EXPECT_EQ(floor_div(a, b), expected) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(IntMath, FloorModInRangeAndConsistent) {
+  for (std::int64_t a = -50; a <= 50; ++a) {
+    for (std::int64_t b = 1; b <= 12; ++b) {
+      std::int64_t m = floor_mod(a, b);
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+      // Division identity: a == b * floor_div(a,b) + floor_mod(a,b).
+      EXPECT_EQ(a, b * floor_div(a, b) + m);
+    }
+  }
+}
+
+TEST(IntMath, FloorDivNegativeDivisor) {
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_mod(7, -2), -1);
+  EXPECT_EQ(floor_mod(-7, -2), -1);
+}
+
+TEST(IntMath, KnownValues) {
+  EXPECT_EQ(floor_div(-1, 8), -1);
+  EXPECT_EQ(floor_div(0, 8), 0);
+  EXPECT_EQ(floor_div(7, 8), 0);
+  EXPECT_EQ(floor_div(8, 8), 1);
+  EXPECT_EQ(floor_div(-8, 8), -1);
+  EXPECT_EQ(floor_div(-9, 8), -2);
+  EXPECT_EQ(floor_mod(-1, 8), 7);
+  EXPECT_EQ(floor_mod(-8, 8), 0);
+  EXPECT_EQ(floor_mod(15, 8), 7);
+}
+
+TEST(IntMath, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(IntMath, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(IntMath, HllRankCountsLeadingZerosPlusOne) {
+  // Within a 32-bit value: top bit set -> rank 1.
+  EXPECT_EQ(hll_rank(0x80000000u, 32), 1);
+  EXPECT_EQ(hll_rank(0x40000000u, 32), 2);
+  EXPECT_EQ(hll_rank(0x00000001u, 32), 32);
+  EXPECT_EQ(hll_rank(0x0u, 32), 33);  // all-zero convention: width + 1
+}
+
+TEST(IntMath, HllRankMasksHighBits) {
+  // Bits above the window must not influence the rank.
+  EXPECT_EQ(hll_rank(0xFFFFFFFF00000001ULL, 32), 32);
+  EXPECT_EQ(hll_rank(0xFFFFFFFF00000000ULL, 32), 33);
+}
+
+TEST(IntMath, HllRankGeometricDistribution) {
+  // Over all 16-bit values, exactly half have rank 1, a quarter rank 2, ...
+  std::size_t counts[18] = {};
+  for (std::uint32_t v = 0; v < (1u << 16); ++v) ++counts[hll_rank(v, 16)];
+  EXPECT_EQ(counts[1], 1u << 15);
+  EXPECT_EQ(counts[2], 1u << 14);
+  EXPECT_EQ(counts[16], 1u);  // value 1
+  EXPECT_EQ(counts[17], 1u);  // value 0
+}
+
+TEST(IntMath, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(1u << 16), 16u);
+}
+
+}  // namespace
+}  // namespace she

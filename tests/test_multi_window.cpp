@@ -1,0 +1,179 @@
+// Multi-window query tests: one SHE structure answers any sub-window of N.
+#include "common/stats.hpp"
+#include "she/she.hpp"
+#include <cmath>
+
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig cfg_of(std::uint64_t window, std::size_t cells, std::size_t w,
+                 double alpha) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = cells;
+  cfg.group_cells = w;
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+TEST(MultiWindow, WindowArgumentValidated) {
+  SheBloomFilter bf(cfg_of(1000, 8192, 64, 1.0), 4);
+  EXPECT_THROW((void)bf.contains(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)bf.contains(1, 1001), std::invalid_argument);
+
+  SheBitmap bm(cfg_of(1000, 8192, 64, 0.5));
+  EXPECT_THROW((void)bm.cardinality(0), std::invalid_argument);
+  EXPECT_THROW((void)bm.cardinality(1001), std::invalid_argument);
+
+  SheCountMin cm(cfg_of(1000, 8192, 64, 1.0), 4);
+  EXPECT_THROW((void)cm.frequency(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)cm.frequency(1, 1001), std::invalid_argument);
+
+  SheHyperLogLog hll(cfg_of(1000, 512, 1, 0.5));
+  EXPECT_THROW((void)hll.cardinality(0), std::invalid_argument);
+
+  SheMinHash a(cfg_of(1000, 64, 1, 0.5)), b(cfg_of(1000, 64, 1, 0.5));
+  EXPECT_THROW((void)SheMinHash::jaccard(a, b, 0), std::invalid_argument);
+}
+
+TEST(MultiWindow, FullWindowQueryMatchesDefault) {
+  SheConfig cfg = cfg_of(2048, 1 << 14, 64, 2.0);
+  SheBloomFilter bf(cfg, 8);
+  SheCountMin cm(cfg_of(2048, 1 << 14, 64, 1.0), 8);
+  auto trace = stream::distinct_trace(8192, 3);
+  for (auto k : trace) {
+    bf.insert(k);
+    cm.insert(k);
+  }
+  for (std::uint64_t p = 0; p < 500; ++p) {
+    std::uint64_t key = hash64(p, 4);
+    ASSERT_EQ(bf.contains(key), bf.contains(key, cfg.window));
+    ASSERT_EQ(cm.frequency(key), cm.frequency(key, cfg.window));
+  }
+}
+
+TEST(MultiWindow, BloomNoFalseNegativesForAnySubWindow) {
+  constexpr std::uint64_t kN = 4096;
+  SheBloomFilter bf(cfg_of(kN, 1 << 15, 64, 3.0), 8);
+  auto trace = stream::distinct_trace(6 * kN, 7);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    if (i > kN && i % 37 == 0) {
+      for (std::uint64_t w : {kN / 8, kN / 2, kN}) {
+        // An item only w/2 items deep is inside every window >= w/2... use
+        // depth < w to stay strictly inside the queried sub-window.
+        std::uint64_t depth = w / 2;
+        ASSERT_TRUE(bf.contains(trace[i - depth], w))
+            << "i=" << i << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(MultiWindow, BloomSubWindowForgetsSooner) {
+  // A key deeper than the sub-window but inside the full window should
+  // (usually) be reported absent for the sub-window and present for N.
+  constexpr std::uint64_t kN = 8192;
+  SheBloomFilter bf(cfg_of(kN, 1 << 17, 64, 3.0), 8);
+  auto trace = stream::distinct_trace(4 * kN, 9);
+  std::size_t subwindow_hits = 0;
+  std::size_t full_hits = 0;
+  std::size_t checks = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    if (i > 2 * kN && i % 101 == 0) {
+      // Depth 3/4 N: inside the N-window, far outside the N/8-window.
+      std::uint64_t key = trace[i - (3 * kN) / 4];
+      ++checks;
+      if (bf.contains(key, kN)) ++full_hits;
+      if (bf.contains(key, kN / 8)) ++subwindow_hits;
+    }
+  }
+  EXPECT_EQ(full_hits, checks);  // no false negatives at depth < N
+  // The sub-window query must reject the stale key most of the time.
+  EXPECT_LT(subwindow_hits, checks / 2);
+}
+
+TEST(MultiWindow, BitmapTracksSubWindowCardinality) {
+  constexpr std::uint64_t kN = 1 << 14;
+  SheBitmap bm(cfg_of(kN, 1 << 15, 16, 0.3));
+  stream::WindowOracle half_oracle(kN / 2);
+  auto trace = stream::distinct_trace(6 * kN, 11);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bm.insert(trace[i]);
+    half_oracle.insert(trace[i]);
+    if (i > 3 * kN && i % 997 == 0)
+      err.add(relative_error(static_cast<double>(half_oracle.cardinality()),
+                             bm.cardinality(kN / 2)));
+  }
+  EXPECT_LT(err.mean(), 0.25);
+}
+
+TEST(MultiWindow, CountMinNeverUnderestimatesSubWindow) {
+  constexpr std::uint64_t kN = 4096;
+  SheCountMin cm(cfg_of(kN, 1 << 14, 64, 1.0), 8);
+  stream::WindowOracle oracle(kN / 4);
+  stream::ZipfTraceConfig tc;
+  tc.length = 6 * kN;
+  tc.universe = kN;
+  tc.skew = 1.0;
+  tc.seed = 13;
+  auto trace = stream::zipf_trace(tc);
+  std::uint64_t under = 0, checked = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    cm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 2 * kN && i % 53 == 0) {
+      std::uint64_t key = trace[i];
+      std::uint64_t fallbacks = cm.all_young_queries();
+      std::uint64_t est = cm.frequency(key, kN / 4);
+      if (cm.all_young_queries() == fallbacks) {
+        ++checked;
+        if (est < oracle.frequency(key)) ++under;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+  EXPECT_EQ(under, 0u);
+}
+
+TEST(MultiWindow, HllSubWindowCardinality) {
+  constexpr std::uint64_t kN = 1 << 15;
+  SheHyperLogLog hll(cfg_of(kN, 8192, 1, 0.3));
+  stream::WindowOracle half_oracle(kN / 2);
+  auto trace = stream::distinct_trace(6 * kN, 15);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    hll.insert(trace[i]);
+    half_oracle.insert(trace[i]);
+    if (i > 3 * kN && i % 2048 == 0)
+      err.add(relative_error(static_cast<double>(half_oracle.cardinality()),
+                             hll.cardinality(kN / 2)));
+  }
+  EXPECT_LT(err.mean(), 0.3);
+}
+
+TEST(MultiWindow, MinHashSubWindowSimilarity) {
+  constexpr std::uint64_t kN = 4096;
+  SheConfig cfg = cfg_of(kN, 512, 1, 0.3);
+  SheMinHash a(cfg), b(cfg);
+  stream::JaccardOracle half_oracle(kN / 2);
+  auto pair = stream::relevant_pair(6 * kN, 2 * kN, 0.7, 0.8, 17);
+  RunningStats err;
+  for (std::size_t i = 0; i < pair.a.size(); ++i) {
+    a.insert(pair.a[i]);
+    b.insert(pair.b[i]);
+    half_oracle.insert(pair.a[i], pair.b[i]);
+    if (i > 3 * kN && i % 512 == 0)
+      err.add(std::abs(SheMinHash::jaccard(a, b, kN / 2) - half_oracle.jaccard()));
+  }
+  EXPECT_LT(err.mean(), 0.15);
+}
+
+}  // namespace
+}  // namespace she

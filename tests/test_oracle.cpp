@@ -1,0 +1,104 @@
+// Ground-truth oracle tests: verified against brute-force recomputation.
+#include "stream/oracle.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include <gtest/gtest.h>
+
+namespace she::stream {
+namespace {
+
+TEST(WindowOracle, RejectsZeroWindow) {
+  EXPECT_THROW(WindowOracle(0), std::invalid_argument);
+}
+
+TEST(WindowOracle, BasicLifecycle) {
+  WindowOracle o(3);
+  o.insert(10);
+  o.insert(20);
+  o.insert(10);
+  EXPECT_TRUE(o.contains(10));
+  EXPECT_TRUE(o.contains(20));
+  EXPECT_EQ(o.frequency(10), 2u);
+  EXPECT_EQ(o.cardinality(), 2u);
+  o.insert(30);  // evicts the first 10
+  EXPECT_EQ(o.frequency(10), 1u);
+  EXPECT_EQ(o.cardinality(), 3u);
+  o.insert(40);  // evicts 20
+  EXPECT_FALSE(o.contains(20));
+  EXPECT_EQ(o.cardinality(), 3u);  // {10, 30, 40}
+}
+
+TEST(WindowOracle, TimeAdvances) {
+  WindowOracle o(5);
+  EXPECT_EQ(o.time(), 0u);
+  for (int i = 0; i < 7; ++i) o.insert(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(o.time(), 7u);
+}
+
+TEST(WindowOracle, MatchesBruteForce) {
+  constexpr std::uint64_t kWindow = 50;
+  constexpr int kItems = 2000;
+  WindowOracle o(kWindow);
+  Rng rng(13);
+  std::vector<std::uint64_t> history;
+  for (int i = 0; i < kItems; ++i) {
+    std::uint64_t key = rng.below(30);  // small key space -> much churn
+    o.insert(key);
+    history.push_back(key);
+
+    if (i % 97 != 0) continue;  // spot-check periodically
+    // Brute-force window contents.
+    std::unordered_map<std::uint64_t, std::uint64_t> truth;
+    std::size_t start = history.size() > kWindow ? history.size() - kWindow : 0;
+    for (std::size_t j = start; j < history.size(); ++j) ++truth[history[j]];
+    ASSERT_EQ(o.cardinality(), truth.size());
+    for (std::uint64_t k = 0; k < 30; ++k) {
+      auto it = truth.find(k);
+      std::uint64_t expected = it == truth.end() ? 0 : it->second;
+      ASSERT_EQ(o.frequency(k), expected) << "key " << k << " step " << i;
+      ASSERT_EQ(o.contains(k), expected > 0);
+    }
+  }
+}
+
+TEST(JaccardOracle, DisjointAndIdentical) {
+  JaccardOracle o(4);
+  o.insert(1, 11);
+  o.insert(2, 12);
+  EXPECT_DOUBLE_EQ(o.jaccard(), 0.0);
+
+  JaccardOracle o2(4);
+  o2.insert(1, 1);
+  o2.insert(2, 2);
+  EXPECT_DOUBLE_EQ(o2.jaccard(), 1.0);
+}
+
+TEST(JaccardOracle, PartialOverlap) {
+  JaccardOracle o(3);
+  o.insert(1, 1);
+  o.insert(2, 5);
+  o.insert(3, 6);
+  // A = {1,2,3}, B = {1,5,6}; intersection {1}, union 5 keys.
+  EXPECT_DOUBLE_EQ(o.jaccard(), 1.0 / 5.0);
+}
+
+TEST(JaccardOracle, WindowEvictionAffectsSimilarity) {
+  JaccardOracle o(2);
+  o.insert(1, 1);
+  o.insert(2, 2);
+  EXPECT_DOUBLE_EQ(o.jaccard(), 1.0);
+  o.insert(3, 9);  // windows now A={2,3}, B={2,9}
+  EXPECT_DOUBLE_EQ(o.jaccard(), 1.0 / 3.0);
+}
+
+TEST(JaccardOracle, EmptyWindowsGiveZero) {
+  JaccardOracle o(5);
+  EXPECT_DOUBLE_EQ(o.jaccard(), 0.0);
+}
+
+}  // namespace
+}  // namespace she::stream

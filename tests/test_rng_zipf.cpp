@@ -1,0 +1,95 @@
+// RNG and Zipf distribution tests.
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(1000, 1.0);
+  double total = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  ZipfDistribution z(100, 1.2);
+  for (std::uint64_t i = 1; i < 100; ++i) EXPECT_LE(z.pmf(i), z.pmf(i - 1));
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  ZipfDistribution z(50, 0.0);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_NEAR(z.pmf(i), 1.0 / 50, 1e-12);
+}
+
+TEST(Zipf, EmpiricalMatchesPmfForHeadRanks) {
+  ZipfDistribution z(1000, 1.0);
+  Rng r(5);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z(r)];
+  for (std::uint64_t rank = 0; rank < 5; ++rank) {
+    double expected = z.pmf(rank) * kDraws;
+    EXPECT_NEAR(counts[rank], expected, expected * 0.1 + 30)
+        << "rank " << rank;
+  }
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  ZipfDistribution flat(1000, 0.5), steep(1000, 1.5);
+  EXPECT_GT(steep.pmf(0), flat.pmf(0));
+  EXPECT_LT(steep.pmf(999), flat.pmf(999));
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,168 @@
+// Robustness: SHE's invariants must survive adversarial stream shapes —
+// the patterns most likely to break approximate cleaning (starvation,
+// saturation, cycle resonance, floods).
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+#include "stream/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig robust_cfg(std::uint64_t window) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = 1 << 15;
+  cfg.group_cells = 64;
+  cfg.alpha = 2.0;
+  return cfg;
+}
+
+// Every pattern under test, generated at a window-matched scale.
+std::vector<stream::Trace> adversarial_traces(std::uint64_t window) {
+  return {
+      stream::burst_pattern(6 * window, window / 2, window / 2, 3),
+      stream::step_cardinality(6 * window, window / 2, window, 5),
+      stream::periodic_key(6 * window, 3 * window, 0x1234, 7),  // ~Tcycle period
+      stream::alternating_pair(6 * window),
+      stream::single_key_flood(6 * window),
+      stream::rolling_universe(6 * window, window / 4, 9),
+  };
+}
+
+TEST(Robustness, BloomNeverFalseNegativeUnderAnyPattern) {
+  constexpr std::uint64_t kWindow = 2048;
+  for (const auto& trace : adversarial_traces(kWindow)) {
+    SheBloomFilter bf(robust_cfg(kWindow), 8);
+    Rng rng(1);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      bf.insert(trace[i]);
+      if (i % 23 == 0 && i > 0) {
+        std::uint64_t back = rng.below(std::min<std::uint64_t>(i, kWindow - 1));
+        ASSERT_TRUE(bf.contains(trace[i - back]))
+            << "pattern trace false negative at i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Robustness, CountMinNeverUnderestimatesUnderAnyPattern) {
+  constexpr std::uint64_t kWindow = 2048;
+  for (const auto& trace : adversarial_traces(kWindow)) {
+    SheCountMin cm(robust_cfg(kWindow), 8);
+    stream::WindowOracle oracle(kWindow);
+    std::uint64_t under = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      cm.insert(trace[i]);
+      oracle.insert(trace[i]);
+      if (i % 31 == 0 && i > kWindow) {
+        std::uint64_t key = trace[i];
+        std::uint64_t fallbacks = cm.all_young_queries();
+        std::uint64_t est = cm.frequency(key);
+        if (cm.all_young_queries() == fallbacks && est < oracle.frequency(key))
+          ++under;
+      }
+    }
+    ASSERT_EQ(under, 0u);
+  }
+}
+
+TEST(Robustness, FloodDoesNotCorruptNeighbours) {
+  // A single-key flood hammers one group per hash; keys inserted later must
+  // still behave correctly.
+  constexpr std::uint64_t kWindow = 2048;
+  SheBloomFilter bf(robust_cfg(kWindow), 8);
+  for (auto k : stream::single_key_flood(10 * kWindow)) bf.insert(k);
+  EXPECT_TRUE(bf.contains(0xF100D));
+  // Fresh keys around the flood behave normally.
+  for (std::uint64_t k = 0; k < 200; ++k) bf.insert(hash64(k, 77));
+  for (std::uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(bf.contains(hash64(k, 77)));
+  // Most absent keys answer false (array is nearly empty besides the flood).
+  std::size_t fp = 0;
+  for (std::uint64_t k = 0; k < 5000; ++k)
+    if (bf.contains(hash64(k, 991))) ++fp;
+  EXPECT_LT(fp, 250u);
+}
+
+TEST(Robustness, AlternatingPairFrequencySplitsEvenly) {
+  constexpr std::uint64_t kWindow = 2048;
+  SheCountMin cm(robust_cfg(kWindow), 8);
+  for (auto k : stream::alternating_pair(8 * kWindow)) cm.insert(k);
+  std::uint64_t fa = cm.frequency(0xA);
+  std::uint64_t fb = cm.frequency(0xB);
+  // Each key fills half of every surviving window; mature counters span
+  // [N, (1+alpha)N], so estimates sit in [N/2, (1+alpha)N/2].
+  EXPECT_GE(fa, kWindow / 2);
+  EXPECT_LE(fa, 3 * kWindow / 2 + 2);
+  EXPECT_GE(fb, kWindow / 2);
+  EXPECT_LE(fb, 3 * kWindow / 2 + 2);
+}
+
+TEST(Robustness, StepCardinalityFollowsWithinPhase) {
+  // Cardinality estimator must ramp up and back down across step phases.
+  constexpr std::uint64_t kWindow = 4096;
+  SheConfig cfg = robust_cfg(kWindow);
+  cfg.alpha = 0.2;
+  cfg.mark_bits = 8;  // low-cardinality phases cannot refresh groups
+  SheBitmap bm(cfg);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::step_cardinality(12 * kWindow, kWindow, kWindow / 2, 3);
+  double worst = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    // Measure late in each phase, once the window is phase-pure.  Skip
+    // single-digit cardinalities where relative error is meaningless
+    // (truth 1 vs estimate 2 reads as 100%).
+    if (i > 2 * kWindow && i % kWindow == kWindow - 1 &&
+        oracle.cardinality() >= 16) {
+      double truth = static_cast<double>(oracle.cardinality());
+      double est = bm.cardinality();
+      double err = relative_error(truth, est);
+      worst = std::max(worst, err);
+    }
+  }
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(Robustness, PeriodicKeyNearCycleStaysDetectable) {
+  // A key re-arriving about once per cleaning cycle: whenever it is inside
+  // the window it must be found (no-FN), however its groups alias.
+  constexpr std::uint64_t kWindow = 2048;
+  SheConfig cfg = robust_cfg(kWindow);  // Tcycle = 3 * window
+  SheBloomFilter bf(cfg, 8);
+  auto trace = stream::periodic_key(12 * kWindow, cfg.tcycle(), 0x9999, 5);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    if (trace[i] == 0x9999) {
+      ASSERT_TRUE(bf.contains(0x9999)) << "i=" << i;
+    }
+  }
+}
+
+TEST(Robustness, RollingUniverseKeepsSteadyCardinality) {
+  constexpr std::uint64_t kWindow = 4096;
+  SheConfig cfg = robust_cfg(kWindow);
+  cfg.alpha = 0.2;
+  SheBitmap bm(cfg);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::rolling_universe(8 * kWindow, kWindow / 2, 3);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 3 * kWindow && i % 512 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             bm.cardinality()));
+  }
+  EXPECT_LT(err.mean(), 0.12);
+}
+
+}  // namespace
+}  // namespace she

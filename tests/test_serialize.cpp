@@ -1,0 +1,244 @@
+// Serialization tests: checkpoint/restore round-trips must resume with
+// *identical* answers, and corrupted streams must be rejected loudly.
+#include <sstream>
+
+#include "common/bit_array.hpp"
+#include "common/io.hpp"
+#include "common/packed_array.hpp"
+#include "she/she.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(BinaryIo, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.u64_vector({1, 2, 3});
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.u64_vector(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(BinaryIo, TruncationThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u32(7);
+  BinaryReader r(ss);
+  EXPECT_THROW((void)r.u64(), std::runtime_error);
+}
+
+TEST(BinaryIo, TagMismatchThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.tag("AAAA");
+  BinaryReader r(ss);
+  EXPECT_THROW(r.expect_tag("BBBB"), std::runtime_error);
+}
+
+TEST(BinaryIo, ImplausibleVectorLengthThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u64(~std::uint64_t{0});  // absurd length header
+  BinaryReader r(ss);
+  EXPECT_THROW((void)r.u64_vector(), std::runtime_error);
+}
+
+TEST(Serialize, BitArrayRoundTrip) {
+  BitArray a(1000);
+  for (std::size_t i = 0; i < 1000; i += 3) a.set(i);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+  BinaryReader r(ss);
+  BitArray b = BitArray::load(r);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(b.test(i), a.test(i));
+}
+
+TEST(Serialize, PackedArrayRoundTrip) {
+  PackedArray a(333, 5);
+  for (std::size_t i = 0; i < 333; ++i) a.set(i, i % 32);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+  BinaryReader r(ss);
+  PackedArray b = PackedArray::load(r);
+  ASSERT_EQ(b.size(), a.size());
+  ASSERT_EQ(b.cell_bits(), a.cell_bits());
+  for (std::size_t i = 0; i < 333; ++i) ASSERT_EQ(b.get(i), a.get(i));
+}
+
+TEST(Serialize, WrongTypeTagRejected) {
+  BitArray a(10);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+  BinaryReader r(ss);
+  EXPECT_THROW((void)PackedArray::load(r), std::runtime_error);
+}
+
+template <typename T, typename SaveFn, typename Equal>
+void roundtrip_and_continue(T& original, SaveFn make_copy, Equal answers_equal,
+                            const stream::Trace& more) {
+  T copy = make_copy(original);
+  ASSERT_TRUE(answers_equal(original, copy));
+  // Both must evolve identically when the stream continues.
+  for (auto k : more) {
+    original.insert(k);
+    copy.insert(k);
+  }
+  ASSERT_TRUE(answers_equal(original, copy));
+}
+
+TEST(Serialize, SheBloomResumesIdentically) {
+  SheConfig cfg;
+  cfg.window = 2048;
+  cfg.cells = 1 << 14;
+  cfg.group_cells = 64;
+  cfg.alpha = 2.0;
+  SheBloomFilter bf(cfg, 8);
+  auto trace = stream::distinct_trace(3 * cfg.window, 3);
+  for (auto k : trace) bf.insert(k);
+
+  auto copy_of = [](const SheBloomFilter& x) {
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    x.save(w);
+    BinaryReader r(ss);
+    return SheBloomFilter::load(r);
+  };
+  auto equal = [&](const SheBloomFilter& a, const SheBloomFilter& b) {
+    if (a.time() != b.time()) return false;
+    for (std::uint64_t p = 0; p < 2000; ++p) {
+      std::uint64_t probe = hash64(p, 71);
+      if (a.contains(probe) != b.contains(probe)) return false;
+    }
+    for (std::size_t i = trace.size() - 500; i < trace.size(); ++i)
+      if (a.contains(trace[i]) != b.contains(trace[i])) return false;
+    return true;
+  };
+  roundtrip_and_continue(bf, copy_of, equal, stream::distinct_trace(3000, 9));
+}
+
+TEST(Serialize, SheBitmapResumesIdentically) {
+  SheConfig cfg;
+  cfg.window = 2048;
+  cfg.cells = 1 << 13;
+  cfg.group_cells = 64;
+  cfg.alpha = 0.2;
+  SheBitmap bm(cfg);
+  for (auto k : stream::distinct_trace(3 * cfg.window, 5)) bm.insert(k);
+
+  auto copy_of = [](const SheBitmap& x) {
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    x.save(w);
+    BinaryReader r(ss);
+    return SheBitmap::load(r);
+  };
+  auto equal = [](const SheBitmap& a, const SheBitmap& b) {
+    return a.time() == b.time() && a.cardinality() == b.cardinality();
+  };
+  roundtrip_and_continue(bm, copy_of, equal, stream::distinct_trace(3000, 11));
+}
+
+TEST(Serialize, SheHllResumesIdentically) {
+  SheConfig cfg;
+  cfg.window = 2048;
+  cfg.cells = 512;
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  SheHyperLogLog hll(cfg);
+  for (auto k : stream::distinct_trace(3 * cfg.window, 7)) hll.insert(k);
+
+  auto copy_of = [](const SheHyperLogLog& x) {
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    x.save(w);
+    BinaryReader r(ss);
+    return SheHyperLogLog::load(r);
+  };
+  auto equal = [](const SheHyperLogLog& a, const SheHyperLogLog& b) {
+    return a.time() == b.time() && a.cardinality() == b.cardinality();
+  };
+  roundtrip_and_continue(hll, copy_of, equal, stream::distinct_trace(3000, 13));
+}
+
+TEST(Serialize, SheCountMinResumesIdentically) {
+  SheConfig cfg;
+  cfg.window = 2048;
+  cfg.cells = 1 << 13;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  SheCountMin cm(cfg, 8);
+  auto trace = stream::distinct_trace(3 * cfg.window, 15);
+  for (auto k : trace) cm.insert(k);
+
+  auto copy_of = [](const SheCountMin& x) {
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    x.save(w);
+    BinaryReader r(ss);
+    return SheCountMin::load(r);
+  };
+  auto equal = [&](const SheCountMin& a, const SheCountMin& b) {
+    if (a.time() != b.time()) return false;
+    for (std::size_t i = 0; i < trace.size(); i += 97)
+      if (a.frequency(trace[i]) != b.frequency(trace[i])) return false;
+    return true;
+  };
+  roundtrip_and_continue(cm, copy_of, equal, stream::distinct_trace(3000, 17));
+}
+
+TEST(Serialize, SheMinHashResumesIdentically) {
+  SheConfig cfg;
+  cfg.window = 1024;
+  cfg.cells = 128;
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  SheMinHash a(cfg), b(cfg);
+  auto pair = stream::relevant_pair(3 * cfg.window, 2 * cfg.window, 0.6, 0.8, 9);
+  for (std::size_t i = 0; i < pair.a.size(); ++i) {
+    a.insert(pair.a[i]);
+    b.insert(pair.b[i]);
+  }
+
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  a.save(w);
+  BinaryReader r(ss);
+  SheMinHash a2 = SheMinHash::load(r);
+  EXPECT_DOUBLE_EQ(SheMinHash::jaccard(a, b), SheMinHash::jaccard(a2, b));
+}
+
+TEST(Serialize, CorruptedEstimatorStreamRejected) {
+  SheConfig cfg;
+  cfg.window = 100;
+  cfg.cells = 1024;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  SheBloomFilter bf(cfg, 4);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  bf.save(w);
+  std::string data = ss.str();
+  // Truncate the payload.
+  std::stringstream cut(data.substr(0, data.size() / 2));
+  BinaryReader r(cut);
+  EXPECT_THROW((void)SheBloomFilter::load(r), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace she

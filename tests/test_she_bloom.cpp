@@ -1,0 +1,204 @@
+// SHE-BF tests.  The load-bearing property is one-sidedness: across any
+// stream, any alpha, any group size and any mark width, SHE-BF must never
+// report a false negative for an item inside the sliding window.
+#include "she/she_bloom.hpp"
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig bf_config(std::uint64_t window, std::size_t cells, double alpha,
+                    std::size_t w = 64) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = cells;
+  cfg.group_cells = w;
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+TEST(SheBloom, RejectsZeroHashes) {
+  EXPECT_THROW(SheBloomFilter(bf_config(100, 1024, 1.0), 0), std::invalid_argument);
+}
+
+TEST(SheBloom, RecentInsertIsFound) {
+  SheBloomFilter bf(bf_config(1000, 1 << 14, 3.0), 8);
+  for (std::uint64_t k = 0; k < 500; ++k) bf.insert(k);
+  for (std::uint64_t k = 0; k < 500; ++k)
+    EXPECT_TRUE(bf.contains(k)) << "key " << k;
+}
+
+TEST(SheBloom, OutdatedItemsEventuallyForgotten) {
+  // Insert a marker, then push several windows of distinct traffic; the
+  // marker must eventually be reported absent (cells recycled).
+  SheConfig cfg = bf_config(1000, 1 << 16, 1.0);
+  SheBloomFilter bf(cfg, 8);
+  bf.insert(0xDEAD);
+  auto noise = stream::distinct_trace(10 * cfg.window, 77);
+  std::size_t still_present = 0;
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    bf.insert(noise[i]);
+    if (i % cfg.window == 0 && bf.contains(0xDEAD)) ++still_present;
+  }
+  EXPECT_FALSE(bf.contains(0xDEAD));
+  EXPECT_LT(still_present, 4u);  // gone within a few cleaning cycles
+}
+
+TEST(SheBloom, ClearResets) {
+  SheBloomFilter bf(bf_config(100, 4096, 1.0), 4);
+  bf.insert(42);
+  EXPECT_TRUE(bf.contains(42));
+  bf.clear();
+  EXPECT_EQ(bf.time(), 0u);
+  bf.insert(1);  // (42 may or may not alias; absence below must hold for new keys)
+  EXPECT_TRUE(bf.contains(1));
+}
+
+TEST(SheBloom, MemoryAccountsMarks) {
+  SheConfig cfg = bf_config(1000, 1 << 14, 1.0);
+  SheBloomFilter bf(cfg, 8);
+  EXPECT_GE(bf.memory_bytes(), (std::size_t{1} << 14) / 8);
+  EXPECT_LE(bf.memory_bytes(), (std::size_t{1} << 14) / 8 + cfg.groups() + 16);
+}
+
+// ---- property sweep: no false negatives, ever -----------------------------
+
+struct SheBfParams {
+  std::uint64_t window;
+  std::size_t cells;
+  std::size_t group_cells;
+  double alpha;
+  unsigned hashes;
+  unsigned mark_bits;
+  double zipf_skew;  // < 0 means distinct stream
+};
+
+class SheBloomProperty : public ::testing::TestWithParam<SheBfParams> {};
+
+TEST_P(SheBloomProperty, NeverFalseNegative) {
+  const auto& p = GetParam();
+  SheConfig cfg;
+  cfg.window = p.window;
+  cfg.cells = p.cells;
+  cfg.group_cells = p.group_cells;
+  cfg.alpha = p.alpha;
+  cfg.mark_bits = p.mark_bits;
+  SheBloomFilter bf(cfg, p.hashes);
+  stream::WindowOracle oracle(p.window);
+
+  stream::Trace trace;
+  if (p.zipf_skew < 0) {
+    trace = stream::distinct_trace(6 * p.window, 5);
+  } else {
+    stream::ZipfTraceConfig tc;
+    tc.length = 6 * p.window;
+    tc.universe = 4 * p.window;
+    tc.skew = p.zipf_skew;
+    tc.seed = 5;
+    trace = stream::zipf_trace(tc);
+  }
+
+  Rng rng(99);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    oracle.insert(trace[i]);
+    // Query a random in-window item every few inserts.
+    if (i % 7 == 0 && i > 0) {
+      std::uint64_t back = rng.below(std::min<std::uint64_t>(i, p.window - 1));
+      std::uint64_t key = trace[i - back];
+      ASSERT_TRUE(oracle.contains(key));
+      ASSERT_TRUE(bf.contains(key))
+          << "false negative at i=" << i << " key=" << key;
+    }
+  }
+}
+
+TEST_P(SheBloomProperty, FprBoundedOnAbsentKeys) {
+  const auto& p = GetParam();
+  SheConfig cfg;
+  cfg.window = p.window;
+  cfg.cells = p.cells;
+  cfg.group_cells = p.group_cells;
+  cfg.alpha = p.alpha;
+  cfg.mark_bits = p.mark_bits;
+  SheBloomFilter bf(cfg, p.hashes);
+
+  auto trace = stream::distinct_trace(6 * p.window, 21);
+  for (auto k : trace) bf.insert(k);
+
+  // Keys from a disjoint space: any "true" is a false positive.
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 4000;
+  auto probes = stream::distinct_trace(kProbes, 1234567);
+  for (auto k : probes)
+    if (bf.contains(k)) ++fp;
+  // Loose sanity bound: with >= 8 bits/window-item budget this stays far
+  // below 50% (typical values are orders of magnitude lower).
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, SheBloomProperty,
+    ::testing::Values(
+        SheBfParams{1024, 1 << 14, 64, 3.0, 8, 1, -1.0},
+        SheBfParams{1024, 1 << 14, 64, 1.0, 8, 1, -1.0},
+        SheBfParams{1024, 1 << 14, 64, 0.3, 8, 1, -1.0},
+        SheBfParams{1024, 1 << 14, 32, 2.0, 4, 1, -1.0},
+        SheBfParams{1024, 1 << 14, 128, 2.0, 12, 1, -1.0},
+        SheBfParams{1024, 1 << 14, 64, 3.0, 8, 1, 1.0},
+        SheBfParams{1024, 1 << 14, 64, 1.0, 8, 1, 0.6},
+        SheBfParams{1024, 1 << 14, 64, 1.0, 8, 4, 1.0},
+        SheBfParams{500, 8192, 16, 2.5, 6, 1, 1.2},
+        SheBfParams{333, 1 << 13, 64, 1.7, 8, 2, 0.9}));
+
+TEST(SheBloom, BatchInsertEquivalentToSequential) {
+  SheConfig cfg = bf_config(2048, 1 << 16, 2.0);
+  SheBloomFilter seq(cfg, 8), batch(cfg, 8);
+  auto trace = stream::distinct_trace(3 * cfg.window + 5, 7);  // odd tail
+  for (auto k : trace) seq.insert(k);
+  batch.insert_batch(trace);
+  EXPECT_EQ(seq.time(), batch.time());
+  for (std::uint64_t p = 0; p < 3000; ++p) {
+    std::uint64_t probe = hash64(p, 21);
+    ASSERT_EQ(seq.contains(probe), batch.contains(probe));
+  }
+  for (std::size_t i = trace.size() - 500; i < trace.size(); ++i)
+    ASSERT_EQ(seq.contains(trace[i]), batch.contains(trace[i]));
+}
+
+TEST(SheBloom, BatchInsertEmptyAndTiny) {
+  SheBloomFilter bf(bf_config(100, 4096, 1.0), 4);
+  bf.insert_batch({});
+  EXPECT_EQ(bf.time(), 0u);
+  std::uint64_t three[] = {1, 2, 3};
+  bf.insert_batch(three);
+  EXPECT_EQ(bf.time(), 3u);
+  EXPECT_TRUE(bf.contains(2));
+}
+
+TEST(SheBloom, MoreMemoryLowersFpr) {
+  auto fpr_at = [](std::size_t cells) {
+    SheConfig cfg = bf_config(2048, cells, 3.0);
+    SheBloomFilter bf(cfg, 8);
+    auto trace = stream::distinct_trace(6 * cfg.window, 31);
+    for (auto k : trace) bf.insert(k);
+    std::size_t fp = 0;
+    auto probes = stream::distinct_trace(20000, 777777);
+    for (auto k : probes)
+      if (bf.contains(k)) ++fp;
+    return static_cast<double>(fp) / 20000.0;
+  };
+  double small = fpr_at(1 << 14);
+  double large = fpr_at(1 << 17);
+  EXPECT_LT(large, small + 1e-9);
+  EXPECT_LT(large, 0.01);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,148 @@
+// SHE-CM tests.  Key property: like Count-Min, SHE-CM must not
+// under-estimate window frequencies, except through the documented
+// all-probes-young fallback whose rate we bound.
+#include "she/she_cm.hpp"
+
+#include "common/bobhash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig cm_config(std::uint64_t window, std::size_t counters, double alpha = 1.0) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = counters;
+  cfg.group_cells = 64;
+  cfg.alpha = alpha;  // paper default for SHE-CM
+  return cfg;
+}
+
+TEST(SheCm, RejectsZeroHashes) {
+  EXPECT_THROW(SheCountMin(cm_config(100, 1024), 0), std::invalid_argument);
+}
+
+TEST(SheCm, ExactForIsolatedKeyWithAmpleMemory) {
+  SheCountMin cm(cm_config(4096, 1 << 16), 8);
+  for (int i = 0; i < 100; ++i) cm.insert(7);
+  EXPECT_GE(cm.frequency(7), 100u);
+  EXPECT_LE(cm.frequency(7), 110u);
+}
+
+TEST(SheCm, NeverUnderestimatesOutsideFallback) {
+  constexpr std::uint64_t kWindow = 2048;
+  SheCountMin cm(cm_config(kWindow, 1 << 14, 1.0), 8);
+  stream::WindowOracle oracle(kWindow);
+
+  stream::ZipfTraceConfig tc;
+  tc.length = 8 * kWindow;
+  tc.universe = kWindow;
+  tc.skew = 1.0;
+  tc.seed = 5;
+  auto trace = stream::zipf_trace(tc);
+
+  std::uint64_t checked = 0;
+  std::uint64_t underestimates = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    cm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 2 * kWindow && i % 19 == 0) {
+      std::uint64_t key = trace[i - (i % kWindow) / 2];
+      std::uint64_t fallbacks_before = cm.all_young_queries();
+      std::uint64_t est = cm.frequency(key);
+      bool used_fallback = cm.all_young_queries() > fallbacks_before;
+      if (!used_fallback) {
+        ++checked;
+        if (est < oracle.frequency(key)) ++underestimates;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+  EXPECT_EQ(underestimates, 0u);
+}
+
+TEST(SheCm, AllYoungFallbackIsRare) {
+  constexpr std::uint64_t kWindow = 2048;
+  SheCountMin cm(cm_config(kWindow, 1 << 14, 1.0), 8);
+  auto trace = stream::distinct_trace(6 * kWindow, 3);
+  for (auto k : trace) cm.insert(k);
+  std::uint64_t queries = 5000;
+  for (std::uint64_t q = 0; q < queries; ++q) (void)cm.frequency(hash64(q, 42));
+  // P(all 8 probes young) = (N / Tcycle)^8 = 2^-8 ~ 0.4%; allow 4x slack.
+  EXPECT_LT(static_cast<double>(cm.all_young_queries()) /
+                static_cast<double>(queries),
+            0.016);
+}
+
+TEST(SheCm, AccurateOnSkewedStream) {
+  constexpr std::uint64_t kWindow = 4096;
+  SheCountMin cm(cm_config(kWindow, 1 << 16, 1.0), 8);
+  stream::WindowOracle oracle(kWindow);
+  stream::ZipfTraceConfig tc;
+  tc.length = 6 * kWindow;
+  tc.universe = 2 * kWindow;
+  tc.skew = 1.0;
+  tc.seed = 9;
+  auto trace = stream::zipf_trace(tc);
+  RunningStats are;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    cm.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 3 * kWindow && i % 997 == 0) {
+      // ARE over currently-heavy keys.
+      for (const auto& [key, f] : oracle.counts()) {
+        if (f < 8) continue;
+        are.add(relative_error(static_cast<double>(f),
+                               static_cast<double>(cm.frequency(key))));
+      }
+    }
+  }
+  EXPECT_LT(are.mean(), 0.6);
+}
+
+TEST(SheCm, OverestimateBoundedByAgedWindow) {
+  // A counter records at most a (1+alpha)N window; the estimate for a key
+  // whose true in-window frequency is f is at most f plus collisions plus
+  // the aged tail.  With one key only, the estimate is bounded by its
+  // frequency over (1+alpha)N.
+  constexpr std::uint64_t kWindow = 1024;
+  SheCountMin cm(cm_config(kWindow, 1 << 14, 1.0), 4);
+  std::uint64_t mature_checks = 0;
+  for (std::uint64_t i = 0; i < 10 * kWindow; ++i) {
+    cm.insert(9999);
+    if (i < 4 * kWindow || i % 97 != 0) continue;
+    std::uint64_t fallbacks_before = cm.all_young_queries();
+    std::uint64_t est = cm.frequency(9999);
+    if (cm.all_young_queries() > fallbacks_before) continue;  // all-young query
+    ++mature_checks;
+    EXPECT_LE(est, static_cast<std::uint64_t>((1.0 + 1.0) * kWindow) + 1);
+    EXPECT_GE(est, kWindow);  // at least the true window count
+  }
+  EXPECT_GT(mature_checks, 10u);
+}
+
+TEST(SheCm, ExpiryReducesEstimates) {
+  constexpr std::uint64_t kWindow = 2048;
+  SheCountMin cm(cm_config(kWindow, 1 << 14, 1.0), 8);
+  for (int i = 0; i < 500; ++i) cm.insert(5);
+  // Push many windows of other traffic.
+  auto noise = stream::distinct_trace(8 * kWindow, 8);
+  for (auto k : noise) cm.insert(k);
+  EXPECT_LT(cm.frequency(5), 50u);
+}
+
+TEST(SheCm, ClearResets) {
+  SheCountMin cm(cm_config(1000, 8192), 4);
+  for (int i = 0; i < 100; ++i) cm.insert(1);
+  cm.clear();
+  EXPECT_EQ(cm.time(), 0u);
+  EXPECT_EQ(cm.all_young_queries(), 0u);
+  EXPECT_EQ(cm.frequency(1), 0u);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,109 @@
+// SHE-HLL tests.
+#include "she/she_hll.hpp"
+
+#include "common/stats.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig hll_config(std::uint64_t window, std::size_t registers,
+                     double alpha = 0.2) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = registers;
+  cfg.group_cells = 1;  // paper: w = 1 for SHE-HLL
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+TEST(SheHll, RequiresUnitGroups) {
+  SheConfig cfg = hll_config(1000, 1024);
+  cfg.group_cells = 4;
+  EXPECT_THROW(SheHyperLogLog{cfg}, std::invalid_argument);
+}
+
+TEST(SheHll, EmptyEstimatesZero) {
+  SheHyperLogLog hll(hll_config(1000, 1024));
+  EXPECT_NEAR(hll.cardinality(), 0.0, 5.0);
+}
+
+TEST(SheHll, TracksLargeWindowCardinality) {
+  // HLL is meant for big cardinalities (paper uses N = 2^21; we scale down
+  // but keep cardinality >> registers).
+  constexpr std::uint64_t kWindow = 1 << 15;
+  SheHyperLogLog hll(hll_config(kWindow, 2048, 0.2));
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(6 * kWindow, 7);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    hll.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 3 * kWindow && i % 4096 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             hll.cardinality()));
+  }
+  // Base HLL error ~1.04/sqrt(m_legal); sliding adds the alpha bias.
+  EXPECT_LT(err.mean(), 0.15);
+}
+
+TEST(SheHll, DuplicatesDoNotInflate) {
+  constexpr std::uint64_t kWindow = 8192;
+  SheHyperLogLog hll(hll_config(kWindow, 1024));
+  for (std::uint64_t i = 0; i < 6 * kWindow; ++i) hll.insert(i % 100);
+  EXPECT_LT(hll.cardinality(), 400.0);
+}
+
+TEST(SheHll, AdaptsDownAfterBurst) {
+  constexpr std::uint64_t kWindow = 8192;
+  SheHyperLogLog hll(hll_config(kWindow, 1024, 0.2));
+  auto burst = stream::distinct_trace(2 * kWindow, 3);
+  for (auto k : burst) hll.insert(k);
+  double high = hll.cardinality();
+  for (std::uint64_t i = 0; i < 6 * kWindow; ++i) hll.insert(i % 64);
+  double low = hll.cardinality();
+  EXPECT_LT(low, high / 4.0);
+}
+
+TEST(SheHll, MemoryAccountsRegistersAndMarks) {
+  SheHyperLogLog hll(hll_config(1000, 1024));
+  // 1024 x 5-bit registers = 640 bytes, + 1024 1-bit marks = 128 bytes.
+  EXPECT_GE(hll.memory_bytes(), 640u);
+  EXPECT_LE(hll.memory_bytes(), 640u + 128u + 16u);
+}
+
+TEST(SheHll, ClearResets) {
+  SheHyperLogLog hll(hll_config(1000, 512));
+  auto t = stream::distinct_trace(5000, 2);
+  for (auto k : t) hll.insert(k);
+  hll.clear();
+  EXPECT_EQ(hll.time(), 0u);
+  EXPECT_NEAR(hll.cardinality(), 0.0, 5.0);
+}
+
+class SheHllAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(SheHllAlpha, ErrorBoundedAcrossAlpha) {
+  double alpha = GetParam();
+  constexpr std::uint64_t kWindow = 1 << 14;
+  SheHyperLogLog hll(hll_config(kWindow, 2048, alpha));
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(6 * kWindow, 13);
+  RunningStats err;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    hll.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i > 3 * kWindow && i % 2048 == 0)
+      err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                             hll.cardinality()));
+  }
+  EXPECT_LT(err.mean(), 0.35) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, SheHllAlpha,
+                         ::testing::Values(0.1, 0.2, 0.4, 1.0));
+
+}  // namespace
+}  // namespace she

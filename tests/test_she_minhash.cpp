@@ -1,0 +1,128 @@
+// SHE-MH tests: sliding-window Jaccard against the exact oracle.
+#include "she/she_minhash.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig mh_config(std::uint64_t window, std::size_t slots, double alpha = 0.2) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = slots;
+  cfg.group_cells = 1;  // paper: w = 1 for SHE-MH
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+TEST(SheMinHash, RequiresUnitGroups) {
+  SheConfig cfg = mh_config(100, 64);
+  cfg.group_cells = 2;
+  EXPECT_THROW(SheMinHash{cfg}, std::invalid_argument);
+}
+
+TEST(SheMinHash, IncompatibleSignaturesThrow) {
+  SheMinHash a(mh_config(100, 64));
+  SheMinHash b(mh_config(100, 128));
+  EXPECT_THROW(SheMinHash::jaccard(a, b), std::invalid_argument);
+
+  SheConfig other = mh_config(100, 64);
+  other.seed = 99;
+  SheMinHash c(other);
+  EXPECT_THROW(SheMinHash::jaccard(a, c), std::invalid_argument);
+}
+
+TEST(SheMinHash, LockStepEnforced) {
+  SheMinHash a(mh_config(100, 64)), b(mh_config(100, 64));
+  a.insert(1);
+  EXPECT_THROW(SheMinHash::jaccard(a, b), std::invalid_argument);
+  b.insert(2);
+  EXPECT_NO_THROW(SheMinHash::jaccard(a, b));
+}
+
+TEST(SheMinHash, IdenticalStreamsScoreNearOne) {
+  constexpr std::uint64_t kWindow = 1024;
+  SheMinHash a(mh_config(kWindow, 128)), b(mh_config(kWindow, 128));
+  auto trace = stream::distinct_trace(4 * kWindow, 3);
+  for (auto k : trace) {
+    a.insert(k);
+    b.insert(k);
+  }
+  EXPECT_GT(SheMinHash::jaccard(a, b), 0.95);
+}
+
+TEST(SheMinHash, DisjointStreamsScoreNearZero) {
+  constexpr std::uint64_t kWindow = 1024;
+  SheMinHash a(mh_config(kWindow, 128)), b(mh_config(kWindow, 128));
+  auto ta = stream::distinct_trace(4 * kWindow, 3);
+  auto tb = stream::distinct_trace(4 * kWindow, 4);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    a.insert(ta[i]);
+    b.insert(tb[i]);
+  }
+  EXPECT_LT(SheMinHash::jaccard(a, b), 0.1);
+}
+
+TEST(SheMinHash, TracksOracleJaccardOnCorrelatedStreams) {
+  constexpr std::uint64_t kWindow = 2048;
+  constexpr std::size_t kSlots = 256;
+  SheMinHash a(mh_config(kWindow, kSlots)), b(mh_config(kWindow, kSlots));
+  stream::JaccardOracle oracle(kWindow);
+  auto pair = stream::relevant_pair(6 * kWindow, 2 * kWindow, 0.6, 0.8, 7);
+  RunningStats err;
+  for (std::size_t i = 0; i < pair.a.size(); ++i) {
+    a.insert(pair.a[i]);
+    b.insert(pair.b[i]);
+    oracle.insert(pair.a[i], pair.b[i]);
+    if (i > 3 * kWindow && i % 1024 == 0) {
+      double truth = oracle.jaccard();
+      double est = SheMinHash::jaccard(a, b);
+      err.add(std::abs(est - truth));
+    }
+  }
+  // MinHash stddev at 256 slots ~ sqrt(J(1-J)/256) ~ 0.03; sliding adds the
+  // alpha bias. Allow a generous absolute band.
+  EXPECT_LT(err.mean(), 0.12);
+}
+
+TEST(SheMinHash, WindowShiftChangesSimilarity) {
+  // Streams identical for a while, then diverge; similarity must fall.
+  constexpr std::uint64_t kWindow = 1024;
+  SheMinHash a(mh_config(kWindow, 128)), b(mh_config(kWindow, 128));
+  auto shared = stream::distinct_trace(3 * kWindow, 5);
+  for (auto k : shared) {
+    a.insert(k);
+    b.insert(k);
+  }
+  double before = SheMinHash::jaccard(a, b);
+  auto da = stream::distinct_trace(3 * kWindow, 6);
+  auto db = stream::distinct_trace(3 * kWindow, 7);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    a.insert(da[i]);
+    b.insert(db[i]);
+  }
+  double after = SheMinHash::jaccard(a, b);
+  EXPECT_GT(before, 0.9);
+  EXPECT_LT(after, 0.2);
+}
+
+TEST(SheMinHash, ClearResets) {
+  SheMinHash a(mh_config(100, 64));
+  a.insert(1);
+  a.clear();
+  EXPECT_EQ(a.time(), 0u);
+}
+
+TEST(SheMinHash, MemoryCheaperThanStrawmanPerSlot) {
+  // 3 bytes + 1 mark bit per slot vs 11 bytes for the straw-man.
+  SheMinHash a(mh_config(1000, 512));
+  EXPECT_LT(a.memory_bytes(), 512 * 4u);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,114 @@
+// SHEsoft-BF tests, including the software-vs-hardware equivalence the
+// framework's group cleaning is meant to preserve.
+#include "she/soft_bloom.hpp"
+
+#include "common/rng.hpp"
+#include "she/she_bloom.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+SheConfig soft_config(std::uint64_t window, std::size_t cells, double alpha) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = cells;
+  cfg.group_cells = 64;  // ignored by the soft version
+  cfg.alpha = alpha;
+  return cfg;
+}
+
+TEST(SoftBloom, RejectsZeroHashes) {
+  EXPECT_THROW(SoftSheBloomFilter(soft_config(100, 1024, 1.0), 0),
+               std::invalid_argument);
+}
+
+TEST(SoftBloom, CellAgesFollowTheSweep) {
+  // M = Tcycle: the sweep cleans exactly one cell per tick (the paper's
+  // Fig. 3 setting), so cell i is cleaned at ticks i+1, i+1+T, ...
+  SheConfig cfg;
+  cfg.window = 6;
+  cfg.cells = 12;
+  cfg.group_cells = 1;
+  cfg.alpha = 1.0;  // Tcycle = 12 = M
+  SoftSheBloomFilter bf(cfg, 1);
+  ASSERT_EQ(cfg.tcycle(), 12u);
+  for (int i = 0; i < 30; ++i) bf.insert(static_cast<std::uint64_t>(i));
+  // At t = 30: sweep has cleaned 30 cells; cell 0 last cleaned at sweep
+  // index 24 (t = 25), cell 5 at index 29 (t = 30), cell 6 at index 18
+  // (t = 19).
+  EXPECT_EQ(bf.cell_age(0), 5u);
+  EXPECT_EQ(bf.cell_age(5), 0u);
+  EXPECT_EQ(bf.cell_age(6), 11u);
+}
+
+TEST(SoftBloom, NeverSweptCellsAgeEqualsTime) {
+  SheConfig cfg = soft_config(100, 1000, 1.0);  // Tcycle = 200, M = 1000
+  SoftSheBloomFilter bf(cfg, 1);
+  for (int i = 0; i < 10; ++i) bf.insert(static_cast<std::uint64_t>(i));
+  // After 10 ticks only 50 cells are swept; a far cell was never swept.
+  EXPECT_EQ(bf.cell_age(900), 10u);
+}
+
+TEST(SoftBloom, NoFalseNegatives) {
+  constexpr std::uint64_t kWindow = 1024;
+  SoftSheBloomFilter bf(soft_config(kWindow, 1 << 14, 3.0), 8);
+  stream::WindowOracle oracle(kWindow);
+  auto trace = stream::distinct_trace(6 * kWindow, 5);
+  Rng rng(2);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i % 11 == 0 && i > 0) {
+      std::uint64_t back = rng.below(std::min<std::uint64_t>(i, kWindow - 1));
+      ASSERT_TRUE(bf.contains(trace[i - back])) << "i=" << i;
+    }
+  }
+}
+
+TEST(SoftBloom, OutdatedItemsForgotten) {
+  constexpr std::uint64_t kWindow = 1024;
+  SoftSheBloomFilter bf(soft_config(kWindow, 1 << 14, 1.0), 8);
+  bf.insert(0xBEEF);
+  auto noise = stream::distinct_trace(8 * kWindow, 6);
+  for (auto k : noise) bf.insert(k);
+  EXPECT_FALSE(bf.contains(0xBEEF));
+}
+
+TEST(SoftBloom, FprComparableToHardwareVersion) {
+  // The hardware (grouped lazy) version approximates the software sweep;
+  // with the same budget their FPRs should be the same order of magnitude.
+  constexpr std::uint64_t kWindow = 2048;
+  constexpr std::size_t kCells = 1 << 15;
+  SoftSheBloomFilter soft(soft_config(kWindow, kCells, 3.0), 8);
+  SheConfig hw_cfg = soft_config(kWindow, kCells, 3.0);
+  SheBloomFilter hard(hw_cfg, 8);
+
+  auto trace = stream::distinct_trace(8 * kWindow, 17);
+  for (auto k : trace) {
+    soft.insert(k);
+    hard.insert(k);
+  }
+  auto probes = stream::distinct_trace(20000, 424242);
+  std::size_t fp_soft = 0, fp_hard = 0;
+  for (auto k : probes) {
+    if (soft.contains(k)) ++fp_soft;
+    if (hard.contains(k)) ++fp_hard;
+  }
+  double soft_fpr = (fp_soft + 1.0) / 20000.0;
+  double hard_fpr = (fp_hard + 1.0) / 20000.0;
+  EXPECT_LT(soft_fpr / hard_fpr, 10.0);
+  EXPECT_LT(hard_fpr / soft_fpr, 10.0);
+}
+
+TEST(SoftBloom, ClearResets) {
+  SoftSheBloomFilter bf(soft_config(100, 1024, 1.0), 4);
+  bf.insert(42);
+  bf.clear();
+  EXPECT_EQ(bf.time(), 0u);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,102 @@
+// Statistics accumulators and table printer tests.
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace she {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RelativeError, Definition) {
+  EXPECT_DOUBLE_EQ(relative_error(100, 110), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100, 90), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0, 5), 5.0);  // degenerate truth: absolute
+}
+
+TEST(Percentile, InterpolatesCorrectly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("beta-long", 42);
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"x", "y"});
+  t.add(1, 2.5);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, ScientificForTinyValues) {
+  Table t({"v"});
+  t.add(1.23e-7);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("e-07"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace she

@@ -1,0 +1,133 @@
+// Workload generator tests: determinism, shape, and dataset properties the
+// experiments rely on.
+#include "stream/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace she::stream {
+namespace {
+
+TEST(ZipfTrace, LengthAndDeterminism) {
+  ZipfTraceConfig cfg;
+  cfg.length = 10000;
+  cfg.universe = 1000;
+  cfg.seed = 3;
+  Trace a = zipf_trace(cfg);
+  Trace b = zipf_trace(cfg);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTrace, SeedChangesTrace) {
+  ZipfTraceConfig cfg;
+  cfg.length = 1000;
+  cfg.universe = 1000;
+  cfg.seed = 1;
+  Trace a = zipf_trace(cfg);
+  cfg.seed = 2;
+  Trace b = zipf_trace(cfg);
+  EXPECT_NE(a, b);
+}
+
+TEST(ZipfTrace, SkewConcentratesFrequency) {
+  ZipfTraceConfig cfg;
+  cfg.length = 50000;
+  cfg.universe = 10000;
+  cfg.skew = 1.2;
+  Trace t = zipf_trace(cfg);
+  std::unordered_map<std::uint64_t, std::size_t> freq;
+  for (auto k : t) ++freq[k];
+  std::size_t top = 0;
+  for (const auto& [k, c] : freq) top = std::max(top, c);
+  // Top key of a Zipf(1.2) over 10K ranks carries >> 1/10000 of the mass.
+  EXPECT_GT(top, t.size() / 100);
+  // And the stream still has many distinct keys.
+  EXPECT_GT(freq.size(), 1000u);
+}
+
+TEST(ZipfTrace, KeyOffsetDisjointUniverses) {
+  ZipfTraceConfig cfg;
+  cfg.length = 5000;
+  cfg.universe = 1000;
+  Trace a = zipf_trace(cfg);
+  cfg.key_offset = 1u << 30;
+  Trace b = zipf_trace(cfg);
+  std::unordered_set<std::uint64_t> sa(a.begin(), a.end());
+  for (auto k : b) EXPECT_EQ(sa.count(k), 0u);
+}
+
+TEST(DistinctTrace, AllUnique) {
+  Trace t = distinct_trace(20000, 9);
+  EXPECT_EQ(distinct_count(t), 20000u);
+}
+
+TEST(DistinctTrace, SeedsDisjointWithHighProbability) {
+  Trace a = distinct_trace(1000, 1);
+  Trace b = distinct_trace(1000, 2);
+  std::unordered_set<std::uint64_t> sa(a.begin(), a.end());
+  std::size_t shared = 0;
+  for (auto k : b) shared += sa.count(k);
+  EXPECT_EQ(shared, 0u);
+}
+
+TEST(RelevantPair, OverlapBoundsRespected) {
+  EXPECT_THROW(relevant_pair(100, 100, -0.1), std::invalid_argument);
+  EXPECT_THROW(relevant_pair(100, 100, 1.1), std::invalid_argument);
+}
+
+TEST(RelevantPair, ZeroOverlapDisjoint) {
+  RelevantPair p = relevant_pair(5000, 1000, 0.0);
+  std::unordered_set<std::uint64_t> sa(p.a.begin(), p.a.end());
+  for (auto k : p.b) EXPECT_EQ(sa.count(k), 0u);
+}
+
+TEST(RelevantPair, FullOverlapSharesUniverse) {
+  RelevantPair p = relevant_pair(5000, 500, 1.0, 0.8, 7);
+  std::unordered_set<std::uint64_t> sa(p.a.begin(), p.a.end());
+  std::size_t shared = 0;
+  for (auto k : p.b)
+    if (sa.count(k)) ++shared;
+  // Same Zipf universe on both sides: most B items appear in A too.
+  EXPECT_GT(shared, p.b.size() / 2);
+}
+
+TEST(RelevantPair, OverlapMonotoneInParameter) {
+  auto measure = [](double overlap) {
+    RelevantPair p = relevant_pair(20000, 2000, overlap, 0.8, 11);
+    std::unordered_set<std::uint64_t> sa(p.a.begin(), p.a.end());
+    std::unordered_set<std::uint64_t> sb(p.b.begin(), p.b.end());
+    std::size_t inter = 0;
+    for (auto k : sb) inter += sa.count(k);
+    return static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size() - inter);
+  };
+  double j0 = measure(0.1), j1 = measure(0.5), j2 = measure(0.9);
+  EXPECT_LT(j0, j1);
+  EXPECT_LT(j1, j2);
+}
+
+TEST(NamedDataset, KnownNamesWork) {
+  for (const char* name : {"caida", "campus", "webpage"}) {
+    Trace t = named_dataset(name, 10000, 1);
+    EXPECT_EQ(t.size(), 10000u) << name;
+    EXPECT_GT(distinct_count(t), 100u) << name;
+  }
+}
+
+TEST(NamedDataset, UnknownNameThrows) {
+  EXPECT_THROW(named_dataset("nonexistent", 100), std::invalid_argument);
+}
+
+TEST(NamedDataset, SkewOrderingAcrossDatasets) {
+  // webpage (skew 1.3) should have fewer distinct keys per item than
+  // campus (skew 0.6) at the same length.
+  auto web = named_dataset("webpage", 50000, 2);
+  auto campus = named_dataset("campus", 50000, 2);
+  EXPECT_LT(distinct_count(web), distinct_count(campus));
+}
+
+}  // namespace
+}  // namespace she::stream

@@ -1,0 +1,51 @@
+// Tiny argument parser for the `she_tool` CLI: positional subcommand plus
+// `--flag value` / `--flag` pairs.  Deliberately dependency-free and
+// testable (commands receive an ArgMap and an output stream).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace she::tools {
+
+class ArgMap {
+ public:
+  /// Parse `argv`-style tokens (excluding the program & subcommand names).
+  /// Tokens starting with "--" become flags; a following non-flag token is
+  /// the flag's value, otherwise the flag is boolean.  Throws
+  /// std::invalid_argument on stray positional tokens.
+  static ArgMap parse(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// String flag with default.
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback) const;
+
+  /// Required string flag; throws std::invalid_argument when missing.
+  [[nodiscard]] std::string require(const std::string& flag) const;
+
+  /// Unsigned integer flag with default; accepts size suffixes
+  /// K/M/G (binary: x1024).  Throws on malformed numbers.
+  [[nodiscard]] std::uint64_t get_u64(const std::string& flag,
+                                      std::uint64_t fallback) const;
+
+  /// Floating-point flag with default.
+  [[nodiscard]] double get_f64(const std::string& flag, double fallback) const;
+
+  /// Flags that were never read by any get/require call — used to report
+  /// typos instead of silently ignoring them.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Parse "64KB"/"2MB"/"4096" into bytes (suffix case-insensitive).
+  static std::uint64_t parse_size(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace she::tools

@@ -1,0 +1,317 @@
+#include "commands.hpp"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "she/csm.hpp"
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+#include "stream/trace.hpp"
+#include "stream/trace_io.hpp"
+
+namespace she::tools {
+namespace {
+
+/// Load --trace FILE, or generate --dataset NAME --length L --seed S.
+stream::Trace input_trace(const ArgMap& args) {
+  if (args.has("trace-text"))
+    return stream::load_text_keys_file(args.require("trace-text"));
+  if (args.has("trace")) return stream::load_trace_file(args.require("trace"));
+  std::string dataset = args.get("dataset", "caida");
+  std::uint64_t length = args.get_u64("length", 1u << 20);
+  std::uint64_t seed = args.get_u64("seed", 1);
+  if (dataset == "distinct") return stream::distinct_trace(length, seed);
+  return stream::named_dataset(dataset, length, seed);
+}
+
+void reject_unused(const ArgMap& args) {
+  auto stray = args.unused();
+  if (!stray.empty())
+    throw std::invalid_argument("unknown flag --" + stray.front());
+}
+
+SheConfig she_config_from(const ArgMap& args, std::size_t cell_bits,
+                          std::size_t group_cells, double default_alpha) {
+  SheConfig cfg;
+  cfg.window = args.get_u64("window", 1u << 16);
+  std::uint64_t bytes = args.get_u64("memory", 64 * 1024);
+  cfg.cells = static_cast<std::size_t>(bytes * 8 / cell_bits);
+  cfg.group_cells = args.get_u64("group", group_cells);
+  cfg.alpha = args.get_f64("alpha", default_alpha);
+  cfg.seed = static_cast<std::uint32_t>(args.get_u64("hash-seed", 0));
+  cfg.mark_bits = static_cast<unsigned>(args.get_u64("mark-bits", 1));
+  return cfg;
+}
+
+}  // namespace
+
+int cmd_generate(const ArgMap& args, std::ostream& out) {
+  std::string path = args.require("out");
+  auto trace = input_trace(args);
+  reject_unused(args);
+  stream::save_trace_file(path, trace);
+  out << "wrote " << trace.size() << " items (" << stream::distinct_count(trace)
+      << " distinct) to " << path << "\n";
+  return 0;
+}
+
+int cmd_membership(const ArgMap& args, std::ostream& out) {
+  auto trace = input_trace(args);
+  std::uint64_t probes = args.get_u64("probes", 50000);
+  std::string save_path = args.get("save", "");
+  std::string resume_path = args.get("resume", "");
+
+  SheBloomFilter bf = [&] {
+    if (!resume_path.empty()) {
+      // --resume: continue from a checkpoint; sizing flags are ignored.
+      std::ifstream is(resume_path, std::ios::binary);
+      if (!is) throw std::invalid_argument("cannot open " + resume_path);
+      BinaryReader in(is);
+      return SheBloomFilter::load(in);
+    }
+    unsigned hashes = static_cast<unsigned>(args.get_u64("hashes", 8));
+    SheConfig cfg = she_config_from(args, /*cell_bits=*/1, 64, /*alpha*/ 0.0);
+    if (cfg.alpha == 0.0) {
+      // Auto-tune via Eq. (2) using the measured window cardinality.
+      stream::WindowOracle probe(cfg.window);
+      std::size_t prefix = std::min<std::size_t>(trace.size(), 2 * cfg.window);
+      for (std::size_t i = 0; i < prefix; ++i) probe.insert(trace[i]);
+      cfg.alpha = optimal_alpha_bf(cfg.cells, cfg.group_cells,
+                                   static_cast<double>(probe.cardinality()),
+                                   hashes);
+    }
+    return SheBloomFilter(cfg, hashes);
+  }();
+  const SheConfig& cfg = bf.config();
+  unsigned hashes = bf.hash_count();
+  reject_unused(args);
+
+  stream::WindowOracle oracle(cfg.window);
+  std::uint64_t false_negatives = 0;
+  std::uint64_t checks = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bf.insert(trace[i]);
+    oracle.insert(trace[i]);
+    if (i % 997 == 0 && i > cfg.window) {
+      ++checks;
+      if (!bf.contains(trace[i - cfg.window / 2])) ++false_negatives;
+    }
+  }
+  std::uint64_t fp = 0;
+  for (std::uint64_t p = 0; p < probes; ++p)
+    if (bf.contains((std::uint64_t{1} << 40) + p)) ++fp;
+
+  out << "SHE-BF  window=" << cfg.window << " memory=" << bf.memory_bytes()
+      << "B alpha=" << cfg.alpha << " hashes=" << hashes << "\n";
+  out << "  false-positive rate: " << static_cast<double>(fp) / static_cast<double>(probes)
+      << " (" << fp << "/" << probes << " absent probes)\n";
+  out << "  false negatives:     " << false_negatives << "/" << checks
+      << " in-window checks (must be 0)\n";
+  if (!save_path.empty()) {
+    std::ofstream os(save_path, std::ios::binary);
+    if (!os) throw std::invalid_argument("cannot open " + save_path);
+    BinaryWriter w(os);
+    bf.save(w);
+    out << "  checkpoint saved to " << save_path << " (resume with --resume)\n";
+  }
+  return false_negatives == 0 ? 0 : 1;
+}
+
+int cmd_cardinality(const ArgMap& args, std::ostream& out) {
+  auto trace = input_trace(args);
+  std::string algo = args.get("algo", "bitmap");
+  SheConfig cfg = algo == "hll" ? she_config_from(args, 6, 1, 0.2)
+                                : she_config_from(args, 1, 64, 0.2);
+  reject_unused(args);
+
+  stream::WindowOracle oracle(cfg.window);
+  RunningStats err;
+  auto measure = [&](auto& est) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      est.insert(trace[i]);
+      oracle.insert(trace[i]);
+      if (i > 2 * cfg.window && i % (cfg.window / 2) == 0)
+        err.add(relative_error(static_cast<double>(oracle.cardinality()),
+                               est.cardinality()));
+    }
+    out << "SHE-" << (algo == "hll" ? "HLL" : "BM") << "  window=" << cfg.window
+        << " memory=" << est.memory_bytes() << "B alpha=" << cfg.alpha << "\n";
+    out << "  final estimate: " << est.cardinality()
+        << "  (exact: " << oracle.cardinality() << ")\n";
+    out << "  mean relative error over " << err.count()
+        << " checkpoints: " << err.mean() << "\n";
+  };
+  if (algo == "hll") {
+    SheHyperLogLog est(cfg);
+    measure(est);
+  } else if (algo == "bitmap") {
+    SheBitmap est(cfg);
+    measure(est);
+  } else {
+    throw std::invalid_argument("--algo must be 'bitmap' or 'hll'");
+  }
+  return 0;
+}
+
+int cmd_frequency(const ArgMap& args, std::ostream& out) {
+  auto trace = input_trace(args);
+  unsigned hashes = static_cast<unsigned>(args.get_u64("hashes", 8));
+  std::uint64_t k = args.get_u64("top", 10);
+  SheConfig cfg = she_config_from(args, 32, 64, 1.0);
+  reject_unused(args);
+
+  HeavyHitters hh(cfg, hashes, static_cast<std::size_t>(4 * k));
+  stream::WindowOracle oracle(cfg.window);
+  for (auto key : trace) {
+    hh.insert(key);
+    oracle.insert(key);
+  }
+  out << "SHE-CM heavy hitters  window=" << cfg.window
+      << " memory=" << hh.memory_bytes() << "B\n";
+  out << "  key              estimate   exact\n";
+  for (const auto& e : hh.top(static_cast<std::size_t>(k))) {
+    out << "  " << e.key << "  " << e.estimate << "  "
+        << oracle.frequency(e.key) << "\n";
+  }
+  return 0;
+}
+
+int cmd_similarity(const ArgMap& args, std::ostream& out) {
+  stream::Trace a, b;
+  if (args.has("trace-a") || args.has("trace-b")) {
+    a = stream::load_trace_file(args.require("trace-a"));
+    b = stream::load_trace_file(args.require("trace-b"));
+  } else {
+    std::uint64_t length = args.get_u64("length", 1u << 17);
+    double overlap = args.get_f64("overlap", 0.6);
+    std::uint64_t seed = args.get_u64("seed", 1);
+    auto pair = stream::relevant_pair(length, length / 4, overlap, 0.8, seed);
+    a = std::move(pair.a);
+    b = std::move(pair.b);
+  }
+  if (a.size() != b.size())
+    throw std::invalid_argument("similarity: traces must have equal length");
+  std::uint64_t slots = args.get_u64("slots", 512);
+  SheConfig cfg;
+  cfg.window = args.get_u64("window", 1u << 14);
+  cfg.cells = slots;
+  cfg.group_cells = 1;
+  cfg.alpha = args.get_f64("alpha", 0.2);
+  reject_unused(args);
+
+  SheMinHash sa(cfg), sb(cfg);
+  stream::JaccardOracle oracle(cfg.window);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa.insert(a[i]);
+    sb.insert(b[i]);
+    oracle.insert(a[i], b[i]);
+  }
+  out << "SHE-MH  window=" << cfg.window << " slots=" << slots << " memory="
+      << sa.memory_bytes() + sb.memory_bytes() << "B\n";
+  out << "  estimated Jaccard: " << SheMinHash::jaccard(sa, sb) << "\n";
+  out << "  exact Jaccard:     " << oracle.jaccard() << "\n";
+  return 0;
+}
+
+int cmd_info(const ArgMap& args, std::ostream& out) {
+  std::string path = args.require("file");
+  reject_unused(args);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::invalid_argument("cannot open " + path);
+  char magic[4] = {};
+  is.read(magic, 4);
+  std::string tag(magic, 4);
+  is.seekg(0);
+
+  if (tag == "SHTR") {
+    auto trace = stream::load_trace(is);
+    out << path << ": trace, " << trace.size() << " items, "
+        << stream::distinct_count(trace) << " distinct\n";
+    return 0;
+  }
+  auto describe = [&](const char* name, const SheConfig& cfg,
+                      std::uint64_t time) {
+    out << path << ": " << name << " checkpoint\n";
+    out << "  window=" << cfg.window << " cells=" << cfg.cells
+        << " group_cells=" << cfg.group_cells << " alpha=" << cfg.alpha
+        << " mark_bits=" << cfg.mark_bits << "\n";
+    out << "  stream position: " << time << " items\n";
+  };
+  BinaryReader in(is);
+  if (tag == "SHBF") {
+    auto bf = SheBloomFilter::load(in);
+    describe("SHE-BF", bf.config(), bf.time());
+  } else if (tag == "SHBM") {
+    auto bm = SheBitmap::load(in);
+    describe("SHE-BM", bm.config(), bm.time());
+  } else if (tag == "SHLL") {
+    auto hll = SheHyperLogLog::load(in);
+    describe("SHE-HLL", hll.config(), hll.time());
+  } else if (tag == "SHCM") {
+    auto cm = SheCountMin::load(in);
+    describe("SHE-CM", cm.config(), cm.time());
+  } else if (tag == "SHMH") {
+    auto mh = SheMinHash::load(in);
+    describe("SHE-MH", mh.config(), mh.time());
+  } else {
+    out << path << ": unknown format (magic '" << tag << "')\n";
+    return 1;
+  }
+  return 0;
+}
+
+std::string usage() {
+  return
+      "she_tool — sliding-window stream mining (SHE framework)\n"
+      "\n"
+      "usage: she_tool <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate     --out FILE [--dataset caida|campus|webpage|distinct]\n"
+      "               [--length N] [--seed S]\n"
+      "  membership   [--trace FILE | --dataset ... --length N] [--window N]\n"
+      "               [--memory BYTES] [--hashes K] [--alpha A (0 = Eq. 2)]\n"
+      "               [--probes P] [--save CKPT] [--resume CKPT]\n"
+      "  cardinality  [--algo bitmap|hll] [--trace FILE | --dataset ...]\n"
+      "               [--window N] [--memory BYTES] [--alpha A]\n"
+      "  frequency    [--trace FILE | --dataset ...] [--window N]\n"
+      "               [--memory BYTES] [--hashes K] [--top K]\n"
+      "  similarity   [--trace-a FILE --trace-b FILE | --length N\n"
+      "               --overlap F] [--window N] [--slots M] [--alpha A]\n"
+      "  info         --file FILE   (trace or estimator checkpoint)\n"
+      "\n"
+      "sizes accept K/M/G suffixes (binary), e.g. --memory 64K\n"
+      "every command also accepts --trace-text FILE (one key per line;\n"
+      "non-numeric tokens such as '10.0.0.1:443' are hashed)\n";
+}
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
+  if (argv.size() < 2) {
+    out << usage();
+    return 2;
+  }
+  std::vector<std::string> rest(argv.begin() + 2, argv.end());
+  try {
+    ArgMap args = ArgMap::parse(rest);
+    const std::string& cmd = argv[1];
+    if (cmd == "generate") return cmd_generate(args, out);
+    if (cmd == "membership") return cmd_membership(args, out);
+    if (cmd == "cardinality") return cmd_cardinality(args, out);
+    if (cmd == "frequency") return cmd_frequency(args, out);
+    if (cmd == "similarity") return cmd_similarity(args, out);
+    if (cmd == "info") return cmd_info(args, out);
+    if (cmd == "help" || cmd == "--help") {
+      out << usage();
+      return 0;
+    }
+    out << "unknown command '" << cmd << "'\n\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace she::tools

@@ -1,0 +1,36 @@
+// `she_tool` subcommand implementations.
+//
+// Each command takes a parsed ArgMap and an output stream (so tests can
+// drive them without a process boundary) and returns a process exit code.
+//
+//   generate     make a synthetic trace file
+//   membership   sliding membership (SHE-BF) over a trace, FPR vs oracle
+//   cardinality  sliding distinct count (SHE-BM or SHE-HLL) vs oracle
+//   frequency    sliding top-k heavy hitters (SHE-CM + HeavyHitters)
+//   similarity   sliding Jaccard between two traces (SHE-MH) vs oracle
+//   info         describe a trace or estimator checkpoint file
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "args.hpp"
+
+namespace she::tools {
+
+int cmd_generate(const ArgMap& args, std::ostream& out);
+int cmd_membership(const ArgMap& args, std::ostream& out);
+int cmd_cardinality(const ArgMap& args, std::ostream& out);
+int cmd_frequency(const ArgMap& args, std::ostream& out);
+int cmd_similarity(const ArgMap& args, std::ostream& out);
+int cmd_info(const ArgMap& args, std::ostream& out);
+
+/// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown
+/// or missing subcommands.
+int run_cli(const std::vector<std::string>& argv, std::ostream& out);
+
+/// The usage text.
+std::string usage();
+
+}  // namespace she::tools

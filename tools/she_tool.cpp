@@ -1,0 +1,12 @@
+// she_tool — command-line front-end; all logic lives in commands.cpp so it
+// can be unit-tested without a process boundary.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  return she::tools::run_cli(args, std::cout);
+}

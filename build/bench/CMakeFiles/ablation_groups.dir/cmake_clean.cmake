@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_groups.dir/ablation_groups.cpp.o"
+  "CMakeFiles/ablation_groups.dir/ablation_groups.cpp.o.d"
+  "ablation_groups"
+  "ablation_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

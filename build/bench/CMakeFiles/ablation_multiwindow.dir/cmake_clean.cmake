@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiwindow.dir/ablation_multiwindow.cpp.o"
+  "CMakeFiles/ablation_multiwindow.dir/ablation_multiwindow.cpp.o.d"
+  "ablation_multiwindow"
+  "ablation_multiwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ondemand.dir/ablation_ondemand.cpp.o"
+  "CMakeFiles/ablation_ondemand.dir/ablation_ondemand.cpp.o.d"
+  "ablation_ondemand"
+  "ablation_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

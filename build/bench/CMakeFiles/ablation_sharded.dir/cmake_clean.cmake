@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sharded.dir/ablation_sharded.cpp.o"
+  "CMakeFiles/ablation_sharded.dir/ablation_sharded.cpp.o.d"
+  "ablation_sharded"
+  "ablation_sharded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sharded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_softhw.dir/ablation_softhw.cpp.o"
+  "CMakeFiles/ablation_softhw.dir/ablation_softhw.cpp.o.d"
+  "ablation_softhw"
+  "ablation_softhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_softhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

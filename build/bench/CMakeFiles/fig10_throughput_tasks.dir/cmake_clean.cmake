@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_tasks.dir/fig10_throughput_tasks.cpp.o"
+  "CMakeFiles/fig10_throughput_tasks.dir/fig10_throughput_tasks.cpp.o.d"
+  "fig10_throughput_tasks"
+  "fig10_throughput_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_throughput_ideal.dir/fig11_throughput_ideal.cpp.o"
+  "CMakeFiles/fig11_throughput_ideal.dir/fig11_throughput_ideal.cpp.o.d"
+  "fig11_throughput_ideal"
+  "fig11_throughput_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_throughput_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

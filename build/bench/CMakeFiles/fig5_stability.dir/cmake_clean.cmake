@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stability.dir/fig5_stability.cpp.o"
+  "CMakeFiles/fig5_stability.dir/fig5_stability.cpp.o.d"
+  "fig5_stability"
+  "fig5_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

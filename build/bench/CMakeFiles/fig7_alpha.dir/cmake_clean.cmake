@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_alpha.dir/fig7_alpha.cpp.o"
+  "CMakeFiles/fig7_alpha.dir/fig7_alpha.cpp.o.d"
+  "fig7_alpha"
+  "fig7_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

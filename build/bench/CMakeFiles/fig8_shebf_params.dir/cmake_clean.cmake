@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_shebf_params.dir/fig8_shebf_params.cpp.o"
+  "CMakeFiles/fig8_shebf_params.dir/fig8_shebf_params.cpp.o.d"
+  "fig8_shebf_params"
+  "fig8_shebf_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_shebf_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

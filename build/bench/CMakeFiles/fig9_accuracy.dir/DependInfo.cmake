@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_accuracy.cpp" "bench/CMakeFiles/fig9_accuracy.dir/fig9_accuracy.cpp.o" "gcc" "bench/CMakeFiles/fig9_accuracy.dir/fig9_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/she_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/she_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/she_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/she/CMakeFiles/she_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_3_hardware.dir/table2_3_hardware.cpp.o"
+  "CMakeFiles/table2_3_hardware.dir/table2_3_hardware.cpp.o.d"
+  "table2_3_hardware"
+  "table2_3_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_3_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sketch.dir/custom_sketch.cpp.o"
+  "CMakeFiles/custom_sketch.dir/custom_sketch.cpp.o.d"
+  "custom_sketch"
+  "custom_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

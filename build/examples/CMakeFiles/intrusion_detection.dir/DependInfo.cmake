@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/intrusion_detection.cpp" "examples/CMakeFiles/intrusion_detection.dir/intrusion_detection.cpp.o" "gcc" "examples/CMakeFiles/intrusion_detection.dir/intrusion_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/she_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/she/CMakeFiles/she_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/she_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/she_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_dashboard.dir/monitor_dashboard.cpp.o"
+  "CMakeFiles/monitor_dashboard.dir/monitor_dashboard.cpp.o.d"
+  "monitor_dashboard"
+  "monitor_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_duplicate.dir/near_duplicate.cpp.o"
+  "CMakeFiles/near_duplicate.dir/near_duplicate.cpp.o.d"
+  "near_duplicate"
+  "near_duplicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_duplicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

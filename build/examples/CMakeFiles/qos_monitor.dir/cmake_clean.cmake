@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_monitor.dir/qos_monitor.cpp.o"
+  "CMakeFiles/qos_monitor.dir/qos_monitor.cpp.o.d"
+  "qos_monitor"
+  "qos_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

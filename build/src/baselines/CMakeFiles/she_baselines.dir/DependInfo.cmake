@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/compact_table.cpp" "src/baselines/CMakeFiles/she_baselines.dir/compact_table.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/compact_table.cpp.o.d"
+  "/root/repo/src/baselines/cvs.cpp" "src/baselines/CMakeFiles/she_baselines.dir/cvs.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/cvs.cpp.o.d"
+  "/root/repo/src/baselines/ecm.cpp" "src/baselines/CMakeFiles/she_baselines.dir/ecm.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/ecm.cpp.o.d"
+  "/root/repo/src/baselines/shll.cpp" "src/baselines/CMakeFiles/she_baselines.dir/shll.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/shll.cpp.o.d"
+  "/root/repo/src/baselines/strawman_minhash.cpp" "src/baselines/CMakeFiles/she_baselines.dir/strawman_minhash.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/strawman_minhash.cpp.o.d"
+  "/root/repo/src/baselines/swamp.cpp" "src/baselines/CMakeFiles/she_baselines.dir/swamp.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/swamp.cpp.o.d"
+  "/root/repo/src/baselines/tbf.cpp" "src/baselines/CMakeFiles/she_baselines.dir/tbf.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/tbf.cpp.o.d"
+  "/root/repo/src/baselines/tobf.cpp" "src/baselines/CMakeFiles/she_baselines.dir/tobf.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/tobf.cpp.o.d"
+  "/root/repo/src/baselines/tsv.cpp" "src/baselines/CMakeFiles/she_baselines.dir/tsv.cpp.o" "gcc" "src/baselines/CMakeFiles/she_baselines.dir/tsv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_baselines.dir/compact_table.cpp.o"
+  "CMakeFiles/she_baselines.dir/compact_table.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/cvs.cpp.o"
+  "CMakeFiles/she_baselines.dir/cvs.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/ecm.cpp.o"
+  "CMakeFiles/she_baselines.dir/ecm.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/shll.cpp.o"
+  "CMakeFiles/she_baselines.dir/shll.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/strawman_minhash.cpp.o"
+  "CMakeFiles/she_baselines.dir/strawman_minhash.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/swamp.cpp.o"
+  "CMakeFiles/she_baselines.dir/swamp.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/tbf.cpp.o"
+  "CMakeFiles/she_baselines.dir/tbf.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/tobf.cpp.o"
+  "CMakeFiles/she_baselines.dir/tobf.cpp.o.d"
+  "CMakeFiles/she_baselines.dir/tsv.cpp.o"
+  "CMakeFiles/she_baselines.dir/tsv.cpp.o.d"
+  "libshe_baselines.a"
+  "libshe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_common.dir/bit_array.cpp.o"
+  "CMakeFiles/she_common.dir/bit_array.cpp.o.d"
+  "CMakeFiles/she_common.dir/bobhash.cpp.o"
+  "CMakeFiles/she_common.dir/bobhash.cpp.o.d"
+  "CMakeFiles/she_common.dir/io.cpp.o"
+  "CMakeFiles/she_common.dir/io.cpp.o.d"
+  "CMakeFiles/she_common.dir/packed_array.cpp.o"
+  "CMakeFiles/she_common.dir/packed_array.cpp.o.d"
+  "CMakeFiles/she_common.dir/stats.cpp.o"
+  "CMakeFiles/she_common.dir/stats.cpp.o.d"
+  "CMakeFiles/she_common.dir/table.cpp.o"
+  "CMakeFiles/she_common.dir/table.cpp.o.d"
+  "CMakeFiles/she_common.dir/zipf.cpp.o"
+  "CMakeFiles/she_common.dir/zipf.cpp.o.d"
+  "libshe_common.a"
+  "libshe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/access_trace.cpp" "src/hw/CMakeFiles/she_hw.dir/access_trace.cpp.o" "gcc" "src/hw/CMakeFiles/she_hw.dir/access_trace.cpp.o.d"
+  "/root/repo/src/hw/builders.cpp" "src/hw/CMakeFiles/she_hw.dir/builders.cpp.o" "gcc" "src/hw/CMakeFiles/she_hw.dir/builders.cpp.o.d"
+  "/root/repo/src/hw/cycle_sim.cpp" "src/hw/CMakeFiles/she_hw.dir/cycle_sim.cpp.o" "gcc" "src/hw/CMakeFiles/she_hw.dir/cycle_sim.cpp.o.d"
+  "/root/repo/src/hw/pipeline.cpp" "src/hw/CMakeFiles/she_hw.dir/pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/she_hw.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hw/switch_profile.cpp" "src/hw/CMakeFiles/she_hw.dir/switch_profile.cpp.o" "gcc" "src/hw/CMakeFiles/she_hw.dir/switch_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/she/CMakeFiles/she_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_hw.dir/access_trace.cpp.o"
+  "CMakeFiles/she_hw.dir/access_trace.cpp.o.d"
+  "CMakeFiles/she_hw.dir/builders.cpp.o"
+  "CMakeFiles/she_hw.dir/builders.cpp.o.d"
+  "CMakeFiles/she_hw.dir/cycle_sim.cpp.o"
+  "CMakeFiles/she_hw.dir/cycle_sim.cpp.o.d"
+  "CMakeFiles/she_hw.dir/pipeline.cpp.o"
+  "CMakeFiles/she_hw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/she_hw.dir/switch_profile.cpp.o"
+  "CMakeFiles/she_hw.dir/switch_profile.cpp.o.d"
+  "libshe_hw.a"
+  "libshe_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/she/config.cpp" "src/she/CMakeFiles/she_core.dir/config.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/config.cpp.o.d"
+  "/root/repo/src/she/csm.cpp" "src/she/CMakeFiles/she_core.dir/csm.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/csm.cpp.o.d"
+  "/root/repo/src/she/group_clock.cpp" "src/she/CMakeFiles/she_core.dir/group_clock.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/group_clock.cpp.o.d"
+  "/root/repo/src/she/heavy_hitters.cpp" "src/she/CMakeFiles/she_core.dir/heavy_hitters.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/heavy_hitters.cpp.o.d"
+  "/root/repo/src/she/monitor.cpp" "src/she/CMakeFiles/she_core.dir/monitor.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/she/she_bitmap.cpp" "src/she/CMakeFiles/she_core.dir/she_bitmap.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/she_bitmap.cpp.o.d"
+  "/root/repo/src/she/she_bloom.cpp" "src/she/CMakeFiles/she_core.dir/she_bloom.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/she_bloom.cpp.o.d"
+  "/root/repo/src/she/she_cm.cpp" "src/she/CMakeFiles/she_core.dir/she_cm.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/she_cm.cpp.o.d"
+  "/root/repo/src/she/she_hll.cpp" "src/she/CMakeFiles/she_core.dir/she_hll.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/she_hll.cpp.o.d"
+  "/root/repo/src/she/she_minhash.cpp" "src/she/CMakeFiles/she_core.dir/she_minhash.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/she_minhash.cpp.o.d"
+  "/root/repo/src/she/soft_bloom.cpp" "src/she/CMakeFiles/she_core.dir/soft_bloom.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/soft_bloom.cpp.o.d"
+  "/root/repo/src/she/tuning.cpp" "src/she/CMakeFiles/she_core.dir/tuning.cpp.o" "gcc" "src/she/CMakeFiles/she_core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_core.dir/config.cpp.o"
+  "CMakeFiles/she_core.dir/config.cpp.o.d"
+  "CMakeFiles/she_core.dir/csm.cpp.o"
+  "CMakeFiles/she_core.dir/csm.cpp.o.d"
+  "CMakeFiles/she_core.dir/group_clock.cpp.o"
+  "CMakeFiles/she_core.dir/group_clock.cpp.o.d"
+  "CMakeFiles/she_core.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/she_core.dir/heavy_hitters.cpp.o.d"
+  "CMakeFiles/she_core.dir/monitor.cpp.o"
+  "CMakeFiles/she_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/she_core.dir/she_bitmap.cpp.o"
+  "CMakeFiles/she_core.dir/she_bitmap.cpp.o.d"
+  "CMakeFiles/she_core.dir/she_bloom.cpp.o"
+  "CMakeFiles/she_core.dir/she_bloom.cpp.o.d"
+  "CMakeFiles/she_core.dir/she_cm.cpp.o"
+  "CMakeFiles/she_core.dir/she_cm.cpp.o.d"
+  "CMakeFiles/she_core.dir/she_hll.cpp.o"
+  "CMakeFiles/she_core.dir/she_hll.cpp.o.d"
+  "CMakeFiles/she_core.dir/she_minhash.cpp.o"
+  "CMakeFiles/she_core.dir/she_minhash.cpp.o.d"
+  "CMakeFiles/she_core.dir/soft_bloom.cpp.o"
+  "CMakeFiles/she_core.dir/soft_bloom.cpp.o.d"
+  "CMakeFiles/she_core.dir/tuning.cpp.o"
+  "CMakeFiles/she_core.dir/tuning.cpp.o.d"
+  "libshe_core.a"
+  "libshe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

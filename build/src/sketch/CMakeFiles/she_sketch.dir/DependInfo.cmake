@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bitmap.cpp" "src/sketch/CMakeFiles/she_sketch.dir/bitmap.cpp.o" "gcc" "src/sketch/CMakeFiles/she_sketch.dir/bitmap.cpp.o.d"
+  "/root/repo/src/sketch/bloom_filter.cpp" "src/sketch/CMakeFiles/she_sketch.dir/bloom_filter.cpp.o" "gcc" "src/sketch/CMakeFiles/she_sketch.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/sketch/count_min.cpp" "src/sketch/CMakeFiles/she_sketch.dir/count_min.cpp.o" "gcc" "src/sketch/CMakeFiles/she_sketch.dir/count_min.cpp.o.d"
+  "/root/repo/src/sketch/hyperloglog.cpp" "src/sketch/CMakeFiles/she_sketch.dir/hyperloglog.cpp.o" "gcc" "src/sketch/CMakeFiles/she_sketch.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/sketch/minhash.cpp" "src/sketch/CMakeFiles/she_sketch.dir/minhash.cpp.o" "gcc" "src/sketch/CMakeFiles/she_sketch.dir/minhash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

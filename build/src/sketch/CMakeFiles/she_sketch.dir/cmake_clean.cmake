@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_sketch.dir/bitmap.cpp.o"
+  "CMakeFiles/she_sketch.dir/bitmap.cpp.o.d"
+  "CMakeFiles/she_sketch.dir/bloom_filter.cpp.o"
+  "CMakeFiles/she_sketch.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/she_sketch.dir/count_min.cpp.o"
+  "CMakeFiles/she_sketch.dir/count_min.cpp.o.d"
+  "CMakeFiles/she_sketch.dir/hyperloglog.cpp.o"
+  "CMakeFiles/she_sketch.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/she_sketch.dir/minhash.cpp.o"
+  "CMakeFiles/she_sketch.dir/minhash.cpp.o.d"
+  "libshe_sketch.a"
+  "libshe_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshe_sketch.a"
+)

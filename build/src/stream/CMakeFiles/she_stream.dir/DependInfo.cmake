@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/oracle.cpp" "src/stream/CMakeFiles/she_stream.dir/oracle.cpp.o" "gcc" "src/stream/CMakeFiles/she_stream.dir/oracle.cpp.o.d"
+  "/root/repo/src/stream/patterns.cpp" "src/stream/CMakeFiles/she_stream.dir/patterns.cpp.o" "gcc" "src/stream/CMakeFiles/she_stream.dir/patterns.cpp.o.d"
+  "/root/repo/src/stream/trace.cpp" "src/stream/CMakeFiles/she_stream.dir/trace.cpp.o" "gcc" "src/stream/CMakeFiles/she_stream.dir/trace.cpp.o.d"
+  "/root/repo/src/stream/trace_io.cpp" "src/stream/CMakeFiles/she_stream.dir/trace_io.cpp.o" "gcc" "src/stream/CMakeFiles/she_stream.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

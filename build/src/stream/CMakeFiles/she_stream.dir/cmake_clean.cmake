@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_stream.dir/oracle.cpp.o"
+  "CMakeFiles/she_stream.dir/oracle.cpp.o.d"
+  "CMakeFiles/she_stream.dir/patterns.cpp.o"
+  "CMakeFiles/she_stream.dir/patterns.cpp.o.d"
+  "CMakeFiles/she_stream.dir/trace.cpp.o"
+  "CMakeFiles/she_stream.dir/trace.cpp.o.d"
+  "CMakeFiles/she_stream.dir/trace_io.cpp.o"
+  "CMakeFiles/she_stream.dir/trace_io.cpp.o.d"
+  "libshe_stream.a"
+  "libshe_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/she_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bit_array.cpp" "tests/CMakeFiles/she_tests.dir/test_bit_array.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_bit_array.cpp.o.d"
+  "/root/repo/tests/test_bobhash.cpp" "tests/CMakeFiles/she_tests.dir/test_bobhash.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_bobhash.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/she_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_config_tuning.cpp" "tests/CMakeFiles/she_tests.dir/test_config_tuning.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_config_tuning.cpp.o.d"
+  "/root/repo/tests/test_coverage_gaps.cpp" "tests/CMakeFiles/she_tests.dir/test_coverage_gaps.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_coverage_gaps.cpp.o.d"
+  "/root/repo/tests/test_csm.cpp" "tests/CMakeFiles/she_tests.dir/test_csm.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_csm.cpp.o.d"
+  "/root/repo/tests/test_csm_soft.cpp" "tests/CMakeFiles/she_tests.dir/test_csm_soft.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_csm_soft.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/she_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_fixed_sketches.cpp" "tests/CMakeFiles/she_tests.dir/test_fixed_sketches.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_fixed_sketches.cpp.o.d"
+  "/root/repo/tests/test_group_clock.cpp" "tests/CMakeFiles/she_tests.dir/test_group_clock.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_group_clock.cpp.o.d"
+  "/root/repo/tests/test_heavy_hitters.cpp" "tests/CMakeFiles/she_tests.dir/test_heavy_hitters.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_heavy_hitters.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/she_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_int_math.cpp" "tests/CMakeFiles/she_tests.dir/test_int_math.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_int_math.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/she_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_merge.cpp" "tests/CMakeFiles/she_tests.dir/test_merge.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_merge.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/she_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_multi_window.cpp" "tests/CMakeFiles/she_tests.dir/test_multi_window.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_multi_window.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/she_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_packed_array.cpp" "tests/CMakeFiles/she_tests.dir/test_packed_array.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_packed_array.cpp.o.d"
+  "/root/repo/tests/test_rng_zipf.cpp" "tests/CMakeFiles/she_tests.dir/test_rng_zipf.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_rng_zipf.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/she_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/she_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sharded.cpp" "tests/CMakeFiles/she_tests.dir/test_sharded.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_sharded.cpp.o.d"
+  "/root/repo/tests/test_she_bitmap.cpp" "tests/CMakeFiles/she_tests.dir/test_she_bitmap.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_she_bitmap.cpp.o.d"
+  "/root/repo/tests/test_she_bloom.cpp" "tests/CMakeFiles/she_tests.dir/test_she_bloom.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_she_bloom.cpp.o.d"
+  "/root/repo/tests/test_she_cm.cpp" "tests/CMakeFiles/she_tests.dir/test_she_cm.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_she_cm.cpp.o.d"
+  "/root/repo/tests/test_she_hll.cpp" "tests/CMakeFiles/she_tests.dir/test_she_hll.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_she_hll.cpp.o.d"
+  "/root/repo/tests/test_she_minhash.cpp" "tests/CMakeFiles/she_tests.dir/test_she_minhash.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_she_minhash.cpp.o.d"
+  "/root/repo/tests/test_soft_bloom.cpp" "tests/CMakeFiles/she_tests.dir/test_soft_bloom.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_soft_bloom.cpp.o.d"
+  "/root/repo/tests/test_stats_table.cpp" "tests/CMakeFiles/she_tests.dir/test_stats_table.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_stats_table.cpp.o.d"
+  "/root/repo/tests/test_time_based.cpp" "tests/CMakeFiles/she_tests.dir/test_time_based.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_time_based.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/she_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/she_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/she_tests.dir/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/she_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/she_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/she_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/she/CMakeFiles/she_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/she_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/she_hw.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/she_tools_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_tool.dir/she_tool.cpp.o"
+  "CMakeFiles/she_tool.dir/she_tool.cpp.o.d"
+  "she_tool"
+  "she_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

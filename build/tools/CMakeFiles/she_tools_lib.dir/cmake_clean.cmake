@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/she_tools_lib.dir/args.cpp.o"
+  "CMakeFiles/she_tools_lib.dir/args.cpp.o.d"
+  "CMakeFiles/she_tools_lib.dir/commands.cpp.o"
+  "CMakeFiles/she_tools_lib.dir/commands.cpp.o.d"
+  "libshe_tools_lib.a"
+  "libshe_tools_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/she_tools_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

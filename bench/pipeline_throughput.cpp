@@ -1,0 +1,197 @@
+// Concurrent ingest runtime — producers x shards throughput sweep.
+//
+// Replays a Zipf (CAIDA-like) stream through IngestPipeline<SheBloomFilter>
+// for every (producers, shards) combination, with an optional concurrent
+// reader hammering snapshot queries, and reports aggregate insert
+// throughput.  Each row is also emitted as one JSON object (the
+// RuntimeStats report plus the sweep coordinates) so runs are
+// machine-comparable across hosts.
+//
+// The interesting acceptance signal is insert scaling with shard count
+// (>=2x from 1 to 4 shards on multi-core hosts); on a single-core host the
+// sweep degenerates to context-switch overhead, which is why the physical
+// concurrency is part of the banner.
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+#include "common/stats.hpp"
+#include "runtime/ingest_pipeline.hpp"
+#include "she/she.hpp"
+#include "stream/oracle.hpp"
+
+namespace she::bench {
+namespace {
+
+using runtime::IngestPipeline;
+using runtime::PipelineOptions;
+using runtime::SnapshotReader;
+
+constexpr std::uint64_t kN = kWindow;
+constexpr std::uint64_t kItems = 4'000'000;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+IngestPipeline<SheBloomFilter>::Factory bf_factory(std::size_t shards) {
+  return [shards](std::size_t s) {
+    SheConfig cfg;
+    cfg.window = kN / shards;
+    cfg.cells = (1u << 20) / shards;
+    cfg.group_cells = 64;
+    cfg.alpha = 3.0;
+    cfg.seed = static_cast<std::uint32_t>(s);
+    return SheBloomFilter(cfg, 8);
+  };
+}
+
+struct RunResult {
+  double mips = 0;
+  double queries_per_sec = 0;
+  runtime::RuntimeStats stats;
+};
+
+RunResult run_once(const stream::Trace& trace, std::size_t producers,
+                   std::size_t shards, bool with_reader) {
+  PipelineOptions opt;
+  opt.shards = shards;
+  opt.producers = producers;
+  opt.queue_capacity = 4096;
+  opt.publish_interval = 4096;
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(shards));
+  pipe.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::thread reader;
+  if (with_reader) {
+    reader = std::thread([&] {
+      std::vector<SnapshotReader<SheBloomFilter>> views;
+      views.reserve(shards);
+      for (std::size_t s = 0; s < shards; ++s)
+        views.emplace_back(pipe.snapshot_slot(s));
+      std::uint64_t q = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        for (std::size_t s = 0; s < shards; ++s) {
+          const SheBloomFilter& snap = views[s].get();
+          (void)snap.contains(0xFEEDu + q);
+          ++q;
+        }
+      }
+      queries.store(q, std::memory_order_relaxed);
+    });
+  }
+
+  MopsTimer timer;
+  timer.start();
+  std::vector<std::thread> pool;
+  pool.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    pool.emplace_back([&, p] {
+      const std::size_t lo = trace.size() * p / producers;
+      const std::size_t hi = trace.size() * (p + 1) / producers;
+      for (std::size_t i = lo; i < hi; ++i) pipe.push(p, trace[i]);
+    });
+  }
+  for (auto& t : pool) t.join();
+  pipe.close();
+  RunResult r;
+  r.mips = timer.stop(trace.size());
+  r.stats = pipe.stats();
+  if (with_reader) {
+    done.store(true, std::memory_order_release);
+    reader.join();
+    r.queries_per_sec = static_cast<double>(queries.load()) /
+                        r.stats.elapsed_seconds;
+  }
+  return r;
+}
+
+void sweep() {
+  auto trace = caida_like(kItems);
+  std::printf("\n--- Ingest throughput: producers x shards (SHE-BF, %llu "
+              "items, Zipf) ---\n",
+              static_cast<unsigned long long>(kItems));
+  std::printf("(hardware_concurrency on this machine: %u — scaling is capped "
+              "by the physical core count)\n",
+              std::thread::hardware_concurrency());
+  Table table({"producers", "shards", "Mips", "speedup-vs-1shard", "q/s",
+               "hwm"});
+  for (std::size_t producers : {1u, 2u, 4u}) {
+    double base = 0;
+    for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+      RunResult r = run_once(trace, producers, shards, /*with_reader=*/true);
+      if (shards == 1) base = r.mips;
+      table.add(producers, shards, fmt(r.mips), fmt(r.mips / base),
+                fmt(r.queries_per_sec), r.stats.queue_hwm);
+      std::printf("JSON {\"producers\":%zu,\"shards\":%zu,\"mips\":%g,"
+                  "\"queries_per_sec\":%g,\"stats\":%s}\n",
+                  producers, shards, r.mips, r.queries_per_sec,
+                  r.stats.to_json().c_str());
+    }
+  }
+  table.print(std::cout);
+}
+
+void accuracy_under_load() {
+  // Concurrent queries must stay within the single-threaded sharded error
+  // envelope: compare final snapshot cardinality (SHE-BM) to the exact
+  // oracle, as test_sharded.cpp does offline.
+  std::printf("\n--- Queries-under-load accuracy (SHE-BM cardinality RE) ---\n");
+  auto trace = caida_like(4 * kN);
+  Table table({"shards", "RE"});
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    PipelineOptions opt;
+    opt.shards = shards;
+    opt.producers = 1;
+    IngestPipeline<SheBitmap> pipe(opt, [shards](std::size_t s) {
+      SheConfig cfg;
+      cfg.window = kN / shards;
+      cfg.cells = (1u << 16) / shards;
+      cfg.group_cells = 64;
+      cfg.alpha = 0.2;
+      cfg.seed = static_cast<std::uint32_t>(s);
+      return SheBitmap(cfg);
+    });
+    pipe.start();
+    stream::WindowOracle oracle(kN);
+    RunningStats err;
+    std::size_t fed = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      pipe.push(0, trace[i]);
+      oracle.insert(trace[i]);
+      if (i > 2 * kN && i % (kN / 2) == 0) {
+        // Let the worker catch up, then query the live snapshots.
+        while (pipe.stats().inserted < i - opt.queue_capacity)
+          std::this_thread::yield();
+        double est = 0;
+        for (std::size_t s = 0; s < shards; ++s)
+          est += pipe.snapshot(s).cardinality();
+        err.add(relative_error(static_cast<double>(oracle.cardinality()), est));
+        ++fed;
+      }
+    }
+    pipe.close();
+    (void)fed;
+    table.add(shards, fmt(err.mean()));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace she::bench
+
+int main() {
+  she::bench::banner("Pipeline throughput — concurrent ingest runtime",
+                     "Lock-free shard pipelines: aggregate insert throughput "
+                     "across producers x shards with concurrent snapshot "
+                     "queries, plus queries-under-load accuracy.");
+  she::bench::sweep();
+  she::bench::accuracy_under_load();
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "runtime/ingest_pipeline.hpp"
+
+#include <string>
+
+namespace she::runtime {
+
+const char* to_string(Backpressure p) {
+  return p == Backpressure::kBlock ? "block" : "drop";
+}
+
+Backpressure backpressure_from(const std::string& name) {
+  if (name == "block") return Backpressure::kBlock;
+  if (name == "drop" || name == "drop-newest") return Backpressure::kDropNewest;
+  throw std::invalid_argument("backpressure policy must be 'block' or 'drop'");
+}
+
+void PipelineOptions::validate() const {
+  if (shards == 0)
+    throw std::invalid_argument("PipelineOptions: shards must be > 0");
+  if (producers == 0)
+    throw std::invalid_argument("PipelineOptions: producers must be > 0");
+  if (queue_capacity == 0)
+    throw std::invalid_argument("PipelineOptions: queue_capacity must be > 0");
+  if (drain_batch == 0)
+    throw std::invalid_argument("PipelineOptions: drain_batch must be > 0");
+  if (publish_interval == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: publish_interval must be > 0");
+}
+
+}  // namespace she::runtime

@@ -1,0 +1,307 @@
+// IngestPipeline — lock-free shard pipelines with queries under load.
+//
+// The hardware pipeline sustains one item per cycle because insertion and
+// lazy cleaning are single-stage operations; this is the CPU serving-path
+// analogue.  N producer threads route keys by the same hash Sharded<T>
+// uses (so accuracy semantics carry over) into per-(producer, shard) SPSC
+// rings; each shard worker thread exclusively owns one estimator, drains
+// its rings in batches, and publishes a seqlock-versioned snapshot every
+// `publish_interval` items.  Producers never block on estimator state, and
+// queries run concurrently against the snapshots:
+//
+//   producer p ──ring[p][s]──▶ worker s ──owns──▶ Estimator s
+//                                   └─publishes──▶ SeqlockSlot s ◀─readers
+//
+// Backpressure on a full ring is explicit: `Block` (spin-yield until space;
+// never loses an accepted item) or `DropNewest` (reject the push, counted
+// per shard).  RuntimeStats reports items/sec, drops, drains, publishes
+// and queue-depth high-water marks.
+//
+// Estimator requirements: movable, `insert(uint64_t)`,
+// `save(BinaryWriter&) const`, `static load(BinaryReader&)`.  Every SHE
+// estimator and StreamMonitor qualifies.
+//
+// Threading contract:
+//   * push(producer, key): producer `p`'s pushes must be serialized (one
+//     thread per producer index); different producers are independent.
+//   * snapshot()/stats()/shard_of(): any thread, any time.
+//   * start()/close(): one controlling thread; do not call push()
+//     concurrently with close() — join your producers first.  close() on
+//     a never-started pipeline drains the queues inline.
+//
+// Ordering: with a single producer, per-shard insertion order equals
+// arrival order, so the result is bit-identical to sequential routing
+// through Sharded<T> (tested).  With several producers the per-shard
+// interleaving is nondeterministic, like any concurrent ingest.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/bobhash.hpp"
+#include "runtime/ring_buffer.hpp"
+#include "runtime/runtime_stats.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace she::runtime {
+
+/// What a producer does when its ring to the owning shard is full.
+enum class Backpressure {
+  kBlock,       ///< spin-yield until space; lossless
+  kDropNewest,  ///< reject the new item, count it in the shard's drop counter
+};
+
+[[nodiscard]] const char* to_string(Backpressure p);
+/// Parse "block" / "drop" (case-sensitive); throws std::invalid_argument.
+[[nodiscard]] Backpressure backpressure_from(const std::string& name);
+
+struct PipelineOptions {
+  std::size_t shards = 1;
+  std::size_t producers = 1;
+  std::size_t queue_capacity = 1024;   ///< per (producer, shard) ring
+  std::size_t drain_batch = 256;       ///< max items popped per ring visit
+  std::size_t publish_interval = 2048; ///< items between snapshot publishes
+  Backpressure policy = Backpressure::kBlock;
+  std::uint64_t route_seed = 0x5ead5eedULL;  ///< Sharded's default
+  std::size_t snapshot_slack_bytes = 4096;   ///< slot headroom over 2x image
+
+  void validate() const;  ///< throws std::invalid_argument on bad fields
+};
+
+template <typename Estimator>
+class IngestPipeline {
+ public:
+  using Factory = std::function<Estimator(std::size_t)>;
+
+  /// Builds `opt.shards` estimators via `factory(shard_index)` and
+  /// publishes their initial snapshots; workers start with start().
+  IngestPipeline(const PipelineOptions& opt, const Factory& factory)
+      : opt_(opt) {
+    opt_.validate();
+    std::vector<char> image;
+    shards_.reserve(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      auto sh = std::make_unique<Shard>(factory(s));
+      serialize_to(image, sh->est);
+      sh->snap = std::make_unique<SeqlockSlot>(2 * image.size() +
+                                               opt_.snapshot_slack_bytes);
+      sh->snap->publish(image.data(), image.size());
+      sh->rings.reserve(opt_.producers);
+      for (std::size_t p = 0; p < opt_.producers; ++p)
+        sh->rings.push_back(std::make_unique<SpscRing>(opt_.queue_capacity));
+      shards_.push_back(std::move(sh));
+    }
+    produced_ = std::vector<PaddedCounter>(opt_.producers);
+    start_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  ~IngestPipeline() { close(); }
+
+  [[nodiscard]] const PipelineOptions& options() const { return opt_; }
+  [[nodiscard]] std::size_t shard_count() const { return opt_.shards; }
+
+  /// Same routing as Sharded<T> with the same seed.
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(hash64(key, opt_.route_seed) % opt_.shards);
+  }
+
+  /// Launch one worker thread per shard.
+  void start() {
+    if (started_.load(std::memory_order_relaxed))
+      throw std::logic_error("IngestPipeline: already started");
+    if (closed_.load(std::memory_order_relaxed))
+      throw std::logic_error("IngestPipeline: already closed");
+    started_.store(true, std::memory_order_relaxed);
+    start_ns_.store(now_ns(), std::memory_order_relaxed);
+    workers_.reserve(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s)
+      workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+
+  /// Route one key from producer `producer` to its shard's ring.
+  /// Returns false iff the item was not accepted (DropNewest and the ring
+  /// is full, or the pipeline is closing).
+  bool push(std::size_t producer, std::uint64_t key) {
+    Shard& sh = *shards_[shard_of(key)];
+    SpscRing& ring = *sh.rings[producer];
+    if (!accepting_.load(std::memory_order_acquire)) return false;
+    if (!ring.try_push(key)) {
+      if (opt_.policy == Backpressure::kDropNewest) {
+        sh.dropped.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      do {
+        if (!accepting_.load(std::memory_order_acquire)) return false;
+        std::this_thread::yield();
+      } while (!ring.try_push(key));
+    }
+    produced_[producer].value.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// push() each key in order; returns how many were accepted.
+  std::size_t push_bulk(std::size_t producer,
+                        std::span<const std::uint64_t> keys) {
+    std::size_t accepted = 0;
+    for (std::uint64_t k : keys) accepted += push(producer, k) ? 1 : 0;
+    return accepted;
+  }
+
+  /// Stop accepting, drain every ring, publish final snapshots, join
+  /// workers.  Idempotent.  If start() was never called the queues are
+  /// drained inline on the calling thread.
+  void close() {
+    if (closed_.load(std::memory_order_relaxed)) return;
+    accepting_.store(false, std::memory_order_release);
+    stopping_.store(true, std::memory_order_release);
+    if (started_.load(std::memory_order_relaxed)) {
+      for (auto& t : workers_) t.join();
+      workers_.clear();
+    } else {
+      for (std::size_t s = 0; s < opt_.shards; ++s) worker_loop(s);
+    }
+    closed_.store(true, std::memory_order_relaxed);
+    stop_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// A private copy of shard `s`'s latest published estimator state.
+  /// Callable from any thread at any time.
+  [[nodiscard]] Estimator snapshot(std::size_t s) const {
+    std::vector<char> buf;
+    shards_[s]->snap->read(buf);
+    return deserialize<Estimator>(buf.data(), buf.size());
+  }
+
+  /// The raw slot, for SnapshotReader-style cached readers.
+  [[nodiscard]] const SeqlockSlot& snapshot_slot(std::size_t s) const {
+    return *shards_[s]->snap;
+  }
+
+  [[nodiscard]] RuntimeStats stats() const {
+    RuntimeStats st;
+    st.shards = opt_.shards;
+    st.producers = opt_.producers;
+    st.per_shard.reserve(opt_.shards);
+    for (const auto& sh : shards_) {
+      ShardStats ss;
+      ss.inserted = sh->inserted.load(std::memory_order_relaxed);
+      ss.dropped = sh->dropped.load(std::memory_order_relaxed);
+      ss.drains = sh->drains.load(std::memory_order_relaxed);
+      ss.publishes = sh->publishes.load(std::memory_order_relaxed);
+      ss.queue_hwm = sh->queue_hwm.load(std::memory_order_relaxed);
+      st.inserted += ss.inserted;
+      st.dropped += ss.dropped;
+      st.drains += ss.drains;
+      st.publishes += ss.publishes;
+      st.queue_hwm = std::max(st.queue_hwm, ss.queue_hwm);
+      st.per_shard.push_back(ss);
+    }
+    for (const auto& c : produced_)
+      st.produced += c.value.load(std::memory_order_relaxed);
+    const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
+    const std::int64_t stop = closed_.load(std::memory_order_relaxed)
+                                  ? stop_ns_.load(std::memory_order_relaxed)
+                                  : now_ns();
+    st.elapsed_seconds = static_cast<double>(stop - start) / 1e9;
+    if (st.elapsed_seconds > 0)
+      st.items_per_sec = static_cast<double>(st.inserted) / st.elapsed_seconds;
+    return st;
+  }
+
+ private:
+  struct PaddedCounter {
+    alignas(kCacheLine) std::atomic<std::uint64_t> value{0};
+  };
+
+  struct Shard {
+    explicit Shard(Estimator e) : est(std::move(e)) {}
+    Estimator est;  ///< worker-owned once start() runs
+    std::unique_ptr<SeqlockSlot> snap;
+    std::vector<std::unique_ptr<SpscRing>> rings;  ///< one per producer
+    std::vector<char> scratch;                     ///< worker-only
+    std::uint64_t since_publish = 0;               ///< worker-only
+    std::uint64_t hwm_local = 0;                   ///< worker-only mirror
+    alignas(kCacheLine) std::atomic<std::uint64_t> inserted{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> drains{0};
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> queue_hwm{0};
+  };
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void publish(Shard& sh) {
+    serialize_to(sh.scratch, sh.est);
+    sh.snap->publish(sh.scratch.data(), sh.scratch.size());
+    sh.publishes.fetch_add(1, std::memory_order_relaxed);
+    sh.since_publish = 0;
+  }
+
+  void worker_loop(std::size_t si) {
+    Shard& sh = *shards_[si];
+    std::vector<std::uint64_t> buf(opt_.drain_batch);
+    for (;;) {
+      std::size_t got = 0;
+      for (auto& ring_ptr : sh.rings) {
+        SpscRing& ring = *ring_ptr;
+        const std::size_t depth = ring.size_approx();
+        if (depth > sh.hwm_local) {
+          sh.hwm_local = depth;
+          sh.queue_hwm.store(depth, std::memory_order_relaxed);
+        }
+        std::size_t n;
+        while ((n = ring.drain(buf.data(), buf.size())) > 0) {
+          for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
+          got += n;
+          if (n < buf.size()) break;  // ring (momentarily) empty; next ring
+        }
+      }
+      if (got > 0) {
+        sh.inserted.fetch_add(got, std::memory_order_relaxed);
+        sh.drains.fetch_add(1, std::memory_order_relaxed);
+        sh.since_publish += got;
+        if (sh.since_publish >= opt_.publish_interval) publish(sh);
+        continue;
+      }
+      // Idle: surface whatever arrived since the last publish so readers
+      // see a fresh snapshot even in quiet periods.
+      if (sh.since_publish > 0) publish(sh);
+      if (stopping_.load(std::memory_order_acquire) && rings_empty(sh)) break;
+      std::this_thread::yield();
+    }
+    publish(sh);  // final state, unconditionally
+  }
+
+  [[nodiscard]] static bool rings_empty(const Shard& sh) {
+    for (const auto& r : sh.rings)
+      if (r->size_approx() > 0) return false;
+    return true;
+  }
+
+  PipelineOptions opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<PaddedCounter> produced_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::int64_t> start_ns_{0};
+  std::atomic<std::int64_t> stop_ns_{0};
+};
+
+}  // namespace she::runtime

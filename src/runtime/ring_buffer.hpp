@@ -1,0 +1,96 @@
+// SpscRing — bounded lock-free single-producer/single-consumer queue.
+//
+// The ingest runtime gives every (producer, shard) pair its own ring, so
+// each ring has exactly one writer and one reader and needs no CAS loops:
+// the producer publishes a slot with a release store of `tail_`, the
+// consumer acquires it, and both sides keep a cached copy of the opposite
+// index so the common case touches only one shared cache line.  Indices are
+// free-running 64-bit counters (never wrapped), which makes full/empty
+// tests simple subtractions and sidesteps the classic "one slot wasted"
+// scheme.  Head and tail live on separate cache lines to avoid false
+// sharing between the two threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace she::runtime {
+
+/// Alignment that keeps producer- and consumer-owned state on distinct
+/// cache lines (std::hardware_destructive_interference_size is still
+/// patchy across toolchains; 64 covers x86 and common ARM parts).
+inline constexpr std::size_t kCacheLine = 64;
+
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 1).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side.  Returns false when the ring is full.
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool try_pop(std::uint64_t& v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    v = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop up to `max` items into `out`, preserving order.
+  std::size_t drain(std::uint64_t* out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = avail < max ? static_cast<std::size_t>(avail) : max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(head + i) & mask_];
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate depth; exact when called by the consumer.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};   // next pop
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};   // next push
+  alignas(kCacheLine) std::uint64_t cached_head_ = 0;        // producer-owned
+  alignas(kCacheLine) std::uint64_t cached_tail_ = 0;        // consumer-owned
+};
+
+}  // namespace she::runtime

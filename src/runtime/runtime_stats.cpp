@@ -1,0 +1,48 @@
+#include "runtime/runtime_stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace she::runtime {
+
+void RuntimeStats::print(std::ostream& os) const {
+  os << "pipeline: " << shards << " shard(s) x " << producers
+     << " producer(s)\n";
+  os << "  produced " << produced << "  inserted " << inserted << "  dropped "
+     << dropped << "\n";
+  os << "  drains " << drains << "  snapshot publishes " << publishes
+     << "  queue high-water " << queue_hwm << "\n";
+  os << "  elapsed " << elapsed_seconds << " s  ->  " << items_per_sec
+     << " items/s\n";
+  if (per_shard.size() > 1) {
+    Table t({"shard", "inserted", "dropped", "drains", "publishes", "hwm"});
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+      const ShardStats& sh = per_shard[s];
+      t.add(s, sh.inserted, sh.dropped, sh.drains, sh.publishes, sh.queue_hwm);
+    }
+    t.print(os);
+  }
+}
+
+std::string RuntimeStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"shards\":" << shards << ",\"producers\":" << producers
+     << ",\"produced\":" << produced << ",\"inserted\":" << inserted
+     << ",\"dropped\":" << dropped << ",\"drains\":" << drains
+     << ",\"publishes\":" << publishes << ",\"queue_hwm\":" << queue_hwm
+     << ",\"elapsed_seconds\":" << elapsed_seconds
+     << ",\"items_per_sec\":" << items_per_sec << ",\"per_shard\":[";
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const ShardStats& sh = per_shard[s];
+    if (s) os << ",";
+    os << "{\"inserted\":" << sh.inserted << ",\"dropped\":" << sh.dropped
+       << ",\"drains\":" << sh.drains << ",\"publishes\":" << sh.publishes
+       << ",\"queue_hwm\":" << sh.queue_hwm << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace she::runtime

@@ -1,0 +1,45 @@
+// RuntimeStats — observability report for the ingest pipeline.
+//
+// Counters are accumulated with relaxed atomics on the hot paths and
+// collected into this plain struct by IngestPipeline::stats(); the JSON
+// form is what `she_tool pipeline --json` and bench/pipeline_throughput
+// emit so runs are machine-comparable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace she::runtime {
+
+struct ShardStats {
+  std::uint64_t inserted = 0;   ///< items drained into the estimator
+  std::uint64_t dropped = 0;    ///< pushes rejected under DropNewest
+  std::uint64_t drains = 0;     ///< non-empty drain sweeps
+  std::uint64_t publishes = 0;  ///< snapshot publications
+  std::uint64_t queue_hwm = 0;  ///< deepest single ring observed
+};
+
+struct RuntimeStats {
+  std::size_t shards = 0;
+  std::size_t producers = 0;
+  std::uint64_t produced = 0;   ///< accepted pushes across producers
+  std::uint64_t inserted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t queue_hwm = 0;  ///< max over shards
+  double elapsed_seconds = 0;   ///< start() until close() (or stats() call)
+  double items_per_sec = 0;     ///< inserted / elapsed
+  std::vector<ShardStats> per_shard;
+
+  /// One-line-per-field human summary plus a per-shard table.
+  void print(std::ostream& os) const;
+
+  /// Compact single-object JSON (per-shard stats inlined as an array).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace she::runtime

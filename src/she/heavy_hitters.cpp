@@ -61,6 +61,24 @@ std::vector<HeavyHitters::Entry> HeavyHitters::top(std::size_t k) const {
   return out;
 }
 
+std::vector<HeavyHitters::Entry> HeavyHitters::candidates() const {
+  std::vector<Entry> out;
+  out.reserve(candidates_.size());
+  for (const auto& [key, est] : candidates_) out.push_back({key, est});
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return out;
+}
+
+void HeavyHitters::restore_candidates(const std::vector<Entry>& entries) {
+  candidates_.clear();
+  for (const Entry& e : entries) {
+    if (candidates_.size() >= capacity_) break;
+    candidates_.emplace(e.key, e.estimate);
+  }
+  since_refresh_ = 0;
+}
+
 void HeavyHitters::clear() {
   sketch_.clear();
   candidates_.clear();

@@ -55,6 +55,14 @@ class HeavyHitters {
     since_refresh_ = 0;
   }
 
+  /// The stored candidate table (admission/refresh-time estimates),
+  /// sorted by key for deterministic serialization.
+  [[nodiscard]] std::vector<Entry> candidates() const;
+
+  /// Re-seed the candidate table after restore_sketch (entries beyond
+  /// capacity are ignored), so top() answers survive a checkpoint.
+  void restore_candidates(const std::vector<Entry>& entries);
+
   [[nodiscard]] std::uint64_t time() const { return sketch_.time(); }
   [[nodiscard]] std::size_t candidate_count() const { return candidates_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -133,6 +133,65 @@ void StreamMonitor::clear() {
   if (freq_) freq_->clear();
 }
 
+namespace {
+
+// Per-shard slice of the global monitor config: window, budget and the
+// cardinality hint divide by the shard count (Sharded<T>'s window
+// semantics); heavy-hitter slots stay full so per-shard top-k lists merge
+// without starving any shard.
+MonitorConfig shard_monitor_config(const MonitorConfig& global,
+                                   std::size_t shards, std::size_t idx) {
+  MonitorConfig c = global;
+  c.window = std::max<std::uint64_t>(1, global.window / shards);
+  c.memory_bytes = std::max<std::size_t>(1024, global.memory_bytes / shards);
+  if (global.expected_cardinality > 0)
+    c.expected_cardinality =
+        global.expected_cardinality / static_cast<double>(shards);
+  c.seed = global.seed + static_cast<std::uint32_t>(idx) * 0x9e3779b9u;
+  return c;
+}
+
+}  // namespace
+
+ConcurrentMonitor::ConcurrentMonitor(const MonitorConfig& monitor,
+                                     const runtime::PipelineOptions& pipeline)
+    : pipe_(pipeline, [&](std::size_t s) {
+        return StreamMonitor(
+            shard_monitor_config(monitor, pipeline.shards, s));
+      }) {}
+
+bool ConcurrentMonitor::seen(std::uint64_t key) const {
+  return pipe_.snapshot(pipe_.shard_of(key)).seen(key);
+}
+
+std::uint64_t ConcurrentMonitor::frequency(std::uint64_t key) const {
+  return pipe_.snapshot(pipe_.shard_of(key)).frequency(key);
+}
+
+MonitorReport ConcurrentMonitor::report(std::size_t top_k) const {
+  MonitorReport rep;
+  double cardinality = 0;
+  bool have_cardinality = false;
+  for (std::size_t s = 0; s < pipe_.shard_count(); ++s) {
+    StreamMonitor shard = pipe_.snapshot(s);
+    MonitorReport local = shard.report(top_k);
+    rep.items += local.items;
+    if (local.cardinality) {
+      cardinality += *local.cardinality;
+      have_cardinality = true;
+    }
+    rep.top.insert(rep.top.end(), local.top.begin(), local.top.end());
+  }
+  if (have_cardinality) rep.cardinality = cardinality;
+  std::sort(rep.top.begin(), rep.top.end(),
+            [](const HeavyHitters::Entry& a, const HeavyHitters::Entry& b) {
+              return a.estimate != b.estimate ? a.estimate > b.estimate
+                                              : a.key < b.key;
+            });
+  if (rep.top.size() > top_k) rep.top.resize(top_k);
+  return rep;
+}
+
 std::size_t StreamMonitor::memory_bytes() const {
   std::size_t total = 0;
   if (membership_) total += membership_->memory_bytes();
@@ -154,12 +213,21 @@ void StreamMonitor::save(BinaryWriter& out) const {
   out.u64(cfg_.heavy_hitter_slots);
   out.u32(cfg_.seed);
   out.u64(time_);
-  // Sub-sketches in a fixed order.  HeavyHitters' candidate table is
-  // rebuilt from the stream after restore; persist only its sketch.
+  // Sub-sketches in a fixed order; HeavyHitters persists its sketch plus
+  // the candidate table so top() answers survive a restore (load-bearing
+  // for ConcurrentMonitor, whose queries only ever see checkpoints).
   if (membership_) membership_->save(out);
   if (card_bm_) card_bm_->save(out);
   if (card_hll_) card_hll_->save(out);
-  if (freq_) freq_->sketch().save(out);
+  if (freq_) {
+    freq_->sketch().save(out);
+    auto cands = freq_->candidates();
+    out.u64(cands.size());
+    for (const auto& e : cands) {
+      out.u64(e.key);
+      out.u64(e.estimate);
+    }
+  }
 }
 
 StreamMonitor StreamMonitor::load(BinaryReader& in) {
@@ -179,7 +247,15 @@ StreamMonitor StreamMonitor::load(BinaryReader& in) {
   if (mon.membership_) mon.membership_ = SheBloomFilter::load(in);
   if (mon.card_bm_) mon.card_bm_ = SheBitmap::load(in);
   if (mon.card_hll_) mon.card_hll_ = SheHyperLogLog::load(in);
-  if (mon.freq_) mon.freq_->restore_sketch(SheCountMin::load(in));
+  if (mon.freq_) {
+    mon.freq_->restore_sketch(SheCountMin::load(in));
+    std::vector<HeavyHitters::Entry> cands(in.u64());
+    for (auto& e : cands) {
+      e.key = in.u64();
+      e.estimate = in.u64();
+    }
+    mon.freq_->restore_candidates(cands);
+  }
   return mon;
 }
 

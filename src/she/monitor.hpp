@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/io.hpp"
+#include "runtime/ingest_pipeline.hpp"
 #include "she/heavy_hitters.hpp"
 #include "she/she_bloom.hpp"
 #include "she/she_bitmap.hpp"
@@ -79,6 +80,57 @@ class StreamMonitor {
   std::optional<SheBitmap> card_bm_;
   std::optional<SheHyperLogLog> card_hll_;
   std::optional<HeavyHitters> freq_;
+};
+
+/// ConcurrentMonitor — StreamMonitor behind the ingest runtime.
+///
+/// Shards one logical monitor across `pipeline.shards` StreamMonitors
+/// (window and budget split evenly, same key routing as Sharded<T>), feeds
+/// them from `pipeline.producers` threads through lock-free rings, and
+/// answers queries *while the stream is being ingested* from the shards'
+/// seqlock-published snapshots: membership and frequency go to the owning
+/// shard, cardinality sums across shards, top-k merges (shard key spaces
+/// are disjoint).  Queries are safe from any thread at any time; push()
+/// follows the IngestPipeline threading contract (one thread per producer
+/// index, join producers before close()).
+class ConcurrentMonitor {
+ public:
+  ConcurrentMonitor(const MonitorConfig& monitor,
+                    const runtime::PipelineOptions& pipeline);
+
+  /// Launch the shard workers (producers may enqueue before this).
+  void start() { pipe_.start(); }
+
+  /// Drain everything accepted, publish final snapshots, join workers.
+  void close() { pipe_.close(); }
+
+  /// Route one item from producer `producer`; false = rejected
+  /// (DropNewest backpressure or closing).
+  bool push(std::size_t producer, std::uint64_t key) {
+    return pipe_.push(producer, key);
+  }
+
+  /// Snapshot queries (see class comment for semantics).
+  [[nodiscard]] bool seen(std::uint64_t key) const;
+  [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
+  [[nodiscard]] MonitorReport report(std::size_t top_k = 10) const;
+
+  /// Owning-shard snapshot for batching several queries against one read.
+  [[nodiscard]] StreamMonitor shard_snapshot(std::size_t s) const {
+    return pipe_.snapshot(s);
+  }
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const {
+    return pipe_.shard_of(key);
+  }
+  [[nodiscard]] std::size_t shard_count() const { return pipe_.shard_count(); }
+
+  [[nodiscard]] runtime::RuntimeStats stats() const { return pipe_.stats(); }
+  [[nodiscard]] const runtime::PipelineOptions& options() const {
+    return pipe_.options();
+  }
+
+ private:
+  runtime::IngestPipeline<StreamMonitor> pipe_;
 };
 
 }  // namespace she

@@ -20,6 +20,7 @@
 // order, so the result is bit-identical to sequential routing (tested).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -91,7 +92,12 @@ void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
   for (auto& p : parts) p.reserve(keys.size() / n_shards + 16);
   for (std::uint64_t key : keys) parts[shard_of(key)].push_back(key);
 
-  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;  // unknown hardware: stay serial
+  }
+  // A thread beyond n_shards would own no shard; don't spawn it.
+  threads = std::min(threads, static_cast<unsigned>(n_shards));
   if (threads <= 1 || n_shards == 1) {
     for (std::size_t s = 0; s < n_shards; ++s)
       for (std::uint64_t key : parts[s]) shards_[s].insert(key);

@@ -169,6 +169,39 @@ TEST(Cli, FrequencyPrintsTopK) {
   EXPECT_EQ(rows, 5u);
 }
 
+TEST(Cli, PipelineRunsAndReportsStats) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "caida", "--length",
+                    "120000", "--window", "16384", "--memory", "512K",
+                    "--shards", "2", "--producers", "2", "--queue", "1024",
+                    "--query-interval-ms", "5", "--top", "3"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("items/s"), std::string::npos);
+  EXPECT_NE(out.str().find("queries during ingest"), std::string::npos);
+  EXPECT_NE(out.str().find("final cardinality"), std::string::npos);
+}
+
+TEST(Cli, PipelineJsonOutput) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                    "--length", "60000", "--window", "8192", "--shards", "2",
+                    "--producers", "1", "--policy", "drop", "--json"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_EQ(out.str().front(), '{');
+  EXPECT_NE(out.str().find("\"items_per_sec\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"per_shard\""), std::string::npos);
+}
+
+TEST(Cli, PipelineRejectsBadPolicy) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "pipeline", "--length", "1000", "--policy",
+                     "yolo"},
+                    out),
+            2);
+}
+
 TEST(Cli, SimilaritySyntheticPair) {
   std::ostringstream out;
   int rc = run_cli({"she_tool", "similarity", "--length", "100000",

@@ -113,9 +113,20 @@ TEST(Monitor, CheckpointRoundTrip) {
     std::uint64_t probe = hash64(p, 9);
     ASSERT_EQ(back.seen(probe), mon.seen(probe));
   }
-  // Point frequencies identical (candidate table rebuilds, sketch exact).
+  // Point frequencies identical (sketch roundtrips exactly).
   for (std::size_t i = trace.size() - 200; i < trace.size(); ++i)
     ASSERT_EQ(back.frequency(trace[i]), mon.frequency(trace[i]));
+  // Heavy-hitter candidates travel with the checkpoint, so top-k answers
+  // are identical immediately after restore (not only after a re-warm).
+  {
+    auto before = mon.report(5).top;
+    auto after = back.report(5).top;
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after[i].key, before[i].key);
+      EXPECT_EQ(after[i].estimate, before[i].estimate);
+    }
+  }
   // Both continue identically.
   auto more = stream::distinct_trace(1000, 11);
   for (auto k : more) {

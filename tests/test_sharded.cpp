@@ -79,6 +79,19 @@ TEST(Sharded, BulkSingleThreadPathEquivalentToo) {
     ASSERT_EQ(sharded_contains(seq, trace[i]), sharded_contains(bulk, trace[i]));
 }
 
+TEST(Sharded, BulkCapsThreadsAtShardCount) {
+  // More threads than shards must not spawn empty workers (and certainly
+  // not change the result).
+  constexpr std::uint64_t kWindow = 4096;
+  auto seq = make_sharded_bf(3, kWindow);
+  auto bulk = make_sharded_bf(3, kWindow);
+  auto trace = stream::distinct_trace(2 * kWindow, 29);
+  for (auto k : trace) seq.insert(k);
+  bulk.insert_bulk(trace, 64);
+  for (std::size_t i = 0; i < trace.size(); i += 13)
+    ASSERT_EQ(sharded_contains(seq, trace[i]), sharded_contains(bulk, trace[i]));
+}
+
 TEST(Sharded, DeepInWindowItemsAlwaysFound) {
   // Sharding blurs the window edge by O(sqrt(N/S)), but items within half
   // the window must still always be present.

@@ -8,6 +8,8 @@
 //   cardinality  sliding distinct count (SHE-BM or SHE-HLL) vs oracle
 //   frequency    sliding top-k heavy hitters (SHE-CM + HeavyHitters)
 //   similarity   sliding Jaccard between two traces (SHE-MH) vs oracle
+//   pipeline     replay a trace through the concurrent ingest runtime at a
+//                target rate, issuing queries while ingesting
 //   info         describe a trace or estimator checkpoint file
 #pragma once
 
@@ -24,6 +26,7 @@ int cmd_membership(const ArgMap& args, std::ostream& out);
 int cmd_cardinality(const ArgMap& args, std::ostream& out);
 int cmd_frequency(const ArgMap& args, std::ostream& out);
 int cmd_similarity(const ArgMap& args, std::ostream& out);
+int cmd_pipeline(const ArgMap& args, std::ostream& out);
 int cmd_info(const ArgMap& args, std::ostream& out);
 
 /// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown

@@ -13,8 +13,12 @@
 // concurrency is part of the banner.
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common.hpp"
 #include "common/stats.hpp"
@@ -112,7 +116,7 @@ RunResult run_once(const stream::Trace& trace, std::size_t producers,
   return r;
 }
 
-void sweep() {
+void sweep(std::vector<std::string>& json_rows) {
   auto trace = caida_like(kItems);
   std::printf("\n--- Ingest throughput: producers x shards (SHE-BF, %llu "
               "items, Zipf) ---\n",
@@ -129,16 +133,19 @@ void sweep() {
       if (shards == 1) base = r.mips;
       table.add(producers, shards, fmt(r.mips), fmt(r.mips / base),
                 fmt(r.queries_per_sec), r.stats.queue_hwm);
-      std::printf("JSON {\"producers\":%zu,\"shards\":%zu,\"mips\":%g,"
-                  "\"queries_per_sec\":%g,\"stats\":%s}\n",
-                  producers, shards, r.mips, r.queries_per_sec,
-                  r.stats.to_json().c_str());
+      std::ostringstream row;
+      row << "{\"producers\":" << producers << ",\"shards\":" << shards
+          << ",\"mips\":" << r.mips
+          << ",\"queries_per_sec\":" << r.queries_per_sec
+          << ",\"stats\":" << r.stats.to_json() << "}";
+      json_rows.push_back(row.str());
+      std::printf("JSON %s\n", row.str().c_str());
     }
   }
   table.print(std::cout);
 }
 
-void accuracy_under_load() {
+void accuracy_under_load(std::vector<std::string>& json_rows) {
   // Concurrent queries must stay within the single-threaded sharded error
   // envelope: compare final snapshot cardinality (SHE-BM) to the exact
   // oracle, as test_sharded.cpp does offline.
@@ -179,19 +186,52 @@ void accuracy_under_load() {
     pipe.close();
     (void)fed;
     table.add(shards, fmt(err.mean()));
+    std::ostringstream row;
+    row << "{\"shards\":" << shards << ",\"mean_re\":" << err.mean()
+        << ",\"samples\":" << fed << "}";
+    json_rows.push_back(row.str());
   }
   table.print(std::cout);
+}
+
+/// Write every sweep and accuracy row into one machine-readable document so
+/// CI can diff runs across hosts without scraping stdout.
+void write_report(const std::string& path,
+                  const std::vector<std::string>& sweep_rows,
+                  const std::vector<std::string>& accuracy_rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  auto emit = [&os](const std::vector<std::string>& rows) {
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      os << (i ? ",\n    " : "") << rows[i];
+  };
+  os << "{\n  \"schema_version\": 1,\n  \"bench\": \"pipeline_throughput\",\n"
+     << "  \"items\": " << kItems << ",\n  \"window\": " << kN << ",\n"
+     << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ",\n  \"sweep\": [\n    ";
+  emit(sweep_rows);
+  os << "\n  ],\n  \"accuracy_under_load\": [\n    ";
+  emit(accuracy_rows);
+  os << "\n  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace
 }  // namespace she::bench
 
-int main() {
+int main(int argc, char** argv) {
   she::bench::banner("Pipeline throughput — concurrent ingest runtime",
                      "Lock-free shard pipelines: aggregate insert throughput "
                      "across producers x shards with concurrent snapshot "
                      "queries, plus queries-under-load accuracy.");
-  she::bench::sweep();
-  she::bench::accuracy_under_load();
+  std::vector<std::string> sweep_rows;
+  std::vector<std::string> accuracy_rows;
+  she::bench::sweep(sweep_rows);
+  she::bench::accuracy_under_load(accuracy_rows);
+  she::bench::write_report(argc > 1 ? argv[1] : "BENCH_pipeline.json",
+                           sweep_rows, accuracy_rows);
   return 0;
 }

@@ -1,0 +1,199 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace she::obs {
+namespace {
+
+const char* type_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Prometheus label-value / HELP escaping: backslash, quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Renders `{a="1",b="2"}`, with `extra` (e.g. le="+Inf") appended last;
+/// empty label sets with no extra render as nothing.
+std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    if (out.size() > 1) out += ',';
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (out.size() > 1) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// All entries across `registries`, grouped into families by name in
+/// first-appearance order (Prometheus requires one HELP/TYPE per name).
+std::vector<std::vector<Registry::Entry>> families(
+    std::span<const Registry* const> registries) {
+  std::vector<std::vector<Registry::Entry>> out;
+  for (const Registry* reg : registries) {
+    if (reg == nullptr) continue;
+    for (Registry::Entry& e : reg->entries()) {
+      auto it = std::find_if(out.begin(), out.end(), [&](const auto& fam) {
+        return fam.front().name == e.name;
+      });
+      if (it == out.end()) {
+        out.emplace_back().push_back(std::move(e));
+      } else {
+        it->push_back(std::move(e));
+      }
+    }
+  }
+  return out;
+}
+
+void write_histogram_prom(std::ostream& os, const Registry::Entry& e) {
+  const Histogram::Snapshot snap = e.histogram->snapshot();
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    cum += snap.buckets[i];
+    os << e.name << "_bucket"
+       << prom_labels(e.labels, "le=\"" +
+                                    std::to_string(Histogram::upper_bound(i)) +
+                                    "\"")
+       << ' ' << cum << '\n';
+  }
+  os << e.name << "_bucket" << prom_labels(e.labels, "le=\"+Inf\"") << ' '
+     << snap.count << '\n';
+  os << e.name << "_sum" << prom_labels(e.labels) << ' ' << snap.sum << '\n';
+  os << e.name << "_count" << prom_labels(e.labels) << ' ' << snap.count
+     << '\n';
+}
+
+void write_json_labels(std::ostream& os, const Labels& labels) {
+  if (labels.empty()) return;
+  os << ",\"labels\":{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(labels[i].first) << "\":\""
+       << json_escape(labels[i].second) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os,
+                      std::span<const Registry* const> registries) {
+  for (const auto& fam : families(registries)) {
+    const Registry::Entry& head = fam.front();
+    os << "# HELP " << head.name << ' ' << prom_escape(head.help) << '\n';
+    os << "# TYPE " << head.name << ' ' << type_name(head.kind) << '\n';
+    for (const Registry::Entry& e : fam) {
+      switch (e.kind) {
+        case Kind::kCounter:
+          os << e.name << prom_labels(e.labels) << ' ' << e.counter->value()
+             << '\n';
+          break;
+        case Kind::kGauge:
+          os << e.name << prom_labels(e.labels) << ' ' << e.gauge->value()
+             << '\n';
+          break;
+        case Kind::kHistogram:
+          write_histogram_prom(os, e);
+          break;
+      }
+    }
+  }
+}
+
+void write_prometheus(std::ostream& os, const Registry& registry) {
+  const Registry* one[] = {&registry};
+  write_prometheus(os, one);
+}
+
+void write_json(std::ostream& os,
+                std::span<const Registry* const> registries) {
+  os << "{\"schema_version\":1,\"metrics\":[";
+  bool first = true;
+  for (const auto& fam : families(registries)) {
+    for (const Registry::Entry& e : fam) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"" << json_escape(e.name) << "\",\"type\":\""
+         << type_name(e.kind) << '"';
+      write_json_labels(os, e.labels);
+      switch (e.kind) {
+        case Kind::kCounter:
+          os << ",\"value\":" << e.counter->value();
+          break;
+        case Kind::kGauge:
+          os << ",\"value\":" << e.gauge->value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = e.histogram->snapshot();
+          os << ",\"count\":" << snap.count << ",\"sum\":" << snap.sum
+             << ",\"buckets\":[";
+          bool bfirst = true;
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (snap.buckets[i] == 0) continue;
+            if (!bfirst) os << ',';
+            bfirst = false;
+            os << "{\"le\":" << Histogram::upper_bound(i)
+               << ",\"count\":" << snap.buckets[i] << '}';
+          }
+          os << ']';
+          break;
+        }
+      }
+      os << '}';
+    }
+  }
+  os << "]}";
+}
+
+void write_json(std::ostream& os, const Registry& registry) {
+  const Registry* one[] = {&registry};
+  write_json(os, one);
+}
+
+}  // namespace she::obs

@@ -1,0 +1,35 @@
+// Registry exporters: Prometheus text exposition format and JSON.
+//
+// Both walk one or more registries (e.g. the process-wide SHE-internals
+// registry plus a pipeline's private registry) and render every time
+// series.  Same-name entries across registries are merged into one metric
+// family so the output stays valid Prometheus exposition.
+//
+// Histograms render the Prometheus way — cumulative `_bucket{le="..."}`
+// series ending in `le="+Inf"`, plus `_sum` and `_count` — while the JSON
+// form keeps per-bucket (non-cumulative) counts so consumers can re-bin
+// without differencing.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace she::obs {
+
+/// Prometheus text exposition format (version 0.0.4).
+void write_prometheus(std::ostream& os,
+                      std::span<const Registry* const> registries);
+void write_prometheus(std::ostream& os, const Registry& registry);
+
+/// One JSON object: {"schema_version":1,"metrics":[...]}.
+void write_json(std::ostream& os, std::span<const Registry* const> registries);
+void write_json(std::ostream& os, const Registry& registry);
+
+/// Escape a string for use inside a JSON string literal (shared with
+/// RuntimeStats::to_json and the exporters' label rendering).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace she::obs

@@ -1,0 +1,32 @@
+#include "obs/she_metrics.hpp"
+
+namespace she::obs {
+
+SheMetrics& she_metrics() {
+  static SheMetrics m = [] {
+    Registry& r = default_registry();
+    const std::string cells = "she_query_cells_total";
+    const std::string cells_help =
+        "clock slots classified while answering queries, by age class";
+    return SheMetrics{
+        r.counter("she_groupclock_lazy_clean_total",
+                  "groups reset on access (CheckGroup found a stale mark)"),
+        r.counter("she_groupclock_mark_flips_total",
+                  "cleaning-cycle boundaries crossed, summed over lazy "
+                  "cleans"),
+        r.counter("she_hash_calls_total",
+                  "BobHash invocations from SHE estimator insert/query "
+                  "paths"),
+        r.counter("she_queries_total", "estimator query-path invocations"),
+        r.counter(cells, cells_help, {{"age_class", "young"}}),
+        r.counter(cells, cells_help, {{"age_class", "perfect"}}),
+        r.counter(cells, cells_help, {{"age_class", "aged"}}),
+        r.counter("she_cm_all_young_queries_total",
+                  "SHE-CM queries whose probes were all young (best-effort "
+                  "fallback)"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace she::obs

@@ -1,0 +1,73 @@
+// SHE-internals metric handles — one lazily-built bundle of references into
+// default_registry(), so hot paths pay a function-local-static check plus a
+// relaxed increment instead of a name lookup.
+//
+// Call sites gate on obs::enabled() *before* touching the bundle; the
+// bundle itself never checks, so cold paths (export, tests) can read the
+// counters regardless of the toggle.
+//
+// Metric catalog (see docs/INTERNALS.md "Telemetry"):
+//   she_groupclock_lazy_clean_total   groups reset on access (CheckGroup hit)
+//   she_groupclock_mark_flips_total   cleaning-cycle boundaries crossed,
+//                                     summed over lazy cleans (>= cleans;
+//                                     the excess is aliasing with 1-bit marks)
+//   she_hash_calls_total              BobHash invocations from SHE estimators
+//   she_queries_total                 estimator query-path invocations
+//   she_query_cells_total{age_class=} clock slots classified while answering
+//                                     queries: young (< window), perfect
+//                                     (== window), aged (> window)
+//   she_cm_all_young_queries_total    SHE-CM queries whose probes were all
+//                                     young (best-effort fallback taken)
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace she::obs {
+
+struct SheMetrics {
+  Counter& groupclock_lazy_clean;
+  Counter& groupclock_mark_flips;
+  Counter& hash_calls;
+  Counter& queries;
+  Counter& query_cells_young;
+  Counter& query_cells_perfect;
+  Counter& query_cells_aged;
+  Counter& cm_all_young_queries;
+};
+
+/// The process-wide bundle (registered in default_registry on first use).
+[[nodiscard]] SheMetrics& she_metrics();
+
+/// Per-query accumulator for the young/perfect/aged classification: queries
+/// tally locally (plain ints, no atomics inside the query loop) and commit
+/// once on every exit path.
+struct AgeClassCounts {
+  std::uint64_t young = 0;
+  std::uint64_t perfect = 0;
+  std::uint64_t aged = 0;
+
+  void add(std::uint64_t age, std::uint64_t window) noexcept {
+    if (age < window) ++young;
+    else if (age == window) ++perfect;
+    else ++aged;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return young + perfect + aged;
+  }
+
+  /// Flush into the registry and count one query.  `track` is the
+  /// obs::enabled() value the caller sampled at query entry.
+  void commit(bool track) const {
+    if (!track) return;
+    SheMetrics& m = she_metrics();
+    m.queries.inc();
+    if (young > 0) m.query_cells_young.inc(young);
+    if (perfect > 0) m.query_cells_perfect.inc(perfect);
+    if (aged > 0) m.query_cells_aged.inc(aged);
+  }
+};
+
+}  // namespace she::obs

@@ -14,8 +14,17 @@
 //
 // Backpressure on a full ring is explicit: `Block` (spin-yield until space;
 // never loses an accepted item) or `DropNewest` (reject the push, counted
-// per shard).  RuntimeStats reports items/sec, drops, drains, publishes
-// and queue-depth high-water marks.
+// per shard).
+//
+// Observability: every pipeline owns a private obs::Registry (always on,
+// independent of the global obs::enabled() toggle) holding the per-shard
+// counters, drain/publish latency histograms, queue-depth gauges and
+// backpressure stall time; RuntimeStats is a plain-struct view over it
+// (see stats()).  Push latency is sampled (1 in 64) only while the global
+// telemetry toggle is enabled, so the producer hot path stays one ring
+// push + one counter increment otherwise.  An optional sampler thread
+// (PipelineOptions::sample_interval_ms) refreshes the queue-depth gauges
+// during quiet periods.
 //
 // Estimator requirements: movable, `insert(uint64_t)`,
 // `save(BinaryWriter&) const`, `static load(BinaryReader&)`.  Every SHE
@@ -24,7 +33,8 @@
 // Threading contract:
 //   * push(producer, key): producer `p`'s pushes must be serialized (one
 //     thread per producer index); different producers are independent.
-//   * snapshot()/stats()/shard_of(): any thread, any time.
+//   * snapshot()/stats()/shard_of()/metrics_registry(): any thread, any
+//     time.
 //   * start()/close(): one controlling thread; do not call push()
 //     concurrently with close() — join your producers first.  close() on
 //     a never-started pipeline drains the queues inline.
@@ -46,6 +56,7 @@
 #include <vector>
 
 #include "common/bobhash.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/snapshot.hpp"
@@ -71,6 +82,8 @@ struct PipelineOptions {
   Backpressure policy = Backpressure::kBlock;
   std::uint64_t route_seed = 0x5ead5eedULL;  ///< Sharded's default
   std::size_t snapshot_slack_bytes = 4096;   ///< slot headroom over 2x image
+  std::size_t sample_interval_ms = 0;  ///< queue-depth sampler period; 0 = no
+                                       ///< background sampler thread
 
   void validate() const;  ///< throws std::invalid_argument on bad fields
 };
@@ -85,10 +98,24 @@ class IngestPipeline {
   IngestPipeline(const PipelineOptions& opt, const Factory& factory)
       : opt_(opt) {
     opt_.validate();
+    drain_hist_ = &registry_.histogram(
+        "she_pipeline_drain_latency_ns",
+        "wall time of one non-empty ring drain sweep, ns");
+    publish_hist_ = &registry_.histogram(
+        "she_pipeline_publish_latency_ns",
+        "serialize + seqlock publish of one shard snapshot, ns");
+    push_hist_ = &registry_.histogram(
+        "she_pipeline_push_latency_ns",
+        "producer push() wall time, 1-in-64 sampled while telemetry is "
+        "enabled, ns");
+    stall_ns_ = &registry_.counter(
+        "she_pipeline_stall_ns_total",
+        "producer time spent spin-yielding on full rings (Block policy), ns");
     std::vector<char> image;
     shards_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s) {
       auto sh = std::make_unique<Shard>(factory(s));
+      bind_metrics(*sh, s);
       serialize_to(image, sh->est);
       sh->snap = std::make_unique<SeqlockSlot>(2 * image.size() +
                                                opt_.snapshot_slack_bytes);
@@ -98,7 +125,11 @@ class IngestPipeline {
         sh->rings.push_back(std::make_unique<SpscRing>(opt_.queue_capacity));
       shards_.push_back(std::move(sh));
     }
-    produced_ = std::vector<PaddedCounter>(opt_.producers);
+    produced_.reserve(opt_.producers);
+    for (std::size_t p = 0; p < opt_.producers; ++p)
+      produced_.push_back(&registry_.counter(
+          "she_pipeline_produced_total", "accepted pushes per producer",
+          {{"producer", std::to_string(p)}}));
     start_ns_.store(now_ns(), std::memory_order_relaxed);
   }
 
@@ -115,7 +146,8 @@ class IngestPipeline {
     return static_cast<std::size_t>(hash64(key, opt_.route_seed) % opt_.shards);
   }
 
-  /// Launch one worker thread per shard.
+  /// Launch one worker thread per shard (plus the queue-depth sampler when
+  /// configured).
   void start() {
     if (started_.load(std::memory_order_relaxed))
       throw std::logic_error("IngestPipeline: already started");
@@ -126,26 +158,39 @@ class IngestPipeline {
     workers_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s)
       workers_.emplace_back([this, s] { worker_loop(s); });
+    if (opt_.sample_interval_ms > 0)
+      sampler_ = std::thread([this] { sampler_loop(); });
   }
 
   /// Route one key from producer `producer` to its shard's ring.
   /// Returns false iff the item was not accepted (DropNewest and the ring
   /// is full, or the pipeline is closing).
   bool push(std::size_t producer, std::uint64_t key) {
+    thread_local std::uint64_t push_seq = 0;
+    const bool timed = obs::enabled() && ((++push_seq & 63u) == 0);
+    const std::int64_t t0 = timed ? now_ns() : 0;
     Shard& sh = *shards_[shard_of(key)];
     SpscRing& ring = *sh.rings[producer];
     if (!accepting_.load(std::memory_order_acquire)) return false;
     if (!ring.try_push(key)) {
       if (opt_.policy == Backpressure::kDropNewest) {
-        sh.dropped.fetch_add(1, std::memory_order_relaxed);
+        sh.dropped->inc();
         return false;
       }
-      do {
-        if (!accepting_.load(std::memory_order_acquire)) return false;
+      const std::int64_t stall_start = now_ns();
+      for (;;) {
+        if (!accepting_.load(std::memory_order_acquire)) {
+          stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
+          return false;
+        }
         std::this_thread::yield();
-      } while (!ring.try_push(key));
+        if (ring.try_push(key)) break;
+      }
+      stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
     }
-    produced_[producer].value.fetch_add(1, std::memory_order_relaxed);
+    produced_[producer]->inc();
+    if (timed)
+      push_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
     return true;
   }
 
@@ -167,6 +212,7 @@ class IngestPipeline {
     if (started_.load(std::memory_order_relaxed)) {
       for (auto& t : workers_) t.join();
       workers_.clear();
+      if (sampler_.joinable()) sampler_.join();
     } else {
       for (std::size_t s = 0; s < opt_.shards; ++s) worker_loop(s);
     }
@@ -187,6 +233,14 @@ class IngestPipeline {
     return *shards_[s]->snap;
   }
 
+  /// The pipeline's private metric registry (always on); export it with
+  /// obs::write_prometheus / obs::write_json, typically alongside
+  /// obs::default_registry().
+  [[nodiscard]] const obs::Registry& metrics_registry() const {
+    return registry_;
+  }
+
+  /// Plain-struct view over the registry counters (see RuntimeStats).
   [[nodiscard]] RuntimeStats stats() const {
     RuntimeStats st;
     st.shards = opt_.shards;
@@ -194,11 +248,11 @@ class IngestPipeline {
     st.per_shard.reserve(opt_.shards);
     for (const auto& sh : shards_) {
       ShardStats ss;
-      ss.inserted = sh->inserted.load(std::memory_order_relaxed);
-      ss.dropped = sh->dropped.load(std::memory_order_relaxed);
-      ss.drains = sh->drains.load(std::memory_order_relaxed);
-      ss.publishes = sh->publishes.load(std::memory_order_relaxed);
-      ss.queue_hwm = sh->queue_hwm.load(std::memory_order_relaxed);
+      ss.inserted = sh->inserted->value();
+      ss.dropped = sh->dropped->value();
+      ss.drains = sh->drains->value();
+      ss.publishes = sh->publishes->value();
+      ss.queue_hwm = static_cast<std::uint64_t>(sh->queue_hwm->value());
       st.inserted += ss.inserted;
       st.dropped += ss.dropped;
       st.drains += ss.drains;
@@ -206,23 +260,16 @@ class IngestPipeline {
       st.queue_hwm = std::max(st.queue_hwm, ss.queue_hwm);
       st.per_shard.push_back(ss);
     }
-    for (const auto& c : produced_)
-      st.produced += c.value.load(std::memory_order_relaxed);
+    for (const obs::Counter* c : produced_) st.produced += c->value();
     const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
     const std::int64_t stop = closed_.load(std::memory_order_relaxed)
                                   ? stop_ns_.load(std::memory_order_relaxed)
                                   : now_ns();
-    st.elapsed_seconds = static_cast<double>(stop - start) / 1e9;
-    if (st.elapsed_seconds > 0)
-      st.items_per_sec = static_cast<double>(st.inserted) / st.elapsed_seconds;
+    st.set_rate(static_cast<double>(stop - start) / 1e9);
     return st;
   }
 
  private:
-  struct PaddedCounter {
-    alignas(kCacheLine) std::atomic<std::uint64_t> value{0};
-  };
-
   struct Shard {
     explicit Shard(Estimator e) : est(std::move(e)) {}
     Estimator est;  ///< worker-owned once start() runs
@@ -231,12 +278,36 @@ class IngestPipeline {
     std::vector<char> scratch;                     ///< worker-only
     std::uint64_t since_publish = 0;               ///< worker-only
     std::uint64_t hwm_local = 0;                   ///< worker-only mirror
-    alignas(kCacheLine) std::atomic<std::uint64_t> inserted{0};
-    std::atomic<std::uint64_t> dropped{0};
-    std::atomic<std::uint64_t> drains{0};
-    std::atomic<std::uint64_t> publishes{0};
-    std::atomic<std::uint64_t> queue_hwm{0};
+    // Registry-owned metrics (see bind_metrics); plain pointers, the
+    // registry outlives the shards.
+    obs::Counter* inserted = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* drains = nullptr;
+    obs::Counter* publishes = nullptr;
+    obs::Gauge* queue_hwm = nullptr;
+    obs::Gauge* queue_depth = nullptr;
   };
+
+  void bind_metrics(Shard& sh, std::size_t s) {
+    const obs::Labels shard_label = {{"shard", std::to_string(s)}};
+    sh.inserted = &registry_.counter("she_pipeline_inserted_total",
+                                     "items drained into the estimator",
+                                     shard_label);
+    sh.dropped = &registry_.counter("she_pipeline_dropped_total",
+                                    "pushes rejected under DropNewest",
+                                    shard_label);
+    sh.drains = &registry_.counter("she_pipeline_drains_total",
+                                   "non-empty drain sweeps", shard_label);
+    sh.publishes = &registry_.counter("she_pipeline_publishes_total",
+                                      "snapshot publications", shard_label);
+    sh.queue_hwm = &registry_.gauge("she_pipeline_queue_hwm",
+                                    "deepest single ring observed",
+                                    shard_label);
+    sh.queue_depth = &registry_.gauge(
+        "she_pipeline_queue_depth",
+        "queued items across the shard's rings (sweep/sampler refreshed)",
+        shard_label);
+  }
 
   static std::int64_t now_ns() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -245,9 +316,11 @@ class IngestPipeline {
   }
 
   void publish(Shard& sh) {
+    const std::int64_t t0 = now_ns();
     serialize_to(sh.scratch, sh.est);
     sh.snap->publish(sh.scratch.data(), sh.scratch.size());
-    sh.publishes.fetch_add(1, std::memory_order_relaxed);
+    publish_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
+    sh.publishes->inc();
     sh.since_publish = 0;
   }
 
@@ -255,13 +328,16 @@ class IngestPipeline {
     Shard& sh = *shards_[si];
     std::vector<std::uint64_t> buf(opt_.drain_batch);
     for (;;) {
+      const std::int64_t sweep_start = now_ns();
       std::size_t got = 0;
+      std::size_t depth_total = 0;
       for (auto& ring_ptr : sh.rings) {
         SpscRing& ring = *ring_ptr;
         const std::size_t depth = ring.size_approx();
+        depth_total += depth;
         if (depth > sh.hwm_local) {
           sh.hwm_local = depth;
-          sh.queue_hwm.store(depth, std::memory_order_relaxed);
+          sh.queue_hwm->max_of(static_cast<std::int64_t>(depth));
         }
         std::size_t n;
         while ((n = ring.drain(buf.data(), buf.size())) > 0) {
@@ -270,9 +346,11 @@ class IngestPipeline {
           if (n < buf.size()) break;  // ring (momentarily) empty; next ring
         }
       }
+      sh.queue_depth->set(static_cast<std::int64_t>(depth_total));
       if (got > 0) {
-        sh.inserted.fetch_add(got, std::memory_order_relaxed);
-        sh.drains.fetch_add(1, std::memory_order_relaxed);
+        drain_hist_->observe(static_cast<std::uint64_t>(now_ns() - sweep_start));
+        sh.inserted->inc(got);
+        sh.drains->inc();
         sh.since_publish += got;
         if (sh.since_publish >= opt_.publish_interval) publish(sh);
         continue;
@@ -286,6 +364,33 @@ class IngestPipeline {
     publish(sh);  // final state, unconditionally
   }
 
+  /// Periodically refresh the queue-depth gauges (and high-water marks) so
+  /// scrapes see backlog even when a worker is wedged inside a long drain.
+  void sampler_loop() {
+    const auto interval = std::chrono::milliseconds(opt_.sample_interval_ms);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      for (const auto& sh : shards_) {
+        std::size_t depth_total = 0;
+        std::size_t deepest = 0;
+        for (const auto& r : sh->rings) {
+          const std::size_t d = r->size_approx();
+          depth_total += d;
+          deepest = std::max(deepest, d);
+        }
+        sh->queue_depth->set(static_cast<std::int64_t>(depth_total));
+        sh->queue_hwm->max_of(static_cast<std::int64_t>(deepest));
+      }
+      // Sleep in small slices so close() is never delayed by a long period.
+      auto remaining = interval;
+      while (remaining.count() > 0 &&
+             !stopping_.load(std::memory_order_acquire)) {
+        const auto slice = std::min(remaining, std::chrono::milliseconds(5));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  }
+
   [[nodiscard]] static bool rings_empty(const Shard& sh) {
     for (const auto& r : sh.rings)
       if (r->size_approx() > 0) return false;
@@ -293,9 +398,15 @@ class IngestPipeline {
   }
 
   PipelineOptions opt_;
+  obs::Registry registry_;  ///< declared before anything holding handles
+  obs::Histogram* drain_hist_ = nullptr;
+  obs::Histogram* publish_hist_ = nullptr;
+  obs::Histogram* push_hist_ = nullptr;
+  obs::Counter* stall_ns_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<PaddedCounter> produced_;
+  std::vector<obs::Counter*> produced_;  ///< one per producer
   std::vector<std::thread> workers_;
+  std::thread sampler_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};

@@ -7,6 +7,17 @@
 
 namespace she::runtime {
 
+void RuntimeStats::set_rate(double elapsed) {
+  elapsed_seconds = elapsed;
+  // Guard the division: a stats() call racing start(), a closed-before-
+  // started pipeline, or coarse clocks can yield elapsed ~ 0 (or < 0);
+  // report a 0 rate instead of inf/NaN so JSON consumers stay numeric.
+  constexpr double kMinElapsed = 1e-9;
+  items_per_sec = elapsed > kMinElapsed
+                      ? static_cast<double>(inserted) / elapsed
+                      : 0.0;
+}
+
 void RuntimeStats::print(std::ostream& os) const {
   os << "pipeline: " << shards << " shard(s) x " << producers
      << " producer(s)\n";
@@ -28,7 +39,8 @@ void RuntimeStats::print(std::ostream& os) const {
 
 std::string RuntimeStats::to_json() const {
   std::ostringstream os;
-  os << "{\"shards\":" << shards << ",\"producers\":" << producers
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"shards\":" << shards
+     << ",\"producers\":" << producers
      << ",\"produced\":" << produced << ",\"inserted\":" << inserted
      << ",\"dropped\":" << dropped << ",\"drains\":" << drains
      << ",\"publishes\":" << publishes << ",\"queue_hwm\":" << queue_hwm

@@ -1,9 +1,11 @@
 // RuntimeStats — observability report for the ingest pipeline.
 //
-// Counters are accumulated with relaxed atomics on the hot paths and
-// collected into this plain struct by IngestPipeline::stats(); the JSON
-// form is what `she_tool pipeline --json` and bench/pipeline_throughput
-// emit so runs are machine-comparable.
+// A plain-struct *view* over the pipeline's metric registry: counters live
+// in obs::Counter/Gauge objects updated on the hot paths, and
+// IngestPipeline::stats() reads them into this snapshot.  The JSON form is
+// what `she_tool pipeline --json` and bench/pipeline_throughput emit so
+// runs are machine-comparable; `schema_version` lets downstream
+// comparisons evolve with the field set.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +25,10 @@ struct ShardStats {
 };
 
 struct RuntimeStats {
+  /// Bumped whenever the JSON field set changes: 1 = seed layout,
+  /// 2 = adds schema_version itself and the registry-backed counters.
+  static constexpr int kSchemaVersion = 2;
+
   std::size_t shards = 0;
   std::size_t producers = 0;
   std::uint64_t produced = 0;   ///< accepted pushes across producers
@@ -34,6 +40,11 @@ struct RuntimeStats {
   double elapsed_seconds = 0;   ///< start() until close() (or stats() call)
   double items_per_sec = 0;     ///< inserted / elapsed
   std::vector<ShardStats> per_shard;
+
+  /// Record the elapsed time and derive items_per_sec from `inserted`,
+  /// guarding against zero/near-zero (or negative, from clock skew)
+  /// elapsed values: rates are reported as 0 rather than inf/NaN.
+  void set_rate(double elapsed);
 
   /// One-line-per-field human summary plus a per-shard table.
   void print(std::ostream& os) const;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/int_math.hpp"
+#include "obs/she_metrics.hpp"
 
 namespace she {
 
@@ -34,8 +35,17 @@ std::uint64_t GroupClock::age(std::size_t gid, std::uint64_t t) const {
 
 bool GroupClock::touch(std::size_t gid, std::uint64_t t) {
   std::uint64_t cur = current_mark(gid, t);
-  if (marks_.get(gid) == cur) return false;
+  std::uint64_t stored = marks_.get(gid);
+  if (stored == cur) return false;
   marks_.set(gid, cur);
+  if (obs::enabled()) {
+    obs::SheMetrics& m = obs::she_metrics();
+    m.groupclock_lazy_clean.inc();
+    // Boundaries crossed since the last touch, modulo the mark space; with
+    // b-bit marks a lag of exactly 2^b cycles is invisible (the aliasing
+    // error of Sec. 5.1), so this undercounts precisely when that occurs.
+    m.groupclock_mark_flips.inc((cur - stored) & marks_.max_value());
+  }
   return true;
 }
 

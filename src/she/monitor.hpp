@@ -129,6 +129,11 @@ class ConcurrentMonitor {
     return pipe_.options();
   }
 
+  /// The pipeline's always-on metric registry, for Prometheus/JSON export.
+  [[nodiscard]] const obs::Registry& metrics_registry() const {
+    return pipe_.metrics_registry();
+  }
+
  private:
   runtime::IngestPipeline<StreamMonitor> pipe_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/she_metrics.hpp"
 #include "sketch/bitmap.hpp"
 
 namespace she {
@@ -23,6 +24,7 @@ void SheBitmap::advance_to(std::uint64_t t) {
 
 void SheBitmap::insert_at(std::uint64_t key, std::uint64_t t) {
   advance_to(t);
+  if (obs::enabled()) obs::she_metrics().hash_calls.inc();
   std::size_t pos = BobHash32(cfg_.seed)(key) % cfg_.cells;
   std::size_t gid = pos / cfg_.group_cells;
   if (clock_.touch(gid, time_)) {
@@ -45,15 +47,20 @@ std::size_t SheBitmap::legal_groups() const {
 }
 
 double SheBitmap::cardinality() const {
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   std::size_t zeros = 0;
   std::size_t observed = 0;
   for (std::size_t g = 0; g < clock_.groups(); ++g) {
-    if (!legal_age(clock_.age(g, time_))) continue;
+    std::uint64_t age = clock_.age(g, time_);
+    if (track) cls.add(age, cfg_.window);
+    if (!legal_age(age)) continue;
     std::size_t first = g * cfg_.group_cells;
     std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
     observed += count;
     zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
   }
+  cls.commit(track);
   return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
 }
 
@@ -62,16 +69,20 @@ double SheBitmap::cardinality(std::uint64_t window) const {
     throw std::invalid_argument("SheBitmap: query window must be in [1, N]");
   auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(window));
   auto upper = static_cast<std::uint64_t>((2.0 - cfg_.beta) * static_cast<double>(window));
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   std::size_t zeros = 0;
   std::size_t observed = 0;
   for (std::size_t g = 0; g < clock_.groups(); ++g) {
     std::uint64_t age = clock_.age(g, time_);
+    if (track) cls.add(age, window);
     if (age < lower || age >= upper) continue;
     std::size_t first = g * cfg_.group_cells;
     std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
     observed += count;
     zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
   }
+  cls.commit(track);
   if (observed == 0) return 0.0;  // no group's age matches this sub-window yet
   return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/she_metrics.hpp"
+
 namespace she {
 
 SheBloomFilter::SheBloomFilter(const SheConfig& cfg, unsigned hashes)
@@ -33,6 +35,7 @@ void SheBloomFilter::insert_at(std::uint64_t key, std::uint64_t t) {
     }
     bits_.set(pos);
   }
+  if (obs::enabled()) obs::she_metrics().hash_calls.inc(hashes_);
 }
 
 void SheBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
@@ -68,21 +71,36 @@ void SheBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
       }
     }
   }
+  if (obs::enabled() && i > 0)
+    obs::she_metrics().hash_calls.inc(static_cast<std::uint64_t>(i) * hashes_);
   for (; i < keys.size(); ++i) insert(keys[i]);
 }
 
 bool SheBloomFilter::contains(std::uint64_t key, std::uint64_t window) const {
   if (window == 0 || window > cfg_.window)
     throw std::invalid_argument("SheBloomFilter: query window must be in [1, N]");
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   for (unsigned i = 0; i < hashes_; ++i) {
     std::size_t pos = position(key, i);
     std::size_t gid = pos / cfg_.group_cells;
     std::uint64_t age = clock_.age(gid, time_);
+    if (track) cls.add(age, window);
     if (age < window) continue;  // young cell: ignore (no false negatives)
     bool bit = clock_.stale(gid, time_) ? false : bits_.test(pos);
-    if (!bit) return false;  // a zero mature bit proves absence
+    if (!bit) {  // a zero mature bit proves absence
+      if (track) {
+        cls.commit(true);
+        obs::she_metrics().hash_calls.inc(i + 1);
+      }
+      return false;
+    }
   }
   // All probes were young or 1: no evidence of absence.
+  if (track) {
+    cls.commit(true);
+    obs::she_metrics().hash_calls.inc(hashes_);
+  }
   return true;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/she_metrics.hpp"
+
 namespace she {
 
 SheCountMin::SheCountMin(const SheConfig& cfg, unsigned hashes)
@@ -25,6 +27,7 @@ void SheCountMin::advance_to(std::uint64_t t) {
 
 void SheCountMin::insert_at(std::uint64_t key, std::uint64_t t) {
   advance_to(t);
+  if (obs::enabled()) obs::she_metrics().hash_calls.inc(hashes_);
   for (unsigned i = 0; i < hashes_; ++i) {
     std::size_t pos = position(key, i);
     std::size_t gid = pos / cfg_.group_cells;
@@ -52,8 +55,22 @@ std::uint64_t SheCountMin::frequency(std::uint64_t key,
     if (clock_.age(gid, time_) >= window)
       best_mature = std::min(best_mature, value);
   }
+  // Telemetry runs as a separate pass so the hot loop above stays exactly
+  // as tight with the toggle off; redoing the position math with the
+  // toggle on is an accepted enabled-mode cost.
+  const bool track = obs::enabled();
+  if (track) {
+    obs::AgeClassCounts cls;
+    for (unsigned i = 0; i < hashes_; ++i) {
+      std::size_t gid = position(key, i) / cfg_.group_cells;
+      cls.add(clock_.age(gid, time_), window);
+    }
+    cls.commit(true);
+    obs::she_metrics().hash_calls.inc(2 * hashes_);
+  }
   if (best_mature != std::numeric_limits<std::uint64_t>::max()) return best_mature;
   ++all_young_;  // every probe young: best-effort answer, may underestimate
+  if (track) obs::she_metrics().cm_all_young_queries.inc();
   return best_any;
 }
 

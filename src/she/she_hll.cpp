@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/int_math.hpp"
+#include "obs/she_metrics.hpp"
 #include "sketch/hyperloglog.hpp"
 
 namespace she {
@@ -32,6 +33,7 @@ void SheHyperLogLog::advance_to(std::uint64_t t) {
 
 void SheHyperLogLog::insert_at(std::uint64_t key, std::uint64_t t) {
   advance_to(t);
+  if (obs::enabled()) obs::she_metrics().hash_calls.inc(2);
   std::size_t i = BobHash32(cfg_.seed)(key) % cfg_.cells;
   std::uint32_t h = BobHash32(cfg_.seed + 0x5eed)(key);
   std::uint64_t rank = hll_rank(h, kValueBits);
@@ -53,16 +55,21 @@ std::size_t SheHyperLogLog::legal_groups() const {
 }
 
 double SheHyperLogLog::cardinality() const {
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   double sum = 0.0;
   std::size_t observed = 0;
   std::size_t zeros = 0;
   for (std::size_t i = 0; i < regs_.size(); ++i) {
-    if (!legal_age(clock_.age(i, time_))) continue;
+    std::uint64_t age = clock_.age(i, time_);
+    if (track) cls.add(age, cfg_.window);
+    if (!legal_age(age)) continue;
     ++observed;
     std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
     if (r == 0) ++zeros;
     sum += std::ldexp(1.0, -static_cast<int>(r));
   }
+  cls.commit(track);
   return fixed::HyperLogLog::estimate(sum, observed,
                                       static_cast<double>(regs_.size()), zeros);
 }
@@ -73,17 +80,21 @@ double SheHyperLogLog::cardinality(std::uint64_t window) const {
   auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(window));
   auto upper =
       static_cast<std::uint64_t>((2.0 - cfg_.beta) * static_cast<double>(window));
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   double sum = 0.0;
   std::size_t observed = 0;
   std::size_t zeros = 0;
   for (std::size_t i = 0; i < regs_.size(); ++i) {
     std::uint64_t age = clock_.age(i, time_);
+    if (track) cls.add(age, window);
     if (age < lower || age >= upper) continue;
     ++observed;
     std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
     if (r == 0) ++zeros;
     sum += std::ldexp(1.0, -static_cast<int>(r));
   }
+  cls.commit(track);
   if (observed == 0) return 0.0;
   return fixed::HyperLogLog::estimate(sum, observed,
                                       static_cast<double>(regs_.size()), zeros);

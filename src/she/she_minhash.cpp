@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/she_metrics.hpp"
+
 namespace she {
 
 SheMinHash::SheMinHash(const SheConfig& cfg)
@@ -24,6 +26,7 @@ void SheMinHash::advance_to(std::uint64_t t) {
 
 void SheMinHash::insert_at(std::uint64_t key, std::uint64_t t) {
   advance_to(t);
+  if (obs::enabled()) obs::she_metrics().hash_calls.inc(sig_.size());
   for (std::size_t i = 0; i < sig_.size(); ++i) {
     if (clock_.touch(i, time_)) sig_[i] = kEmpty;
     sig_[i] = std::min(sig_[i], value(key, i));
@@ -40,17 +43,22 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b) {
     throw std::invalid_argument("SheMinHash::jaccard: incompatible signatures");
   if (a.time_ != b.time_)
     throw std::invalid_argument("SheMinHash::jaccard: signatures not in lock-step");
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   std::size_t match = 0;
   std::size_t compared = 0;
   for (std::size_t i = 0; i < a.sig_.size(); ++i) {
     // Ages are identical on both sides (same cfg, same time).
-    if (!a.legal_age(a.clock_.age(i, a.time_))) continue;
+    std::uint64_t age = a.clock_.age(i, a.time_);
+    if (track) cls.add(age, a.cfg_.window);
+    if (!a.legal_age(age)) continue;
     std::uint32_t va = a.effective_slot(i);
     std::uint32_t vb = b.effective_slot(i);
     if (va == kEmpty && vb == kEmpty) continue;  // neither window seen here
     ++compared;
     if (va == vb) ++match;
   }
+  cls.commit(track);
   return compared == 0 ? 0.0
                        : static_cast<double>(match) / static_cast<double>(compared);
 }
@@ -66,10 +74,13 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b,
   auto lower = static_cast<std::uint64_t>(a.cfg_.beta * static_cast<double>(window));
   auto upper =
       static_cast<std::uint64_t>((2.0 - a.cfg_.beta) * static_cast<double>(window));
+  const bool track = obs::enabled();
+  obs::AgeClassCounts cls;
   std::size_t match = 0;
   std::size_t compared = 0;
   for (std::size_t i = 0; i < a.sig_.size(); ++i) {
     std::uint64_t age = a.clock_.age(i, a.time_);
+    if (track) cls.add(age, window);
     if (age < lower || age >= upper) continue;
     std::uint32_t va = a.effective_slot(i);
     std::uint32_t vb = b.effective_slot(i);
@@ -77,6 +88,7 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b,
     ++compared;
     if (va == vb) ++match;
   }
+  cls.commit(track);
   return compared == 0 ? 0.0
                        : static_cast<double>(match) / static_cast<double>(compared);
 }

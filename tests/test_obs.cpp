@@ -1,0 +1,448 @@
+// Telemetry subsystem tests: lock-free metric primitives, registry
+// identity, Prometheus/JSON export invariants, the RuntimeStats view over
+// the pipeline registry, the global enabled() gate around SHE-internals
+// instrumentation, and the she_tool surface (`metrics`, `pipeline
+// --metrics-out`).  Runs under both the default suite and `ctest -L tsan`
+// — the multi-writer tests are the thread-safety surface.
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "commands.hpp"
+#include "obs/export.hpp"
+#include "obs/she_metrics.hpp"
+#include "runtime/runtime_stats.hpp"
+#include "she/monitor.hpp"
+#include "she/she_bloom.hpp"
+#include <gtest/gtest.h>
+
+namespace she::obs {
+namespace {
+
+// ------------------------------ primitives ---------------------------------
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MaxOfIsMonotoneUnderConcurrency) {
+  Gauge g;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&g, t] {
+      for (std::int64_t v = t; v < 10000; v += 4) g.max_of(v);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(g.value(), 9999);
+  g.max_of(12);  // lower value must not regress the ratchet
+  EXPECT_EQ(g.value(), 9999);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Histogram, BucketCountsEqualObservationCount) {
+  Histogram h;
+  // One sample per power of two plus the edge cases.
+  std::vector<std::uint64_t> samples = {0, 1, 2, 3, 4, 7, 8, 1023, 1024,
+                                        (1ull << 40) + 17, ~0ull};
+  std::uint64_t expect_sum = 0;
+  for (std::uint64_t s : samples) {
+    h.observe(s);
+    expect_sum += s;
+  }
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+  EXPECT_EQ(snap.sum, expect_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Every bucket's samples respect its [lower, upper) range.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i)
+    EXPECT_GT(Histogram::upper_bound(i), Histogram::upper_bound(i - 1));
+}
+
+TEST(Histogram, ConcurrentObserversSum) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(i & 1023);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+// ------------------------------- registry ----------------------------------
+
+TEST(Registry, SameNameAndLabelsIsSameObject) {
+  Registry r;
+  Counter& a = r.counter("x_total", "help");
+  Counter& b = r.counter("x_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& c = r.counter("x_total", "help", {{"shard", "1"}});
+  EXPECT_NE(&a, &c);  // distinct label set = distinct series
+  Counter& d = r.counter("x_total", "help", {{"shard", "1"}});
+  EXPECT_EQ(&c, &d);
+}
+
+TEST(Registry, KindConflictThrows) {
+  Registry r;
+  r.counter("x_total", "help");
+  EXPECT_THROW(r.gauge("x_total", "help"), std::logic_error);
+  EXPECT_THROW(r.histogram("x_total", "help"), std::logic_error);
+}
+
+TEST(Registry, ResetZeroesValuesKeepsRegistrations) {
+  Registry r;
+  r.counter("c", "h").inc(7);
+  r.gauge("g", "h").set(3);
+  r.histogram("hist", "h").observe(9);
+  r.reset();
+  EXPECT_EQ(r.counter("c", "h").value(), 0u);
+  EXPECT_EQ(r.gauge("g", "h").value(), 0);
+  EXPECT_EQ(r.histogram("hist", "h").count(), 0u);
+  EXPECT_EQ(r.entries().size(), 3u);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  Registry r;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&r] {
+      for (int i = 0; i < 64; ++i)
+        r.counter("series_total", "h", {{"i", std::to_string(i & 7)}}).inc();
+    });
+  for (auto& t : ts) t.join();
+  std::uint64_t total = 0;
+  for (const Registry::Entry& e : r.entries()) total += e.counter->value();
+  EXPECT_EQ(total, 4u * 64);
+  EXPECT_EQ(r.entries().size(), 8u);
+}
+
+// -------------------------------- export -----------------------------------
+
+// Pull `metric{...} value` / `metric value` samples out of Prometheus text.
+std::uint64_t prom_value(const std::string& text, const std::string& line_prefix) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.rfind(line_prefix, 0) == 0)
+      return std::stoull(line.substr(line.find_last_of(' ') + 1));
+  ADD_FAILURE() << "no sample line starts with: " << line_prefix;
+  return 0;
+}
+
+TEST(Export, PrometheusHistogramIsCumulativeAndEndsAtCount) {
+  Registry r;
+  Histogram& h = r.histogram("lat_ns", "latency");
+  h.observe(1);    // bucket le="2"
+  h.observe(3);    // bucket le="4"
+  h.observe(3);
+  h.observe(500);  // bucket le="512"
+  std::ostringstream os;
+  write_prometheus(os, r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos);
+  EXPECT_EQ(prom_value(text, "lat_ns_bucket{le=\"2\"}"), 1u);
+  EXPECT_EQ(prom_value(text, "lat_ns_bucket{le=\"4\"}"), 3u);  // cumulative
+  EXPECT_EQ(prom_value(text, "lat_ns_bucket{le=\"512\"}"), 4u);
+  EXPECT_EQ(prom_value(text, "lat_ns_bucket{le=\"+Inf\"}"), 4u);
+  EXPECT_EQ(prom_value(text, "lat_ns_count"), 4u);
+  EXPECT_EQ(prom_value(text, "lat_ns_sum"), 507u);
+}
+
+TEST(Export, PrometheusLabelsAndHelpEscaping) {
+  Registry r;
+  r.counter("c_total", "help with \\ and \n newline",
+            {{"path", "a\"b\\c"}})
+      .inc(2);
+  std::ostringstream os;
+  write_prometheus(os, r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP c_total help with \\\\ and \\n newline"),
+            std::string::npos);
+  EXPECT_NE(text.find("c_total{path=\"a\\\"b\\\\c\"} 2"), std::string::npos);
+}
+
+TEST(Export, JsonIsStructurallyValidAndCarriesSchema) {
+  Registry r;
+  r.counter("c_total", "h", {{"k", "v"}}).inc(5);
+  r.gauge("g", "h").set(-3);
+  Histogram& h = r.histogram("lat", "h");
+  h.observe(10);
+  h.observe(100);
+  std::ostringstream os;
+  write_json(os, r);
+  const std::string text = os.str();
+  // Structural sanity: balanced braces/brackets outside strings.
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char ch = text[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+    } else if (ch == '"') {
+      in_str = true;
+    } else if (ch == '{' || ch == '[') {
+      ++depth;
+    } else if (ch == '}' || ch == ']') {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_str);
+  EXPECT_NE(text.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":-3"), std::string::npos);
+  EXPECT_NE(text.find("\"count\":2"), std::string::npos);
+}
+
+TEST(Export, JsonEscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --------------------------- RuntimeStats view ------------------------------
+
+// Minimal field extractor for the flat JSON RuntimeStats::to_json emits.
+std::uint64_t json_u64(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing key " << key;
+  if (at == std::string::npos) return 0;
+  at += needle.size();
+  std::uint64_t v = 0;
+  while (at < text.size() && std::isdigit(static_cast<unsigned char>(text[at])))
+    v = v * 10 + static_cast<std::uint64_t>(text[at++] - '0');
+  return v;
+}
+
+TEST(RuntimeStatsView, SetRateGuardsDegenerateElapsed) {
+  runtime::RuntimeStats st;
+  st.inserted = 1000;
+  st.set_rate(0.0);
+  EXPECT_EQ(st.items_per_sec, 0.0);
+  st.set_rate(-1.0);
+  EXPECT_EQ(st.items_per_sec, 0.0);
+  st.set_rate(1e-15);
+  EXPECT_EQ(st.items_per_sec, 0.0);
+  st.set_rate(0.5);
+  EXPECT_DOUBLE_EQ(st.items_per_sec, 2000.0);
+}
+
+TEST(RuntimeStatsView, ToJsonCarriesSchemaAndPerShardSumsMatch) {
+  MonitorConfig mcfg;
+  mcfg.window = 1 << 12;
+  mcfg.memory_bytes = 1 << 16;
+  runtime::PipelineOptions pcfg;
+  pcfg.shards = 2;
+  pcfg.producers = 2;
+  ConcurrentMonitor mon(mcfg, pcfg);
+  mon.start();
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < pcfg.producers; ++p)
+    producers.emplace_back([&mon, p] {
+      for (std::uint64_t i = 0; i < 20000; ++i)
+        while (!mon.push(p, i * 2 + p)) {
+        }
+    });
+  for (auto& t : producers) t.join();
+  mon.close();
+
+  runtime::RuntimeStats st = mon.stats();
+  const std::string text = st.to_json();
+  EXPECT_EQ(json_u64(text, "schema_version"),
+            static_cast<std::uint64_t>(runtime::RuntimeStats::kSchemaVersion));
+  EXPECT_EQ(json_u64(text, "inserted"), 40000u);
+  EXPECT_EQ(json_u64(text, "produced"), 40000u);
+
+  // Per-shard rows must sum to the totals, both in the struct and as
+  // re-extracted from the serialized form.
+  std::uint64_t shard_inserted = 0, shard_drains = 0, shard_publishes = 0;
+  for (const runtime::ShardStats& sh : st.per_shard) {
+    shard_inserted += sh.inserted;
+    shard_drains += sh.drains;
+    shard_publishes += sh.publishes;
+  }
+  EXPECT_EQ(shard_inserted, st.inserted);
+  EXPECT_EQ(shard_drains, st.drains);
+  EXPECT_EQ(shard_publishes, st.publishes);
+
+  std::size_t arr = text.find("\"per_shard\":[");
+  ASSERT_NE(arr, std::string::npos);
+  std::uint64_t json_shard_inserted = 0;
+  for (std::size_t at = text.find("{\"inserted\":", arr);
+       at != std::string::npos; at = text.find("{\"inserted\":", at + 1))
+    json_shard_inserted += json_u64(text.substr(at), "inserted");
+  EXPECT_EQ(json_shard_inserted, st.inserted);
+}
+
+TEST(RuntimeStatsView, StatsAgreeWithPipelineRegistry) {
+  MonitorConfig mcfg;
+  mcfg.window = 1 << 12;
+  mcfg.memory_bytes = 1 << 16;
+  runtime::PipelineOptions pcfg;
+  pcfg.shards = 2;
+  ConcurrentMonitor mon(mcfg, pcfg);
+  mon.start();
+  for (std::uint64_t i = 0; i < 30000; ++i)
+    while (!mon.push(0, i)) {
+    }
+  mon.close();
+
+  runtime::RuntimeStats st = mon.stats();
+  std::uint64_t reg_inserted = 0, reg_produced = 0;
+  for (const Registry::Entry& e : mon.metrics_registry().entries()) {
+    if (e.name == "she_pipeline_inserted_total")
+      reg_inserted += e.counter->value();
+    if (e.name == "she_pipeline_produced_total")
+      reg_produced += e.counter->value();
+  }
+  EXPECT_EQ(reg_inserted, st.inserted);
+  EXPECT_EQ(reg_produced, st.produced);
+  EXPECT_EQ(st.inserted, 30000u);
+}
+
+// ----------------------------- enabled() gate -------------------------------
+
+TEST(EnabledGate, SheInstrumentationFrozenWhenDisabled) {
+  set_enabled(false);
+  default_registry().reset();
+  SheConfig cfg;
+  cfg.window = 1000;
+  cfg.cells = 1 << 12;
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+
+  SheBloomFilter off(cfg, 4);
+  for (std::uint64_t k = 0; k < 2000; ++k) off.insert(k);
+  for (std::uint64_t k = 0; k < 100; ++k) (void)off.contains(k);
+  EXPECT_EQ(she_metrics().hash_calls.value(), 0u);
+  EXPECT_EQ(she_metrics().queries.value(), 0u);
+  EXPECT_EQ(she_metrics().groupclock_lazy_clean.value(), 0u);
+
+  set_enabled(true);
+  SheBloomFilter on(cfg, 4);
+  for (std::uint64_t k = 0; k < 2000; ++k) on.insert(k);
+  for (std::uint64_t k = 0; k < 100; ++k) (void)on.contains(k);
+  set_enabled(false);
+
+  EXPECT_GT(she_metrics().hash_calls.value(), 0u);
+  EXPECT_EQ(she_metrics().queries.value(), 100u);
+  std::uint64_t cells = she_metrics().query_cells_young.value() +
+                        she_metrics().query_cells_perfect.value() +
+                        she_metrics().query_cells_aged.value();
+  EXPECT_GT(cells, 0u);
+  default_registry().reset();
+}
+
+// --------------------------------- CLI --------------------------------------
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(Cli, PipelineMetricsOutExposesRequiredFamilies) {
+  const std::string path = temp_path("pipeline_metrics.prom");
+  std::ostringstream out;
+  int rc = tools::run_cli(
+      {"she_tool", "pipeline", "--dataset", "caida", "--length", "60000",
+       "--window", "4096", "--shards", "2", "--producers", "2",
+       "--metrics-out", path},
+      out);
+  ASSERT_EQ(rc, 0) << out.str();
+  const std::string text = slurp(path);
+  // SHE internals (global registry, enabled for the run).
+  EXPECT_GT(prom_value(text, "she_groupclock_lazy_clean_total"), 0u);
+  EXPECT_NE(text.find("she_query_cells_total{age_class=\"young\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("she_query_cells_total{age_class=\"perfect\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("she_query_cells_total{age_class=\"aged\"}"),
+            std::string::npos);
+  // Pipeline registry (always-on, merged into the same dump).
+  EXPECT_NE(text.find("she_pipeline_drain_latency_ns_bucket"),
+            std::string::npos);
+  EXPECT_GT(prom_value(text, "she_pipeline_drain_latency_ns_count"), 0u);
+  EXPECT_NE(text.find("she_pipeline_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("she_pipeline_publish_latency_ns"), std::string::npos);
+  EXPECT_GT(prom_value(text, "she_pipeline_publish_latency_ns_count"), 0u);
+  // The run must not leak an enabled toggle into the rest of the process.
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Cli, MetricsSubcommandJsonFormat) {
+  std::ostringstream out;
+  int rc = tools::run_cli(
+      {"she_tool", "metrics", "--dataset", "caida", "--length", "30000",
+       "--window", "2048", "--format", "json"},
+      out);
+  ASSERT_EQ(rc, 0) << out.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"she_hash_calls_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"age_class\":\"young\""), std::string::npos);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Cli, MetricsRejectsBadFormat) {
+  std::ostringstream out;
+  EXPECT_EQ(tools::run_cli({"she_tool", "metrics", "--dataset", "caida",
+                            "--length", "1000", "--format", "xml"},
+                           out),
+            2);
+}
+
+TEST(Cli, PipelineJsonModeStillEmitsStats) {
+  const std::string path = temp_path("pipeline_metrics.json");
+  std::ostringstream out;
+  int rc = tools::run_cli(
+      {"she_tool", "pipeline", "--dataset", "caida", "--length", "20000",
+       "--window", "2048", "--json", "--metrics-out", path,
+       "--metrics-format", "json"},
+      out);
+  ASSERT_EQ(rc, 0) << out.str();
+  EXPECT_NE(out.str().find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(slurp(path).find("\"schema_version\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace she::obs

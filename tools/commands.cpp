@@ -4,11 +4,14 @@
 #include <chrono>
 #include <exception>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "she/csm.hpp"
 #include "she/monitor.hpp"
 #include "she/she.hpp"
@@ -35,6 +38,37 @@ void reject_unused(const ArgMap& args) {
   auto stray = args.unused();
   if (!stray.empty())
     throw std::invalid_argument("unknown flag --" + stray.front());
+}
+
+/// RAII guard around the process-wide telemetry toggle: zeroes the default
+/// registry and enables collection for the command's lifetime, restoring
+/// the disabled state even when the command throws (run_cli catches and
+/// other in-process callers — tests — must not inherit an enabled toggle).
+struct TelemetryScope {
+  explicit TelemetryScope(bool on) : active(on) {
+    if (active) {
+      obs::default_registry().reset();
+      obs::set_enabled(true);
+    }
+  }
+  ~TelemetryScope() {
+    if (active) obs::set_enabled(false);
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+  bool active;
+};
+
+void write_registries(std::ostream& os, const std::string& format,
+                      std::span<const obs::Registry* const> registries) {
+  if (format == "json") {
+    obs::write_json(os, registries);
+    os << "\n";
+  } else if (format == "prom") {
+    obs::write_prometheus(os, registries);
+  } else {
+    throw std::invalid_argument("--metrics-format must be 'prom' or 'json'");
+  }
 }
 
 SheConfig she_config_from(const ArgMap& args, std::size_t cell_bits,
@@ -240,8 +274,14 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   const std::uint64_t query_ms = args.get_u64("query-interval-ms", 20);
   const std::size_t top_k = args.get_u64("top", 10);
   const bool json = args.has("json");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string metrics_format = args.get("metrics-format", "prom");
+  // Queue-depth sampler: on by default when dumping metrics.
+  pcfg.sample_interval_ms =
+      args.get_u64("sample-ms", metrics_out.empty() ? 0 : 5);
   reject_unused(args);
 
+  TelemetryScope telemetry(!metrics_out.empty());
   ConcurrentMonitor mon(mcfg, pcfg);
   mon.start();
 
@@ -293,6 +333,15 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   const double exact = static_cast<double>(oracle.cardinality());
   const double est = rep.cardinality.value_or(0);
 
+  if (!metrics_out.empty()) {
+    std::ofstream ms(metrics_out);
+    if (!ms) throw std::invalid_argument("cannot open " + metrics_out);
+    const obs::Registry* regs[] = {&obs::default_registry(),
+                                   &mon.metrics_registry()};
+    write_registries(ms, metrics_format, regs);
+    if (!json) out << "  metrics written to " << metrics_out << "\n";
+  }
+
   if (json) {
     out << "{\"stats\":" << st.to_json() << ",\"queries_during_ingest\":"
         << queries << ",\"cardinality\":" << est << ",\"cardinality_exact\":"
@@ -307,6 +356,52 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   out << "  top-" << top_k << " keys under load:\n";
   for (const auto& e : rep.top)
     out << "    " << e.key << "  ~" << e.estimate << "\n";
+  return 0;
+}
+
+int cmd_metrics(const ArgMap& args, std::ostream& out) {
+  auto trace = input_trace(args);
+
+  MonitorConfig mcfg;
+  mcfg.window = args.get_u64("window", 1u << 14);
+  mcfg.memory_bytes = args.get_u64("memory", 1u << 18);
+  mcfg.use_hll = args.get("algo", "bitmap") == "hll";
+  mcfg.heavy_hitter_slots = args.get_u64("top", 10) * 4;
+  mcfg.seed = static_cast<std::uint32_t>(args.get_u64("hash-seed", 0));
+
+  const std::size_t top_k = args.get_u64("top", 10);
+  // Query cadence: exercise every query path (membership, cardinality,
+  // frequency, top-k) this often so the classification counters fill up.
+  const std::uint64_t query_every =
+      args.get_u64("query-every", std::max<std::uint64_t>(1, mcfg.window / 4));
+  const std::string format = args.get("format", "prom");
+  const std::string out_path = args.get("out", "");
+  reject_unused(args);
+  if (format != "prom" && format != "json")
+    throw std::invalid_argument("--format must be 'prom' or 'json'");
+
+  TelemetryScope telemetry(true);
+  StreamMonitor mon(mcfg);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    mon.insert(trace[i]);
+    if ((i + 1) % query_every == 0) {
+      (void)mon.seen(trace[i]);
+      (void)mon.frequency(trace[i]);
+      (void)mon.report(top_k);
+    }
+  }
+  (void)mon.report(top_k);
+
+  const obs::Registry* regs[] = {&obs::default_registry()};
+  if (out_path.empty()) {
+    write_registries(out, format, regs);
+  } else {
+    std::ofstream os(out_path);
+    if (!os) throw std::invalid_argument("cannot open " + out_path);
+    write_registries(os, format, regs);
+    out << "replayed " << trace.size() << " items (window " << mcfg.window
+        << "); metrics written to " << out_path << "\n";
+  }
   return 0;
 }
 
@@ -379,7 +474,13 @@ std::string usage() {
       "               [--memory BYTES] [--shards S] [--producers P]\n"
       "               [--queue N] [--policy block|drop] [--rate ITEMS/S]\n"
       "               [--publish N] [--query-interval-ms MS] [--top K]\n"
-      "               [--json]   (concurrent ingest, queries under load)\n"
+      "               [--json] [--metrics-out FILE]\n"
+      "               [--metrics-format prom|json] [--sample-ms MS]\n"
+      "               (concurrent ingest, queries under load)\n"
+      "  metrics      [--trace FILE | --dataset ... --length N] [--window N]\n"
+      "               [--memory BYTES] [--algo bitmap|hll] [--top K]\n"
+      "               [--query-every N] [--format prom|json] [--out FILE]\n"
+      "               (replay with telemetry on, dump SHE-internals metrics)\n"
       "  info         --file FILE   (trace or estimator checkpoint)\n"
       "\n"
       "sizes accept K/M/G suffixes (binary), e.g. --memory 64K\n"
@@ -402,6 +503,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
     if (cmd == "frequency") return cmd_frequency(args, out);
     if (cmd == "similarity") return cmd_similarity(args, out);
     if (cmd == "pipeline") return cmd_pipeline(args, out);
+    if (cmd == "metrics") return cmd_metrics(args, out);
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "help" || cmd == "--help") {
       out << usage();

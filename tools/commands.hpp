@@ -9,7 +9,10 @@
 //   frequency    sliding top-k heavy hitters (SHE-CM + HeavyHitters)
 //   similarity   sliding Jaccard between two traces (SHE-MH) vs oracle
 //   pipeline     replay a trace through the concurrent ingest runtime at a
-//                target rate, issuing queries while ingesting
+//                target rate, issuing queries while ingesting; --metrics-out
+//                dumps the telemetry registries after the run
+//   metrics      replay a trace through a StreamMonitor with telemetry
+//                enabled and dump the SHE-internals metric registry
 //   info         describe a trace or estimator checkpoint file
 #pragma once
 
@@ -27,6 +30,7 @@ int cmd_cardinality(const ArgMap& args, std::ostream& out);
 int cmd_frequency(const ArgMap& args, std::ostream& out);
 int cmd_similarity(const ArgMap& args, std::ostream& out);
 int cmd_pipeline(const ArgMap& args, std::ostream& out);
+int cmd_metrics(const ArgMap& args, std::ostream& out);
 int cmd_info(const ArgMap& args, std::ostream& out);
 
 /// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown

@@ -2,9 +2,18 @@
 // estimator and baseline on a pre-generated CAIDA-like key sequence.
 // Complements the trace-level Mips figures (Fig. 10/11) with steady-state
 // per-op numbers and their variance.
+//
+// Every SHE estimator gets a symmetric *InsertScalarLarge / *InsertBatch
+// pair at cache-exceeding sizes; a custom main() tees the console report
+// into BENCH_micro.json (schema_version stamped, matching the
+// BENCH_pipeline.json treatment) with the scalar-vs-batch speedups paired
+// up by estimator and size argument.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "baselines/cvs.hpp"
 #include "baselines/ecm.hpp"
@@ -92,36 +101,132 @@ void BM_SheMinHashInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_SheMinHashInsert)->Arg(64)->Arg(256);
 
-void BM_SheBloomInsertBatch(benchmark::State& state) {
-  // Batch insert with prefetch on a filter sized past the last-level cache:
-  // compare against BM_SheBloomInsert/8 at the same (cells, hashes).
-  SheConfig cfg;
-  cfg.window = kN;
-  cfg.cells = std::size_t{1} << static_cast<unsigned>(state.range(0));
-  cfg.group_cells = 64;
-  cfg.alpha = 3.0;
-  SheBloomFilter bf(cfg, 8);
+// ---- scalar-vs-batch pairs ------------------------------------------------
+// One *InsertScalarLarge / *InsertBatch pair per estimator at sizes past
+// the last-level cache, identical configs on both sides so the JSON writer
+// can pair them by (estimator, arg) and report batch/scalar speedup.  The
+// batch side feeds 512-key chunks through the pipelined insert_batch.
+
+template <typename T>
+void drive_batch_inserts(benchmark::State& state, T& sketch) {
   const auto& ks = keys();
   std::size_t i = 0;
   constexpr std::size_t kChunk = 512;
   for (auto _ : state) {
-    bf.insert_batch(std::span<const std::uint64_t>(ks.data() + i, kChunk));
+    sketch.insert_batch(std::span<const std::uint64_t>(ks.data() + i, kChunk));
     i = (i + kChunk) & (ks.size() - 1);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kChunk);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kChunk);
 }
-BENCHMARK(BM_SheBloomInsertBatch)->Arg(20)->Arg(24)->Arg(26);
 
-void BM_SheBloomInsertScalarLarge(benchmark::State& state) {
+SheBloomFilter large_bloom(std::int64_t log2_cells) {
   SheConfig cfg;
   cfg.window = kN;
-  cfg.cells = std::size_t{1} << static_cast<unsigned>(state.range(0));
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(log2_cells);
   cfg.group_cells = 64;
   cfg.alpha = 3.0;
-  SheBloomFilter bf(cfg, 8);
+  return SheBloomFilter(cfg, 8);
+}
+
+void BM_SheBloomInsertScalarLarge(benchmark::State& state) {
+  SheBloomFilter bf = large_bloom(state.range(0));
   drive_inserts(state, bf);
 }
 BENCHMARK(BM_SheBloomInsertScalarLarge)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_SheBloomInsertBatch(benchmark::State& state) {
+  SheBloomFilter bf = large_bloom(state.range(0));
+  drive_batch_inserts(state, bf);
+}
+BENCHMARK(BM_SheBloomInsertBatch)->Arg(20)->Arg(24)->Arg(26);
+
+SheBitmap large_bitmap(std::int64_t log2_cells) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(log2_cells);
+  cfg.group_cells = 64;
+  cfg.alpha = 0.2;
+  return SheBitmap(cfg);
+}
+
+void BM_SheBitmapInsertScalarLarge(benchmark::State& state) {
+  SheBitmap bm = large_bitmap(state.range(0));
+  drive_inserts(state, bm);
+}
+BENCHMARK(BM_SheBitmapInsertScalarLarge)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_SheBitmapInsertBatch(benchmark::State& state) {
+  SheBitmap bm = large_bitmap(state.range(0));
+  drive_batch_inserts(state, bm);
+}
+BENCHMARK(BM_SheBitmapInsertBatch)->Arg(20)->Arg(24)->Arg(26);
+
+SheHyperLogLog large_hll(std::int64_t log2_registers) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(log2_registers);
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  return SheHyperLogLog(cfg);
+}
+
+void BM_SheHllInsertScalarLarge(benchmark::State& state) {
+  SheHyperLogLog hll = large_hll(state.range(0));
+  drive_inserts(state, hll);
+}
+BENCHMARK(BM_SheHllInsertScalarLarge)->Arg(11)->Arg(20);
+
+void BM_SheHllInsertBatch(benchmark::State& state) {
+  SheHyperLogLog hll = large_hll(state.range(0));
+  drive_batch_inserts(state, hll);
+}
+BENCHMARK(BM_SheHllInsertBatch)->Arg(11)->Arg(20);
+
+SheCountMin large_cm(std::int64_t log2_cells) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = std::size_t{1} << static_cast<unsigned>(log2_cells);
+  cfg.group_cells = 64;
+  cfg.alpha = 1.0;
+  return SheCountMin(cfg, 8);
+}
+
+void BM_SheCmInsertScalarLarge(benchmark::State& state) {
+  SheCountMin cm = large_cm(state.range(0));
+  drive_inserts(state, cm);
+}
+BENCHMARK(BM_SheCmInsertScalarLarge)->Arg(18)->Arg(22)->Arg(24)->Arg(26);
+
+void BM_SheCmInsertBatch(benchmark::State& state) {
+  SheCountMin cm = large_cm(state.range(0));
+  drive_batch_inserts(state, cm);
+}
+BENCHMARK(BM_SheCmInsertBatch)->Arg(18)->Arg(22)->Arg(24)->Arg(26);
+
+SheMinHash large_minhash(std::int64_t m) {
+  SheConfig cfg;
+  cfg.window = kN;
+  cfg.cells = static_cast<std::size_t>(m);
+  cfg.group_cells = 1;
+  cfg.alpha = 0.2;
+  return SheMinHash(cfg);
+}
+
+// SHE-MH touches all m slots per insert, so the slot budget degrades the
+// block to 1 key: the pair documents that batching does not regress it.
+void BM_SheMinHashInsertScalarLarge(benchmark::State& state) {
+  SheMinHash mh = large_minhash(state.range(0));
+  drive_inserts(state, mh);
+}
+BENCHMARK(BM_SheMinHashInsertScalarLarge)->Arg(64)->Arg(256);
+
+void BM_SheMinHashInsertBatch(benchmark::State& state) {
+  SheMinHash mh = large_minhash(state.range(0));
+  drive_batch_inserts(state, mh);
+}
+BENCHMARK(BM_SheMinHashInsertBatch)->Arg(64)->Arg(256);
+// ---- end scalar-vs-batch pairs --------------------------------------------
 
 void BM_FixedBloomInsert(benchmark::State& state) {
   fixed::BloomFilter bf(1u << 20, 8);
@@ -208,4 +313,79 @@ void BM_SheCmQuery(benchmark::State& state) {
 BENCHMARK(BM_SheCmQuery);
 
 }  // namespace
+
+/// ConsoleReporter that also collects per-run rows, so main() can emit
+/// BENCH_micro.json next to the usual console report.  (A tee, not a
+/// separate file reporter: the library insists on --benchmark_out for
+/// those.)
+class MicroJsonCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;           ///< e.g. "BM_SheCmInsertBatch/22"
+    std::int64_t iterations = 0;
+    double items_per_sec = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = r.benchmark_name();
+      row.iterations = static_cast<std::int64_t>(r.iterations);
+      auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) row.items_per_sec = it->second;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
+/// BENCH_micro.json: every run as a row, plus scalar-vs-batch pairs joined
+/// on (estimator, size arg) — "BM_<Est>InsertBatch/<arg>" against
+/// "BM_<Est>InsertScalarLarge/<arg>" — with the batch/scalar speedup.
+void write_micro_json(const std::vector<MicroJsonCollector::Row>& rows,
+                      const std::string& path) {
+  std::ofstream os(path);
+  os << "{\"schema_version\":1,\"benchmark\":\"micro_ops\",\"runs\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"name\":\"" << rows[i].name
+       << "\",\"iterations\":" << rows[i].iterations
+       << ",\"items_per_sec\":" << rows[i].items_per_sec << "}";
+  }
+  os << "],\"batch_speedup\":[";
+  const std::string batch_tag = "InsertBatch/";
+  bool first = true;
+  for (const auto& b : rows) {
+    const std::size_t tag = b.name.find(batch_tag);
+    if (tag == std::string::npos) continue;
+    std::string scalar_name = b.name;
+    scalar_name.replace(tag, batch_tag.size() - 1, "InsertScalarLarge");
+    const MicroJsonCollector::Row* s = nullptr;
+    for (const auto& r : rows)
+      if (r.name == scalar_name) s = &r;
+    if (s == nullptr || s->items_per_sec <= 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"estimator\":\"" << b.name.substr(3, tag - 3)
+       << "\",\"arg\":" << b.name.substr(tag + batch_tag.size())
+       << ",\"scalar_items_per_sec\":" << s->items_per_sec
+       << ",\"batch_items_per_sec\":" << b.items_per_sec
+       << ",\"speedup\":" << b.items_per_sec / s->items_per_sec << "}";
+  }
+  os << "]}\n";
+}
+
 }  // namespace she::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  she::bench::MicroJsonCollector collect;
+  benchmark::RunSpecifiedBenchmarks(&collect);
+  benchmark::Shutdown();
+  she::bench::write_micro_json(collect.rows, "BENCH_micro.json");
+  return 0;
+}

@@ -39,11 +39,17 @@ class BitArray {
   }
 
   /// Hint the cache to fetch the line holding bit `i` (no-op semantics).
-  void prefetch(std::size_t i) const {
+  /// `write` selects the exclusive-state hint; pass false on query paths so
+  /// batched reads don't steal lines from writers.
+  void prefetch(std::size_t i, bool write = true) const {
 #if defined(__GNUC__) || defined(__clang__)
-    __builtin_prefetch(&words_[i >> 6], 1 /*write*/, 1);
+    if (write)
+      __builtin_prefetch(&words_[i >> 6], 1, 1);
+    else
+      __builtin_prefetch(&words_[i >> 6], 0, 1);
 #else
     (void)i;
+    (void)write;
 #endif
   }
 

@@ -31,6 +31,22 @@ class PackedArray {
   /// Largest storable value: 2^bits - 1.
   [[nodiscard]] std::uint64_t max_value() const { return mask_; }
 
+  /// Hint the cache to fetch the line holding cell `i` (no-op semantics),
+  /// mirroring BitArray::prefetch: batched inserts warm CM counters, HLL
+  /// registers and GroupClock marks ahead of the apply stage.  `write`
+  /// selects the exclusive-state hint; pass false on query paths.
+  void prefetch(std::size_t i, bool write = true) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (write)
+      __builtin_prefetch(&words_[(i * bits_) >> 6], 1, 1);
+    else
+      __builtin_prefetch(&words_[(i * bits_) >> 6], 0, 1);
+#else
+    (void)i;
+    (void)write;
+#endif
+  }
+
   /// Read cell `i`.
   [[nodiscard]] std::uint64_t get(std::size_t i) const;
 

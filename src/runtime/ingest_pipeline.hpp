@@ -28,7 +28,11 @@
 //
 // Estimator requirements: movable, `insert(uint64_t)`,
 // `save(BinaryWriter&) const`, `static load(BinaryReader&)`.  Every SHE
-// estimator and StreamMonitor qualifies.
+// estimator and StreamMonitor qualifies.  Estimators additionally exposing
+// `insert_batch(std::span<const uint64_t>)` (all of the above do) get the
+// hash-ahead + prefetch batch path on the worker drain: each drained ring
+// block is applied as one pipelined batch, which hides the per-key memory
+// latency that otherwise caps drain throughput on large tables.
 //
 // Threading contract:
 //   * push(producer, key): producer `p`'s pushes must be serialized (one
@@ -111,6 +115,9 @@ class IngestPipeline {
     stall_ns_ = &registry_.counter(
         "she_pipeline_stall_ns_total",
         "producer time spent spin-yielding on full rings (Block policy), ns");
+    stall_events_ = &registry_.counter(
+        "she_pipeline_stall_events_total",
+        "full-ring stall episodes entered by producers (Block policy)");
     std::vector<char> image;
     shards_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s) {
@@ -178,6 +185,7 @@ class IngestPipeline {
         return false;
       }
       const std::int64_t stall_start = now_ns();
+      stall_events_->inc();  // one episode, however long the spin lasts
       for (;;) {
         if (!accepting_.load(std::memory_order_acquire)) {
           stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
@@ -261,6 +269,8 @@ class IngestPipeline {
       st.per_shard.push_back(ss);
     }
     for (const obs::Counter* c : produced_) st.produced += c->value();
+    st.stall_ns = stall_ns_->value();
+    st.stall_events = stall_events_->value();
     const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
     const std::int64_t stop = closed_.load(std::memory_order_relaxed)
                                   ? stop_ns_.load(std::memory_order_relaxed)
@@ -341,7 +351,11 @@ class IngestPipeline {
         }
         std::size_t n;
         while ((n = ring.drain(buf.data(), buf.size())) > 0) {
-          for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
+          const std::span<const std::uint64_t> block(buf.data(), n);
+          if constexpr (requires { sh.est.insert_batch(block); })
+            sh.est.insert_batch(block);  // pipelined hash-ahead + prefetch
+          else
+            for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
           got += n;
           if (n < buf.size()) break;  // ring (momentarily) empty; next ring
         }
@@ -403,6 +417,7 @@ class IngestPipeline {
   obs::Histogram* publish_hist_ = nullptr;
   obs::Histogram* push_hist_ = nullptr;
   obs::Counter* stall_ns_ = nullptr;
+  obs::Counter* stall_events_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<obs::Counter*> produced_;  ///< one per producer
   std::vector<std::thread> workers_;

@@ -25,6 +25,8 @@ void RuntimeStats::print(std::ostream& os) const {
      << dropped << "\n";
   os << "  drains " << drains << "  snapshot publishes " << publishes
      << "  queue high-water " << queue_hwm << "\n";
+  os << "  backpressure stalls " << stall_events << "  ("
+     << static_cast<double>(stall_ns) / 1e6 << " ms spinning)\n";
   os << "  elapsed " << elapsed_seconds << " s  ->  " << items_per_sec
      << " items/s\n";
   if (per_shard.size() > 1) {
@@ -44,6 +46,7 @@ std::string RuntimeStats::to_json() const {
      << ",\"produced\":" << produced << ",\"inserted\":" << inserted
      << ",\"dropped\":" << dropped << ",\"drains\":" << drains
      << ",\"publishes\":" << publishes << ",\"queue_hwm\":" << queue_hwm
+     << ",\"stall_ns\":" << stall_ns << ",\"stall_events\":" << stall_events
      << ",\"elapsed_seconds\":" << elapsed_seconds
      << ",\"items_per_sec\":" << items_per_sec << ",\"per_shard\":[";
   for (std::size_t s = 0; s < per_shard.size(); ++s) {

@@ -26,8 +26,9 @@ struct ShardStats {
 
 struct RuntimeStats {
   /// Bumped whenever the JSON field set changes: 1 = seed layout,
-  /// 2 = adds schema_version itself and the registry-backed counters.
-  static constexpr int kSchemaVersion = 2;
+  /// 2 = adds schema_version itself and the registry-backed counters,
+  /// 3 = adds producer backpressure stalls (stall_ns, stall_events).
+  static constexpr int kSchemaVersion = 3;
 
   std::size_t shards = 0;
   std::size_t producers = 0;
@@ -37,6 +38,8 @@ struct RuntimeStats {
   std::uint64_t drains = 0;
   std::uint64_t publishes = 0;
   std::uint64_t queue_hwm = 0;  ///< max over shards
+  std::uint64_t stall_ns = 0;   ///< producer spin time on full rings (Block)
+  std::uint64_t stall_events = 0;  ///< full-ring stall episodes (Block)
   double elapsed_seconds = 0;   ///< start() until close() (or stats() call)
   double items_per_sec = 0;     ///< inserted / elapsed
   std::vector<ShardStats> per_shard;

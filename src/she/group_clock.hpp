@@ -53,6 +53,13 @@ class GroupClock {
   /// Fixed offset of a group: d_gid = -floor(Tcycle * gid / G) <= 0.
   [[nodiscard]] std::int64_t offset(std::size_t gid) const { return offsets_[gid]; }
 
+  /// Warm the cache line holding group `gid`'s mark.  CheckGroup reads the
+  /// mark before the cell, so batched inserts prefetch both; `write` is
+  /// true on insert paths (touch may store) and false on query paths.
+  void prefetch(std::size_t gid, bool write = true) const {
+    marks_.prefetch(gid, write);
+  }
+
   /// Current mark: floor((t + d_gid) / Tcycle) mod 2^mark_bits.
   [[nodiscard]] std::uint64_t current_mark(std::size_t gid, std::uint64_t t) const;
 

@@ -105,6 +105,17 @@ void StreamMonitor::insert(std::uint64_t key) {
   if (freq_) freq_->insert(key);
 }
 
+void StreamMonitor::insert_batch(std::span<const std::uint64_t> keys) {
+  // Component sketches are independent, so feeding each the whole batch
+  // yields exactly the per-key interleaving's final state.
+  time_ += keys.size();
+  if (membership_) membership_->insert_batch(keys);
+  if (card_bm_) card_bm_->insert_batch(keys);
+  if (card_hll_) card_hll_->insert_batch(keys);
+  if (freq_)
+    for (std::uint64_t key : keys) freq_->insert(key);
+}
+
 bool StreamMonitor::seen(std::uint64_t key) const {
   if (!membership_)
     throw std::logic_error("StreamMonitor: membership tracking disabled");

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/io.hpp"
@@ -50,6 +51,12 @@ class StreamMonitor {
 
   /// Feed one stream item to every enabled sketch.
   void insert(std::uint64_t key);
+
+  /// Feed a batch (equivalent to insert() per key, in order): each enabled
+  /// SHE sketch takes the whole batch through its pipelined insert_batch;
+  /// heavy hitters update per key (candidate tracking is inherently
+  /// per-item).  This is the path the ingest runtime's drain loop takes.
+  void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Was `key` seen in the window?  (Requires track_membership; one-sided.)
   [[nodiscard]] bool seen(std::uint64_t key) const;

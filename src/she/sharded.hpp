@@ -18,6 +18,9 @@
 // insert_bulk() partitions a batch once and then runs the shards in
 // parallel with std::thread; per-shard insertion order equals the arrival
 // order, so the result is bit-identical to sequential routing (tested).
+// Estimators exposing insert_batch() (every SHE estimator and
+// StreamMonitor) get the hash-ahead + prefetch pipelined path per shard;
+// anything else falls back to per-key insert().
 #pragma once
 
 #include <algorithm>
@@ -83,6 +86,18 @@ class Sharded {
   std::vector<Estimator> shards_;
 };
 
+/// Feed one shard its partition: the pipelined batch path when the
+/// estimator has one (same final state as the scalar loop, tested), the
+/// per-key loop otherwise.
+template <typename Estimator>
+void feed_shard(Estimator& est, std::span<const std::uint64_t> part) {
+  if constexpr (requires { est.insert_batch(part); }) {
+    est.insert_batch(part);
+  } else {
+    for (std::uint64_t key : part) est.insert(key);
+  }
+}
+
 template <typename Estimator>
 void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
                                      unsigned threads) {
@@ -100,7 +115,7 @@ void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
   threads = std::min(threads, static_cast<unsigned>(n_shards));
   if (threads <= 1 || n_shards == 1) {
     for (std::size_t s = 0; s < n_shards; ++s)
-      for (std::uint64_t key : parts[s]) shards_[s].insert(key);
+      feed_shard(shards_[s], std::span<const std::uint64_t>(parts[s]));
     return;
   }
 
@@ -112,7 +127,7 @@ void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
   for (unsigned w = 0; w < threads; ++w) {
     pool.emplace_back([this, &parts, w, threads, n_shards] {
       for (std::size_t s = w; s < n_shards; s += threads)
-        for (std::uint64_t key : parts[s]) shards_[s].insert(key);
+        feed_shard(shards_[s], std::span<const std::uint64_t>(parts[s]));
     });
   }
   for (auto& t : pool) t.join();

@@ -34,6 +34,33 @@ void SheBitmap::insert_at(std::uint64_t key, std::uint64_t t) {
   bits_.set(pos);
 }
 
+void SheBitmap::insert_batch(std::span<const std::uint64_t> keys) {
+  // Cache-resident arrays are not worth prefetching (batch.hpp).
+  const bool warm_bits = bits_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  batch::pipelined(
+      keys, 1, scratch_,
+      [this](std::uint64_t key, unsigned) {
+        return batch::Slot{BobHash32(cfg_.seed)(key) % cfg_.cells, 0};
+      },
+      [this, warm_bits, warm_marks](const batch::Slot& s) {
+        if (warm_bits) bits_.prefetch(s.pos, true);
+        if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, true);
+      },
+      [this] {
+        ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc();
+      },
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        std::size_t gid = s.pos / cfg_.group_cells;
+        if (clock_.touch(gid, time_)) {
+          std::size_t first = gid * cfg_.group_cells;
+          bits_.clear_range(first, std::min(cfg_.group_cells, cfg_.cells - first));
+        }
+        bits_.set(s.pos);
+      });
+}
+
 bool SheBitmap::legal_age(std::uint64_t age) const {
   auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
   return age >= lower;
@@ -85,6 +112,51 @@ double SheBitmap::cardinality(std::uint64_t window) const {
   cls.commit(track);
   if (observed == 0) return 0.0;  // no group's age matches this sub-window yet
   return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
+}
+
+std::vector<double> SheBitmap::cardinality_batch(
+    std::span<const std::uint64_t> windows) const {
+  for (std::uint64_t w : windows)
+    if (w == 0 || w > cfg_.window)
+      throw std::invalid_argument("SheBitmap: query window must be in [1, N]");
+  const std::size_t nw = windows.size();
+  std::vector<std::uint64_t> lower(nw), upper(nw);
+  for (std::size_t j = 0; j < nw; ++j) {
+    lower[j] = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(windows[j]));
+    upper[j] = static_cast<std::uint64_t>((2.0 - cfg_.beta) *
+                                          static_cast<double>(windows[j]));
+  }
+  const bool track = obs::enabled();
+  std::vector<obs::AgeClassCounts> cls(track ? nw : 0);
+  std::vector<std::size_t> zeros(nw, 0), observed(nw, 0);
+  // One scan: each group's age and zero count are computed once and reused
+  // by every window whose legal band contains the age.
+  for (std::size_t g = 0; g < clock_.groups(); ++g) {
+    std::uint64_t age = clock_.age(g, time_);
+    std::size_t first = g * cfg_.group_cells;
+    std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+    std::size_t group_zeros = 0;
+    bool zeros_known = false;
+    for (std::size_t j = 0; j < nw; ++j) {
+      if (track) cls[j].add(age, windows[j]);
+      if (age < lower[j] || age >= upper[j]) continue;
+      if (!zeros_known) {
+        group_zeros =
+            clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
+        zeros_known = true;
+      }
+      observed[j] += count;
+      zeros[j] += group_zeros;
+    }
+  }
+  std::vector<double> result(nw, 0.0);
+  for (std::size_t j = 0; j < nw; ++j) {
+    if (track) cls[j].commit(true);
+    if (observed[j] == 0) continue;  // matches the scalar 0.0 answer
+    result[j] = fixed::linear_counting(zeros[j], observed[j],
+                                       static_cast<double>(cfg_.cells));
+  }
+  return result;
 }
 
 void SheBitmap::save(BinaryWriter& out) const {

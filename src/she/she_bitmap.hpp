@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bit_array.hpp"
 #include "common/bobhash.hpp"
+#include "she/batch.hpp"
 #include "she/config.hpp"
 #include "she/group_clock.hpp"
 
@@ -23,6 +26,11 @@ class SheBitmap {
 
   /// Insert one item; advances the stream clock by one.
   void insert(std::uint64_t key);
+
+  /// Insert a batch (bit-for-bit equivalent to insert() per key, in
+  /// order) via the generic she::batch pipeline: the single hashed bit and
+  /// its group mark are prefetched a block ahead.
+  void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Time-based windows: insert at explicit timestamp `t` (monotone
   /// non-decreasing; throws std::invalid_argument if it moves backwards).
@@ -43,6 +51,12 @@ class SheBitmap {
   /// queried window; smaller windows leave fewer legal groups (higher
   /// variance).
   [[nodiscard]] double cardinality(std::uint64_t window) const;
+
+  /// Batched multi-window query: element-wise identical to
+  /// cardinality(windows[i]) but the group ages and zero counts are
+  /// computed in ONE pass over the array instead of one scan per window.
+  [[nodiscard]] std::vector<double> cardinality_batch(
+      std::span<const std::uint64_t> windows) const;
 
   /// Number of groups currently in the legal age range (diagnostic; the
   /// variance analysis of Sec. 5.3 depends on it).
@@ -68,6 +82,7 @@ class SheBitmap {
   GroupClock clock_;
   BitArray bits_;
   std::uint64_t time_ = 0;
+  std::vector<batch::Slot> scratch_;  // insert_batch staging (not state)
 };
 
 }  // namespace she

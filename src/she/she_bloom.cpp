@@ -39,41 +39,80 @@ void SheBloomFilter::insert_at(std::uint64_t key, std::uint64_t t) {
 }
 
 void SheBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
-  // Software pipeline: hash a block of keys once into a position buffer,
-  // issue prefetches for every touched cache line, then apply the updates
-  // from the buffer.  The hash latency of key i+1 and the memory latency of
-  // key i overlap, which is where the win over scalar insert() comes from
-  // once the bit array outgrows the cache.
-  constexpr std::size_t kBlock = 16;
-  positions_.resize(kBlock * hashes_);
-  std::size_t i = 0;
-  for (; i + kBlock <= keys.size(); i += kBlock) {
-    std::size_t* out = positions_.data();
-    for (std::size_t b = 0; b < kBlock; ++b) {
-      for (unsigned h = 0; h < hashes_; ++h) {
-        std::size_t pos = position(keys[i + b], h);
-        *out++ = pos;
-        bits_.prefetch(pos);
-      }
-    }
-    const std::size_t* in = positions_.data();
-    for (std::size_t b = 0; b < kBlock; ++b) {
-      ++time_;
-      for (unsigned h = 0; h < hashes_; ++h) {
-        std::size_t pos = *in++;
-        std::size_t gid = pos / cfg_.group_cells;
+  // Cache-resident arrays are not worth prefetching (batch.hpp).
+  const bool warm_bits = bits_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  batch::pipelined(
+      keys, hashes_, scratch_,
+      [this](std::uint64_t key, unsigned h) {
+        return batch::Slot{position(key, h), 0};
+      },
+      [this, warm_bits, warm_marks](const batch::Slot& s) {
+        if (warm_bits) bits_.prefetch(s.pos, true);
+        if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, true);
+      },
+      [this] { ++time_; },
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        std::size_t gid = s.pos / cfg_.group_cells;
         if (clock_.touch(gid, time_)) {
           std::size_t first = gid * cfg_.group_cells;
           std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
           bits_.clear_range(first, count);
         }
-        bits_.set(pos);
-      }
-    }
-  }
-  if (obs::enabled() && i > 0)
-    obs::she_metrics().hash_calls.inc(static_cast<std::uint64_t>(i) * hashes_);
-  for (; i < keys.size(); ++i) insert(keys[i]);
+        bits_.set(s.pos);
+      });
+  // One increment for the whole batch: the tail runs through the same
+  // staged pipeline, so accounting is uniform (k hashes per key, exactly).
+  if (obs::enabled())
+    obs::she_metrics().hash_calls.inc(
+        static_cast<std::uint64_t>(keys.size()) * hashes_);
+}
+
+void SheBloomFilter::contains_batch(std::span<const std::uint64_t> keys,
+                                    std::span<std::uint8_t> out,
+                                    std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheBloomFilter: query window must be in [1, N]");
+  if (out.size() < keys.size())
+    throw std::invalid_argument("SheBloomFilter: contains_batch output too small");
+  const bool track = obs::enabled();
+  // Local scratch keeps this const path thread-safe on shared readers; one
+  // allocation per batch call is noise against the per-key work.
+  std::vector<batch::Slot> scratch;
+  const bool warm_bits = bits_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  batch::pipelined_query(
+      keys, hashes_, scratch,
+      [this](std::uint64_t key, unsigned h) {
+        return batch::Slot{position(key, h), 0};
+      },
+      [this, warm_bits, warm_marks](const batch::Slot& s) {
+        if (warm_bits) bits_.prefetch(s.pos, false);
+        if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, false);
+      },
+      [&](std::size_t i, const batch::Slot* slots) {
+        // Same probe-by-probe logic as scalar contains(); positions staged.
+        obs::AgeClassCounts cls;
+        bool present = true;
+        for (unsigned h = 0; h < hashes_; ++h) {
+          std::size_t pos = slots[h].pos;
+          std::size_t gid = pos / cfg_.group_cells;
+          std::uint64_t age = clock_.age(gid, time_);
+          if (track) cls.add(age, window);
+          if (age < window) continue;
+          if (!(clock_.stale(gid, time_) ? false : bits_.test(pos))) {
+            present = false;
+            break;
+          }
+        }
+        out[i] = present ? 1 : 0;
+        if (track) cls.commit(true);
+      });
+  // All probe hashes are staged up front, so the batch path charges exactly
+  // k hash calls per key regardless of early exits.
+  if (track)
+    obs::she_metrics().hash_calls.inc(
+        static_cast<std::uint64_t>(keys.size()) * hashes_);
 }
 
 bool SheBloomFilter::contains(std::uint64_t key, std::uint64_t window) const {

@@ -41,6 +41,87 @@ void SheCountMin::insert_at(std::uint64_t key, std::uint64_t t) {
   }
 }
 
+void SheCountMin::insert_batch(std::span<const std::uint64_t> keys) {
+  // Cache-resident arrays are not worth prefetching (batch.hpp).
+  const bool warm_cells =
+      cells_.size() * sizeof(cells_[0]) >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  batch::pipelined(
+      keys, hashes_, scratch_,
+      [this](std::uint64_t key, unsigned h) {
+        return batch::Slot{position(key, h), 0};
+      },
+      [this, warm_cells, warm_marks](const batch::Slot& s) {
+        if (warm_cells) batch::prefetch_addr(&cells_[s.pos], true);
+        if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, true);
+      },
+      [this] {
+        ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc(hashes_);
+      },
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        std::size_t gid = s.pos / cfg_.group_cells;
+        if (clock_.touch(gid, time_)) {
+          std::size_t first = gid * cfg_.group_cells;
+          std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+          std::fill(cells_.begin() + first, cells_.begin() + first + count, 0u);
+        }
+        std::uint32_t& c = cells_[s.pos];
+        if (c != std::numeric_limits<std::uint32_t>::max()) ++c;
+      });
+}
+
+void SheCountMin::frequency_batch(std::span<const std::uint64_t> keys,
+                                  std::span<std::uint64_t> out,
+                                  std::uint64_t window) const {
+  if (window == 0 || window > cfg_.window)
+    throw std::invalid_argument("SheCountMin: query window must be in [1, N]");
+  if (out.size() < keys.size())
+    throw std::invalid_argument("SheCountMin: frequency_batch output too small");
+  const bool track = obs::enabled();
+  const bool warm_cells =
+      cells_.size() * sizeof(cells_[0]) >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  // Local scratch keeps this const path thread-safe on shared readers.
+  std::vector<batch::Slot> scratch;
+  batch::pipelined_query(
+      keys, hashes_, scratch,
+      [this](std::uint64_t key, unsigned h) {
+        return batch::Slot{position(key, h), 0};
+      },
+      [this, warm_cells, warm_marks](const batch::Slot& s) {
+        if (warm_cells) batch::prefetch_addr(&cells_[s.pos], false);
+        if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, false);
+      },
+      [&](std::size_t i, const batch::Slot* slots) {
+        // Same min-over-mature logic as scalar frequency(); positions
+        // staged, hashed exactly once per probe.
+        std::uint64_t best_mature = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t best_any = std::numeric_limits<std::uint64_t>::max();
+        obs::AgeClassCounts cls;
+        for (unsigned h = 0; h < hashes_; ++h) {
+          std::size_t pos = slots[h].pos;
+          std::size_t gid = pos / cfg_.group_cells;
+          std::uint64_t age = clock_.age(gid, time_);
+          if (track) cls.add(age, window);
+          std::uint64_t value = clock_.stale(gid, time_) ? 0 : cells_[pos];
+          best_any = std::min(best_any, value);
+          if (age >= window) best_mature = std::min(best_mature, value);
+        }
+        if (track) cls.commit(true);
+        if (best_mature != std::numeric_limits<std::uint64_t>::max()) {
+          out[i] = best_mature;
+        } else {
+          ++all_young_;
+          if (track) obs::she_metrics().cm_all_young_queries.inc();
+          out[i] = best_any;
+        }
+      });
+  if (track)
+    obs::she_metrics().hash_calls.inc(
+        static_cast<std::uint64_t>(keys.size()) * hashes_);
+}
+
 std::uint64_t SheCountMin::frequency(std::uint64_t key,
                                      std::uint64_t window) const {
   if (window == 0 || window > cfg_.window)

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bobhash.hpp"
+#include "she/batch.hpp"
 #include "she/config.hpp"
 #include "she/group_clock.hpp"
 
@@ -25,6 +27,12 @@ class SheCountMin {
 
   /// Insert one item; advances the stream clock by one.
   void insert(std::uint64_t key);
+
+  /// Insert a batch (bit-for-bit equivalent to insert() per key, in
+  /// order) via the generic she::batch pipeline: the k counter positions
+  /// are hashed a block ahead and the counter + mark lines prefetched —
+  /// the same latency-hiding win as SHE-BF once the table leaves cache.
+  void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Time-based windows: insert at explicit timestamp `t` (monotone
   /// non-decreasing; throws std::invalid_argument if it moves backwards).
@@ -45,6 +53,17 @@ class SheCountMin {
   /// sub-window; smaller windows include more aged overshoot.
   [[nodiscard]] std::uint64_t frequency(std::uint64_t key,
                                         std::uint64_t window) const;
+
+  /// Batched frequency: answers are element-wise identical to
+  /// frequency(keys[i], window) but the probe positions are hashed a block
+  /// ahead with read-hinted prefetches.
+  void frequency_batch(std::span<const std::uint64_t> keys,
+                       std::span<std::uint64_t> out) const {
+    frequency_batch(keys, out, cfg_.window);
+  }
+  void frequency_batch(std::span<const std::uint64_t> keys,
+                       std::span<std::uint64_t> out,
+                       std::uint64_t window) const;
 
   void clear();
 
@@ -75,6 +94,7 @@ class SheCountMin {
   std::vector<std::uint32_t> cells_;
   std::uint64_t time_ = 0;
   mutable std::uint64_t all_young_ = 0;
+  std::vector<batch::Slot> scratch_;  // insert_batch staging (not state)
 };
 
 }  // namespace she

@@ -42,6 +42,33 @@ void SheHyperLogLog::insert_at(std::uint64_t key, std::uint64_t t) {
   if (rank > regs_.get(i)) regs_.set(i, rank);
 }
 
+void SheHyperLogLog::insert_batch(std::span<const std::uint64_t> keys) {
+  // Cache-resident arrays are not worth prefetching (batch.hpp).
+  const bool warm_regs = regs_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  batch::pipelined(
+      keys, 1, scratch_,
+      [this](std::uint64_t key, unsigned) {
+        std::size_t i = BobHash32(cfg_.seed)(key) % cfg_.cells;
+        std::uint64_t rank = hll_rank(BobHash32(cfg_.seed + 0x5eed)(key),
+                                      kValueBits);
+        if (rank > regs_.max_value()) rank = regs_.max_value();
+        return batch::Slot{i, rank};
+      },
+      [this, warm_regs, warm_marks](const batch::Slot& s) {
+        if (warm_regs) regs_.prefetch(s.pos, true);
+        if (warm_marks) clock_.prefetch(s.pos, true);  // w = 1: reg == group
+      },
+      [this] {
+        ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc(2);
+      },
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        if (clock_.touch(s.pos, time_)) regs_.set(s.pos, 0);
+        if (s.aux > regs_.get(s.pos)) regs_.set(s.pos, s.aux);
+      });
+}
+
 bool SheHyperLogLog::legal_age(std::uint64_t age) const {
   auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
   return age >= lower;
@@ -98,6 +125,50 @@ double SheHyperLogLog::cardinality(std::uint64_t window) const {
   if (observed == 0) return 0.0;
   return fixed::HyperLogLog::estimate(sum, observed,
                                       static_cast<double>(regs_.size()), zeros);
+}
+
+std::vector<double> SheHyperLogLog::cardinality_batch(
+    std::span<const std::uint64_t> windows) const {
+  for (std::uint64_t w : windows)
+    if (w == 0 || w > cfg_.window)
+      throw std::invalid_argument("SheHyperLogLog: query window must be in [1, N]");
+  const std::size_t nw = windows.size();
+  std::vector<std::uint64_t> lower(nw), upper(nw);
+  for (std::size_t j = 0; j < nw; ++j) {
+    lower[j] = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(windows[j]));
+    upper[j] = static_cast<std::uint64_t>((2.0 - cfg_.beta) *
+                                          static_cast<double>(windows[j]));
+  }
+  const bool track = obs::enabled();
+  std::vector<obs::AgeClassCounts> cls(track ? nw : 0);
+  std::vector<double> sum(nw, 0.0);
+  std::vector<std::size_t> observed(nw, 0), zeros(nw, 0);
+  // One scan: each register's age and value are read once and reused by
+  // every window whose legal band contains the age.
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    std::uint64_t age = clock_.age(i, time_);
+    std::uint64_t r = 0;
+    bool r_known = false;
+    for (std::size_t j = 0; j < nw; ++j) {
+      if (track) cls[j].add(age, windows[j]);
+      if (age < lower[j] || age >= upper[j]) continue;
+      if (!r_known) {
+        r = clock_.stale(i, time_) ? 0 : regs_.get(i);
+        r_known = true;
+      }
+      ++observed[j];
+      if (r == 0) ++zeros[j];
+      sum[j] += std::ldexp(1.0, -static_cast<int>(r));
+    }
+  }
+  std::vector<double> result(nw, 0.0);
+  for (std::size_t j = 0; j < nw; ++j) {
+    if (track) cls[j].commit(true);
+    if (observed[j] == 0) continue;  // matches the scalar 0.0 answer
+    result[j] = fixed::HyperLogLog::estimate(
+        sum[j], observed[j], static_cast<double>(regs_.size()), zeros[j]);
+  }
+  return result;
 }
 
 void SheHyperLogLog::save(BinaryWriter& out) const {

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bobhash.hpp"
 #include "common/packed_array.hpp"
+#include "she/batch.hpp"
 #include "she/config.hpp"
 #include "she/group_clock.hpp"
 
@@ -26,6 +29,11 @@ class SheHyperLogLog {
 
   /// Insert one item; advances the stream clock by one.
   void insert(std::uint64_t key);
+
+  /// Insert a batch (bit-for-bit equivalent to insert() per key, in
+  /// order): both hashes (register index and rank) are computed a block
+  /// ahead and the register + mark lines prefetched.
+  void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Time-based windows: insert at explicit timestamp `t` (monotone
   /// non-decreasing; throws std::invalid_argument if it moves backwards).
@@ -44,6 +52,12 @@ class SheHyperLogLog {
   /// window in [1, N], using the symmetric legal band
   /// [beta*window, (2-beta)*window).
   [[nodiscard]] double cardinality(std::uint64_t window) const;
+
+  /// Batched multi-window query: element-wise identical to
+  /// cardinality(windows[i]) but the register ages and values are read in
+  /// ONE pass instead of one scan per window.
+  [[nodiscard]] std::vector<double> cardinality_batch(
+      std::span<const std::uint64_t> windows) const;
 
   /// Registers currently in the legal age range (diagnostic).
   [[nodiscard]] std::size_t legal_groups() const;
@@ -68,6 +82,7 @@ class SheHyperLogLog {
   GroupClock clock_;
   PackedArray regs_;  // 5-bit ranks, 0 = empty
   std::uint64_t time_ = 0;
+  std::vector<batch::Slot> scratch_;  // insert_batch staging (not state)
 };
 
 }  // namespace she

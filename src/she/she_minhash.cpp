@@ -33,6 +33,25 @@ void SheMinHash::insert_at(std::uint64_t key, std::uint64_t t) {
   }
 }
 
+void SheMinHash::insert_batch(std::span<const std::uint64_t> keys) {
+  const auto k = static_cast<unsigned>(sig_.size());
+  batch::pipelined(
+      keys, k, scratch_,
+      [this](std::uint64_t key, unsigned i) {
+        return batch::Slot{i, value(key, i)};
+      },
+      [](const batch::Slot&) {},  // sequential signature scan: already warm
+      [this] {
+        ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc(sig_.size());
+      },
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        if (clock_.touch(s.pos, time_)) sig_[s.pos] = kEmpty;
+        sig_[s.pos] = std::min(sig_[s.pos],
+                               static_cast<std::uint32_t>(s.aux));
+      });
+}
+
 bool SheMinHash::legal_age(std::uint64_t age) const {
   auto lower = static_cast<std::uint64_t>(cfg_.beta * static_cast<double>(cfg_.window));
   return age >= lower;
@@ -91,6 +110,55 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b,
   cls.commit(track);
   return compared == 0 ? 0.0
                        : static_cast<double>(match) / static_cast<double>(compared);
+}
+
+std::vector<double> SheMinHash::jaccard_batch(
+    const SheMinHash& a, const SheMinHash& b,
+    std::span<const std::uint64_t> windows) {
+  for (std::uint64_t w : windows)
+    if (w == 0 || w > a.cfg_.window)
+      throw std::invalid_argument("SheMinHash::jaccard: query window must be in [1, N]");
+  if (a.sig_.size() != b.sig_.size() || a.cfg_.seed != b.cfg_.seed)
+    throw std::invalid_argument("SheMinHash::jaccard: incompatible signatures");
+  if (a.time_ != b.time_)
+    throw std::invalid_argument("SheMinHash::jaccard: signatures not in lock-step");
+  const std::size_t nw = windows.size();
+  std::vector<std::uint64_t> lower(nw), upper(nw);
+  for (std::size_t j = 0; j < nw; ++j) {
+    lower[j] =
+        static_cast<std::uint64_t>(a.cfg_.beta * static_cast<double>(windows[j]));
+    upper[j] = static_cast<std::uint64_t>((2.0 - a.cfg_.beta) *
+                                          static_cast<double>(windows[j]));
+  }
+  const bool track = obs::enabled();
+  std::vector<obs::AgeClassCounts> cls(track ? nw : 0);
+  std::vector<std::size_t> match(nw, 0), compared(nw, 0);
+  // One scan of both signatures for every queried window.
+  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
+    std::uint64_t age = a.clock_.age(i, a.time_);
+    std::uint32_t va = 0, vb = 0;
+    bool slots_known = false;
+    for (std::size_t j = 0; j < nw; ++j) {
+      if (track) cls[j].add(age, windows[j]);
+      if (age < lower[j] || age >= upper[j]) continue;
+      if (!slots_known) {
+        va = a.effective_slot(i);
+        vb = b.effective_slot(i);
+        slots_known = true;
+      }
+      if (va == kEmpty && vb == kEmpty) continue;
+      ++compared[j];
+      if (va == vb) ++match[j];
+    }
+  }
+  std::vector<double> result(nw, 0.0);
+  for (std::size_t j = 0; j < nw; ++j) {
+    if (track) cls[j].commit(true);
+    result[j] = compared[j] == 0 ? 0.0
+                                 : static_cast<double>(match[j]) /
+                                       static_cast<double>(compared[j]);
+  }
+  return result;
 }
 
 void SheMinHash::save(BinaryWriter& out) const {

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bobhash.hpp"
+#include "she/batch.hpp"
 #include "she/config.hpp"
 #include "she/group_clock.hpp"
 
@@ -25,6 +27,12 @@ class SheMinHash {
   /// Insert one item; advances the stream clock by one.  Every slot is
   /// updated (MinHash's K = m in the CSM).
   void insert(std::uint64_t key);
+
+  /// Insert a batch (bit-for-bit equivalent to insert() per key, in
+  /// order).  With K = m the signature is scanned sequentially anyway, so
+  /// the win here is staged hashing and uniform metric accounting rather
+  /// than prefetch; the generic layer sizes its blocks down automatically.
+  void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Time-based windows: insert at explicit timestamp `t` (monotone
   /// non-decreasing; throws std::invalid_argument if it moves backwards).
@@ -65,6 +73,13 @@ class SheMinHash {
   static double jaccard(const SheMinHash& a, const SheMinHash& b,
                         std::uint64_t window);
 
+  /// Batched multi-window query: element-wise identical to
+  /// jaccard(a, b, windows[i]) but both signatures are scanned ONCE for
+  /// all windows instead of once per window.
+  static std::vector<double> jaccard_batch(const SheMinHash& a,
+                                           const SheMinHash& b,
+                                           std::span<const std::uint64_t> windows);
+
  private:
   [[nodiscard]] std::uint32_t value(std::uint64_t key, std::size_t i) const {
     return BobHash32(cfg_.seed + static_cast<std::uint32_t>(i))(key) & 0xFFFFFFu;
@@ -78,6 +93,7 @@ class SheMinHash {
   GroupClock clock_;
   std::vector<std::uint32_t> sig_;
   std::uint64_t time_ = 0;
+  std::vector<batch::Slot> scratch_;  // insert_batch staging (not state)
 };
 
 }  // namespace she

@@ -211,6 +211,74 @@ TEST(IngestPipeline, SingleProducerDrainBitIdenticalToSequential) {
   EXPECT_GT(st.publishes, 0u);
 }
 
+TEST(IngestPipeline, BatchedDrainMatchesSequentialUnderConcurrentReads) {
+  // The worker drain now hands whole blocks to StreamMonitor::insert_batch
+  // (which fans out to the estimators' pipelined insert_batch).  With one
+  // producer the per-shard arrival order is deterministic, so the drained
+  // state must serialize byte-identically to scalar routing — while a
+  // reader thread hammers the seqlock snapshots mid-ingest (the surface
+  // `ctest -L tsan` sweeps) and the tiny Block-policy rings force
+  // backpressure so the stall counters are exercised.
+  constexpr std::uint64_t kWindow = 1 << 14;
+  constexpr std::size_t kShards = 2;
+  auto trace = stream::distinct_trace(1 << 16, 11);
+
+  auto factory = [](std::size_t s) {
+    MonitorConfig m;
+    m.window = kWindow / kShards;
+    m.memory_bytes = 1 << 17;
+    m.heavy_hitter_slots = 8;
+    m.seed = static_cast<std::uint32_t>(s);
+    return StreamMonitor(m);
+  };
+
+  PipelineOptions opt;
+  opt.shards = kShards;
+  opt.producers = 1;
+  opt.queue_capacity = 64;  // keep the producer ahead of the drain
+  IngestPipeline<StreamMonitor> pipe(opt, factory);
+  pipe.start();
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last[kShards] = {};
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::size_t s = 0; s < kShards; ++s) {
+        StreamMonitor snap = pipe.snapshot(s);
+        ASSERT_GE(snap.time(), last[s]);  // clock never runs backwards
+        last[s] = snap.time();
+        (void)snap.seen(trace[0]);
+        (void)snap.frequency(trace[0]);
+      }
+    }
+  });
+
+  std::vector<StreamMonitor> seq;
+  for (std::size_t s = 0; s < kShards; ++s) seq.push_back(factory(s));
+  for (auto k : trace) seq[pipe.shard_of(k)].insert(k);
+
+  EXPECT_EQ(pipe.push_bulk(0, trace), trace.size());
+  pipe.close();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::stringstream expected_ss, got_ss;
+    BinaryWriter ew(expected_ss), gw(got_ss);
+    seq[s].save(ew);
+    pipe.snapshot(s).save(gw);
+    ASSERT_EQ(got_ss.str(), expected_ss.str()) << "shard " << s;
+  }
+
+  auto st = pipe.stats();
+  EXPECT_EQ(st.inserted, trace.size());
+  EXPECT_EQ(st.dropped, 0u);
+  // stall_ns only accumulates inside a counted stall episode.
+  if (st.stall_ns > 0) {
+    EXPECT_GT(st.stall_events, 0u);
+  }
+}
+
 TEST(IngestPipeline, DropNewestCountsRejectedPushes) {
   // Workers not started: rings fill up and DropNewest must reject (and
   // count) exactly the overflow, then deliver the accepted remainder.
@@ -261,6 +329,9 @@ TEST(IngestPipeline, BlockPolicyLosesNothingThroughTinyQueues) {
   EXPECT_EQ(st.dropped, 0u);
   EXPECT_GE(st.queue_hwm, 1u);
   EXPECT_LE(st.queue_hwm, 16u);
+  // Pushing is far cheaper than draining into SHE-BF, so the 16-slot rings
+  // must fill: every Block episode increments stall_events exactly once.
+  EXPECT_GT(st.stall_events, 0u);
 }
 
 TEST(IngestPipeline, QueriesUnderLoadNeverSeeTornEstimator) {

@@ -1,0 +1,155 @@
+#include "common/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace she {
+
+namespace {
+
+template <typename T>
+T to_le(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    T out;
+    auto* src = reinterpret_cast<const unsigned char*>(&v);
+    auto* dst = reinterpret_cast<unsigned char*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  }
+  return v;
+}
+
+template <typename T>
+void put_le(char* out, T v) {
+  v = to_le(v);
+  std::memcpy(out, &v, sizeof(T));
+}
+
+template <typename T>
+T get_le(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return to_le(v);
+}
+
+/// Corrupt-checkpoint rejections, kept in the process-wide registry so
+/// they surface in every Prometheus/JSON dump regardless of which
+/// pipeline (or tool) hit them.  Incremented unconditionally — rejections
+/// are rare and always worth counting, so the obs::enabled() gate does
+/// not apply.
+obs::Counter& corrupt_counter() {
+  return obs::default_registry().counter(
+      "she_checkpoint_corrupt_total",
+      "checkpoint frames rejected as truncated or corrupted");
+}
+
+[[noreturn]] void reject(const std::string& why) {
+  corrupt_counter().inc();
+  throw CheckpointError("checkpoint rejected: " + why);
+}
+
+}  // namespace
+
+std::vector<char> frame_checkpoint(std::uint64_t stream_offset,
+                                   std::span<const char> payload) {
+  std::vector<char> out(kCheckpointHeaderBytes + payload.size());
+  std::memcpy(out.data(), kCheckpointMagic, 4);
+  put_le<std::uint32_t>(out.data() + 4, kCheckpointVersion);
+  put_le<std::uint64_t>(out.data() + 8, stream_offset);
+  put_le<std::uint64_t>(out.data() + 16, payload.size());
+  // The CRC covers the header prefix too, chained into the payload, so a
+  // bit flip in the stream offset is as loud as one in the payload.
+  std::uint32_t c = crc32(out.data(), 24);
+  c = crc32(payload.data(), payload.size(), c);
+  put_le<std::uint32_t>(out.data() + 24, c);
+  if (!payload.empty())
+    std::memcpy(out.data() + kCheckpointHeaderBytes, payload.data(),
+                payload.size());
+  return out;
+}
+
+CheckpointData parse_checkpoint(const char* data, std::size_t n) {
+  if (n < kCheckpointHeaderBytes)
+    reject("truncated header (" + std::to_string(n) + " of " +
+           std::to_string(kCheckpointHeaderBytes) + " bytes)");
+  if (std::memcmp(data, kCheckpointMagic, 4) != 0)
+    reject("bad magic (not a checkpoint file)");
+  const auto version = get_le<std::uint32_t>(data + 4);
+  if (version != kCheckpointVersion)
+    reject("unsupported frame version " + std::to_string(version));
+  CheckpointData out;
+  out.stream_offset = get_le<std::uint64_t>(data + 8);
+  const auto payload_len = get_le<std::uint64_t>(data + 16);
+  const auto expected_crc = get_le<std::uint32_t>(data + 24);
+  if (payload_len != n - kCheckpointHeaderBytes)
+    reject("payload length " + std::to_string(payload_len) +
+           " does not match the " + std::to_string(n - kCheckpointHeaderBytes) +
+           " bytes present (truncated or trailing garbage)");
+  const char* payload = data + kCheckpointHeaderBytes;
+  std::uint32_t actual_crc = crc32(data, 24);
+  actual_crc =
+      crc32(payload, static_cast<std::size_t>(payload_len), actual_crc);
+  if (actual_crc != expected_crc)
+    reject("CRC mismatch (corrupted header or payload)");
+  out.payload.assign(payload, payload + payload_len);
+  return out;
+}
+
+void write_file_atomic(const std::string& path, std::span<const char> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // Frame durability, not just atomicity: reach the disk before the
+  // rename makes the new frame visible.
+  flushed = flushed && ::fsync(fileno(f)) == 0;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path + ": " + ec.message());
+  }
+}
+
+std::optional<CheckpointData> try_read_checkpoint_file(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  if (!is.good() && !is.eof())
+    throw CheckpointError("checkpoint: read error on " + path);
+  return parse_checkpoint(bytes.data(), bytes.size());
+}
+
+CheckpointData read_checkpoint_file(const std::string& path) {
+  auto data = try_read_checkpoint_file(path);
+  if (!data)
+    throw CheckpointError("checkpoint: no such file: " + path);
+  return std::move(*data);
+}
+
+}  // namespace she

@@ -1,0 +1,79 @@
+// Durable, CRC-framed checkpoint files.
+//
+// The estimators' save()/load() byte format is deliberately minimal — it
+// trusts its input.  A checkpoint that survives process crashes cannot: a
+// power cut mid-write leaves a truncated file, a disk error flips bits,
+// and loading either into a live pipeline would silently corrupt hours of
+// sliding-window state.  This module wraps any serialized payload in a
+// self-verifying frame and writes it atomically:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic "SHCP"
+//        4     4  frame version (u32, little-endian, currently 1)
+//        8     8  stream offset (items applied when the snapshot was taken)
+//       16     8  payload length in bytes
+//       24     4  CRC-32 (IEEE) of bytes [0, 24) chained with the payload —
+//                 a flipped bit anywhere in the frame (including the stream
+//                 offset) fails the checksum
+//       28     n  payload (estimator save() bytes)
+//
+// Readers reject anything that fails magic, version, length or CRC checks
+// with a typed CheckpointError — never a crash, hang or silent load — and
+// every such rejection is counted in the `she_checkpoint_corrupt_total`
+// metric (obs::default_registry()).  Writers go through a temp file and an
+// atomic rename, so a reader racing a writer observes either the old or
+// the new complete frame, never a torn one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace she {
+
+/// Typed rejection for unusable checkpoint files: truncation, bad magic,
+/// unknown version, length mismatch, CRC failure, or a missing file on a
+/// path that was required to exist.
+class CheckpointError : public SerializeError {
+ public:
+  using SerializeError::SerializeError;
+};
+
+inline constexpr char kCheckpointMagic[4] = {'S', 'H', 'C', 'P'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::size_t kCheckpointHeaderBytes = 28;
+
+/// A parsed frame: the recorded ingest position plus the raw payload.
+struct CheckpointData {
+  std::uint64_t stream_offset = 0;
+  std::vector<char> payload;
+};
+
+/// Wrap `payload` in a magic/version/offset/length/CRC frame.
+[[nodiscard]] std::vector<char> frame_checkpoint(std::uint64_t stream_offset,
+                                                 std::span<const char> payload);
+
+/// Validate and unwrap a frame.  Throws CheckpointError (and increments
+/// `she_checkpoint_corrupt_total`) on any structural or checksum failure.
+[[nodiscard]] CheckpointData parse_checkpoint(const char* data, std::size_t n);
+
+/// Write `bytes` to `path` via "<path>.tmp" + flush(+fsync) + atomic
+/// rename.  Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, std::span<const char> bytes);
+
+/// Read and parse `path`; nullopt iff the file does not exist (a fresh
+/// start, not an error).  A file that exists but fails validation throws
+/// CheckpointError, like parse_checkpoint.
+[[nodiscard]] std::optional<CheckpointData> try_read_checkpoint_file(
+    const std::string& path);
+
+/// Like try_read_checkpoint_file, but a missing file is also a
+/// CheckpointError (it is not counted as corrupt).
+[[nodiscard]] CheckpointData read_checkpoint_file(const std::string& path);
+
+}  // namespace she

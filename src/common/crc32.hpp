@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the checkpoint framing (common/checkpoint.hpp) to detect
+// bit-flips and truncation in durable snapshot files.  Table-driven,
+// byte-at-a-time: checkpoints are written at publish cadence (KBs every
+// tens of thousands of items), so throughput is nowhere near a hot path.
+// The incremental form (`seed` = previous result) lets callers checksum
+// scattered buffers without concatenating.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace she {
+
+/// CRC-32 of `n` bytes at `data`; pass a previous result as `seed` to
+/// continue an incremental checksum (the empty-prefix seed is 0).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace she

@@ -2,7 +2,6 @@
 
 #include <bit>
 #include <cstring>
-#include <stdexcept>
 
 namespace she {
 
@@ -23,7 +22,7 @@ T to_le(T v) {
 
 void BinaryWriter::raw(const void* p, std::size_t n) {
   os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  if (!os_) throw std::runtime_error("BinaryWriter: write failed");
+  if (!os_) throw SerializeError("BinaryWriter: write failed");
 }
 
 void BinaryWriter::u32(std::uint32_t v) {
@@ -55,7 +54,33 @@ void BinaryWriter::u32_vector(const std::vector<std::uint32_t>& v) {
 void BinaryReader::raw(void* p, std::size_t n) {
   is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
   if (static_cast<std::size_t>(is_.gcount()) != n)
-    throw std::runtime_error("BinaryReader: unexpected end of stream");
+    throw SerializeError("BinaryReader: unexpected end of stream");
+}
+
+std::optional<std::uint64_t> BinaryReader::remaining_bytes() {
+  const std::streampos pos = is_.tellg();
+  if (pos == std::streampos(-1)) {
+    is_.clear();
+    return std::nullopt;
+  }
+  is_.seekg(0, std::ios::end);
+  const std::streampos end = is_.tellg();
+  is_.seekg(pos);
+  if (end == std::streampos(-1) || end < pos || !is_) {
+    is_.clear();
+    is_.seekg(pos);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+void BinaryReader::check_length(std::uint64_t n, std::size_t elem_bytes) {
+  if (n > (std::uint64_t{1} << 32))
+    throw SerializeError("BinaryReader: implausible vector length");
+  if (const auto rem = remaining_bytes(); rem && n > *rem / elem_bytes)
+    throw SerializeError("BinaryReader: vector length " + std::to_string(n) +
+                         " exceeds the " + std::to_string(*rem) +
+                         " bytes remaining in the stream");
 }
 
 std::uint8_t BinaryReader::u8() {
@@ -87,14 +112,13 @@ void BinaryReader::expect_tag(const char (&t)[5]) {
   char got[4];
   raw(got, 4);
   if (std::memcmp(got, t, 4) != 0)
-    throw std::runtime_error(std::string("BinaryReader: expected tag '") + t +
-                             "', stream holds something else");
+    throw SerializeError(std::string("BinaryReader: expected tag '") + t +
+                         "', stream holds something else");
 }
 
 std::vector<std::uint64_t> BinaryReader::u64_vector() {
   std::uint64_t n = u64();
-  if (n > (std::uint64_t{1} << 32))
-    throw std::runtime_error("BinaryReader: implausible vector length");
+  check_length(n, 8);
   std::vector<std::uint64_t> v(n);
   for (auto& x : v) x = u64();
   return v;
@@ -102,8 +126,7 @@ std::vector<std::uint64_t> BinaryReader::u64_vector() {
 
 std::vector<std::uint32_t> BinaryReader::u32_vector() {
   std::uint64_t n = u64();
-  if (n > (std::uint64_t{1} << 32))
-    throw std::runtime_error("BinaryReader: implausible vector length");
+  check_length(n, 4);
   std::vector<std::uint32_t> v(n);
   for (auto& x : v) x = u32();
   return v;

@@ -3,17 +3,32 @@
 // Estimators support save()/load() so a long-lived monitor can checkpoint
 // its sliding-window state (e.g. across process restarts) and resume with
 // identical answers.  The format is little-endian fixed-width fields behind
-// a per-type magic tag and version byte; readers throw std::runtime_error
-// on truncation or tag mismatch rather than returning garbage.
+// a per-type magic tag and version byte; readers throw SerializeError on
+// truncation, tag mismatch or implausible lengths rather than returning
+// garbage.  Length prefixes are additionally bounded against the remaining
+// stream size (when the stream is seekable), so a corrupted prefix can
+// never trigger a multi-gigabyte allocation before the truncation is
+// discovered element by element.
 #pragma once
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace she {
+
+/// Typed rejection for every malformed-stream condition the binary readers
+/// detect: short reads, tag mismatches, implausible or oversized length
+/// prefixes.  Derives from std::runtime_error so pre-existing catch sites
+/// keep working.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class BinaryWriter {
  public:
@@ -54,6 +69,15 @@ class BinaryReader {
 
  private:
   void raw(void* p, std::size_t n);
+
+  /// Bytes left before end-of-stream, or nullopt when the stream is not
+  /// seekable (then only the absolute plausibility cap applies).
+  std::optional<std::uint64_t> remaining_bytes();
+
+  /// Reject a vector length prefix that is absurd in absolute terms or
+  /// provably larger than the remaining stream.
+  void check_length(std::uint64_t n, std::size_t elem_bytes);
+
   std::istream& is_;
 };
 

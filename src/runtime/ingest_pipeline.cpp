@@ -5,13 +5,21 @@
 namespace she::runtime {
 
 const char* to_string(Backpressure p) {
-  return p == Backpressure::kBlock ? "block" : "drop";
+  switch (p) {
+    case Backpressure::kBlock: return "block";
+    case Backpressure::kDropNewest: return "drop";
+    case Backpressure::kBlockTimeout: return "block-timeout";
+  }
+  return "?";
 }
 
 Backpressure backpressure_from(const std::string& name) {
   if (name == "block") return Backpressure::kBlock;
   if (name == "drop" || name == "drop-newest") return Backpressure::kDropNewest;
-  throw std::invalid_argument("backpressure policy must be 'block' or 'drop'");
+  if (name == "block-timeout" || name == "timeout")
+    return Backpressure::kBlockTimeout;
+  throw std::invalid_argument(
+      "backpressure policy must be 'block', 'drop', or 'block-timeout'");
 }
 
 void PipelineOptions::validate() const {
@@ -26,6 +34,23 @@ void PipelineOptions::validate() const {
   if (publish_interval == 0)
     throw std::invalid_argument(
         "PipelineOptions: publish_interval must be > 0");
+  if (policy == Backpressure::kBlockTimeout && push_timeout_ms == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: BlockTimeout needs push_timeout_ms > 0");
+  if (resume && checkpoint_dir.empty())
+    throw std::invalid_argument(
+        "PipelineOptions: resume needs a checkpoint_dir");
+  if (!checkpoint_dir.empty() && checkpoint_interval == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: checkpoint_interval must be > 0");
+  if (supervise && heartbeat_timeout_ms == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: supervise needs heartbeat_timeout_ms > 0");
+  if (supervise && supervisor_interval_ms == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: supervise needs supervisor_interval_ms > 0");
+  if (rate_window_s == 0)
+    throw std::invalid_argument("PipelineOptions: rate_window_s must be > 0");
 }
 
 }  // namespace she::runtime

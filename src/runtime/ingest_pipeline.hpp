@@ -1,4 +1,5 @@
-// IngestPipeline — lock-free shard pipelines with queries under load.
+// IngestPipeline — lock-free shard pipelines with queries under load and
+// fault-tolerant operation.
 //
 // The hardware pipeline sustains one item per cycle because insertion and
 // lazy cleaning are single-stage operations; this is the CPU serving-path
@@ -11,56 +12,92 @@
 //
 //   producer p ──ring[p][s]──▶ worker s ──owns──▶ Estimator s
 //                                   └─publishes──▶ SeqlockSlot s ◀─readers
+//                                   └─checkpoints─▶ shard-s.ckpt (durable)
 //
-// Backpressure on a full ring is explicit: `Block` (spin-yield until space;
-// never loses an accepted item) or `DropNewest` (reject the push, counted
-// per shard).
+// Backpressure on a full ring is explicit: `Block` (spin-yield until
+// space; never loses an accepted item), `DropNewest` (reject the push,
+// counted per shard), or `BlockTimeout` (spin with exponential backoff up
+// to `push_timeout_ms`, then fail the push explicitly — bounded worst-case
+// latency instead of hanging forever behind a dead consumer).
+//
+// Fault tolerance (docs/INTERNALS.md §10):
+//   * Durable checkpoints: with `checkpoint_dir` set, each worker writes
+//     its just-published snapshot into a CRC32-framed file (atomic
+//     write-rename, common/checkpoint.hpp) every `checkpoint_interval`
+//     items and at close.  `resume = true` reloads those frames at
+//     construction — corrupted or truncated files are rejected with a
+//     typed CheckpointError, never loaded silently — and records the
+//     per-shard stream offsets (`resume_offset()`) so a driver can skip
+//     the already-ingested per-shard prefix of its trace.
+//   * Supervision: with `supervise = true`, a supervisor thread restarts
+//     workers that died by exception (rolled back to the shard's last
+//     published snapshot; items applied since are counted lost, ring
+//     backlog counted replayed) and fences workers whose heartbeat went
+//     stale (`heartbeat_timeout_ms`) so a wedged-but-cooperative worker
+//     hands its shard over losslessly.  Restarts are capped at
+//     `max_restarts` per shard; beyond it the shard is abandoned and
+//     pushes to it fail fast.
+//   * Fault injection: the deterministic hooks in
+//     runtime/fault_injection.hpp (compiled out unless
+//     SHE_FAULT_INJECTION) let tests and `she_tool pipeline --inject`
+//     drive every one of those paths on purpose.
 //
 // Observability: every pipeline owns a private obs::Registry (always on,
 // independent of the global obs::enabled() toggle) holding the per-shard
-// counters, drain/publish latency histograms, queue-depth gauges and
-// backpressure stall time; RuntimeStats is a plain-struct view over it
-// (see stats()).  Push latency is sampled (1 in 64) only while the global
-// telemetry toggle is enabled, so the producer hot path stays one ring
-// push + one counter increment otherwise.  An optional sampler thread
+// counters, drain/publish latency histograms, queue-depth gauges,
+// backpressure stall time, and the fault/recovery counters (restarts,
+// faults, wedges, items lost/replayed, checkpoints, push timeouts);
+// RuntimeStats is a plain-struct view over it (see stats()), including a
+// windowed items/s rate (`rate_window_s`) that makes restart dips visible
+// where the whole-run average would smooth them away.  Push latency is
+// sampled (1 in 64) only while the global telemetry toggle is enabled, so
+// the producer hot path stays one ring push + one counter increment
+// otherwise.  An optional sampler thread
 // (PipelineOptions::sample_interval_ms) refreshes the queue-depth gauges
-// during quiet periods.
+// and the windowed rate during quiet periods.
 //
 // Estimator requirements: movable, `insert(uint64_t)`,
 // `save(BinaryWriter&) const`, `static load(BinaryReader&)`.  Every SHE
 // estimator and StreamMonitor qualifies.  Estimators additionally exposing
 // `insert_batch(std::span<const uint64_t>)` (all of the above do) get the
-// hash-ahead + prefetch batch path on the worker drain: each drained ring
-// block is applied as one pipelined batch, which hides the per-key memory
-// latency that otherwise caps drain throughput on large tables.
+// hash-ahead + prefetch batch path on the worker drain.
 //
 // Threading contract:
 //   * push(producer, key): producer `p`'s pushes must be serialized (one
 //     thread per producer index); different producers are independent.
-//   * snapshot()/stats()/shard_of()/metrics_registry(): any thread, any
-//     time.
+//   * snapshot()/stats()/shard_of()/metrics_registry()/faulted():
+//     any thread, any time.
 //   * start()/close(): one controlling thread; do not call push()
 //     concurrently with close() — join your producers first.  close() on
 //     a never-started pipeline drains the queues inline.
 //
 // Ordering: with a single producer, per-shard insertion order equals
 // arrival order, so the result is bit-identical to sequential routing
-// through Sharded<T> (tested).  With several producers the per-shard
-// interleaving is nondeterministic, like any concurrent ingest.
+// through Sharded<T> (tested), and a checkpoint+resume replay that skips
+// each shard's recorded prefix reproduces the unfaulted run byte for byte.
+// With several producers the per-shard interleaving is nondeterministic,
+// like any concurrent ingest.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bobhash.hpp"
+#include "common/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/snapshot.hpp"
@@ -69,12 +106,14 @@ namespace she::runtime {
 
 /// What a producer does when its ring to the owning shard is full.
 enum class Backpressure {
-  kBlock,       ///< spin-yield until space; lossless
-  kDropNewest,  ///< reject the new item, count it in the shard's drop counter
+  kBlock,        ///< spin-yield until space; lossless
+  kDropNewest,   ///< reject the new item, count it in the shard's drop counter
+  kBlockTimeout, ///< spin with exponential backoff, fail after push_timeout_ms
 };
 
 [[nodiscard]] const char* to_string(Backpressure p);
-/// Parse "block" / "drop" (case-sensitive); throws std::invalid_argument.
+/// Parse "block" / "drop" / "block-timeout" (case-sensitive); throws
+/// std::invalid_argument.
 [[nodiscard]] Backpressure backpressure_from(const std::string& name);
 
 struct PipelineOptions {
@@ -84,10 +123,21 @@ struct PipelineOptions {
   std::size_t drain_batch = 256;       ///< max items popped per ring visit
   std::size_t publish_interval = 2048; ///< items between snapshot publishes
   Backpressure policy = Backpressure::kBlock;
+  std::size_t push_timeout_ms = 100;   ///< kBlockTimeout: give up after this
   std::uint64_t route_seed = 0x5ead5eedULL;  ///< Sharded's default
   std::size_t snapshot_slack_bytes = 4096;   ///< slot headroom over 2x image
   std::size_t sample_interval_ms = 0;  ///< queue-depth sampler period; 0 = no
                                        ///< background sampler thread
+
+  // Fault tolerance.
+  bool supervise = false;              ///< restart faulted / fence wedged workers
+  std::size_t heartbeat_timeout_ms = 250;  ///< wedged when heartbeat older
+  std::size_t supervisor_interval_ms = 5;  ///< supervisor poll period
+  std::size_t max_restarts = 16;       ///< per-shard cap before abandoning
+  std::string checkpoint_dir;          ///< empty = no durable checkpoints
+  std::uint64_t checkpoint_interval = 1u << 16;  ///< items between frames
+  bool resume = false;                 ///< reload checkpoint_dir at startup
+  std::size_t rate_window_s = 10;      ///< windowed items/s view width
 
   void validate() const;  ///< throws std::invalid_argument on bad fields
 };
@@ -97,10 +147,12 @@ class IngestPipeline {
  public:
   using Factory = std::function<Estimator(std::size_t)>;
 
-  /// Builds `opt.shards` estimators via `factory(shard_index)` and
-  /// publishes their initial snapshots; workers start with start().
+  /// Builds `opt.shards` estimators via `factory(shard_index)` — or, with
+  /// `opt.resume`, from the shard's durable checkpoint when one exists
+  /// (corrupt frames throw CheckpointError) — and publishes their initial
+  /// snapshots; workers start with start().
   IngestPipeline(const PipelineOptions& opt, const Factory& factory)
-      : opt_(opt) {
+      : opt_(opt), rate_window_(opt.rate_window_s) {
     opt_.validate();
     drain_hist_ = &registry_.histogram(
         "she_pipeline_drain_latency_ns",
@@ -118,11 +170,30 @@ class IngestPipeline {
     stall_events_ = &registry_.counter(
         "she_pipeline_stall_events_total",
         "full-ring stall episodes entered by producers (Block policy)");
+    push_timeouts_ = &registry_.counter(
+        "she_pipeline_push_timeouts_total",
+        "pushes that gave up after push_timeout_ms (BlockTimeout policy)");
+    rate_gauge_ = &registry_.gauge(
+        "she_pipeline_rate_items_per_sec",
+        "drained items/s over the last rate_window_s seconds");
+    if (!opt_.checkpoint_dir.empty())
+      std::filesystem::create_directories(opt_.checkpoint_dir);
     std::vector<char> image;
     shards_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s) {
-      auto sh = std::make_unique<Shard>(factory(s));
+      std::optional<CheckpointData> ck;
+      if (opt_.resume) ck = try_read_checkpoint_file(checkpoint_path(s));
+      auto sh = ck ? std::make_unique<Shard>(deserialize<Estimator>(
+                         ck->payload.data(), ck->payload.size()))
+                   : std::make_unique<Shard>(factory(s));
+      sh->index = s;
       bind_metrics(*sh, s);
+      if (ck) {
+        sh->resume_offset = ck->stream_offset;
+        sh->consumed = ck->stream_offset;
+        sh->consumed_at_publish = ck->stream_offset;
+        sh->last_checkpoint = ck->stream_offset;
+      }
       serialize_to(image, sh->est);
       sh->snap = std::make_unique<SeqlockSlot>(2 * image.size() +
                                                opt_.snapshot_slack_bytes);
@@ -153,8 +224,27 @@ class IngestPipeline {
     return static_cast<std::size_t>(hash64(key, opt_.route_seed) % opt_.shards);
   }
 
-  /// Launch one worker thread per shard (plus the queue-depth sampler when
-  /// configured).
+  /// Items shard `s`'s estimator already contained when this pipeline was
+  /// constructed with `resume` (0 otherwise): a single-producer driver
+  /// replaying the original trace should skip the first resume_offset(s)
+  /// keys that route to shard s to reproduce the unfaulted run exactly.
+  [[nodiscard]] std::uint64_t resume_offset(std::size_t s) const {
+    return shards_[s]->resume_offset;
+  }
+
+  /// True while any shard worker is dead by exception (or abandoned after
+  /// max_restarts) and not yet restarted.  Any thread.
+  [[nodiscard]] bool faulted() const {
+    for (const auto& sh : shards_) {
+      const WorkerState st = sh->state.load(std::memory_order_acquire);
+      if (st == WorkerState::kFaulted || st == WorkerState::kAbandoned)
+        return true;
+    }
+    return false;
+  }
+
+  /// Launch one worker thread per shard (plus the supervisor and the
+  /// queue-depth sampler when configured).
   void start() {
     if (started_.load(std::memory_order_relaxed))
       throw std::logic_error("IngestPipeline: already started");
@@ -164,14 +254,18 @@ class IngestPipeline {
     start_ns_.store(now_ns(), std::memory_order_relaxed);
     workers_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s)
-      workers_.emplace_back([this, s] { worker_loop(s); });
+      workers_.emplace_back([this, s] { worker_entry(s); });
+    if (opt_.supervise)
+      supervisor_ = std::thread([this] { supervisor_loop(); });
     if (opt_.sample_interval_ms > 0)
       sampler_ = std::thread([this] { sampler_loop(); });
   }
 
   /// Route one key from producer `producer` to its shard's ring.
-  /// Returns false iff the item was not accepted (DropNewest and the ring
-  /// is full, or the pipeline is closing).
+  /// Returns false iff the item was not accepted: DropNewest and the ring
+  /// is full, a BlockTimeout push that timed out, a Block push against a
+  /// dead (faulted, unsupervised or abandoned) shard, or the pipeline is
+  /// closing.
   bool push(std::size_t producer, std::uint64_t key) {
     thread_local std::uint64_t push_seq = 0;
     const bool timed = obs::enabled() && ((++push_seq & 63u) == 0);
@@ -186,15 +280,44 @@ class IngestPipeline {
       }
       const std::int64_t stall_start = now_ns();
       stall_events_->inc();  // one episode, however long the spin lasts
+      const std::int64_t deadline =
+          opt_.policy == Backpressure::kBlockTimeout
+              ? stall_start +
+                    static_cast<std::int64_t>(opt_.push_timeout_ms) * 1'000'000
+              : std::numeric_limits<std::int64_t>::max();
+      const auto charge_stall = [&] {
+        stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
+      };
+      std::int64_t backoff_us = 0;
       for (;;) {
         if (!accepting_.load(std::memory_order_acquire)) {
-          stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
+          charge_stall();
           return false;
         }
-        std::this_thread::yield();
+        if (shard_dead(sh)) {
+          // Nobody will ever drain this ring: fail instead of spinning
+          // forever behind a dead consumer.
+          sh.dropped->inc();
+          charge_stall();
+          return false;
+        }
+        if (now_ns() >= deadline) {
+          push_timeouts_->inc();
+          charge_stall();
+          return false;
+        }
+        if (backoff_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = std::min<std::int64_t>(backoff_us * 2, 1000);
+        } else {
+          std::this_thread::yield();
+          // Exponential backoff only under BlockTimeout: plain Block keeps
+          // the latency-optimal pure spin-yield.
+          if (opt_.policy == Backpressure::kBlockTimeout) backoff_us = 1;
+        }
         if (ring.try_push(key)) break;
       }
-      stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
+      charge_stall();
     }
     produced_[producer]->inc();
     if (timed)
@@ -210,19 +333,34 @@ class IngestPipeline {
     return accepted;
   }
 
-  /// Stop accepting, drain every ring, publish final snapshots, join
-  /// workers.  Idempotent.  If start() was never called the queues are
-  /// drained inline on the calling thread.
+  /// Stop accepting, drain every ring, publish final snapshots (and final
+  /// checkpoints when configured), join workers.  Idempotent.  If start()
+  /// was never called the queues are drained inline on the calling thread.
   void close() {
     if (closed_.load(std::memory_order_relaxed)) return;
     accepting_.store(false, std::memory_order_release);
     stopping_.store(true, std::memory_order_release);
     if (started_.load(std::memory_order_relaxed)) {
-      for (auto& t : workers_) t.join();
+      if (supervisor_.joinable()) supervisor_.join();
+      for (auto& t : workers_)
+        if (t.joinable()) t.join();
       workers_.clear();
       if (sampler_.joinable()) sampler_.join();
+      // A fence hand-over can race close(): the supervisor fences a wedged
+      // worker out, then observes stopping_ and exits before restarting it.
+      // Finish the hand-over inline so cleanly-exited shards never strand
+      // accepted items in their rings.  (Faulted shards stay as they are —
+      // their live estimator is untrustworthy.)
+      for (std::size_t s = 0; s < opt_.shards; ++s) {
+        Shard& sh = *shards_[s];
+        if (sh.state.load(std::memory_order_acquire) == WorkerState::kExited &&
+            !rings_empty(sh)) {
+          sh.fence.store(false, std::memory_order_relaxed);
+          worker_entry(s);
+        }
+      }
     } else {
-      for (std::size_t s = 0; s < opt_.shards; ++s) worker_loop(s);
+      for (std::size_t s = 0; s < opt_.shards; ++s) worker_entry(s);
     }
     closed_.store(true, std::memory_order_relaxed);
     stop_ns_.store(now_ns(), std::memory_order_relaxed);
@@ -261,39 +399,75 @@ class IngestPipeline {
       ss.drains = sh->drains->value();
       ss.publishes = sh->publishes->value();
       ss.queue_hwm = static_cast<std::uint64_t>(sh->queue_hwm->value());
+      ss.restarts = sh->restarts->value();
+      ss.faults = sh->faults->value();
+      ss.lost = sh->lost->value();
+      ss.replayed = sh->replayed->value();
+      ss.checkpoints = sh->checkpoints->value();
       st.inserted += ss.inserted;
       st.dropped += ss.dropped;
       st.drains += ss.drains;
       st.publishes += ss.publishes;
       st.queue_hwm = std::max(st.queue_hwm, ss.queue_hwm);
+      st.worker_restarts += ss.restarts;
+      st.worker_faults += ss.faults;
+      st.worker_wedged += sh->wedged->value();
+      st.items_lost += ss.lost;
+      st.items_replayed += ss.replayed;
+      st.checkpoints += ss.checkpoints;
       st.per_shard.push_back(ss);
     }
     for (const obs::Counter* c : produced_) st.produced += c->value();
     st.stall_ns = stall_ns_->value();
     st.stall_events = stall_events_->value();
+    st.push_timeouts = push_timeouts_->value();
     const std::int64_t start = start_ns_.load(std::memory_order_relaxed);
     const std::int64_t stop = closed_.load(std::memory_order_relaxed)
                                   ? stop_ns_.load(std::memory_order_relaxed)
                                   : now_ns();
     st.set_rate(static_cast<double>(stop - start) / 1e9);
+    st.rate_window_s = opt_.rate_window_s;
+    st.recent_items_per_sec = sample_rate(st.inserted);
     return st;
   }
 
  private:
+  enum class WorkerState : int { kIdle, kRunning, kFaulted, kExited,
+                                 kAbandoned };
+
   struct Shard {
     explicit Shard(Estimator e) : est(std::move(e)) {}
     Estimator est;  ///< worker-owned once start() runs
+    std::size_t index = 0;
     std::unique_ptr<SeqlockSlot> snap;
     std::vector<std::unique_ptr<SpscRing>> rings;  ///< one per producer
-    std::vector<char> scratch;                     ///< worker-only
-    std::uint64_t since_publish = 0;               ///< worker-only
-    std::uint64_t hwm_local = 0;                   ///< worker-only mirror
+    std::vector<char> scratch;           ///< worker-only: last published image
+    std::uint64_t since_publish = 0;     ///< worker-only
+    std::uint64_t consumed = 0;          ///< worker-only: items applied
+    std::uint64_t consumed_at_publish = 0;  ///< worker-only
+    std::uint64_t last_checkpoint = 0;   ///< worker-only: consumed at frame
+    std::uint64_t ckpt_ordinal = 0;      ///< worker-only: frames written
+    std::uint64_t resume_offset = 0;     ///< fixed at construction
+    std::uint64_t hwm_local = 0;         ///< worker-only mirror
+    // Supervision handshake.  The worker's plain fields above are read by
+    // the supervisor only after it observed kFaulted/kExited (released by
+    // the exiting worker) and joined the thread.
+    std::atomic<WorkerState> state{WorkerState::kIdle};
+    std::atomic<std::int64_t> heartbeat_ns{0};
+    std::atomic<bool> fence{false};  ///< supervisor asks worker to hand over
+    std::string fault_msg;           ///< written before state -> kFaulted
     // Registry-owned metrics (see bind_metrics); plain pointers, the
     // registry outlives the shards.
     obs::Counter* inserted = nullptr;
     obs::Counter* dropped = nullptr;
     obs::Counter* drains = nullptr;
     obs::Counter* publishes = nullptr;
+    obs::Counter* restarts = nullptr;
+    obs::Counter* faults = nullptr;
+    obs::Counter* wedged = nullptr;
+    obs::Counter* lost = nullptr;
+    obs::Counter* replayed = nullptr;
+    obs::Counter* checkpoints = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Gauge* queue_depth = nullptr;
   };
@@ -303,13 +477,33 @@ class IngestPipeline {
     sh.inserted = &registry_.counter("she_pipeline_inserted_total",
                                      "items drained into the estimator",
                                      shard_label);
-    sh.dropped = &registry_.counter("she_pipeline_dropped_total",
-                                    "pushes rejected under DropNewest",
-                                    shard_label);
+    sh.dropped = &registry_.counter(
+        "she_pipeline_dropped_total",
+        "pushes rejected (DropNewest full ring, or dead-shard abort)",
+        shard_label);
     sh.drains = &registry_.counter("she_pipeline_drains_total",
                                    "non-empty drain sweeps", shard_label);
     sh.publishes = &registry_.counter("she_pipeline_publishes_total",
                                       "snapshot publications", shard_label);
+    sh.restarts = &registry_.counter("she_pipeline_worker_restarts_total",
+                                     "supervised worker restarts",
+                                     shard_label);
+    sh.faults = &registry_.counter("she_pipeline_worker_faults_total",
+                                   "worker threads died by exception",
+                                   shard_label);
+    sh.wedged = &registry_.counter(
+        "she_pipeline_worker_wedged_total",
+        "heartbeat-stale episodes detected by the supervisor", shard_label);
+    sh.lost = &registry_.counter(
+        "she_pipeline_items_lost_total",
+        "items rolled back to the last published snapshot at a restart",
+        shard_label);
+    sh.replayed = &registry_.counter(
+        "she_pipeline_items_replayed_total",
+        "ring backlog re-drained by a restarted worker", shard_label);
+    sh.checkpoints = &registry_.counter("she_pipeline_checkpoints_total",
+                                        "durable checkpoint frames written",
+                                        shard_label);
     sh.queue_hwm = &registry_.gauge("she_pipeline_queue_hwm",
                                     "deepest single ring observed",
                                     shard_label);
@@ -325,6 +519,18 @@ class IngestPipeline {
         .count();
   }
 
+  [[nodiscard]] std::string checkpoint_path(std::size_t s) const {
+    return opt_.checkpoint_dir + "/shard-" + std::to_string(s) + ".ckpt";
+  }
+
+  /// A shard whose ring will never drain again: dead by exception with no
+  /// supervisor to revive it, or abandoned past max_restarts.
+  [[nodiscard]] bool shard_dead(const Shard& sh) const {
+    const WorkerState st = sh.state.load(std::memory_order_acquire);
+    return st == WorkerState::kAbandoned ||
+           (st == WorkerState::kFaulted && !opt_.supervise);
+  }
+
   void publish(Shard& sh) {
     const std::int64_t t0 = now_ns();
     serialize_to(sh.scratch, sh.est);
@@ -332,6 +538,41 @@ class IngestPipeline {
     publish_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
     sh.publishes->inc();
     sh.since_publish = 0;
+    sh.consumed_at_publish = sh.consumed;
+    if (!opt_.checkpoint_dir.empty() &&
+        sh.consumed_at_publish - sh.last_checkpoint >= opt_.checkpoint_interval)
+      write_checkpoint(sh);
+  }
+
+  /// Frame the just-published image (scratch) and atomically replace the
+  /// shard's checkpoint file.  Runs on the worker thread; the injection
+  /// hook may corrupt the frame on purpose.
+  void write_checkpoint(Shard& sh) {
+    std::vector<char> frame = frame_checkpoint(
+        sh.consumed_at_publish,
+        std::span<const char>(sh.scratch.data(), sh.scratch.size()));
+    fault::maybe_corrupt_frame(sh.index, sh.ckpt_ordinal, frame);
+    write_file_atomic(checkpoint_path(sh.index),
+                      std::span<const char>(frame.data(), frame.size()));
+    ++sh.ckpt_ordinal;
+    sh.checkpoints->inc();
+    sh.last_checkpoint = sh.consumed_at_publish;
+  }
+
+  void worker_entry(std::size_t si) {
+    Shard& sh = *shards_[si];
+    sh.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+    sh.state.store(WorkerState::kRunning, std::memory_order_release);
+    try {
+      worker_loop(si);
+      sh.state.store(WorkerState::kExited, std::memory_order_release);
+    } catch (const std::exception& e) {
+      // The estimator may be mid-batch; only the published snapshot is
+      // trustworthy now.  The supervisor (when enabled) rolls back to it.
+      sh.fault_msg = e.what();
+      sh.faults->inc();
+      sh.state.store(WorkerState::kFaulted, std::memory_order_release);
+    }
   }
 
   void worker_loop(std::size_t si) {
@@ -339,6 +580,10 @@ class IngestPipeline {
     std::vector<std::uint64_t> buf(opt_.drain_batch);
     for (;;) {
       const std::int64_t sweep_start = now_ns();
+      sh.heartbeat_ns.store(sweep_start, std::memory_order_relaxed);
+      if (sh.fence.load(std::memory_order_acquire)) break;  // hand over
+      fault::maybe_stall(si, sh.consumed);
+      fault::maybe_throw(si, sh.consumed);
       std::size_t got = 0;
       std::size_t depth_total = 0;
       for (auto& ring_ptr : sh.rings) {
@@ -365,6 +610,7 @@ class IngestPipeline {
         drain_hist_->observe(static_cast<std::uint64_t>(now_ns() - sweep_start));
         sh.inserted->inc(got);
         sh.drains->inc();
+        sh.consumed += got;
         sh.since_publish += got;
         if (sh.since_publish >= opt_.publish_interval) publish(sh);
         continue;
@@ -376,13 +622,94 @@ class IngestPipeline {
       std::this_thread::yield();
     }
     publish(sh);  // final state, unconditionally
+    if (!opt_.checkpoint_dir.empty() &&
+        sh.consumed_at_publish != sh.last_checkpoint)
+      write_checkpoint(sh);
+  }
+
+  /// Supervisor: poll worker states, restart the dead, fence the wedged.
+  void supervisor_loop() {
+    std::vector<std::uint64_t> restart_count(opt_.shards, 0);
+    const std::int64_t heartbeat_timeout_ns =
+        static_cast<std::int64_t>(opt_.heartbeat_timeout_ms) * 1'000'000;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      for (std::size_t s = 0; s < opt_.shards; ++s) {
+        Shard& sh = *shards_[s];
+        const WorkerState st = sh.state.load(std::memory_order_acquire);
+        const bool dead_by_fault = st == WorkerState::kFaulted;
+        const bool fenced_out = st == WorkerState::kExited &&
+                                sh.fence.load(std::memory_order_acquire);
+        if (dead_by_fault || fenced_out) {
+          if (restart_count[s] >= opt_.max_restarts) {
+            sh.state.store(WorkerState::kAbandoned,
+                           std::memory_order_release);
+            continue;
+          }
+          ++restart_count[s];
+          restart_shard(s, /*rollback=*/dead_by_fault);
+        } else if (st == WorkerState::kRunning &&
+                   !sh.fence.load(std::memory_order_acquire)) {
+          const std::int64_t hb =
+              sh.heartbeat_ns.load(std::memory_order_relaxed);
+          if (hb != 0 && now_ns() - hb > heartbeat_timeout_ns) {
+            // Wedged: ask the worker to hand its shard over at the next
+            // point it is responsive.  We cannot kill a thread; a worker
+            // that never wakes is only ever *counted* here.
+            sh.wedged->inc();
+            sh.fence.store(true, std::memory_order_release);
+          }
+        }
+      }
+      // Sleep in small slices so close() is never delayed.
+      auto remaining = std::chrono::milliseconds(opt_.supervisor_interval_ms);
+      while (remaining.count() > 0 &&
+             !stopping_.load(std::memory_order_acquire)) {
+        const auto slice = std::min(remaining, std::chrono::milliseconds(2));
+        std::this_thread::sleep_for(slice);
+        remaining -= slice;
+      }
+    }
+  }
+
+  /// Join the dead worker, restore the shard (rolling back to the last
+  /// published snapshot after a fault — the live estimator may be
+  /// mid-batch garbage), account lost/replayed items, relaunch.
+  void restart_shard(std::size_t s, bool rollback) {
+    Shard& sh = *shards_[s];
+    if (workers_[s].joinable()) workers_[s].join();
+    std::uint64_t backlog = 0;
+    for (const auto& r : sh.rings) backlog += r->size_approx();
+    if (rollback) {
+      try {
+        std::vector<char> buf;
+        sh.snap->read(buf);
+        Estimator restored = deserialize<Estimator>(buf.data(), buf.size());
+        std::destroy_at(&sh.est);
+        std::construct_at(&sh.est, std::move(restored));
+      } catch (const std::exception&) {
+        // Published snapshots are always valid frames; if restoring one
+        // still fails the shard cannot be saved — abandon it.
+        sh.state.store(WorkerState::kAbandoned, std::memory_order_release);
+        return;
+      }
+      sh.lost->inc(sh.consumed - sh.consumed_at_publish);
+      sh.consumed = sh.consumed_at_publish;
+    }
+    sh.since_publish = 0;
+    sh.replayed->inc(backlog);
+    sh.restarts->inc();
+    sh.fence.store(false, std::memory_order_release);
+    sh.state.store(WorkerState::kIdle, std::memory_order_release);
+    workers_[s] = std::thread([this, s] { worker_entry(s); });
   }
 
   /// Periodically refresh the queue-depth gauges (and high-water marks) so
-  /// scrapes see backlog even when a worker is wedged inside a long drain.
+  /// scrapes see backlog even when a worker is wedged inside a long drain,
+  /// and feed the windowed-rate view.
   void sampler_loop() {
     const auto interval = std::chrono::milliseconds(opt_.sample_interval_ms);
     while (!stopping_.load(std::memory_order_acquire)) {
+      std::uint64_t inserted_total = 0;
       for (const auto& sh : shards_) {
         std::size_t depth_total = 0;
         std::size_t deepest = 0;
@@ -393,7 +720,9 @@ class IngestPipeline {
         }
         sh->queue_depth->set(static_cast<std::int64_t>(depth_total));
         sh->queue_hwm->max_of(static_cast<std::int64_t>(deepest));
+        inserted_total += sh->inserted->value();
       }
+      sample_rate(inserted_total);
       // Sleep in small slices so close() is never delayed by a long period.
       auto remaining = interval;
       while (remaining.count() > 0 &&
@@ -403,6 +732,16 @@ class IngestPipeline {
         remaining -= slice;
       }
     }
+  }
+
+  /// Feed (now, total) into the windowed-rate view and return the current
+  /// rate; callable from the sampler thread and stats() concurrently.
+  double sample_rate(std::uint64_t inserted_total) const {
+    std::lock_guard<std::mutex> lk(rate_mu_);
+    rate_window_.sample(now_ns(), inserted_total);
+    const double r = rate_window_.rate();
+    rate_gauge_->set(static_cast<std::int64_t>(r));
+    return r;
   }
 
   [[nodiscard]] static bool rings_empty(const Shard& sh) {
@@ -418,10 +757,15 @@ class IngestPipeline {
   obs::Histogram* push_hist_ = nullptr;
   obs::Counter* stall_ns_ = nullptr;
   obs::Counter* stall_events_ = nullptr;
+  obs::Counter* push_timeouts_ = nullptr;
+  obs::Gauge* rate_gauge_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<obs::Counter*> produced_;  ///< one per producer
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;     ///< indexed by shard
+  std::thread supervisor_;
   std::thread sampler_;
+  mutable std::mutex rate_mu_;
+  mutable RateWindow rate_window_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};

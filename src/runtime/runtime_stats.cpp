@@ -26,14 +26,25 @@ void RuntimeStats::print(std::ostream& os) const {
   os << "  drains " << drains << "  snapshot publishes " << publishes
      << "  queue high-water " << queue_hwm << "\n";
   os << "  backpressure stalls " << stall_events << "  ("
-     << static_cast<double>(stall_ns) / 1e6 << " ms spinning)\n";
+     << static_cast<double>(stall_ns) / 1e6 << " ms spinning)  timeouts "
+     << push_timeouts << "\n";
+  if (worker_faults > 0 || worker_restarts > 0 || worker_wedged > 0 ||
+      checkpoints > 0) {
+    os << "  worker faults " << worker_faults << "  wedged " << worker_wedged
+       << "  restarts " << worker_restarts << "  items lost " << items_lost
+       << "  replayed " << items_replayed << "  checkpoints " << checkpoints
+       << "\n";
+  }
   os << "  elapsed " << elapsed_seconds << " s  ->  " << items_per_sec
-     << " items/s\n";
+     << " items/s (last " << rate_window_s << "s: " << recent_items_per_sec
+     << ")\n";
   if (per_shard.size() > 1) {
-    Table t({"shard", "inserted", "dropped", "drains", "publishes", "hwm"});
+    Table t({"shard", "inserted", "dropped", "drains", "publishes", "hwm",
+             "restarts", "lost"});
     for (std::size_t s = 0; s < per_shard.size(); ++s) {
       const ShardStats& sh = per_shard[s];
-      t.add(s, sh.inserted, sh.dropped, sh.drains, sh.publishes, sh.queue_hwm);
+      t.add(s, sh.inserted, sh.dropped, sh.drains, sh.publishes, sh.queue_hwm,
+            sh.restarts, sh.lost);
     }
     t.print(os);
   }
@@ -47,17 +58,46 @@ std::string RuntimeStats::to_json() const {
      << ",\"dropped\":" << dropped << ",\"drains\":" << drains
      << ",\"publishes\":" << publishes << ",\"queue_hwm\":" << queue_hwm
      << ",\"stall_ns\":" << stall_ns << ",\"stall_events\":" << stall_events
+     << ",\"push_timeouts\":" << push_timeouts
+     << ",\"worker_restarts\":" << worker_restarts
+     << ",\"worker_faults\":" << worker_faults
+     << ",\"worker_wedged\":" << worker_wedged
+     << ",\"items_lost\":" << items_lost
+     << ",\"items_replayed\":" << items_replayed
+     << ",\"checkpoints\":" << checkpoints
      << ",\"elapsed_seconds\":" << elapsed_seconds
-     << ",\"items_per_sec\":" << items_per_sec << ",\"per_shard\":[";
+     << ",\"items_per_sec\":" << items_per_sec
+     << ",\"recent_items_per_sec\":" << recent_items_per_sec
+     << ",\"rate_window_s\":" << rate_window_s << ",\"per_shard\":[";
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     const ShardStats& sh = per_shard[s];
     if (s) os << ",";
     os << "{\"inserted\":" << sh.inserted << ",\"dropped\":" << sh.dropped
        << ",\"drains\":" << sh.drains << ",\"publishes\":" << sh.publishes
-       << ",\"queue_hwm\":" << sh.queue_hwm << "}";
+       << ",\"queue_hwm\":" << sh.queue_hwm
+       << ",\"restarts\":" << sh.restarts << ",\"faults\":" << sh.faults
+       << ",\"lost\":" << sh.lost << ",\"replayed\":" << sh.replayed
+       << ",\"checkpoints\":" << sh.checkpoints << "}";
   }
   os << "]}";
   return os.str();
+}
+
+void RateWindow::sample(std::int64_t now_ns, std::uint64_t total) {
+  samples_.emplace_back(now_ns, total);
+  // Keep one sample at or before the window start so the rate really
+  // covers the whole window, not just the interior samples.
+  while (samples_.size() > 2 && samples_[1].first <= now_ns - window_ns_)
+    samples_.pop_front();
+}
+
+double RateWindow::rate() const {
+  if (samples_.size() < 2) return 0.0;
+  const auto& [t0, c0] = samples_.front();
+  const auto& [t1, c1] = samples_.back();
+  if (t1 <= t0 || c1 < c0) return 0.0;
+  return static_cast<double>(c1 - c0) /
+         (static_cast<double>(t1 - t0) / 1e9);
 }
 
 }  // namespace she::runtime

@@ -57,12 +57,31 @@ class VectorSink final : public std::streambuf {
   std::vector<char>& v_;
 };
 
-/// std::streambuf reading from a caller-owned byte range.
+/// std::streambuf reading from a caller-owned byte range.  Seekable so
+/// BinaryReader can bound length prefixes against the remaining bytes
+/// (a corrupted prefix must fail fast, not allocate gigabytes).
 class MemSource final : public std::streambuf {
  public:
   MemSource(const char* data, std::size_t n) {
     char* p = const_cast<char*>(data);
     setg(p, p, p + n);
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+    const off_type size = egptr() - eback();
+    off_type target = off;
+    if (dir == std::ios_base::cur) target += gptr() - eback();
+    else if (dir == std::ios_base::end) target += size;
+    if (target < 0 || target > size) return pos_type(off_type(-1));
+    setg(eback(), eback() + target, egptr());
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
   }
 };
 

@@ -112,10 +112,22 @@ class ConcurrentMonitor {
   void close() { pipe_.close(); }
 
   /// Route one item from producer `producer`; false = rejected
-  /// (DropNewest backpressure or closing).
+  /// (DropNewest backpressure, BlockTimeout expiry, dead shard, or
+  /// closing).
   bool push(std::size_t producer, std::uint64_t key) {
     return pipe_.push(producer, key);
   }
+
+  /// Per-shard stream offset restored from a durable checkpoint when the
+  /// pipeline options had `resume` set (0 otherwise); a replaying driver
+  /// skips this many keys routed to shard `s`.
+  [[nodiscard]] std::uint64_t resume_offset(std::size_t s) const {
+    return pipe_.resume_offset(s);
+  }
+
+  /// True while any shard worker is dead by exception (or abandoned) and
+  /// not yet restarted by the supervisor.
+  [[nodiscard]] bool faulted() const { return pipe_.faulted(); }
 
   /// Snapshot queries (see class comment for semantics).
   [[nodiscard]] bool seen(std::uint64_t key) const;

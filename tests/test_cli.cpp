@@ -3,6 +3,7 @@
 #include "commands.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -183,15 +184,18 @@ TEST(Cli, PipelineRunsAndReportsStats) {
 }
 
 TEST(Cli, PipelineJsonOutput) {
+  // Lossless policy: exit 0 is deterministic (drop runs now exit 1).
   std::ostringstream out;
   int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
                     "--length", "60000", "--window", "8192", "--shards", "2",
-                    "--producers", "1", "--policy", "drop", "--json"},
+                    "--producers", "1", "--policy", "block", "--json"},
                    out);
   EXPECT_EQ(rc, 0) << out.str();
   EXPECT_EQ(out.str().front(), '{');
   EXPECT_NE(out.str().find("\"items_per_sec\""), std::string::npos);
   EXPECT_NE(out.str().find("\"per_shard\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"push_timeouts\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"recent_items_per_sec\""), std::string::npos);
 }
 
 TEST(Cli, PipelineRejectsBadPolicy) {
@@ -201,6 +205,76 @@ TEST(Cli, PipelineRejectsBadPolicy) {
                     out),
             2);
 }
+
+TEST(Cli, PipelineBlockTimeoutPolicyRuns) {
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                    "--length", "20000", "--window", "4096", "--shards", "2",
+                    "--producers", "1", "--policy", "block-timeout",
+                    "--push-timeout-ms", "2000", "--json"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+}
+
+TEST(Cli, PipelineRejectsBadInjectSpec) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "pipeline", "--length", "1000", "--inject",
+                     "frob:0"},
+                    out),
+            2);
+  EXPECT_NE(out.str().find("fault point"), std::string::npos);
+}
+
+#if defined(SHE_FAULT_INJECTION)
+
+TEST(Cli, PipelineExitsNonzeroOnDroppedItems) {
+  // Stall the lone worker before it drains anything: a 64-slot ring against
+  // 50k items under the drop policy must shed load, and lossy runs exit 1.
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                    "--length", "50000", "--window", "4096", "--shards", "1",
+                    "--producers", "1", "--queue", "64", "--policy", "drop",
+                    "--no-supervise", "--inject", "stall:0:0:150", "--json"},
+                   out);
+  EXPECT_EQ(rc, 1) << out.str();
+  EXPECT_NE(out.str().find("\"dropped\""), std::string::npos);
+}
+
+TEST(Cli, PipelineCheckpointFaultResumeRoundTrip) {
+  const std::string dir = temp_path("cli_ckpt_dir");
+  // Run 1: unsupervised worker killed mid-stream; periodic checkpoints
+  // survive it.  The fault makes the run exit 1.
+  std::ostringstream out1;
+  int rc1 = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                     "--length", "60000", "--window", "8192", "--shards", "2",
+                     "--producers", "1", "--policy", "block", "--no-supervise",
+                     "--checkpoint-dir", dir, "--checkpoint-every", "4096",
+                     "--publish", "1024", "--inject", "throw:any:20000",
+                     "--json"},
+                    out1);
+  EXPECT_EQ(rc1, 1) << out1.str();
+  EXPECT_NE(out1.str().find("\"worker_faults\":1"), std::string::npos)
+      << out1.str();
+
+  // Run 2: resume from the surviving frames and replay the same trace; the
+  // already-covered per-shard prefixes are skipped and the run is clean.
+  std::ostringstream out2;
+  int rc2 = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                     "--length", "60000", "--window", "8192", "--shards", "2",
+                     "--producers", "1", "--policy", "block",
+                     "--checkpoint-dir", dir, "--checkpoint-every", "4096",
+                     "--publish", "1024", "--resume", "--json"},
+                    out2);
+  EXPECT_EQ(rc2, 0) << out2.str();
+  const std::string& js = out2.str();
+  const auto pos = js.find("\"skipped_on_resume\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(js.find("\"skipped_on_resume\":0,"), std::string::npos)
+      << "expected a nonzero resume skip: " << js;
+  std::filesystem::remove_all(dir);
+}
+
+#endif  // SHE_FAULT_INJECTION
 
 TEST(Cli, SimilaritySyntheticPair) {
   std::ostringstream out;

@@ -1,0 +1,606 @@
+// Fault-tolerance tests: CRC-framed durable checkpoints, supervised
+// worker restart/fencing, bounded backpressure, and the deterministic
+// fault-injection harness that drives them.  This binary carries the
+// ctest label `tsan` (see tests/CMakeLists.txt): build with
+// -DSHE_SANITIZE=thread and run `ctest -L tsan` to exercise the
+// supervisor/worker/producer handshakes under ThreadSanitizer.
+#include "common/checkpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <typeinfo>
+
+#include "common/crc32.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/ingest_pipeline.hpp"
+#include "she/sharded.hpp"
+#include "she/she.hpp"
+#include "stream/trace.hpp"
+#include <gtest/gtest.h>
+
+namespace she::runtime {
+namespace {
+
+std::uint64_t corrupt_count() {
+  return obs::default_registry()
+      .counter("she_checkpoint_corrupt_total",
+               "checkpoint frames rejected as truncated or corrupted")
+      .value();
+}
+
+std::string temp_dir(const char* name) {
+  auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// -------------------------------- CRC-32 -----------------------------------
+
+TEST(Crc32, KnownVectorsAndChaining) {
+  const char check[] = "123456789";
+  EXPECT_EQ(crc32(check, 9), 0xCBF43926u);  // the classic CRC-32/IEEE check
+  EXPECT_EQ(crc32(check, 0), 0u);
+  // Chaining through the seed equals one pass over the concatenation.
+  EXPECT_EQ(crc32(check + 4, 5, crc32(check, 4)), crc32(check, 9));
+}
+
+// ------------------------------ frame format --------------------------------
+
+std::vector<char> sample_payload() {
+  std::vector<char> p;
+  for (int i = 0; i < 200; ++i) p.push_back(static_cast<char>(i * 7));
+  return p;
+}
+
+TEST(Checkpoint, FrameRoundTrip) {
+  const auto payload = sample_payload();
+  const auto frame = frame_checkpoint(
+      987654321, std::span<const char>(payload.data(), payload.size()));
+  ASSERT_EQ(frame.size(), kCheckpointHeaderBytes + payload.size());
+  const CheckpointData back = parse_checkpoint(frame.data(), frame.size());
+  EXPECT_EQ(back.stream_offset, 987654321u);
+  EXPECT_EQ(back.payload, payload);
+}
+
+TEST(Checkpoint, EmptyPayloadRoundTrips) {
+  const auto frame = frame_checkpoint(7, std::span<const char>());
+  const CheckpointData back = parse_checkpoint(frame.data(), frame.size());
+  EXPECT_EQ(back.stream_offset, 7u);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Checkpoint, RejectsBitFlipAnywhere) {
+  const auto payload = sample_payload();
+  const auto frame = frame_checkpoint(
+      42, std::span<const char>(payload.data(), payload.size()));
+  // One flipped bit in every region of the frame: magic, version, stream
+  // offset, payload length, CRC field, payload head/middle/tail.  All must
+  // be rejected with the typed error and counted as corrupt.
+  const std::size_t positions[] = {0,  5,  9,  17, 25,
+                                   kCheckpointHeaderBytes,
+                                   kCheckpointHeaderBytes + payload.size() / 2,
+                                   frame.size() - 1};
+  for (std::size_t pos : positions) {
+    auto bad = frame;
+    bad[pos] = static_cast<char>(static_cast<unsigned char>(bad[pos]) ^ 0x10);
+    const std::uint64_t before = corrupt_count();
+    EXPECT_THROW((void)parse_checkpoint(bad.data(), bad.size()),
+                 CheckpointError)
+        << "flip at byte " << pos;
+    EXPECT_EQ(corrupt_count(), before + 1) << "flip at byte " << pos;
+  }
+}
+
+TEST(Checkpoint, RejectsTruncationAtEveryLength) {
+  const auto payload = sample_payload();
+  const auto frame = frame_checkpoint(
+      42, std::span<const char>(payload.data(), payload.size()));
+  for (std::size_t n = 0; n < frame.size(); n += 13) {
+    const std::uint64_t before = corrupt_count();
+    EXPECT_THROW((void)parse_checkpoint(frame.data(), n), CheckpointError)
+        << "prefix of " << n << " bytes";
+    EXPECT_EQ(corrupt_count(), before + 1);
+  }
+  // Trailing garbage is as invalid as truncation.
+  auto padded = frame;
+  padded.push_back('x');
+  EXPECT_THROW((void)parse_checkpoint(padded.data(), padded.size()),
+               CheckpointError);
+}
+
+TEST(Checkpoint, FileWriteReadAndMissingFileSemantics) {
+  const std::string dir = temp_dir("ckpt_file_rt");
+  const std::string path = dir + "/a.ckpt";
+  const auto payload = sample_payload();
+  const auto frame = frame_checkpoint(
+      1234, std::span<const char>(payload.data(), payload.size()));
+
+  // Missing file: try_* says "fresh start", read_* throws — and neither
+  // counts as corruption.
+  const std::uint64_t before = corrupt_count();
+  EXPECT_FALSE(try_read_checkpoint_file(path).has_value());
+  EXPECT_THROW((void)read_checkpoint_file(path), CheckpointError);
+  EXPECT_EQ(corrupt_count(), before);
+
+  write_file_atomic(path, std::span<const char>(frame.data(), frame.size()));
+  const CheckpointData back = read_checkpoint_file(path);
+  EXPECT_EQ(back.stream_offset, 1234u);
+  EXPECT_EQ(back.payload, payload);
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------- RateWindow ---------------------------------
+
+TEST(RateWindow, ComputesWindowedRate) {
+  RateWindow w(/*window_seconds=*/2);
+  auto ns = [](double s) { return static_cast<std::int64_t>(s * 1e9); };
+  EXPECT_EQ(w.rate(), 0.0);
+  w.sample(ns(0.0), 0);
+  EXPECT_EQ(w.rate(), 0.0);  // one sample spans no interval
+  w.sample(ns(1.0), 1000);
+  EXPECT_DOUBLE_EQ(w.rate(), 1000.0);
+  w.sample(ns(2.0), 3000);
+  EXPECT_DOUBLE_EQ(w.rate(), 1500.0);  // covers [0, 2]
+  // Old samples fall out: [2, 4] saw (5000 - 3000) / 2 s.
+  w.sample(ns(3.0), 4000);
+  w.sample(ns(4.0), 5000);
+  EXPECT_DOUBLE_EQ(w.rate(), 1000.0);
+  // A counter that stops moving decays the rate to 0.
+  w.sample(ns(10.0), 5000);
+  EXPECT_DOUBLE_EQ(w.rate(), 0.0);
+}
+
+// --------------------------- fault spec parsing -----------------------------
+
+TEST(FaultSpec, ParsesAllForms) {
+  auto s = fault::parse_spec("throw");
+  EXPECT_EQ(s.point, fault::Point::kWorkerThrow);
+  EXPECT_EQ(s.shard, fault::kAnyShard);
+  s = fault::parse_spec("stall:any:1000:250");
+  EXPECT_EQ(s.point, fault::Point::kConsumerStall);
+  EXPECT_EQ(s.shard, fault::kAnyShard);
+  EXPECT_EQ(s.at, 1000u);
+  EXPECT_EQ(s.param, 250u);
+  s = fault::parse_spec("ckpt-bitflip:2:1:42");
+  EXPECT_EQ(s.point, fault::Point::kCheckpointBitFlip);
+  EXPECT_EQ(s.shard, 2u);
+  s = fault::parse_spec("ckpt-truncate:0");
+  EXPECT_EQ(s.point, fault::Point::kCheckpointTruncate);
+  EXPECT_THROW((void)fault::parse_spec("frob"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_spec("throw:x"), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_spec("throw:0:1:2:3"), std::invalid_argument);
+}
+
+#if defined(SHE_FAULT_INJECTION)
+
+/// Clears the process-global injector around every test so armed specs
+/// never leak across tests.
+class FaultTolerance : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::injector().clear(); }
+  void TearDown() override { fault::injector().clear(); }
+};
+
+SheConfig bf_cfg(std::uint64_t window) {
+  SheConfig cfg;
+  cfg.window = window;
+  cfg.cells = 1 << 14;
+  cfg.group_cells = 64;
+  cfg.alpha = 3.0;
+  return cfg;
+}
+
+IngestPipeline<SheBloomFilter>::Factory bf_factory(std::size_t shards,
+                                                   std::uint64_t window) {
+  return [shards, window](std::size_t s) {
+    SheConfig cfg = bf_cfg(window / shards);
+    cfg.seed = static_cast<std::uint32_t>(s);
+    return SheBloomFilter(cfg, 8);
+  };
+}
+
+template <typename Estimator>
+std::string serialized(const Estimator& est) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  est.save(w);
+  return ss.str();
+}
+
+/// The acceptance scenario: checkpoint every k items, kill the worker
+/// mid-stream, then resume from the frames and replay the rest of the
+/// trace — the final serialized state must be byte-for-byte identical to
+/// an unfaulted sequential run.
+template <typename Estimator>
+void kill_and_recover_byte_identical(
+    const std::function<Estimator(std::size_t)>& factory) {
+  constexpr std::size_t kShards = 2;
+  const auto trace = stream::distinct_trace(50'000, 21);
+  const std::string dir =
+      temp_dir((std::string("kill_recover_") + typeid(Estimator).name())
+                   .c_str());
+
+  Sharded<Estimator> reference(kShards, factory);
+  for (auto k : trace) reference.insert(k);
+
+  PipelineOptions opt;
+  opt.shards = kShards;
+  opt.producers = 1;
+  opt.queue_capacity = 1024;
+  opt.publish_interval = 512;
+  opt.policy = Backpressure::kBlock;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 2048;
+
+  // Run 1: no supervisor — the injected throw kills shard 0's worker for
+  // good mid-stream.  Pushes to the dead shard fail fast instead of
+  // hanging, so the producer still completes.
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 20'000, 0});
+  {
+    IngestPipeline<Estimator> pipe(opt, factory);
+    pipe.start();
+    (void)pipe.push_bulk(0, trace);
+    pipe.close();
+    const auto st = pipe.stats();
+    EXPECT_EQ(st.worker_faults, 1u);
+    EXPECT_TRUE(pipe.faulted());
+    EXPECT_GT(st.checkpoints, 0u);
+  }
+  fault::injector().clear();
+
+  // Run 2: resume from the surviving frames, skip each shard's recorded
+  // prefix, replay the remainder of the same trace.
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<Estimator> pipe(ropt, factory);
+  std::vector<std::uint64_t> skip(kShards);
+  std::uint64_t skip_total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    skip[s] = pipe.resume_offset(s);
+    skip_total += skip[s];
+  }
+  EXPECT_GT(skip_total, 0u);
+  pipe.start();
+  for (auto key : trace) {
+    const std::size_t s = pipe.shard_of(key);
+    if (skip[s] > 0) {
+      --skip[s];
+      continue;
+    }
+    ASSERT_TRUE(pipe.push(0, key));
+  }
+  pipe.close();
+  EXPECT_FALSE(pipe.faulted());
+
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(serialized(pipe.snapshot(s)), serialized(reference.shard(s)))
+        << "shard " << s << " state diverged across kill + resume";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, KillAndRecoverByteIdenticalSheBloom) {
+  kill_and_recover_byte_identical<SheBloomFilter>(bf_factory(2, 16'384));
+}
+
+TEST_F(FaultTolerance, KillAndRecoverByteIdenticalSheCountMin) {
+  kill_and_recover_byte_identical<SheCountMin>([](std::size_t s) {
+    SheConfig cfg;
+    cfg.window = 8192;
+    cfg.cells = 1 << 13;
+    cfg.group_cells = 64;
+    cfg.alpha = 1.0;
+    cfg.seed = static_cast<std::uint32_t>(s);
+    return SheCountMin(cfg, 8);
+  });
+}
+
+TEST_F(FaultTolerance, CorruptCheckpointRejectedOnResume) {
+  const std::string dir = temp_dir("corrupt_resume");
+  const auto trace = stream::distinct_trace(20'000, 5);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.publish_interval = 512;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 1024;
+  // Run a clean checkpointed ingest, then flip one payload bit in the
+  // durable file — the resume constructor must refuse to load it.
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 8192));
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+    pipe.close();
+  }
+  const std::string path = dir + "/shard-0.ckpt";
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);
+    char b = 0;
+    f.seekg(40);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(40);
+    f.write(&b, 1);
+  }
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  const std::uint64_t before = corrupt_count();
+  EXPECT_THROW(IngestPipeline<SheBloomFilter>(ropt, bf_factory(1, 8192)),
+               CheckpointError);
+  EXPECT_EQ(corrupt_count(), before + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, InjectedCheckpointCorruptionIsCaughtOnRead) {
+  // End-to-end through the injection hook: the frame is bit-flipped on its
+  // way to disk, and the durable file is rejected instead of loaded.
+  const std::string dir = temp_dir("inject_bitflip");
+  const auto trace = stream::distinct_trace(8'000, 9);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.publish_interval = 512;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 100'000;  // only the final frame is written
+  fault::injector().arm({fault::Point::kCheckpointBitFlip, 0, 0, 12345});
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 4096));
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+    pipe.close();
+  }
+  const std::uint64_t before = corrupt_count();
+  EXPECT_THROW((void)read_checkpoint_file(dir + "/shard-0.ckpt"),
+               CheckpointError);
+  EXPECT_EQ(corrupt_count(), before + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, SupervisorRestartsFaultedWorkerLosslesslyAccounted) {
+  const auto trace = stream::distinct_trace(40'000, 31);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 512;
+  opt.publish_interval = 256;
+  opt.policy = Backpressure::kBlock;
+  opt.supervise = true;
+  opt.supervisor_interval_ms = 2;
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 8'000, 0});
+
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 16'384));
+  pipe.start();
+  ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+  pipe.close();
+
+  const auto st = pipe.stats();
+  EXPECT_EQ(st.worker_faults, 1u);
+  EXPECT_GE(st.worker_restarts, 1u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.produced, trace.size());
+  // Conservation: what the estimator ends up having seen is exactly the
+  // accepted stream minus what the rollback discarded (the ring backlog is
+  // replayed, not lost).
+  EXPECT_EQ(pipe.snapshot(0).time() + st.items_lost, trace.size());
+  EXPECT_FALSE(pipe.faulted());
+}
+
+TEST_F(FaultTolerance, SupervisorFencesWedgedWorkerWithoutLoss) {
+  const auto trace = stream::distinct_trace(30'000, 33);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 512;
+  opt.publish_interval = 256;
+  opt.policy = Backpressure::kBlock;
+  opt.supervise = true;
+  opt.supervisor_interval_ms = 5;
+  opt.heartbeat_timeout_ms = 100;
+  // Stall the worker for 500 ms early in the stream: long enough that the
+  // supervisor must flag it, cooperative enough that the fence hand-over
+  // (not a kill) resolves it.
+  fault::injector().arm({fault::Point::kConsumerStall, 0, 2'000, 500});
+
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 16'384));
+  pipe.start();
+  ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+  pipe.close();
+
+  const auto st = pipe.stats();
+  EXPECT_GE(st.worker_wedged, 1u);
+  EXPECT_GE(st.worker_restarts, 1u);
+  EXPECT_EQ(st.worker_faults, 0u);
+  EXPECT_EQ(st.items_lost, 0u);  // fenced hand-over publishes before exit
+  EXPECT_EQ(pipe.snapshot(0).time(), trace.size());
+}
+
+TEST_F(FaultTolerance, BlockTimeoutReturnsWithinConfiguredTimeout) {
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 64;
+  opt.policy = Backpressure::kBlockTimeout;
+  opt.push_timeout_ms = 100;
+  // Workers never started: the ring fills and stays full, so the first
+  // rejected push is the one whose latency we bound.
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 4096));
+  std::size_t accepted = 0;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (pipe.push(0, accepted)) {
+      ++accepted;
+      continue;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(100));
+    // Generous bound (tsan, loaded CI): the point is "bounded", not "tight".
+    EXPECT_LT(elapsed, std::chrono::seconds(10));
+    break;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LE(accepted, 64u);
+
+  const auto st = pipe.stats();
+  EXPECT_EQ(st.push_timeouts, 1u);
+
+  // The fault/recovery counters must surface in both export formats.
+  std::ostringstream prom, json;
+  obs::write_prometheus(prom, pipe.metrics_registry());
+  obs::write_json(json, pipe.metrics_registry());
+  for (const char* name :
+       {"she_pipeline_push_timeouts_total", "she_pipeline_worker_restarts_total",
+        "she_pipeline_worker_faults_total", "she_pipeline_items_lost_total",
+        "she_pipeline_items_replayed_total", "she_pipeline_checkpoints_total",
+        "she_pipeline_rate_items_per_sec"}) {
+    EXPECT_NE(prom.str().find(name), std::string::npos) << name;
+    EXPECT_NE(json.str().find(name), std::string::npos) << name;
+  }
+  pipe.close();
+}
+
+TEST_F(FaultTolerance, DeadShardAbortsBlockedPushes) {
+  // A faulted shard with no supervisor must fail pushes instead of letting
+  // producers spin forever behind a consumer that will never drain.
+  const auto trace = stream::distinct_trace(30'000, 41);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 256;
+  opt.policy = Backpressure::kBlock;
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 1'000, 0});
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 8192));
+  pipe.start();
+  const std::size_t accepted = pipe.push_bulk(0, trace);
+  EXPECT_LT(accepted, trace.size());
+  const auto st = pipe.stats();
+  EXPECT_EQ(st.worker_faults, 1u);
+  EXPECT_GT(st.dropped, 0u);
+  EXPECT_TRUE(pipe.faulted());
+  pipe.close();
+}
+
+// ----------------------- concurrency (tsan-focused) -------------------------
+
+TEST(FaultToleranceConcurrency, DropNewestMultiProducerExactAccounting) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 25'000;
+  PipelineOptions opt;
+  opt.shards = 2;
+  opt.producers = kProducers;
+  opt.queue_capacity = 256;
+  opt.policy = Backpressure::kDropNewest;
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(2, 16'384));
+  pipe.start();
+
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> accepted{0};
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        ok += pipe.push(p, p * kPerProducer + i) ? 1 : 0;
+      accepted.fetch_add(ok, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : producers) t.join();
+  pipe.close();
+
+  const auto st = pipe.stats();
+  // Exact, not approximate: every offered item is counted exactly once as
+  // accepted or dropped, even under full multi-producer contention.
+  EXPECT_EQ(st.produced + st.dropped, kProducers * kPerProducer);
+  EXPECT_EQ(st.produced, accepted.load());
+  EXPECT_EQ(st.inserted, st.produced);  // accepted items all drained at close
+}
+
+TEST(FaultToleranceConcurrency, ReadersNeverSeeTornSnapshotsOrBadFrames) {
+  // A SnapshotReader and a checkpoint-file reader race the worker while it
+  // publishes and checkpoints at a high cadence.  The seqlock must never
+  // yield a torn (unloadable or time-regressing) snapshot, and the atomic
+  // write-rename must never expose a torn frame: every read is either
+  // "no file yet" or a fully valid checkpoint with monotone offsets.
+  const std::string dir = temp_dir("torn_race");
+  const auto trace = stream::distinct_trace(60'000, 51);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 1024;
+  opt.publish_interval = 128;
+  opt.policy = Backpressure::kBlock;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 256;
+  IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 16'384));
+  pipe.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshot_reads{0};
+  std::atomic<std::uint64_t> frame_reads{0};
+  std::thread snap_reader([&] {
+    SnapshotReader<SheBloomFilter> reader(pipe.snapshot_slot(0));
+    std::uint64_t last_time = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      try {
+        const SheBloomFilter& bf = reader.get();  // throws on a torn image
+        if (bf.time() < last_time) {
+          ADD_FAILURE() << "snapshot time went backwards: " << bf.time()
+                        << " after " << last_time;
+          return;
+        }
+        last_time = bf.time();
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "torn snapshot: " << e.what();
+        return;
+      }
+      snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread frame_reader([&] {
+    const std::string path = dir + "/shard-0.ckpt";
+    std::uint64_t last_offset = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      try {
+        const auto ck = try_read_checkpoint_file(path);  // throws if torn
+        if (!ck) continue;  // no frame yet — a valid answer
+        if (ck->stream_offset < last_offset) {
+          ADD_FAILURE() << "checkpoint offset went backwards: "
+                        << ck->stream_offset << " after " << last_offset;
+          return;
+        }
+        last_offset = ck->stream_offset;
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "torn or invalid checkpoint frame: " << e.what();
+        return;
+      }
+      frame_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+  pipe.close();
+  stop.store(true, std::memory_order_release);
+  snap_reader.join();
+  frame_reader.join();
+  EXPECT_GT(snapshot_reads.load(), 0u);
+  EXPECT_GT(frame_reads.load(), 0u);
+  const auto st = pipe.stats();
+  EXPECT_GT(st.checkpoints, 0u);
+  EXPECT_EQ(st.inserted, trace.size());
+  std::filesystem::remove_all(dir);
+}
+
+#endif  // SHE_FAULT_INJECTION
+
+}  // namespace
+}  // namespace she::runtime

@@ -55,6 +55,41 @@ TEST(BinaryIo, ImplausibleVectorLengthThrows) {
   EXPECT_THROW((void)r.u64_vector(), std::runtime_error);
 }
 
+TEST(BinaryIo, ShortStreamThrowsTypedSerializeError) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u32(7);
+  BinaryReader r(ss);
+  EXPECT_THROW((void)r.u64(), SerializeError);
+}
+
+TEST(BinaryIo, VectorLengthBoundedByRemainingStream) {
+  // A plausible-looking length (1M elements) over a near-empty seekable
+  // stream must be rejected *before* allocating, from the length check —
+  // not by limping through a giant read.
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u64(1u << 20);
+  w.u64(42);  // only one element actually present
+  BinaryReader r(ss);
+  EXPECT_THROW((void)r.u64_vector(), SerializeError);
+
+  std::stringstream ss32;
+  BinaryWriter w32(ss32);
+  w32.u64(1u << 20);
+  w32.u32(7);
+  BinaryReader r32(ss32);
+  EXPECT_THROW((void)r32.u32_vector(), SerializeError);
+}
+
+TEST(BinaryIo, ExactLengthVectorStillLoads) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u64_vector({5, 6, 7, 8});
+  BinaryReader r(ss);
+  EXPECT_EQ(r.u64_vector(), (std::vector<std::uint64_t>{5, 6, 7, 8}));
+}
+
 TEST(Serialize, BitArrayRoundTrip) {
   BitArray a(1000);
   for (std::size_t i = 0; i < 1000; i += 3) a.set(i);

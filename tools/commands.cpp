@@ -4,14 +4,17 @@
 #include <chrono>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <span>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/checkpoint.hpp"
 #include "common/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/fault_injection.hpp"
 #include "she/csm.hpp"
 #include "she/monitor.hpp"
 #include "she/she.hpp"
@@ -70,6 +73,40 @@ void write_registries(std::ostream& os, const std::string& format,
     throw std::invalid_argument("--metrics-format must be 'prom' or 'json'");
   }
 }
+
+/// RAII guard around the process-global fault injector: arms the
+/// comma-separated `--inject` specs for the command's lifetime and clears
+/// them afterwards (even on throw) so in-process callers — tests — never
+/// inherit armed faults.
+struct FaultScope {
+  explicit FaultScope(const std::string& specs) {
+    if (specs.empty()) return;
+#if !defined(SHE_FAULT_INJECTION)
+    throw std::invalid_argument(
+        "--inject needs the fault-injection harness, which this build has "
+        "compiled out (reconfigure with -DSHE_FAULT_INJECTION=ON)");
+#else
+    std::size_t start = 0;
+    while (start <= specs.size()) {
+      const std::size_t comma = specs.find(',', start);
+      const std::string one = comma == std::string::npos
+                                  ? specs.substr(start)
+                                  : specs.substr(start, comma - start);
+      if (!one.empty())
+        runtime::fault::injector().arm(runtime::fault::parse_spec(one));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    armed = true;
+#endif
+  }
+  ~FaultScope() {
+    if (armed) runtime::fault::injector().clear();
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+  bool armed = false;
+};
 
 SheConfig she_config_from(const ArgMap& args, std::size_t cell_bits,
                           std::size_t group_cells, double default_alpha) {
@@ -269,6 +306,14 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   pcfg.queue_capacity = args.get_u64("queue", 4096);
   pcfg.publish_interval = args.get_u64("publish", 2048);
   pcfg.policy = runtime::backpressure_from(args.get("policy", "block"));
+  pcfg.push_timeout_ms = args.get_u64("push-timeout-ms", 100);
+  pcfg.supervise = !args.has("no-supervise");  // CLI default: supervised
+  pcfg.checkpoint_dir = args.get("checkpoint-dir", "");
+  pcfg.checkpoint_interval = args.get_u64("checkpoint-every", 1u << 16);
+  pcfg.resume = args.has("resume");
+  // Deterministic replay needs one producer: resume offsets are per-shard
+  // prefix counts of the original single arrival order.
+  if (pcfg.resume) pcfg.producers = 1;
 
   const std::uint64_t rate = args.get_u64("rate", 0);  // items/s; 0 = flat out
   const std::uint64_t query_ms = args.get_u64("query-interval-ms", 20);
@@ -276,13 +321,24 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   const bool json = args.has("json");
   const std::string metrics_out = args.get("metrics-out", "");
   const std::string metrics_format = args.get("metrics-format", "prom");
+  const std::string inject = args.get("inject", "");
   // Queue-depth sampler: on by default when dumping metrics.
   pcfg.sample_interval_ms =
       args.get_u64("sample-ms", metrics_out.empty() ? 0 : 5);
   reject_unused(args);
 
   TelemetryScope telemetry(!metrics_out.empty());
+  FaultScope faults(inject);
   ConcurrentMonitor mon(mcfg, pcfg);
+
+  // With --resume, each shard reports how much of the stream its restored
+  // checkpoint already covers; skip that per-shard prefix of the replay.
+  std::vector<std::uint64_t> skip(mon.shard_count(), 0);
+  std::uint64_t skip_total = 0;
+  for (std::size_t s = 0; s < mon.shard_count(); ++s) {
+    skip[s] = mon.resume_offset(s);
+    skip_total += skip[s];
+  }
   mon.start();
 
   // Producers replay disjoint contiguous slices of the trace; --rate is
@@ -297,6 +353,13 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
           rate == 0 ? 0 : static_cast<double>(rate) / pcfg.producers;
       const auto t0 = std::chrono::steady_clock::now();
       for (std::size_t i = lo; i < hi; ++i) {
+        if (skip_total > 0) {  // resume mode: single producer, no races
+          const std::size_t s = mon.shard_of(trace[i]);
+          if (skip[s] > 0) {
+            --skip[s];
+            continue;
+          }
+        }
         mon.push(p, trace[i]);
         if (per_producer_rate > 0 && (i - lo) % 256 == 0) {
           auto due = t0 + std::chrono::duration<double>(
@@ -342,21 +405,39 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
     if (!json) out << "  metrics written to " << metrics_out << "\n";
   }
 
+  // Lossy runs must be visible to scripts: anything dropped, timed out, or
+  // faulted makes the exit status nonzero, with a one-line summary on
+  // stderr regardless of the output format.
+  const bool faulty =
+      st.dropped > 0 || st.worker_faults > 0 || st.push_timeouts > 0;
+  if (faulty) {
+    std::cerr << "she_tool pipeline: faults detected: dropped=" << st.dropped
+              << " worker_faults=" << st.worker_faults
+              << " restarts=" << st.worker_restarts
+              << " items_lost=" << st.items_lost
+              << " push_timeouts=" << st.push_timeouts << "\n";
+  }
+  const int rc = faulty ? 1 : 0;
+
   if (json) {
     out << "{\"stats\":" << st.to_json() << ",\"queries_during_ingest\":"
-        << queries << ",\"cardinality\":" << est << ",\"cardinality_exact\":"
+        << queries << ",\"skipped_on_resume\":" << skip_total
+        << ",\"cardinality\":" << est << ",\"cardinality_exact\":"
         << exact << ",\"cardinality_re\":" << relative_error(exact, est)
         << "}\n";
-    return 0;
+    return rc;
   }
   st.print(out);
+  if (skip_total > 0)
+    out << "  resumed from checkpoints: skipped " << skip_total
+        << " already-ingested items\n";
   out << "  queries during ingest: " << queries << "\n";
   out << "  final cardinality: " << est << "  (exact: " << exact
       << ", RE " << relative_error(exact, est) << ")\n";
   out << "  top-" << top_k << " keys under load:\n";
   for (const auto& e : rep.top)
     out << "    " << e.key << "  ~" << e.estimate << "\n";
-  return 0;
+  return rc;
 }
 
 int cmd_metrics(const ArgMap& args, std::ostream& out) {
@@ -421,6 +502,18 @@ int cmd_info(const ArgMap& args, std::ostream& out) {
         << stream::distinct_count(trace) << " distinct\n";
     return 0;
   }
+  if (tag == "SHCP") {
+    // A durable pipeline checkpoint: validate the frame (CRC and all),
+    // then describe the estimator payload by recursing on its own tag.
+    const CheckpointData ck = read_checkpoint_file(path);
+    out << path << ": CRC-framed pipeline checkpoint (valid)\n"
+        << "  stream offset: " << ck.stream_offset << " items, payload "
+        << ck.payload.size() << " bytes\n";
+    const std::string inner(ck.payload.data(),
+                            ck.payload.size() < 4 ? ck.payload.size() : 4);
+    out << "  payload magic: '" << inner << "'\n";
+    return 0;
+  }
   auto describe = [&](const char* name, const SheConfig& cfg,
                       std::uint64_t time) {
     out << path << ": " << name << " checkpoint\n";
@@ -472,16 +565,27 @@ std::string usage() {
       "               --overlap F] [--window N] [--slots M] [--alpha A]\n"
       "  pipeline     [--trace FILE | --dataset ... --length N] [--window N]\n"
       "               [--memory BYTES] [--shards S] [--producers P]\n"
-      "               [--queue N] [--policy block|drop] [--rate ITEMS/S]\n"
-      "               [--publish N] [--query-interval-ms MS] [--top K]\n"
-      "               [--json] [--metrics-out FILE]\n"
-      "               [--metrics-format prom|json] [--sample-ms MS]\n"
-      "               (concurrent ingest, queries under load)\n"
+      "               [--queue N] [--policy block|drop|block-timeout]\n"
+      "               [--push-timeout-ms MS] [--rate ITEMS/S] [--publish N]\n"
+      "               [--query-interval-ms MS] [--top K] [--json]\n"
+      "               [--metrics-out FILE] [--metrics-format prom|json]\n"
+      "               [--sample-ms MS] [--no-supervise]\n"
+      "               [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "               [--resume] [--inject SPEC[,SPEC...]]\n"
+      "               (concurrent ingest, queries under load; supervised\n"
+      "               workers restart on faults; --checkpoint-dir writes\n"
+      "               CRC-framed durable checkpoints and --resume replays\n"
+      "               from them; SPEC = point[:shard[:at[:param]]] with\n"
+      "               point throw|stall|ckpt-bitflip|ckpt-truncate;\n"
+      "               exit 1 when items were dropped, timed out, or a\n"
+      "               worker faulted)\n"
       "  metrics      [--trace FILE | --dataset ... --length N] [--window N]\n"
       "               [--memory BYTES] [--algo bitmap|hll] [--top K]\n"
       "               [--query-every N] [--format prom|json] [--out FILE]\n"
       "               (replay with telemetry on, dump SHE-internals metrics)\n"
-      "  info         --file FILE   (trace or estimator checkpoint)\n"
+      "  info         --file FILE   (trace, estimator checkpoint, or\n"
+      "               CRC-framed pipeline checkpoint — frames are\n"
+      "               validated before being described)\n"
       "\n"
       "sizes accept K/M/G suffixes (binary), e.g. --memory 64K\n"
       "every command also accepts --trace-text FILE (one key per line;\n"

@@ -1,5 +1,6 @@
 #include "common/checkpoint.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -150,6 +151,42 @@ CheckpointData read_checkpoint_file(const std::string& path) {
   if (!data)
     throw CheckpointError("checkpoint: no such file: " + path);
   return std::move(*data);
+}
+
+std::string checkpoint_generation_path(const std::string& path,
+                                       std::size_t gen) {
+  return gen == 0 ? path : path + "." + std::to_string(gen);
+}
+
+void rotate_checkpoints(const std::string& path, std::size_t keep) {
+  if (keep <= 1) return;
+  // Oldest first so each rename lands on a vacated (or expired) slot.
+  for (std::size_t gen = keep - 1; gen > 0; --gen) {
+    const std::string from = checkpoint_generation_path(path, gen - 1);
+    const std::string to = checkpoint_generation_path(path, gen);
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);  // missing generations are fine
+  }
+}
+
+std::optional<CheckpointData> read_newest_checkpoint(const std::string& path,
+                                                     std::size_t keep) {
+  bool any_exists = false;
+  std::string first_error;
+  for (std::size_t gen = 0; gen < std::max<std::size_t>(keep, 1); ++gen) {
+    const std::string p = checkpoint_generation_path(path, gen);
+    try {
+      auto data = try_read_checkpoint_file(p);
+      if (data) return data;  // newest valid generation wins
+    } catch (const CheckpointError& e) {
+      any_exists = true;  // present but unusable; fall back to older
+      if (first_error.empty()) first_error = e.what();
+    }
+  }
+  if (any_exists)
+    throw CheckpointError("checkpoint: every retained generation of " + path +
+                          " is corrupt (newest: " + first_error + ")");
+  return std::nullopt;
 }
 
 }  // namespace she

@@ -76,4 +76,38 @@ void write_file_atomic(const std::string& path, std::span<const char> bytes);
 /// CheckpointError (it is not counted as corrupt).
 [[nodiscard]] CheckpointData read_checkpoint_file(const std::string& path);
 
+// ------------------------------------------------------- frame retention --
+//
+// A single overwrite-in-place file is one bad write away from losing all
+// durability.  With `keep > 1` a writer retains the last `keep` frames as
+//
+//   <path>        newest
+//   <path>.1      one generation older
+//   ...
+//   <path>.<keep-1>
+//
+// and a resuming reader walks newest -> oldest, loading the first frame
+// that validates.  Corrupt frames are skipped (each rejection is counted
+// in `she_checkpoint_corrupt_total`); only when every existing generation
+// fails does the read throw.
+
+/// The on-disk name of generation `gen` (0 = newest = `path` itself).
+[[nodiscard]] std::string checkpoint_generation_path(const std::string& path,
+                                                     std::size_t gen);
+
+/// Shift the retained generations one step older, making room for a new
+/// newest frame at `path`: <path>.(keep-2) -> <path>.(keep-1), ...,
+/// <path> -> <path>.1.  The oldest generation falls off.  Missing
+/// generations are skipped; with keep <= 1 this is a no-op (pure
+/// overwrite-in-place).
+void rotate_checkpoints(const std::string& path, std::size_t keep);
+
+/// Read the newest valid frame among the `keep` retained generations.
+/// Returns nullopt when no generation exists at all (a fresh start);
+/// throws CheckpointError when generations exist but every one of them is
+/// corrupt — resuming silently from nothing when frames were written would
+/// masquerade as data loss.
+[[nodiscard]] std::optional<CheckpointData> read_newest_checkpoint(
+    const std::string& path, std::size_t keep);
+
 }  // namespace she

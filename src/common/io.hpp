@@ -64,6 +64,10 @@ class BinaryReader {
   /// Read and verify a 4-byte section tag; throws on mismatch.
   void expect_tag(const char (&t)[5]);
 
+  /// Read a 4-byte section tag and return it, for formats that dispatch on
+  /// the tag (e.g. a container accepting several versions of its layout).
+  [[nodiscard]] std::string read_tag();
+
   std::vector<std::uint64_t> u64_vector();
   std::vector<std::uint32_t> u32_vector();
 

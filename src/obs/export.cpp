@@ -48,12 +48,15 @@ std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
 
 /// All entries across `registries`, grouped into families by name in
 /// first-appearance order (Prometheus requires one HELP/TYPE per name).
+/// Each registry's extra labels are appended to every entry it
+/// contributes.
 std::vector<std::vector<Registry::Entry>> families(
-    std::span<const Registry* const> registries) {
+    std::span<const LabeledRegistry> registries) {
   std::vector<std::vector<Registry::Entry>> out;
-  for (const Registry* reg : registries) {
-    if (reg == nullptr) continue;
-    for (Registry::Entry& e : reg->entries()) {
+  for (const LabeledRegistry& lr : registries) {
+    if (lr.registry == nullptr) continue;
+    for (Registry::Entry& e : lr.registry->entries()) {
+      e.labels.insert(e.labels.end(), lr.extra.begin(), lr.extra.end());
       auto it = std::find_if(out.begin(), out.end(), [&](const auto& fam) {
         return fam.front().name == e.name;
       });
@@ -64,6 +67,15 @@ std::vector<std::vector<Registry::Entry>> families(
       }
     }
   }
+  return out;
+}
+
+/// Plain registries are labeled registries with nothing to append.
+std::vector<LabeledRegistry> unlabeled(
+    std::span<const Registry* const> registries) {
+  std::vector<LabeledRegistry> out;
+  out.reserve(registries.size());
+  for (const Registry* reg : registries) out.push_back({reg, {}});
   return out;
 }
 
@@ -124,6 +136,11 @@ std::string json_escape(const std::string& s) {
 
 void write_prometheus(std::ostream& os,
                       std::span<const Registry* const> registries) {
+  write_prometheus(os, std::span<const LabeledRegistry>(unlabeled(registries)));
+}
+
+void write_prometheus(std::ostream& os,
+                      std::span<const LabeledRegistry> registries) {
   for (const auto& fam : families(registries)) {
     const Registry::Entry& head = fam.front();
     os << "# HELP " << head.name << ' ' << prom_escape(head.help) << '\n';
@@ -153,6 +170,10 @@ void write_prometheus(std::ostream& os, const Registry& registry) {
 
 void write_json(std::ostream& os,
                 std::span<const Registry* const> registries) {
+  write_json(os, std::span<const LabeledRegistry>(unlabeled(registries)));
+}
+
+void write_json(std::ostream& os, std::span<const LabeledRegistry> registries) {
   os << "{\"schema_version\":1,\"metrics\":[";
   bool first = true;
   for (const auto& fam : families(registries)) {

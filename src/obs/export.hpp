@@ -19,13 +19,26 @@
 
 namespace she::obs {
 
+/// A registry plus a label set appended to every series it contributes.
+/// This is how a multi-pipeline exporter (the `she_server` /metrics
+/// endpoint) distinguishes per-pipeline registries that all register the
+/// same metric names: each pipeline's registry is exported with an extra
+/// `pipeline="<name>"` label.
+struct LabeledRegistry {
+  const Registry* registry = nullptr;
+  Labels extra;  ///< appended after the entry's own labels
+};
+
 /// Prometheus text exposition format (version 0.0.4).
 void write_prometheus(std::ostream& os,
                       std::span<const Registry* const> registries);
+void write_prometheus(std::ostream& os,
+                      std::span<const LabeledRegistry> registries);
 void write_prometheus(std::ostream& os, const Registry& registry);
 
 /// One JSON object: {"schema_version":1,"metrics":[...]}.
 void write_json(std::ostream& os, std::span<const Registry* const> registries);
+void write_json(std::ostream& os, std::span<const LabeledRegistry> registries);
 void write_json(std::ostream& os, const Registry& registry);
 
 /// Escape a string for use inside a JSON string literal (shared with

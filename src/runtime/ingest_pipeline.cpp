@@ -43,6 +43,9 @@ void PipelineOptions::validate() const {
   if (!checkpoint_dir.empty() && checkpoint_interval == 0)
     throw std::invalid_argument(
         "PipelineOptions: checkpoint_interval must be > 0");
+  if (checkpoint_keep == 0)
+    throw std::invalid_argument(
+        "PipelineOptions: checkpoint_keep must be >= 1");
   if (supervise && heartbeat_timeout_ms == 0)
     throw std::invalid_argument(
         "PipelineOptions: supervise needs heartbeat_timeout_ms > 0");

@@ -136,6 +136,8 @@ struct PipelineOptions {
   std::size_t max_restarts = 16;       ///< per-shard cap before abandoning
   std::string checkpoint_dir;          ///< empty = no durable checkpoints
   std::uint64_t checkpoint_interval = 1u << 16;  ///< items between frames
+  std::size_t checkpoint_keep = 1;     ///< retained frame generations per
+                                       ///< shard (1 = overwrite in place)
   bool resume = false;                 ///< reload checkpoint_dir at startup
   std::size_t rate_window_s = 10;      ///< windowed items/s view width
 
@@ -182,7 +184,8 @@ class IngestPipeline {
     shards_.reserve(opt_.shards);
     for (std::size_t s = 0; s < opt_.shards; ++s) {
       std::optional<CheckpointData> ck;
-      if (opt_.resume) ck = try_read_checkpoint_file(checkpoint_path(s));
+      if (opt_.resume)
+        ck = read_newest_checkpoint(checkpoint_path(s), opt_.checkpoint_keep);
       auto sh = ck ? std::make_unique<Shard>(deserialize<Estimator>(
                          ck->payload.data(), ck->payload.size()))
                    : std::make_unique<Shard>(factory(s));
@@ -366,6 +369,52 @@ class IngestPipeline {
     stop_ns_.store(now_ns(), std::memory_order_relaxed);
   }
 
+  /// Drain-then-publish barrier: ask every live shard worker to finish
+  /// draining its rings, publish a fresh snapshot, and — with
+  /// `with_checkpoint` and a configured checkpoint_dir — write a durable
+  /// frame, then wait for the acknowledgements.  This is what a serving
+  /// front-end's FLUSH (make earlier accepted inserts visible to
+  /// snapshot queries) and SAVE (checkpoint now, not at the next
+  /// interval) commands ride on.
+  ///
+  /// Returns true when every shard acked within `timeout_ms`; false on
+  /// timeout or when a shard is dead/abandoned.  Workers ack only from
+  /// their idle branch (rings momentarily empty), so under relentless
+  /// concurrent ingest the barrier is best-effort and bounded by the
+  /// timeout.  Any thread may call this; on a closed (or never-started)
+  /// pipeline the final state is already published and checkpointed, so
+  /// it returns true immediately.
+  bool sync(bool with_checkpoint, std::size_t timeout_ms = 5000) {
+    if (closed_.load(std::memory_order_acquire)) return true;
+    if (!started_.load(std::memory_order_relaxed)) {
+      // No workers yet: the construction-time snapshots are current.
+      return true;
+    }
+    std::vector<std::uint64_t> want(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      Shard& sh = *shards_[s];
+      if (with_checkpoint && !opt_.checkpoint_dir.empty())
+        sh.sync_ckpt.store(true, std::memory_order_relaxed);
+      want[s] = sh.sync_req.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    const std::int64_t deadline =
+        now_ns() + static_cast<std::int64_t>(timeout_ms) * 1'000'000;
+    bool ok = true;
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      Shard& sh = *shards_[s];
+      while (sh.sync_ack.load(std::memory_order_acquire) < want[s]) {
+        if (closed_.load(std::memory_order_acquire)) return true;
+        if (shard_dead(sh)) {  // nobody will ever ack this shard
+          ok = false;
+          break;
+        }
+        if (now_ns() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    return ok;
+  }
+
   /// A private copy of shard `s`'s latest published estimator state.
   /// Callable from any thread at any time.
   [[nodiscard]] Estimator snapshot(std::size_t s) const {
@@ -455,6 +504,12 @@ class IngestPipeline {
     std::atomic<WorkerState> state{WorkerState::kIdle};
     std::atomic<std::int64_t> heartbeat_ns{0};
     std::atomic<bool> fence{false};  ///< supervisor asks worker to hand over
+    // Sync handshake (see sync()): a caller bumps sync_req; the worker
+    // acks after its rings drained and a fresh snapshot (and, when
+    // sync_ckpt was set, a durable frame) was published.
+    std::atomic<std::uint64_t> sync_req{0};
+    std::atomic<std::uint64_t> sync_ack{0};
+    std::atomic<bool> sync_ckpt{false};
     std::string fault_msg;           ///< written before state -> kFaulted
     // Registry-owned metrics (see bind_metrics); plain pointers, the
     // registry outlives the shards.
@@ -552,6 +607,7 @@ class IngestPipeline {
         sh.consumed_at_publish,
         std::span<const char>(sh.scratch.data(), sh.scratch.size()));
     fault::maybe_corrupt_frame(sh.index, sh.ckpt_ordinal, frame);
+    rotate_checkpoints(checkpoint_path(sh.index), opt_.checkpoint_keep);
     write_file_atomic(checkpoint_path(sh.index),
                       std::span<const char>(frame.data(), frame.size()));
     ++sh.ckpt_ordinal;
@@ -618,6 +674,22 @@ class IngestPipeline {
       // Idle: surface whatever arrived since the last publish so readers
       // see a fresh snapshot even in quiet periods.
       if (sh.since_publish > 0) publish(sh);
+      // sync() barrier: rings are momentarily empty, so publish (filling
+      // scratch — the construction-time publish bypassed it) and ack.
+      const std::uint64_t syncreq = sh.sync_req.load(std::memory_order_acquire);
+      if (syncreq != sh.sync_ack.load(std::memory_order_relaxed)) {
+        // The empty-rings observation above predates this acquire load, so
+        // it may have missed pushes made just before the sync() call.  The
+        // acquire makes those pushes visible; re-check and re-drain before
+        // acking, or the barrier publishes a snapshot missing items it
+        // promised to cover.
+        if (!rings_empty(sh)) continue;
+        publish(sh);
+        if (sh.sync_ckpt.exchange(false, std::memory_order_acq_rel) &&
+            !opt_.checkpoint_dir.empty())
+          write_checkpoint(sh);
+        sh.sync_ack.store(syncreq, std::memory_order_release);
+      }
       if (stopping_.load(std::memory_order_acquire) && rings_empty(sh)) break;
       std::this_thread::yield();
     }

@@ -1,0 +1,228 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace she::server {
+
+SheClient::SheClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot parse host '" + target +
+                             "' (want an IPv4 address)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + target + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  // Strict request/response protocol with small frames: Nagle only adds
+  // latency here, never useful coalescing.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SheClient::~SheClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SheClient::SheClient(SheClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+SheClient& SheClient::operator=(SheClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::vector<char> SheClient::roundtrip_raw(std::span<const char> body) {
+  write_frame(fd_, body);
+  std::vector<char> resp;
+  if (!read_frame(fd_, resp)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return resp;
+}
+
+std::vector<char> SheClient::roundtrip(const WireWriter& req) {
+  const std::vector<char> resp = roundtrip_raw(req.body());
+  WireReader r(resp);
+  const auto status = static_cast<Status>(r.u8());
+  if (status != Status::kOk) {
+    std::string msg;
+    try {
+      msg = r.str();
+    } catch (const ProtocolError&) {
+      msg = "(no message)";
+    }
+    throw ClientError(status, msg);
+  }
+  return {resp.begin() + 1, resp.end()};
+}
+
+void SheClient::ping() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kPing));
+  roundtrip(w);
+}
+
+void SheClient::create(const std::string& name, const std::string& spec) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kCreate));
+  w.str(name);
+  w.str(spec);
+  roundtrip(w);
+}
+
+void SheClient::drop(const std::string& name) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kDrop));
+  w.str(name);
+  roundtrip(w);
+}
+
+void SheClient::save(const std::string& name) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kSave));
+  w.str(name);
+  roundtrip(w);
+}
+
+void SheClient::flush(const std::string& name) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kFlush));
+  w.str(name);
+  roundtrip(w);
+}
+
+std::vector<std::string> SheClient::list() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kList));
+  const std::vector<char> payload = roundtrip(w);
+  WireReader r(payload);
+  const std::uint32_t n = r.u32();
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) names.push_back(r.str());
+  return names;
+}
+
+std::string SheClient::stats_json(const std::string& name) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kStats));
+  w.str(name);
+  const std::vector<char> payload = roundtrip(w);
+  WireReader r(payload);
+  return r.str();
+}
+
+std::uint64_t SheClient::insert(const std::string& name, std::uint64_t key) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kInsert));
+  w.str(name);
+  w.u64(key);
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).u64();
+}
+
+std::uint64_t SheClient::insert_bulk(const std::string& name,
+                                     std::span<const std::uint64_t> keys) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kInsertBulk));
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const std::uint64_t k : keys) w.u64(k);
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).u64();
+}
+
+bool SheClient::query_membership(const std::string& name, std::uint64_t key) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kQuery));
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(QueryType::kMembership));
+  w.u64(key);
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).u8() != 0;
+}
+
+std::uint64_t SheClient::query_frequency(const std::string& name,
+                                         std::uint64_t key) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kQuery));
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(QueryType::kFrequency));
+  w.u64(key);
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).u64();
+}
+
+double SheClient::query_cardinality(const std::string& name) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kQuery));
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(QueryType::kCardinality));
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).f64();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> SheClient::query_topk(
+    const std::string& name, std::uint32_t k) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kQuery));
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(QueryType::kTopK));
+  w.u32(k);
+  const std::vector<char> payload = roundtrip(w);
+  WireReader r(payload);
+  const std::uint32_t n = r.u32();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top;
+  top.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    const std::uint64_t est = r.u64();
+    top.emplace_back(key, est);
+  }
+  return top;
+}
+
+double SheClient::query_jaccard(const std::string& name,
+                                const std::string& other) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kQuery));
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(QueryType::kJaccard));
+  w.str(other);
+  const std::vector<char> payload = roundtrip(w);
+  return WireReader(payload).f64();
+}
+
+void SheClient::shutdown_server() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kShutdown));
+  roundtrip(w);
+}
+
+}  // namespace she::server

@@ -1,0 +1,83 @@
+// SheClient — typed, blocking client for the she_server protocol.
+//
+// One TCP connection, one outstanding request at a time (the protocol has
+// no request ids; responses come back in order).  Error statuses surface
+// as ClientError carrying the wire status and the server's message.  Used
+// by `she_tool client`, the server tests, and bench/server_throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace she::server {
+
+/// A non-OK response status, or a transport-level failure.
+class ClientError : public std::runtime_error {
+ public:
+  ClientError(Status status, const std::string& msg)
+      : std::runtime_error(msg), status_(status) {}
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+class SheClient {
+ public:
+  /// Connect to host:port (IPv4); throws std::runtime_error on failure.
+  SheClient(const std::string& host, std::uint16_t port);
+  ~SheClient();
+
+  SheClient(SheClient&& other) noexcept;
+  SheClient& operator=(SheClient&& other) noexcept;
+  SheClient(const SheClient&) = delete;
+  SheClient& operator=(const SheClient&) = delete;
+
+  void ping();
+  void create(const std::string& name, const std::string& spec);
+  void drop(const std::string& name);
+  void save(const std::string& name);
+  void flush(const std::string& name);
+  [[nodiscard]] std::vector<std::string> list();
+  [[nodiscard]] std::string stats_json(const std::string& name);
+
+  /// Returns how many keys the pipeline accepted (drop-policy pipelines
+  /// may accept fewer than sent).
+  std::uint64_t insert(const std::string& name, std::uint64_t key);
+  std::uint64_t insert_bulk(const std::string& name,
+                            std::span<const std::uint64_t> keys);
+
+  [[nodiscard]] bool query_membership(const std::string& name,
+                                      std::uint64_t key);
+  [[nodiscard]] std::uint64_t query_frequency(const std::string& name,
+                                              std::uint64_t key);
+  [[nodiscard]] double query_cardinality(const std::string& name);
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  query_topk(const std::string& name, std::uint32_t k);
+  [[nodiscard]] double query_jaccard(const std::string& name,
+                                     const std::string& other);
+
+  /// Ask the server to begin its shutdown sequence (acknowledged first).
+  void shutdown_server();
+
+  /// Send a raw, possibly malformed body and return the raw response body
+  /// (status byte included).  For protocol tests.
+  std::vector<char> roundtrip_raw(std::span<const char> body);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  /// Send `body`, read the response, throw ClientError on non-OK, return
+  /// the payload after the status byte.
+  std::vector<char> roundtrip(const WireWriter& req);
+
+  int fd_ = -1;
+};
+
+}  // namespace she::server

@@ -1,0 +1,33 @@
+#include "server/http.hpp"
+
+namespace she::server {
+
+std::optional<HttpRequest> parse_http_request(std::string_view head) {
+  const std::size_t eol = head.find("\r\n");
+  std::string_view line = eol == std::string_view::npos ? head
+                                                        : head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return std::nullopt;
+  if (line.substr(sp2 + 1).rfind("HTTP/", 0) != 0) return std::nullopt;
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return req;
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace she::server

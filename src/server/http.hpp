@@ -1,0 +1,29 @@
+// Minimal HTTP/1.1 support for the metrics endpoint — just enough to
+// serve `GET /metrics` and `GET /healthz` to Prometheus and curl.  One
+// request per connection (`Connection: close`), request headers are read
+// and discarded, bodies are not supported.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace she::server {
+
+struct HttpRequest {
+  std::string method;  ///< e.g. "GET"
+  std::string target;  ///< e.g. "/metrics" (query string kept verbatim)
+};
+
+/// Parse the request line out of a raw header block ("METHOD SP target SP
+/// version CRLF ...").  nullopt when it is not recognizably HTTP.
+[[nodiscard]] std::optional<HttpRequest> parse_http_request(
+    std::string_view head);
+
+/// Render a full response: status line, Content-Type/-Length,
+/// `Connection: close`, blank line, body.
+[[nodiscard]] std::string http_response(int status, std::string_view reason,
+                                        std::string_view content_type,
+                                        std::string_view body);
+
+}  // namespace she::server

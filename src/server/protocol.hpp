@@ -1,0 +1,158 @@
+// she_server wire protocol — length-prefixed binary frames over TCP.
+//
+// Every message (request or response) is one frame:
+//
+//   offset  size  field
+//   ------  ----  -------------------------------------------
+//        0     4  body length in bytes (u32, little-endian)
+//        4     n  body
+//
+// A request body is `u8 opcode` followed by opcode-specific fields; a
+// response body is `u8 status` followed by status/opcode-specific fields.
+// Strings are `u32 length + bytes` (no terminator).  The frame length is
+// bounded by kMaxFrameBytes so a garbage prefix can never make the server
+// allocate gigabytes; anything that fails a bound, runs past the end of
+// its body, or leaves trailing bytes is a ProtocolError — the server
+// counts it, answers kBadRequest when the transport still permits, and
+// drops that connection (a byte stream cannot be resynchronized after a
+// framing error), while every other connection keeps being served.
+//
+// Request bodies:
+//   PING
+//   CREATE       str name, str spec          (spec: see parse_sketch_spec)
+//   INSERT       str name, u64 key
+//   INSERT_BULK  str name, u32 n, n x u64 keys
+//   QUERY        str name, u8 query_type, then per type:
+//                  MEMBERSHIP / FREQUENCY: u64 key
+//                  CARDINALITY: -
+//                  TOPK: u32 k
+//                  JACCARD: str other_pipeline
+//   STATS        str name
+//   DROP         str name
+//   SAVE         str name                    (checkpoint now)
+//   FLUSH        str name                    (drain-then-publish barrier)
+//   LIST
+//   SHUTDOWN
+//
+// Response bodies (after `u8 status`; error statuses carry `str message`):
+//   PING/CREATE/DROP/SAVE/FLUSH/SHUTDOWN: -
+//   INSERT / INSERT_BULK: u64 accepted
+//   QUERY MEMBERSHIP: u8 present
+//   QUERY FREQUENCY:  u64 estimate
+//   QUERY CARDINALITY / JACCARD: f64 estimate
+//   QUERY TOPK: u32 n, n x (u64 key, u64 estimate)
+//   STATS: str runtime-stats JSON
+//   LIST:  u32 n, n x str name
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace she::server {
+
+/// Typed rejection for malformed frames and bodies: oversized lengths,
+/// reads past the end of a body, trailing bytes, unknown opcodes.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard bound on one frame's body (16 MiB ~ a 2M-key bulk insert).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Op : std::uint8_t {
+  kPing = 1,
+  kCreate = 2,
+  kInsert = 3,
+  kInsertBulk = 4,
+  kQuery = 5,
+  kStats = 6,
+  kDrop = 7,
+  kSave = 8,
+  kFlush = 9,
+  kList = 10,
+  kShutdown = 11,
+};
+
+enum class QueryType : std::uint8_t {
+  kMembership = 1,
+  kFrequency = 2,
+  kCardinality = 3,
+  kTopK = 4,
+  kJaccard = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,       ///< internal failure (message attached)
+  kNotFound = 2,    ///< no pipeline under that name
+  kExists = 3,      ///< CREATE of a name already taken
+  kBadRequest = 4,  ///< malformed body, bad spec, unsupported query
+  kTimeout = 5,     ///< FLUSH/SAVE barrier did not complete in time
+};
+
+[[nodiscard]] const char* to_string(Op op);
+[[nodiscard]] const char* to_string(Status st);
+[[nodiscard]] const char* to_string(QueryType q);
+
+/// Validate a client-chosen opcode byte; throws ProtocolError.
+[[nodiscard]] Op op_from(std::uint8_t raw);
+[[nodiscard]] QueryType query_type_from(std::uint8_t raw);
+
+// --------------------------------------------------------------- encoding --
+
+/// Append-only body builder (little-endian fixed-width fields).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(std::string_view s);  ///< u32 length + bytes
+
+  [[nodiscard]] const std::vector<char>& body() const { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Bounds-checked body reader; any overrun throws ProtocolError.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const char> body) : body_(body) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();  ///< u32 length (bounded by the remaining body) + bytes
+
+  [[nodiscard]] std::size_t remaining() const { return body_.size() - pos_; }
+
+  /// A well-formed body is consumed exactly; trailing bytes are an error.
+  void expect_done() const;
+
+ private:
+  std::span<const char> body_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- framing --
+
+/// Read exactly one frame's body from `fd`.  Returns false on a clean EOF
+/// at a frame boundary (client closed); throws ProtocolError on an
+/// oversized length prefix or mid-frame EOF, std::runtime_error on socket
+/// errors.
+bool read_frame(int fd, std::vector<char>& body);
+
+/// Write `body` as one length-prefixed frame; throws std::runtime_error
+/// when the peer is gone.
+void write_frame(int fd, std::span<const char> body);
+
+/// write(2) until done, retrying EINTR; throws std::runtime_error.
+void write_all(int fd, const void* data, std::size_t n);
+
+}  // namespace she::server

@@ -1,0 +1,616 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/checkpoint.hpp"
+#include "runtime/snapshot.hpp"
+#include "server/http.hpp"
+
+namespace she::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Self-pipe write end for the process signal handler.  One server per
+/// process may install handlers; enforced in install_signal_handlers().
+std::atomic<int> g_signal_stop_fd{-1};
+struct sigaction g_old_sigterm;
+struct sigaction g_old_sigint;
+
+extern "C" void she_server_on_signal(int) {
+  // Async-signal-safe: one atomic load + one write(2).
+  const int fd = g_signal_stop_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t r = ::write(fd, &byte, 1);
+  }
+}
+
+/// Bind + listen on host:port; returns the fd and stores the actual bound
+/// port (for port 0) in `bound`.
+int listen_tcp(const std::string& host, std::uint16_t port,
+               std::uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("cannot parse listen host '" + host +
+                             "' (want an IPv4 address)");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot listen on " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  sockaddr_in got{};
+  socklen_t len = sizeof(got);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) == 0) {
+    *bound = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+/// Per-handler-thread cache of deserialized shard snapshots.  Per-key
+/// queries (membership, frequency) hit a handful of slots over and over,
+/// and a fresh StreamMonitor deserialize per request dominates query
+/// latency; SnapshotReader re-deserializes only when the published seqlock
+/// version moves.  Keyed by (entry id, shard) — entry ids are never
+/// reused, so a dropped pipeline's cached state can never answer for a
+/// successor with the same name.  The caller must hold the entry's
+/// shared_ptr for the duration of the call (keeps the slot alive); stale
+/// readers for dropped pipelines are never dereferenced, only evicted.
+const StreamMonitor& cached_shard(const PipelineManager::Entry& entry,
+                                  std::size_t shard) {
+  using Reader = runtime::SnapshotReader<StreamMonitor>;
+  thread_local std::map<std::pair<std::uint64_t, std::size_t>, Reader> cache;
+  if (cache.size() > 64) cache.clear();  // bound churn from dropped pipelines
+  const auto key = std::make_pair(entry.id(), shard);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, Reader(entry.monitor().shard_slot(shard))).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+SheServer::SheServer(ServerOptions opt)
+    : opt_(std::move(opt)), manager_(opt_.manager) {
+  connections_total_ = &registry_.counter(
+      "she_server_connections_total",
+      "protocol connections accepted over the server lifetime");
+  active_connections_ = &registry_.gauge(
+      "she_server_active_connections", "protocol connections currently open");
+  protocol_errors_ = &registry_.counter(
+      "she_server_protocol_errors_total",
+      "malformed or truncated frames rejected (connection-fatal framing "
+      "errors and per-request body errors)");
+  request_latency_ = &registry_.histogram(
+      "she_server_request_latency_ns",
+      "wall time from complete request frame to complete response, ns");
+  pipelines_gauge_ = &registry_.gauge("she_server_pipelines",
+                                      "resident named pipelines");
+  for (std::uint8_t raw = static_cast<std::uint8_t>(Op::kPing);
+       raw <= static_cast<std::uint8_t>(Op::kShutdown); ++raw) {
+    const Op op = static_cast<Op>(raw);
+    requests_by_op_[op] =
+        &registry_.counter("she_server_requests_total",
+                           "requests dispatched, by opcode",
+                           {{"op", to_string(op)}});
+  }
+  pipelines_gauge_->set(static_cast<std::int64_t>(manager_.size()));
+}
+
+SheServer::~SheServer() {
+  request_stop();
+  stop();
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void SheServer::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("SheServer::start() called twice");
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  for (int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  listen_fd_ = listen_tcp(opt_.host, opt_.port, &port_);
+  if (opt_.http_port >= 0) {
+    http_fd_ = listen_tcp(opt_.host,
+                          static_cast<std::uint16_t>(opt_.http_port),
+                          &http_port_);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (http_fd_ >= 0) http_thread_ = std::thread([this] { http_loop(); });
+}
+
+void SheServer::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  const int fd = stop_pipe_[1];
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t r = ::write(fd, &byte, 1);
+  }
+}
+
+void SheServer::wait() {
+  {
+    std::unique_lock lk(stopped_mu_);
+    if (stopped_) return;
+  }
+  if (stop_pipe_[0] >= 0) {
+    pollfd p{stop_pipe_[0], POLLIN, 0};
+    while (::poll(&p, 1, -1) < 0 && errno == EINTR) {
+    }
+  }
+  stop();
+}
+
+void SheServer::stop() {
+  std::call_once(stop_flag_, [this] {
+    request_stop();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (http_thread_.joinable()) http_thread_.join();
+    // Unblock every handler stuck in read()/send(), then join.  Handlers
+    // never close their own fd (a close racing this shutdown could hit a
+    // recycled descriptor); fds are closed here, after the join.
+    {
+      std::lock_guard lk(conns_mu_);
+      for (auto& [id, c] : conns_) {
+        if (!c.finished) ::shutdown(c.fd, SHUT_RDWR);
+      }
+    }
+    std::map<std::uint64_t, Conn> taken;
+    {
+      std::lock_guard lk(conns_mu_);
+      taken.swap(conns_);
+    }
+    for (auto& [id, c] : taken) {
+      if (c.thread.joinable()) c.thread.join();
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (http_fd_ >= 0) ::close(http_fd_);
+    listen_fd_ = http_fd_ = -1;
+    // Drain-then-checkpoint every pipeline: a resumed server answers
+    // queries as of this moment.
+    manager_.close_all();
+    if (signals_installed_) {
+      g_signal_stop_fd.store(-1, std::memory_order_relaxed);
+      ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
+      ::sigaction(SIGINT, &g_old_sigint, nullptr);
+      signals_installed_ = false;
+    }
+    {
+      std::lock_guard lk(stopped_mu_);
+      stopped_ = true;
+    }
+    stopped_cv_.notify_all();
+  });
+  // Late callers (destructor after an explicit stop()) still wait for the
+  // sequence to finish before returning.
+  std::unique_lock lk(stopped_mu_);
+  stopped_cv_.wait(lk, [this] { return stopped_; });
+}
+
+void SheServer::install_signal_handlers() {
+  if (stop_pipe_[1] < 0) {
+    throw std::logic_error("install_signal_handlers() before start()");
+  }
+  int expected = -1;
+  if (!g_signal_stop_fd.compare_exchange_strong(expected, stop_pipe_[1])) {
+    throw std::logic_error("signal handlers already routed to a server");
+  }
+  struct sigaction sa{};
+  sa.sa_handler = she_server_on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, &g_old_sigterm);
+  ::sigaction(SIGINT, &sa, &g_old_sigint);
+  signals_installed_ = true;
+}
+
+// ---------------------------------------------------------- accept loops --
+
+void SheServer::reap_finished() {
+  std::vector<Conn> done;
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->second.finished) {
+        done.push_back(std::move(it->second));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Conn& c : done) {
+    if (c.thread.joinable()) c.thread.join();
+    if (c.fd >= 0) ::close(c.fd);
+  }
+}
+
+void SheServer::accept_loop() {
+  for (;;) {
+    reap_finished();
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, 500);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Responses are single small frames; Nagle would only delay them.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_total_->inc();
+    std::lock_guard lk(conns_mu_);
+    if (live_protocol_ >= opt_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    ++live_protocol_;
+    const std::uint64_t id = next_conn_id_++;
+    Conn& c = conns_[id];
+    c.fd = fd;
+    c.thread = std::thread([this, id, fd] { handle_conn(id, fd); });
+  }
+}
+
+void SheServer::http_loop() {
+  for (;;) {
+    pollfd fds[2] = {{http_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, 500);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(http_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard lk(conns_mu_);
+    const std::uint64_t id = next_conn_id_++;
+    Conn& c = conns_[id];
+    c.fd = fd;
+    c.thread = std::thread([this, id, fd] { handle_http(id, fd); });
+  }
+}
+
+void SheServer::handle_conn(std::uint64_t id, int fd) {
+  active_connections_->add(1);
+  std::vector<char> body;
+  try {
+    while (!stop_requested_.load(std::memory_order_acquire)) {
+      if (!read_frame(fd, body)) break;  // clean EOF at a frame boundary
+      // SHUTDOWN answers before triggering the stop sequence, so the
+      // client sees its acknowledgment even though stop() tears down this
+      // very connection moments later.
+      if (!body.empty() &&
+          body[0] == static_cast<char>(Op::kShutdown)) {
+        requests_by_op_[Op::kShutdown]->inc();
+        WireWriter w;
+        w.u8(static_cast<std::uint8_t>(Status::kOk));
+        write_frame(fd, w.body());
+        request_stop();
+        break;
+      }
+      const Clock::time_point t0 = Clock::now();
+      const std::vector<char> resp = dispatch(body);
+      request_latency_->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()));
+      write_frame(fd, resp);
+    }
+  } catch (const ProtocolError& e) {
+    // Framing is broken (oversized length, mid-frame EOF): the byte
+    // stream cannot be resynchronized, so answer if the transport still
+    // works and drop this connection.  Everyone else keeps being served.
+    protocol_errors_->inc();
+    try {
+      WireWriter w;
+      w.u8(static_cast<std::uint8_t>(Status::kBadRequest));
+      w.str(e.what());
+      write_frame(fd, w.body());
+    } catch (...) {
+    }
+  } catch (const std::exception&) {
+    // Socket error (peer reset, shutdown() during stop): drop quietly.
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  active_connections_->add(-1);
+  std::lock_guard lk(conns_mu_);
+  --live_protocol_;
+  const auto it = conns_.find(id);
+  if (it != conns_.end()) it->second.finished = true;
+}
+
+void SheServer::handle_http(std::uint64_t id, int fd) {
+  // Read the request head (bounded, with an idle timeout) and answer one
+  // request; Connection: close.
+  std::string head;
+  try {
+    char buf[2048];
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+      pollfd p{fd, POLLIN, 0};
+      const int pr = ::poll(&p, 1, 5000);
+      if (pr <= 0) break;
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      head.append(buf, static_cast<std::size_t>(r));
+    }
+    std::string resp;
+    const std::optional<HttpRequest> req = parse_http_request(head);
+    if (!req) {
+      resp = http_response(400, "Bad Request", "text/plain", "bad request\n");
+    } else if (req->method != "GET") {
+      resp = http_response(405, "Method Not Allowed", "text/plain",
+                           "only GET\n");
+    } else if (req->target == "/healthz") {
+      resp = http_response(200, "OK", "text/plain", "ok\n");
+    } else if (req->target == "/metrics" ||
+               req->target.rfind("/metrics?", 0) == 0) {
+      resp = http_response(200, "OK",
+                           "text/plain; version=0.0.4; charset=utf-8",
+                           render_metrics());
+    } else {
+      resp = http_response(404, "Not Found", "text/plain", "not found\n");
+    }
+    write_all(fd, resp.data(), resp.size());
+  } catch (const std::exception&) {
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard lk(conns_mu_);
+  const auto it = conns_.find(id);
+  if (it != conns_.end()) it->second.finished = true;
+}
+
+std::string SheServer::render_metrics() const {
+  // pipelines gauge is refreshed lazily, at export time.
+  pipelines_gauge_->set(static_cast<std::int64_t>(manager_.size()));
+  const PipelineManager::ExportSet exported = manager_.export_registries();
+  std::vector<obs::LabeledRegistry> regs;
+  regs.reserve(2 + exported.registries.size());
+  regs.push_back({&obs::default_registry(), {}});
+  regs.push_back({&registry_, {}});
+  regs.insert(regs.end(), exported.registries.begin(),
+              exported.registries.end());
+  std::ostringstream os;
+  obs::write_prometheus(os, std::span<const obs::LabeledRegistry>(regs));
+  return os.str();
+}
+
+// --------------------------------------------------------------- dispatch --
+
+std::vector<char> SheServer::dispatch(std::span<const char> body) {
+  WireWriter resp;
+  const auto fail = [](Status st, const std::string& msg) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(st));
+    w.str(msg);
+    return w.body();
+  };
+  try {
+    WireReader req(body);
+    const Op op = op_from(req.u8());
+    requests_by_op_[op]->inc();
+    switch (op) {
+      case Op::kPing: {
+        req.expect_done();
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
+      case Op::kCreate: {
+        const std::string name = req.str();
+        const std::string spec = req.str();
+        req.expect_done();
+        manager_.create(name, spec);
+        pipelines_gauge_->set(static_cast<std::int64_t>(manager_.size()));
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
+      case Op::kInsert: {
+        const std::string name = req.str();
+        const std::uint64_t key = req.u64();
+        req.expect_done();
+        const auto entry = manager_.find(name);
+        if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
+        const std::uint64_t accepted =
+            entry->insert_bulk(std::span<const std::uint64_t>(&key, 1));
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        resp.u64(accepted);
+        break;
+      }
+      case Op::kInsertBulk: {
+        const std::string name = req.str();
+        const std::uint32_t n = req.u32();
+        if (static_cast<std::size_t>(n) * 8 > req.remaining()) {
+          throw ProtocolError("bulk count exceeds body size");
+        }
+        std::vector<std::uint64_t> keys(n);
+        for (std::uint32_t i = 0; i < n; ++i) keys[i] = req.u64();
+        req.expect_done();
+        const auto entry = manager_.find(name);
+        if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
+        const std::uint64_t accepted = entry->insert_bulk(keys);
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        resp.u64(accepted);
+        break;
+      }
+      case Op::kQuery:
+        return do_query(req);
+      case Op::kStats: {
+        const std::string name = req.str();
+        req.expect_done();
+        const auto entry = manager_.find(name);
+        if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        resp.str(entry->monitor().stats().to_json());
+        break;
+      }
+      case Op::kDrop: {
+        const std::string name = req.str();
+        req.expect_done();
+        if (!manager_.drop(name)) {
+          return fail(Status::kNotFound, "no pipeline '" + name + "'");
+        }
+        pipelines_gauge_->set(static_cast<std::int64_t>(manager_.size()));
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
+      case Op::kSave:
+      case Op::kFlush: {
+        const std::string name = req.str();
+        req.expect_done();
+        const auto entry = manager_.find(name);
+        if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
+        const bool done =
+            op == Op::kSave
+                ? entry->monitor().save_now(opt_.flush_timeout_ms)
+                : entry->monitor().flush(opt_.flush_timeout_ms);
+        if (!done) {
+          return fail(Status::kTimeout,
+                      std::string(op == Op::kSave ? "save" : "flush") +
+                          " barrier timed out");
+        }
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
+      case Op::kList: {
+        req.expect_done();
+        const std::vector<std::string> names = manager_.names();
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        resp.u32(static_cast<std::uint32_t>(names.size()));
+        for (const std::string& n : names) resp.str(n);
+        break;
+      }
+      case Op::kShutdown: {
+        // Normally short-circuited in handle_conn; answering OK here keeps
+        // dispatch() total for direct (in-process) use.
+        req.expect_done();
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        request_stop();
+        break;
+      }
+    }
+    return resp.body();
+  } catch (const ProtocolError& e) {
+    // Body-level garbage inside an intact frame: framing survives, so the
+    // connection keeps going after the error answer.
+    protocol_errors_->inc();
+    return fail(Status::kBadRequest, e.what());
+  } catch (const AlreadyExists& e) {
+    return fail(Status::kExists, e.what());
+  } catch (const std::invalid_argument& e) {
+    return fail(Status::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return fail(Status::kError, e.what());
+  }
+}
+
+std::vector<char> SheServer::do_query(WireReader& req) {
+  const auto fail = [](Status st, const std::string& msg) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(st));
+    w.str(msg);
+    return w.body();
+  };
+  const std::string name = req.str();
+  const QueryType qt = query_type_from(req.u8());
+  const auto entry = manager_.find(name);
+  if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
+  ConcurrentMonitor& mon = entry->monitor();
+  WireWriter resp;
+  switch (qt) {
+    case QueryType::kMembership: {
+      const std::uint64_t key = req.u64();
+      req.expect_done();
+      const bool present = cached_shard(*entry, mon.shard_of(key)).seen(key);
+      resp.u8(static_cast<std::uint8_t>(Status::kOk));
+      resp.u8(present ? 1 : 0);
+      break;
+    }
+    case QueryType::kFrequency: {
+      const std::uint64_t key = req.u64();
+      req.expect_done();
+      resp.u8(static_cast<std::uint8_t>(Status::kOk));
+      resp.u64(cached_shard(*entry, mon.shard_of(key)).frequency(key));
+      break;
+    }
+    case QueryType::kCardinality: {
+      req.expect_done();
+      const MonitorReport rep = mon.report(0);
+      if (!rep.cardinality) {
+        return fail(Status::kBadRequest,
+                    "pipeline '" + name + "' does not track cardinality");
+      }
+      resp.u8(static_cast<std::uint8_t>(Status::kOk));
+      resp.f64(*rep.cardinality);
+      break;
+    }
+    case QueryType::kTopK: {
+      const std::uint32_t k = req.u32();
+      req.expect_done();
+      const MonitorReport rep = mon.report(k);
+      resp.u8(static_cast<std::uint8_t>(Status::kOk));
+      resp.u32(static_cast<std::uint32_t>(rep.top.size()));
+      for (const HeavyHitters::Entry& e : rep.top) {
+        resp.u64(e.key);
+        resp.u64(e.estimate);
+      }
+      break;
+    }
+    case QueryType::kJaccard: {
+      const std::string other_name = req.str();
+      req.expect_done();
+      const auto other = manager_.find(other_name);
+      if (!other) {
+        return fail(Status::kNotFound, "no pipeline '" + other_name + "'");
+      }
+      // SHE-MH signatures compare at matching stream times; flush both so
+      // the published snapshots reflect everything accepted so far.
+      mon.flush(opt_.flush_timeout_ms);
+      other->monitor().flush(opt_.flush_timeout_ms);
+      const double j = ConcurrentMonitor::jaccard(mon, other->monitor());
+      resp.u8(static_cast<std::uint8_t>(Status::kOk));
+      resp.f64(j);
+      break;
+    }
+  }
+  return resp.body();
+}
+
+}  // namespace she::server

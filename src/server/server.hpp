@@ -1,0 +1,137 @@
+// SheServer — the long-running sketch service.
+//
+// Two listeners share one process:
+//   * a binary-protocol TCP listener (protocol.hpp) with one handler
+//     thread per connection, dispatching into the PipelineManager, and
+//   * an HTTP listener serving `GET /metrics` (Prometheus text format:
+//     process-wide SHE registry + server registry + every pipeline's
+//     registry labeled pipeline="<name>") and `GET /healthz`.
+//
+// Queries hit seqlock snapshots, so reads never block ingest; inserts go
+// through borrowed producer slots, so many clients feed one pipeline.
+//
+// Shutdown discipline: request_stop() — also wired to SIGTERM/SIGINT via
+// install_signal_handlers(), and to the SHUTDOWN opcode — writes one byte
+// to a self-pipe.  The accept loops poll that pipe and exit; stop() then
+// shuts down every live connection socket (unblocking handler reads),
+// joins the handlers, and closes every pipeline, which drains accepted
+// items and writes final checkpoint frames.  A server restarted with
+// `resume` answers queries identically to the moment of the checkpoint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "server/pipeline_manager.hpp"
+#include "server/protocol.hpp"
+
+namespace she::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;       ///< protocol listener; 0 = ephemeral
+  int http_port = 0;            ///< /metrics listener; 0 = ephemeral, -1 = off
+  std::size_t max_connections = 256;  ///< concurrent protocol connections
+  std::size_t flush_timeout_ms = 10000;  ///< FLUSH/SAVE barrier bound
+  PipelineManager::Options manager;
+};
+
+class SheServer {
+ public:
+  explicit SheServer(ServerOptions opt);
+  ~SheServer();  ///< request_stop() + stop()
+
+  SheServer(const SheServer&) = delete;
+  SheServer& operator=(const SheServer&) = delete;
+
+  /// Bind both listeners and launch the accept threads.  Throws
+  /// std::runtime_error when a port cannot be bound.
+  void start();
+
+  /// Block until a stop was requested and the shutdown sequence (run by
+  /// the caller of wait()) has completed.
+  void wait();
+
+  /// Async-signal-safe stop trigger: one byte down the self-pipe.
+  void request_stop() noexcept;
+
+  /// Full shutdown: stop accepting, close connections, join handlers,
+  /// close every pipeline (final checkpoints).  Idempotent.
+  void stop();
+
+  /// Route SIGTERM/SIGINT to request_stop() on this server.  At most one
+  /// server per process may install handlers; stop() restores the old
+  /// dispositions.
+  void install_signal_handlers();
+
+  /// Bound ports, valid after start() (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
+
+  [[nodiscard]] PipelineManager& manager() { return manager_; }
+  [[nodiscard]] const obs::Registry& metrics_registry() const {
+    return registry_;
+  }
+
+  /// The /metrics payload (also what the HTTP listener serves).
+  [[nodiscard]] std::string render_metrics() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    bool finished = false;
+  };
+
+  void accept_loop();
+  void http_loop();
+  void handle_conn(std::uint64_t id, int fd);
+  void handle_http(std::uint64_t id, int fd);
+  void reap_finished();
+
+  /// Dispatch one request body; always returns a response body.
+  std::vector<char> dispatch(std::span<const char> body);
+  std::vector<char> do_query(WireReader& req);
+
+  ServerOptions opt_;
+  PipelineManager manager_;
+
+  int listen_fd_ = -1;
+  int http_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  ///< [0] polled by loops, [1] written once
+  std::uint16_t port_ = 0;
+  std::uint16_t http_port_ = 0;
+
+  std::thread accept_thread_;
+  std::thread http_thread_;
+
+  std::mutex conns_mu_;
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_id_ = 0;
+  std::size_t live_protocol_ = 0;  ///< guarded by conns_mu_
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::once_flag stop_flag_;
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+  bool signals_installed_ = false;
+
+  obs::Registry registry_;
+  obs::Counter* connections_total_;
+  obs::Gauge* active_connections_;
+  obs::Counter* protocol_errors_;
+  obs::Histogram* request_latency_;
+  obs::Gauge* pipelines_gauge_;
+  std::map<Op, obs::Counter*> requests_by_op_;
+};
+
+}  // namespace she::server

@@ -1,0 +1,138 @@
+// she_server — run the SHE sketch service.
+//
+//   she_server [--host A.B.C.D] [--port N] [--http-port N]
+//              [--checkpoint-root DIR] [--checkpoint-keep K]
+//              [--resume] [--max-conns N] [--flush-timeout-ms N]
+//
+// Prints one machine-parseable line per listener once bound:
+//
+//   she_server listening proto=<port> http=<port>
+//
+// then serves until SIGTERM/SIGINT or a SHUTDOWN request, checkpointing
+// every pipeline on the way down.  Exit code 0 on a clean shutdown.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: she_server [options]\n"
+        "  --host ADDR            IPv4 listen address (default 127.0.0.1)\n"
+        "  --port N               protocol port (default 7070; 0 = "
+        "ephemeral)\n"
+        "  --http-port N          /metrics + /healthz port (default 7071;\n"
+        "                         0 = ephemeral, -1 = disabled)\n"
+        "  --checkpoint-root DIR  durable state root (default: none)\n"
+        "  --checkpoint-keep K    frame generations kept per shard "
+        "(default 1)\n"
+        "  --resume               resume pipelines found under the root\n"
+        "  --max-conns N          concurrent protocol connections "
+        "(default 256)\n"
+        "  --flush-timeout-ms N   FLUSH/SAVE barrier bound (default "
+        "10000)\n"
+        "  --help\n";
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  try {
+    std::size_t end = 0;
+    *out = std::stoull(s, &end);
+    return end == std::strlen(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_i64(const char* s, long long* out) {
+  try {
+    std::size_t end = 0;
+    *out = std::stoll(s, &end);
+    return end == std::strlen(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  she::server::ServerOptions opt;
+  opt.port = 7070;
+  opt.http_port = 7071;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "she_server: " << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t u = 0;
+    long long ll = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--host") {
+      opt.host = value();
+    } else if (arg == "--port") {
+      if (!parse_u64(value(), &u) || u > 65535) {
+        std::cerr << "she_server: bad --port\n";
+        return 2;
+      }
+      opt.port = static_cast<std::uint16_t>(u);
+    } else if (arg == "--http-port") {
+      if (!parse_i64(value(), &ll) || ll < -1 || ll > 65535) {
+        std::cerr << "she_server: bad --http-port\n";
+        return 2;
+      }
+      opt.http_port = static_cast<int>(ll);
+    } else if (arg == "--checkpoint-root") {
+      opt.manager.checkpoint_root = value();
+    } else if (arg == "--checkpoint-keep") {
+      if (!parse_u64(value(), &u) || u == 0) {
+        std::cerr << "she_server: bad --checkpoint-keep (want >= 1)\n";
+        return 2;
+      }
+      opt.manager.checkpoint_keep = u;
+    } else if (arg == "--resume") {
+      opt.manager.resume = true;
+    } else if (arg == "--max-conns") {
+      if (!parse_u64(value(), &u) || u == 0) {
+        std::cerr << "she_server: bad --max-conns\n";
+        return 2;
+      }
+      opt.max_connections = u;
+    } else if (arg == "--flush-timeout-ms") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --flush-timeout-ms\n";
+        return 2;
+      }
+      opt.flush_timeout_ms = u;
+    } else {
+      std::cerr << "she_server: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (opt.manager.resume && opt.manager.checkpoint_root.empty()) {
+    std::cerr << "she_server: --resume requires --checkpoint-root\n";
+    return 2;
+  }
+
+  try {
+    she::server::SheServer server(std::move(opt));
+    server.start();
+    server.install_signal_handlers();
+    std::cout << "she_server listening proto=" << server.port()
+              << " http=" << server.http_port() << std::endl;
+    server.wait();
+  } catch (const std::exception& e) {
+    std::cerr << "she_server: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@ struct Split {
   std::size_t membership = 0;
   std::size_t cardinality = 0;
   std::size_t frequency = 0;
+  std::size_t similarity = 0;
 };
 
 Split split_budget(const MonitorConfig& cfg) {
@@ -20,12 +21,14 @@ Split split_budget(const MonitorConfig& cfg) {
   if (cfg.track_membership) shares += 3;
   if (cfg.track_frequency) shares += 2;
   if (cfg.track_cardinality) shares += 1;
+  if (cfg.track_similarity) shares += 1;
   if (shares == 0) return {};
   double unit = static_cast<double>(cfg.memory_bytes) / shares;
   Split s;
   if (cfg.track_membership) s.membership = static_cast<std::size_t>(3 * unit);
   if (cfg.track_frequency) s.frequency = static_cast<std::size_t>(2 * unit);
   if (cfg.track_cardinality) s.cardinality = static_cast<std::size_t>(unit);
+  if (cfg.track_similarity) s.similarity = static_cast<std::size_t>(unit);
   return s;
 }
 
@@ -35,7 +38,8 @@ void MonitorConfig::validate() const {
   if (window == 0) throw std::invalid_argument("MonitorConfig: window must be > 0");
   if (memory_bytes < 1024)
     throw std::invalid_argument("MonitorConfig: budget must be >= 1 KB");
-  if (!track_membership && !track_cardinality && !track_frequency)
+  if (!track_membership && !track_cardinality && !track_frequency &&
+      !track_similarity)
     throw std::invalid_argument("MonitorConfig: enable at least one task");
   if (heavy_hitter_slots == 0)
     throw std::invalid_argument("MonitorConfig: heavy_hitter_slots must be > 0");
@@ -95,6 +99,19 @@ StreamMonitor::StreamMonitor(const MonitorConfig& cfg) : cfg_(cfg) {
     c.alpha = 1.0;
     freq_.emplace(c, 8, cfg_.heavy_hitter_slots);
   }
+  if (cfg_.track_similarity) {
+    SheConfig c;
+    c.window = cfg_.window;
+    // ~4 bytes per slot (24-bit signature + time marks); jaccard()'s
+    // variance flattens out after a few hundred slots.
+    c.cells = cfg_.similarity_slots > 0
+                  ? cfg_.similarity_slots
+                  : std::clamp<std::size_t>(split.similarity / 4, 64, 4096);
+    c.group_cells = 1;  // SHE-MH: every slot is its own group
+    c.seed = cfg_.seed + 3;
+    c.alpha = 0.2;
+    sim_.emplace(c);
+  }
 }
 
 void StreamMonitor::insert(std::uint64_t key) {
@@ -103,6 +120,7 @@ void StreamMonitor::insert(std::uint64_t key) {
   if (card_bm_) card_bm_->insert(key);
   if (card_hll_) card_hll_->insert(key);
   if (freq_) freq_->insert(key);
+  if (sim_) sim_->insert(key);
 }
 
 void StreamMonitor::insert_batch(std::span<const std::uint64_t> keys) {
@@ -114,6 +132,7 @@ void StreamMonitor::insert_batch(std::span<const std::uint64_t> keys) {
   if (card_hll_) card_hll_->insert_batch(keys);
   if (freq_)
     for (std::uint64_t key : keys) freq_->insert(key);
+  if (sim_) sim_->insert_batch(keys);
 }
 
 bool StreamMonitor::seen(std::uint64_t key) const {
@@ -142,6 +161,14 @@ void StreamMonitor::clear() {
   if (card_bm_) card_bm_->clear();
   if (card_hll_) card_hll_->clear();
   if (freq_) freq_->clear();
+  if (sim_) sim_->clear();
+}
+
+double StreamMonitor::jaccard(const StreamMonitor& a, const StreamMonitor& b) {
+  if (!a.sim_ || !b.sim_)
+    throw std::invalid_argument(
+        "StreamMonitor::jaccard: similarity tracking disabled");
+  return SheMinHash::jaccard(*a.sim_, *b.sim_);
 }
 
 namespace {
@@ -203,17 +230,34 @@ MonitorReport ConcurrentMonitor::report(std::size_t top_k) const {
   return rep;
 }
 
+double ConcurrentMonitor::jaccard(const ConcurrentMonitor& a,
+                                  const ConcurrentMonitor& b) {
+  if (a.shard_count() != b.shard_count())
+    throw std::invalid_argument(
+        "ConcurrentMonitor::jaccard: shard counts differ");
+  double sum = 0;
+  for (std::size_t s = 0; s < a.shard_count(); ++s) {
+    StreamMonitor sa = a.shard_snapshot(s);
+    StreamMonitor sb = b.shard_snapshot(s);
+    sum += StreamMonitor::jaccard(sa, sb);
+  }
+  return sum / static_cast<double>(a.shard_count());
+}
+
 std::size_t StreamMonitor::memory_bytes() const {
   std::size_t total = 0;
   if (membership_) total += membership_->memory_bytes();
   if (card_bm_) total += card_bm_->memory_bytes();
   if (card_hll_) total += card_hll_->memory_bytes();
   if (freq_) total += freq_->memory_bytes();
+  if (sim_) total += sim_->memory_bytes();
   return total;
 }
 
 void StreamMonitor::save(BinaryWriter& out) const {
-  out.tag("SMON");
+  // "SMN2" appends the similarity fields to the original "SMON" layout;
+  // load() still accepts legacy frames (no similarity sketch).
+  out.tag("SMN2");
   out.u64(cfg_.window);
   out.u64(cfg_.memory_bytes);
   out.u8(cfg_.track_membership);
@@ -223,6 +267,8 @@ void StreamMonitor::save(BinaryWriter& out) const {
   out.f64(cfg_.expected_cardinality);
   out.u64(cfg_.heavy_hitter_slots);
   out.u32(cfg_.seed);
+  out.u8(cfg_.track_similarity);
+  out.u64(cfg_.similarity_slots);
   out.u64(time_);
   // Sub-sketches in a fixed order; HeavyHitters persists its sketch plus
   // the candidate table so top() answers survive a restore (load-bearing
@@ -239,10 +285,14 @@ void StreamMonitor::save(BinaryWriter& out) const {
       out.u64(e.estimate);
     }
   }
+  if (sim_) sim_->save(out);
 }
 
 StreamMonitor StreamMonitor::load(BinaryReader& in) {
-  in.expect_tag("SMON");
+  const std::string tag = in.read_tag();
+  if (tag != "SMN2" && tag != "SMON")
+    throw SerializeError("StreamMonitor: expected tag 'SMN2' (or legacy "
+                         "'SMON'), stream holds something else");
   MonitorConfig cfg;
   cfg.window = in.u64();
   cfg.memory_bytes = in.u64();
@@ -253,6 +303,10 @@ StreamMonitor StreamMonitor::load(BinaryReader& in) {
   cfg.expected_cardinality = in.f64();
   cfg.heavy_hitter_slots = in.u64();
   cfg.seed = in.u32();
+  if (tag == "SMN2") {
+    cfg.track_similarity = in.u8() != 0;
+    cfg.similarity_slots = in.u64();
+  }
   StreamMonitor mon(cfg);
   mon.time_ = in.u64();
   if (mon.membership_) mon.membership_ = SheBloomFilter::load(in);
@@ -267,6 +321,7 @@ StreamMonitor StreamMonitor::load(BinaryReader& in) {
     }
     mon.freq_->restore_candidates(cands);
   }
+  if (mon.sim_) mon.sim_ = SheMinHash::load(in);
   return mon;
 }
 

@@ -19,6 +19,7 @@
 #include "she/she_bloom.hpp"
 #include "she/she_bitmap.hpp"
 #include "she/she_hll.hpp"
+#include "she/she_minhash.hpp"
 #include "she/tuning.hpp"
 
 namespace she {
@@ -30,9 +31,11 @@ struct MonitorConfig {
   bool track_membership = true;
   bool track_cardinality = true;
   bool track_frequency = true;
+  bool track_similarity = false;  ///< keep a SHE-MH signature for jaccard()
   bool use_hll = false;        ///< cardinality via HLL instead of Bitmap
   double expected_cardinality = 0;  ///< 0 = assume window/4 (for Eq. 2)
   std::size_t heavy_hitter_slots = 64;
+  std::size_t similarity_slots = 0;  ///< SHE-MH signature slots; 0 = auto
   std::uint32_t seed = 0;
 
   void validate() const;
@@ -67,6 +70,14 @@ class StreamMonitor {
   /// Consolidated snapshot (top-k limited to `top_k`).
   [[nodiscard]] MonitorReport report(std::size_t top_k = 10) const;
 
+  /// Estimated Jaccard similarity of two monitors' windows (requires
+  /// track_similarity on both).  Both must share the similarity
+  /// configuration (slots, window, seed) and be at the same stream time —
+  /// SHE-MH signatures compare slot-by-slot over lock-step streams; throws
+  /// std::invalid_argument otherwise.
+  [[nodiscard]] static double jaccard(const StreamMonitor& a,
+                                      const StreamMonitor& b);
+
   void clear();
 
   [[nodiscard]] std::uint64_t time() const { return time_; }
@@ -87,6 +98,7 @@ class StreamMonitor {
   std::optional<SheBitmap> card_bm_;
   std::optional<SheHyperLogLog> card_hll_;
   std::optional<HeavyHitters> freq_;
+  std::optional<SheMinHash> sim_;
 };
 
 /// ConcurrentMonitor — StreamMonitor behind the ingest runtime.
@@ -118,6 +130,24 @@ class ConcurrentMonitor {
     return pipe_.push(producer, key);
   }
 
+  /// push() each key in order; returns how many were accepted.
+  std::size_t push_bulk(std::size_t producer,
+                        std::span<const std::uint64_t> keys) {
+    return pipe_.push_bulk(producer, keys);
+  }
+
+  /// Drain-then-publish barrier (IngestPipeline::sync): after this
+  /// returns true, snapshot queries see every previously accepted push.
+  bool flush(std::size_t timeout_ms = 5000) {
+    return pipe_.sync(/*with_checkpoint=*/false, timeout_ms);
+  }
+
+  /// flush() plus a durable checkpoint frame per shard (no-op frames when
+  /// the pipeline has no checkpoint_dir).
+  bool save_now(std::size_t timeout_ms = 5000) {
+    return pipe_.sync(/*with_checkpoint=*/true, timeout_ms);
+  }
+
   /// Per-shard stream offset restored from a durable checkpoint when the
   /// pipeline options had `resume` set (0 otherwise); a replaying driver
   /// skips this many keys routed to shard `s`.
@@ -134,9 +164,24 @@ class ConcurrentMonitor {
   [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;
   [[nodiscard]] MonitorReport report(std::size_t top_k = 10) const;
 
+  /// Estimated Jaccard similarity between two concurrent monitors with
+  /// identical configurations (same shard count, window, budget, seed and
+  /// track_similarity on both): shard s of `a` and shard s of `b` cover
+  /// the same key partition, so their SHE-MH signatures are compared
+  /// pairwise and averaged.  Requires lock-step per-shard stream times
+  /// (e.g. both monitors fed the same item count through the same
+  /// routing); throws std::invalid_argument otherwise.
+  [[nodiscard]] static double jaccard(const ConcurrentMonitor& a,
+                                      const ConcurrentMonitor& b);
+
   /// Owning-shard snapshot for batching several queries against one read.
   [[nodiscard]] StreamMonitor shard_snapshot(std::size_t s) const {
     return pipe_.snapshot(s);
+  }
+  /// Shard `s`'s raw seqlock slot, for runtime::SnapshotReader-style
+  /// cached readers that only re-deserialize when the version moves.
+  [[nodiscard]] const runtime::SeqlockSlot& shard_slot(std::size_t s) const {
+    return pipe_.snapshot_slot(s);
   }
   [[nodiscard]] std::size_t shard_of(std::uint64_t key) const {
     return pipe_.shard_of(key);

@@ -225,6 +225,63 @@ TEST(Cli, PipelineRejectsBadInjectSpec) {
   EXPECT_NE(out.str().find("fault point"), std::string::npos);
 }
 
+TEST(Cli, PipelineResumeRequiresCheckpointDir) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli({"she_tool", "pipeline", "--length", "1000", "--resume"},
+                    out),
+            2);
+  EXPECT_NE(out.str().find("--resume requires --checkpoint-dir"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(Cli, PipelineResumeWithNoFramesFailsLoudly) {
+  // A --resume pointed at a directory with no frames for this shard count
+  // used to start silently from scratch — exactly what an operator who
+  // mistyped a path does NOT want.  Now it is a hard, explained error.
+  const std::string dir = temp_path("cli_resume_empty");
+  std::filesystem::create_directories(dir);
+  std::ostringstream out;
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                    "--length", "1000", "--shards", "2", "--producers", "1",
+                    "--checkpoint-dir", dir, "--resume"},
+                   out);
+  EXPECT_EQ(rc, 2) << out.str();
+  EXPECT_NE(out.str().find("no checkpoint frames"), std::string::npos)
+      << out.str();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, PipelineCheckpointKeepRetainsGenerations) {
+  const std::string dir = temp_path("cli_ckpt_keep");
+  std::ostringstream out;
+  // Checkpoints piggyback on publishes, so force frequent publishes and a
+  // small queue (otherwise the whole trace drains in one sweep and only
+  // the final close() frame exists — nothing to rotate).
+  int rc = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                    "--length", "40000", "--window", "4096", "--shards", "1",
+                    "--producers", "1", "--queue", "1024", "--publish", "1024",
+                    "--checkpoint-dir", dir, "--checkpoint-every", "4096",
+                    "--checkpoint-keep", "3", "--json"},
+                   out);
+  EXPECT_EQ(rc, 0) << out.str();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard-0.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard-0.ckpt.1"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard-0.ckpt.2"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/shard-0.ckpt.3"));
+
+  // The retained generations satisfy the resume guard.
+  std::ostringstream out2;
+  int rc2 = run_cli({"she_tool", "pipeline", "--dataset", "distinct",
+                     "--length", "40000", "--window", "4096", "--shards", "1",
+                     "--producers", "1", "--queue", "1024", "--publish", "1024",
+                     "--checkpoint-dir", dir, "--checkpoint-every", "4096",
+                     "--checkpoint-keep", "3", "--resume", "--json"},
+                    out2);
+  EXPECT_EQ(rc2, 0) << out2.str();
+  std::filesystem::remove_all(dir);
+}
+
 #if defined(SHE_FAULT_INJECTION)
 
 TEST(Cli, PipelineExitsNonzeroOnDroppedItems) {

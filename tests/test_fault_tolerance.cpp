@@ -139,6 +139,170 @@ TEST(Checkpoint, FileWriteReadAndMissingFileSemantics) {
   std::filesystem::remove_all(dir);
 }
 
+// ---------------------------- frame retention -------------------------------
+
+/// Write one valid frame whose payload is the single byte `tag` at
+/// generation `gen` of `path`.
+void write_generation(const std::string& path, std::size_t gen, char tag,
+                      std::uint64_t offset) {
+  const char payload[] = {tag};
+  const auto frame = frame_checkpoint(offset, std::span<const char>(payload, 1));
+  write_file_atomic(checkpoint_generation_path(path, gen),
+                    std::span<const char>(frame.data(), frame.size()));
+}
+
+TEST(CheckpointRetention, GenerationPaths) {
+  EXPECT_EQ(checkpoint_generation_path("/d/s.ckpt", 0), "/d/s.ckpt");
+  EXPECT_EQ(checkpoint_generation_path("/d/s.ckpt", 1), "/d/s.ckpt.1");
+  EXPECT_EQ(checkpoint_generation_path("/d/s.ckpt", 3), "/d/s.ckpt.3");
+}
+
+TEST(CheckpointRetention, RotateShiftsAndDropsOldest) {
+  const std::string dir = temp_dir("ckpt_rotate");
+  const std::string path = dir + "/s.ckpt";
+
+  // keep=3: after writing newest frames A, B, C in that order with a
+  // rotation before each, the files are C, B.1, A.2.
+  for (int i = 0; i < 3; ++i) {
+    rotate_checkpoints(path, 3);
+    write_generation(path, 0, static_cast<char>('A' + i), 100u + i);
+  }
+  EXPECT_EQ(read_checkpoint_file(path).payload[0], 'C');
+  EXPECT_EQ(read_checkpoint_file(path + ".1").payload[0], 'B');
+  EXPECT_EQ(read_checkpoint_file(path + ".2").payload[0], 'A');
+
+  // One more round: A falls off the end.
+  rotate_checkpoints(path, 3);
+  write_generation(path, 0, 'D', 103);
+  EXPECT_EQ(read_checkpoint_file(path).payload[0], 'D');
+  EXPECT_EQ(read_checkpoint_file(path + ".2").payload[0], 'B');
+  EXPECT_FALSE(std::filesystem::exists(path + ".3"));
+
+  // keep<=1 is overwrite-in-place: rotation moves nothing.
+  rotate_checkpoints(path, 1);
+  EXPECT_EQ(read_checkpoint_file(path).payload[0], 'D');
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointRetention, RotateToleratesGaps) {
+  const std::string dir = temp_dir("ckpt_rotate_gaps");
+  const std::string path = dir + "/s.ckpt";
+  // Only generation 1 exists; rotating must shift it without inventing
+  // files or failing on the missing newest.
+  write_generation(path, 1, 'X', 7);
+  rotate_checkpoints(path, 3);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".1"));
+  EXPECT_EQ(read_checkpoint_file(path + ".2").payload[0], 'X');
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointRetention, ReadNewestFallsBackPastCorruptFrames) {
+  const std::string dir = temp_dir("ckpt_fallback");
+  const std::string path = dir + "/s.ckpt";
+
+  // Nothing on disk at all: a fresh start, not an error.
+  EXPECT_FALSE(read_newest_checkpoint(path, 3).has_value());
+
+  write_generation(path, 0, 'N', 30);
+  write_generation(path, 1, 'M', 20);
+  write_generation(path, 2, 'O', 10);
+  auto got = read_newest_checkpoint(path, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload[0], 'N');
+  EXPECT_EQ(got->stream_offset, 30u);
+
+  // Corrupt the newest: the reader counts the rejection and falls back to
+  // generation 1.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  const std::uint64_t before = corrupt_count();
+  got = read_newest_checkpoint(path, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload[0], 'M');
+  EXPECT_EQ(got->stream_offset, 20u);
+  EXPECT_GT(corrupt_count(), before);
+
+  // All generations corrupt: throwing beats silently resuming from
+  // nothing when frames were demonstrably written.
+  for (std::size_t gen = 1; gen < 3; ++gen) {
+    std::ofstream f(checkpoint_generation_path(path, gen),
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  EXPECT_THROW((void)read_newest_checkpoint(path, 3), CheckpointError);
+
+  // A frame outside the retention window is invisible to the reader.
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".2");
+  write_generation(path, 2, 'Z', 5);
+  EXPECT_FALSE(read_newest_checkpoint(path, 2).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointRetention, PipelineKeepsGenerationsAndResumesAfterCorruption) {
+  const std::string dir = temp_dir("ckpt_pipeline_keep");
+  std::vector<std::uint64_t> trace(40000);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = i % 512;
+
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 4096;  // many checkpoints over 40k items
+  opt.checkpoint_keep = 3;
+  const auto cm_factory = [](std::size_t) {
+    SheConfig cfg;
+    cfg.window = 1u << 12;
+    cfg.cells = 1 << 14;
+    cfg.group_cells = 64;
+    cfg.alpha = 3.0;
+    return SheCountMin(cfg, 4);
+  };
+  std::uint64_t expect_freq = 0;
+  {
+    IngestPipeline<SheCountMin> pipe(opt, cm_factory);
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+    pipe.close();
+    expect_freq = pipe.snapshot(0).frequency(42);
+  }
+  const std::string base = dir + "/shard-0.ckpt";
+  EXPECT_TRUE(std::filesystem::exists(base));
+  EXPECT_TRUE(std::filesystem::exists(base + ".1"));
+  EXPECT_TRUE(std::filesystem::exists(base + ".2"));
+  // Generations are strictly ordered by stream offset, newest first.
+  const std::uint64_t o0 = read_checkpoint_file(base).stream_offset;
+  const std::uint64_t o1 = read_checkpoint_file(base + ".1").stream_offset;
+  const std::uint64_t o2 = read_checkpoint_file(base + ".2").stream_offset;
+  EXPECT_GT(o0, o1);
+  EXPECT_GT(o1, o2);
+  EXPECT_EQ(o0, trace.size());  // the final close() frame saw everything
+
+  // Smash the newest frame; resume falls back to generation 1 and reports
+  // its offset so a replaying driver knows where to pick up.
+  {
+    std::ofstream f(base, std::ios::binary | std::ios::trunc);
+    f << "not a checkpoint";
+  }
+  opt.resume = true;
+  IngestPipeline<SheCountMin> pipe(opt, cm_factory);
+  EXPECT_EQ(pipe.resume_offset(0), o1);
+  pipe.start();
+  // Replay the tail the fallback frame missed; the estimator is
+  // deterministic, so the final answer matches the uninterrupted run.
+  ASSERT_EQ(pipe.push_bulk(
+                0, std::span<const std::uint64_t>(trace.data() + o1,
+                                                  trace.size() - o1)),
+            trace.size() - o1);
+  pipe.close();
+  EXPECT_EQ(pipe.snapshot(0).frequency(42), expect_freq);
+  std::filesystem::remove_all(dir);
+}
+
 // ------------------------------- RateWindow ---------------------------------
 
 TEST(RateWindow, ComputesWindowedRate) {

@@ -211,6 +211,33 @@ TEST(IngestPipeline, SingleProducerDrainBitIdenticalToSequential) {
   EXPECT_GT(st.publishes, 0u);
 }
 
+TEST(IngestPipeline, SyncBarrierSnapshotsCoverEveryAcceptedPush) {
+  // Regression: the worker's "rings are empty" observation used to predate
+  // its acquire-load of the sync request, so a stale ring view could ack
+  // the flush barrier with items still queued — sync() returned true while
+  // the published snapshots were short a late chunk of the stream.  The
+  // race window is a few microseconds, hence many short rounds.
+  constexpr std::uint64_t kWindow = 8192;
+  constexpr std::size_t kShards = 2;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::uint64_t> trace(20000);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      trace[i] = (i * 7 + static_cast<std::uint64_t>(round)) % 4000;
+    }
+    PipelineOptions opt;
+    opt.shards = kShards;
+    opt.producers = 2;
+    IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(kShards, kWindow));
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+    ASSERT_TRUE(pipe.sync(/*with_checkpoint=*/false));
+    std::uint64_t seen = 0;
+    for (std::size_t s = 0; s < kShards; ++s) seen += pipe.snapshot(s).time();
+    ASSERT_EQ(seen, trace.size()) << "round " << round;
+    pipe.close();
+  }
+}
+
 TEST(IngestPipeline, BatchedDrainMatchesSequentialUnderConcurrentReads) {
   // The worker drain now hands whole blocks to StreamMonitor::insert_batch
   // (which fans out to the estimators' pipelined insert_batch).  With one

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <span>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/checkpoint.hpp"
+#include "server/client.hpp"
 #include "common/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -310,10 +312,36 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out) {
   pcfg.supervise = !args.has("no-supervise");  // CLI default: supervised
   pcfg.checkpoint_dir = args.get("checkpoint-dir", "");
   pcfg.checkpoint_interval = args.get_u64("checkpoint-every", 1u << 16);
+  pcfg.checkpoint_keep = args.get_u64("checkpoint-keep", 1);
   pcfg.resume = args.has("resume");
   // Deterministic replay needs one producer: resume offsets are per-shard
   // prefix counts of the original single arrival order.
   if (pcfg.resume) pcfg.producers = 1;
+  if (pcfg.resume) {
+    // A --resume that finds nothing would silently run a fresh start —
+    // exactly what someone recovering real state must not get.  Demand the
+    // directory, and at least one frame for this shard layout.
+    if (pcfg.checkpoint_dir.empty())
+      throw std::invalid_argument("--resume requires --checkpoint-dir");
+    bool any_frame = false;
+    for (std::size_t s = 0; s < pcfg.shards && !any_frame; ++s) {
+      const std::string base =
+          pcfg.checkpoint_dir + "/shard-" + std::to_string(s) + ".ckpt";
+      for (std::size_t gen = 0; gen < pcfg.checkpoint_keep && !any_frame;
+           ++gen) {
+        any_frame = std::filesystem::exists(
+            checkpoint_generation_path(base, gen));
+      }
+    }
+    if (!any_frame)
+      throw std::invalid_argument(
+          "--resume: no checkpoint frames under '" + pcfg.checkpoint_dir +
+          "' for --shards " + std::to_string(pcfg.shards) +
+          " (expected " + pcfg.checkpoint_dir +
+          "/shard-<0.." + std::to_string(pcfg.shards - 1) +
+          ">.ckpt); pass the directory and shard count the checkpoints "
+          "were written with, or drop --resume for a fresh start");
+  }
 
   const std::uint64_t rate = args.get_u64("rate", 0);  // items/s; 0 = flat out
   const std::uint64_t query_ms = args.get_u64("query-interval-ms", 20);
@@ -545,6 +573,109 @@ int cmd_info(const ArgMap& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_client(const ArgMap& args, std::ostream& out) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 7070));
+  const std::string op = args.require("op");
+  const auto require_u64 = [&](const char* flag) {
+    if (!args.has(flag))
+      throw std::invalid_argument("--op " + op + " needs --" + flag);
+    return args.get_u64(flag, 0);
+  };
+
+  server::SheClient client(host, port);
+  if (op == "ping") {
+    reject_unused(args);
+    client.ping();
+    out << "pong\n";
+  } else if (op == "create") {
+    const std::string name = args.require("name");
+    const std::string spec = args.get("spec", "");
+    reject_unused(args);
+    client.create(name, spec);
+    out << "created " << name << "\n";
+  } else if (op == "insert") {
+    const std::string name = args.require("name");
+    const std::uint64_t key = require_u64("key");
+    reject_unused(args);
+    out << "accepted " << client.insert(name, key) << "/1\n";
+  } else if (op == "bulk") {
+    // Deterministic synthetic keys: key-base + i, wrapping at --distinct
+    // so repeated-key workloads are one flag away.
+    const std::string name = args.require("name");
+    const std::uint64_t count = args.get_u64("count", 1u << 16);
+    const std::uint64_t base = args.get_u64("key-base", 0);
+    const std::uint64_t distinct = args.get_u64("distinct", 0);
+    reject_unused(args);
+    std::uint64_t accepted = 0;
+    std::vector<std::uint64_t> chunk;
+    for (std::uint64_t i = 0; i < count;) {
+      chunk.clear();
+      const std::uint64_t n = std::min<std::uint64_t>(count - i, 65536);
+      for (std::uint64_t j = 0; j < n; ++j, ++i)
+        chunk.push_back(base + (distinct ? i % distinct : i));
+      accepted += client.insert_bulk(name, chunk);
+    }
+    out << "accepted " << accepted << "/" << count << "\n";
+  } else if (op == "query") {
+    const std::string name = args.require("name");
+    const std::string type = args.get("type", "cardinality");
+    if (type == "membership") {
+      const std::uint64_t key = require_u64("key");
+      reject_unused(args);
+      out << "present " << (client.query_membership(name, key) ? "true" : "false")
+          << "\n";
+    } else if (type == "frequency") {
+      const std::uint64_t key = require_u64("key");
+      reject_unused(args);
+      out << "frequency " << client.query_frequency(name, key) << "\n";
+    } else if (type == "cardinality") {
+      reject_unused(args);
+      out << "cardinality " << client.query_cardinality(name) << "\n";
+    } else if (type == "topk") {
+      const auto k = static_cast<std::uint32_t>(args.get_u64("k", 10));
+      reject_unused(args);
+      for (const auto& [key, est] : client.query_topk(name, k))
+        out << key << "  ~" << est << "\n";
+    } else if (type == "jaccard") {
+      const std::string other = args.require("other");
+      reject_unused(args);
+      out << "jaccard " << client.query_jaccard(name, other) << "\n";
+    } else {
+      throw std::invalid_argument("unknown query --type '" + type + "'");
+    }
+  } else if (op == "stats") {
+    const std::string name = args.require("name");
+    reject_unused(args);
+    out << client.stats_json(name) << "\n";
+  } else if (op == "drop") {
+    const std::string name = args.require("name");
+    reject_unused(args);
+    client.drop(name);
+    out << "dropped " << name << "\n";
+  } else if (op == "save") {
+    const std::string name = args.require("name");
+    reject_unused(args);
+    client.save(name);
+    out << "saved " << name << "\n";
+  } else if (op == "flush") {
+    const std::string name = args.require("name");
+    reject_unused(args);
+    client.flush(name);
+    out << "flushed " << name << "\n";
+  } else if (op == "list") {
+    reject_unused(args);
+    for (const std::string& n : client.list()) out << n << "\n";
+  } else if (op == "shutdown") {
+    reject_unused(args);
+    client.shutdown_server();
+    out << "shutdown requested\n";
+  } else {
+    throw std::invalid_argument("unknown --op '" + op + "'");
+  }
+  return 0;
+}
+
 std::string usage() {
   return
       "she_tool — sliding-window stream mining (SHE framework)\n"
@@ -571,7 +702,8 @@ std::string usage() {
       "               [--metrics-out FILE] [--metrics-format prom|json]\n"
       "               [--sample-ms MS] [--no-supervise]\n"
       "               [--checkpoint-dir DIR] [--checkpoint-every N]\n"
-      "               [--resume] [--inject SPEC[,SPEC...]]\n"
+      "               [--checkpoint-keep K] [--resume]\n"
+      "               [--inject SPEC[,SPEC...]]\n"
       "               (concurrent ingest, queries under load; supervised\n"
       "               workers restart on faults; --checkpoint-dir writes\n"
       "               CRC-framed durable checkpoints and --resume replays\n"
@@ -586,6 +718,13 @@ std::string usage() {
       "  info         --file FILE   (trace, estimator checkpoint, or\n"
       "               CRC-framed pipeline checkpoint — frames are\n"
       "               validated before being described)\n"
+      "  client       --op ping|create|insert|bulk|query|stats|drop|save|\n"
+      "               flush|list|shutdown [--host A] [--port N] [--name X]\n"
+      "               [--spec \"window=64K shards=2 ...\"] [--key K]\n"
+      "               [--count N --key-base B --distinct D]\n"
+      "               [--type membership|frequency|cardinality|topk|jaccard]\n"
+      "               [--k N] [--other NAME]\n"
+      "               (drive a running she_server over its binary protocol)\n"
       "\n"
       "sizes accept K/M/G suffixes (binary), e.g. --memory 64K\n"
       "every command also accepts --trace-text FILE (one key per line;\n"
@@ -609,6 +748,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
     if (cmd == "pipeline") return cmd_pipeline(args, out);
     if (cmd == "metrics") return cmd_metrics(args, out);
     if (cmd == "info") return cmd_info(args, out);
+    if (cmd == "client") return cmd_client(args, out);
     if (cmd == "help" || cmd == "--help") {
       out << usage();
       return 0;

@@ -14,6 +14,7 @@
 //   metrics      replay a trace through a StreamMonitor with telemetry
 //                enabled and dump the SHE-internals metric registry
 //   info         describe a trace or estimator checkpoint file
+//   client       drive a running she_server over its binary protocol
 #pragma once
 
 #include <ostream>
@@ -32,6 +33,7 @@ int cmd_similarity(const ArgMap& args, std::ostream& out);
 int cmd_pipeline(const ArgMap& args, std::ostream& out);
 int cmd_metrics(const ArgMap& args, std::ostream& out);
 int cmd_info(const ArgMap& args, std::ostream& out);
+int cmd_client(const ArgMap& args, std::ostream& out);
 
 /// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown
 /// or missing subcommands.

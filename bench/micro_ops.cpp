@@ -10,6 +10,7 @@
 // up by estimator and size argument.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <span>
 #include <string>
@@ -23,6 +24,7 @@
 #include "baselines/tobf.hpp"
 #include "baselines/tsv.hpp"
 #include "common.hpp"
+#include "obs/trace.hpp"
 #include "she/she.hpp"
 
 namespace she::bench {
@@ -228,6 +230,58 @@ void BM_SheMinHashInsertBatch(benchmark::State& state) {
 BENCHMARK(BM_SheMinHashInsertBatch)->Arg(64)->Arg(256);
 // ---- end scalar-vs-batch pairs --------------------------------------------
 
+// ---- tracing overhead pair ------------------------------------------------
+// Identical batched SHE-CM insert loops: the baseline has no trace macro at
+// all, the TraceOff side runs SHE_TRACE_SPAN per chunk with tracing
+// disabled — i.e. the macro's production steady state (one relaxed load and
+// branch).  BENCH_micro.json reports the relative gap as trace_overhead and
+// CI guards it under 2%.
+
+void BM_InsertBatchTraceBaseline(benchmark::State& state) {
+  SheCountMin cm = large_cm(22);
+  drive_batch_inserts(state, cm);
+}
+BENCHMARK(BM_InsertBatchTraceBaseline);
+
+void BM_InsertBatchTraceOff(benchmark::State& state) {
+  obs::trace::set_enabled(false);
+  SheCountMin cm = large_cm(22);
+  const auto& ks = keys();
+  std::size_t i = 0;
+  constexpr std::size_t kChunk = 512;
+  for (auto _ : state) {
+    SHE_TRACE_SPAN("bench.insert_batch", "bench");
+    cm.insert_batch(std::span<const std::uint64_t>(ks.data() + i, kChunk));
+    i = (i + kChunk) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kChunk);
+}
+BENCHMARK(BM_InsertBatchTraceOff);
+
+// Tracing enabled: every chunk records one span into the thread ring
+// (rdtsc ×2 + a seqlock slot write).  Not part of the CI guard — the
+// guard holds the *disabled* path to <2% — but TUNING quotes this number
+// as the cost of switching collection on.
+void BM_InsertBatchTraceOn(benchmark::State& state) {
+  obs::trace::set_enabled(true);
+  SheCountMin cm = large_cm(22);
+  const auto& ks = keys();
+  std::size_t i = 0;
+  constexpr std::size_t kChunk = 512;
+  for (auto _ : state) {
+    SHE_TRACE_SPAN("bench.insert_batch", "bench");
+    cm.insert_batch(std::span<const std::uint64_t>(ks.data() + i, kChunk));
+    i = (i + kChunk) & (ks.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kChunk);
+  obs::trace::set_enabled(false);
+  obs::trace::reset();
+}
+BENCHMARK(BM_InsertBatchTraceOn);
+// ---- end tracing overhead pair --------------------------------------------
+
 void BM_FixedBloomInsert(benchmark::State& state) {
   fixed::BloomFilter bf(1u << 20, 8);
   drive_inserts(state, bf);
@@ -375,7 +429,24 @@ void write_micro_json(const std::vector<MicroJsonCollector::Row>& rows,
        << ",\"batch_items_per_sec\":" << b.items_per_sec
        << ",\"speedup\":" << b.items_per_sec / s->items_per_sec << "}";
   }
-  os << "]}\n";
+  os << "]";
+  // Best-of across repetitions: throughput noise is one-sided (slowdowns
+  // from scheduler/cache interference), so max-of-N estimates the true
+  // rate on both sides and keeps the overhead comparison from reporting
+  // jitter as macro cost.  Run with --benchmark_repetitions for stability.
+  double base = 0, off = 0;
+  for (const auto& r : rows) {
+    if (r.name.rfind("BM_InsertBatchTraceBaseline", 0) == 0)
+      base = std::max(base, r.items_per_sec);
+    if (r.name.rfind("BM_InsertBatchTraceOff", 0) == 0)
+      off = std::max(off, r.items_per_sec);
+  }
+  if (base > 0 && off > 0) {
+    os << ",\"trace_overhead\":{\"baseline_items_per_sec\":" << base
+       << ",\"trace_off_items_per_sec\":" << off
+       << ",\"overhead_pct\":" << (base - off) / base * 100.0 << "}";
+  }
+  os << "}\n";
 }
 
 }  // namespace she::bench

@@ -1,0 +1,27 @@
+// Build metadata surfaced by /healthz and the she_build_info gauge.
+#pragma once
+
+namespace she {
+
+/// Project version as configured by CMake (SHE_VERSION), or "dev" for
+/// builds driven without it.
+[[nodiscard]] inline const char* build_version() noexcept {
+#ifdef SHE_VERSION
+  return SHE_VERSION;
+#else
+  return "dev";
+#endif
+}
+
+/// Compiler family + version string, e.g. "gcc 12.2.0".
+[[nodiscard]] inline const char* build_compiler() noexcept {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace she

@@ -97,6 +97,7 @@
 #include "common/bobhash.hpp"
 #include "common/checkpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/runtime_stats.hpp"
@@ -166,6 +167,9 @@ class IngestPipeline {
         "she_pipeline_push_latency_ns",
         "producer push() wall time, 1-in-64 sampled while telemetry is "
         "enabled, ns");
+    checkpoint_hist_ = &registry_.histogram(
+        "she_pipeline_checkpoint_latency_ns",
+        "frame + atomic-replace of one durable checkpoint, ns");
     stall_ns_ = &registry_.counter(
         "she_pipeline_stall_ns_total",
         "producer time spent spin-yielding on full rings (Block policy), ns");
@@ -322,6 +326,13 @@ class IngestPipeline {
       }
       charge_stall();
     }
+    // Traced request?  Leave the id on the shard so the drain worker can
+    // attribute the next sweep to it (one relaxed store; see worker_loop).
+    if (obs::trace::enabled()) {
+      const std::uint64_t trace_id = obs::trace::current_trace_id();
+      if (trace_id != 0)
+        sh.last_trace_id.store(trace_id, std::memory_order_relaxed);
+    }
     produced_[producer]->inc();
     if (timed)
       push_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
@@ -331,6 +342,7 @@ class IngestPipeline {
   /// push() each key in order; returns how many were accepted.
   std::size_t push_bulk(std::size_t producer,
                         std::span<const std::uint64_t> keys) {
+    SHE_TRACE_SPAN("pipeline.push_bulk", "pipeline");
     std::size_t accepted = 0;
     for (std::uint64_t k : keys) accepted += push(producer, k) ? 1 : 0;
     return accepted;
@@ -510,6 +522,10 @@ class IngestPipeline {
     std::atomic<std::uint64_t> sync_req{0};
     std::atomic<std::uint64_t> sync_ack{0};
     std::atomic<bool> sync_ckpt{false};
+    /// Trace id of the most recent traced push routed here; the worker
+    /// adopts (and clears) it at the start of a drain sweep so drain /
+    /// publish / checkpoint spans carry the requester's id.
+    std::atomic<std::uint64_t> last_trace_id{0};
     std::string fault_msg;           ///< written before state -> kFaulted
     // Registry-owned metrics (see bind_metrics); plain pointers, the
     // registry outlives the shards.
@@ -587,6 +603,7 @@ class IngestPipeline {
   }
 
   void publish(Shard& sh) {
+    SHE_TRACE_SPAN("pipeline.publish", "pipeline");
     const std::int64_t t0 = now_ns();
     serialize_to(sh.scratch, sh.est);
     sh.snap->publish(sh.scratch.data(), sh.scratch.size());
@@ -603,6 +620,8 @@ class IngestPipeline {
   /// shard's checkpoint file.  Runs on the worker thread; the injection
   /// hook may corrupt the frame on purpose.
   void write_checkpoint(Shard& sh) {
+    SHE_TRACE_SPAN("pipeline.checkpoint", "pipeline");
+    const std::int64_t t0 = now_ns();
     std::vector<char> frame = frame_checkpoint(
         sh.consumed_at_publish,
         std::span<const char>(sh.scratch.data(), sh.scratch.size()));
@@ -613,6 +632,7 @@ class IngestPipeline {
     ++sh.ckpt_ordinal;
     sh.checkpoints->inc();
     sh.last_checkpoint = sh.consumed_at_publish;
+    checkpoint_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
   }
 
   void worker_entry(std::size_t si) {
@@ -640,6 +660,15 @@ class IngestPipeline {
       if (sh.fence.load(std::memory_order_acquire)) break;  // hand over
       fault::maybe_stall(si, sh.consumed);
       fault::maybe_throw(si, sh.consumed);
+      // Adopt (and clear) the id of the most recent traced push routed to
+      // this shard, so this sweep's drain/publish/checkpoint spans carry
+      // it across the producer → worker thread hop.
+      const bool tracing = obs::trace::enabled();
+      obs::trace::TraceIdScope trace_scope(
+          tracing ? sh.last_trace_id.exchange(0, std::memory_order_relaxed)
+                  : 0);
+      const std::uint64_t sweep_ticks =
+          tracing ? obs::trace::now_ticks() : 0;
       std::size_t got = 0;
       std::size_t depth_total = 0;
       for (auto& ring_ptr : sh.rings) {
@@ -653,10 +682,13 @@ class IngestPipeline {
         std::size_t n;
         while ((n = ring.drain(buf.data(), buf.size())) > 0) {
           const std::span<const std::uint64_t> block(buf.data(), n);
-          if constexpr (requires { sh.est.insert_batch(block); })
-            sh.est.insert_batch(block);  // pipelined hash-ahead + prefetch
-          else
-            for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
+          {
+            SHE_TRACE_SPAN("estimator.insert_batch", "estimator");
+            if constexpr (requires { sh.est.insert_batch(block); })
+              sh.est.insert_batch(block);  // pipelined hash-ahead + prefetch
+            else
+              for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
+          }
           got += n;
           if (n < buf.size()) break;  // ring (momentarily) empty; next ring
         }
@@ -664,6 +696,10 @@ class IngestPipeline {
       sh.queue_depth->set(static_cast<std::int64_t>(depth_total));
       if (got > 0) {
         drain_hist_->observe(static_cast<std::uint64_t>(now_ns() - sweep_start));
+        if (tracing)
+          obs::trace::record("pipeline.drain", "pipeline", sweep_ticks,
+                             obs::trace::now_ticks(),
+                             obs::trace::current_trace_id());
         sh.inserted->inc(got);
         sh.drains->inc();
         sh.consumed += got;
@@ -827,6 +863,7 @@ class IngestPipeline {
   obs::Histogram* drain_hist_ = nullptr;
   obs::Histogram* publish_hist_ = nullptr;
   obs::Histogram* push_hist_ = nullptr;
+  obs::Histogram* checkpoint_hist_ = nullptr;
   obs::Counter* stall_ns_ = nullptr;
   obs::Counter* stall_events_ = nullptr;
   obs::Counter* push_timeouts_ = nullptr;

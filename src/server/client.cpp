@@ -44,7 +44,8 @@ SheClient::~SheClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-SheClient::SheClient(SheClient&& other) noexcept : fd_(other.fd_) {
+SheClient::SheClient(SheClient&& other) noexcept
+    : fd_(other.fd_), trace_id_(other.trace_id_) {
   other.fd_ = -1;
 }
 
@@ -52,6 +53,7 @@ SheClient& SheClient::operator=(SheClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
+    trace_id_ = other.trace_id_;
     other.fd_ = -1;
   }
   return *this;
@@ -67,7 +69,18 @@ std::vector<char> SheClient::roundtrip_raw(std::span<const char> body) {
 }
 
 std::vector<char> SheClient::roundtrip(const WireWriter& req) {
-  const std::vector<char> resp = roundtrip_raw(req.body());
+  std::vector<char> resp;
+  if (trace_id_ != 0) {
+    std::vector<char> traced;
+    traced.reserve(9 + req.body().size());
+    traced.push_back(static_cast<char>(kTraceHeader));
+    for (int i = 0; i < 8; ++i)
+      traced.push_back(static_cast<char>((trace_id_ >> (8 * i)) & 0xff));
+    traced.insert(traced.end(), req.body().begin(), req.body().end());
+    resp = roundtrip_raw(traced);
+  } else {
+    resp = roundtrip_raw(req.body());
+  }
   WireReader r(resp);
   const auto status = static_cast<Status>(r.u8());
   if (status != Status::kOk) {

@@ -70,14 +70,22 @@ class SheClient {
   /// (status byte included).  For protocol tests.
   std::vector<char> roundtrip_raw(std::span<const char> body);
 
+  /// Tag every subsequent request with a trace id (prefixed on the wire
+  /// as the optional kTraceHeader field); 0 restores untraced requests.
+  /// A traced server stitches its spans for the request to this id.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
-  /// Send `body`, read the response, throw ClientError on non-OK, return
-  /// the payload after the status byte.
+  /// Send `body` (with the trace header when a trace id is set), read the
+  /// response, throw ClientError on non-OK, return the payload after the
+  /// status byte.
   std::vector<char> roundtrip(const WireWriter& req);
 
   int fd_ = -1;
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace she::server

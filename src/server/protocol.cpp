@@ -160,10 +160,30 @@ std::string WireReader::str() {
   return s;
 }
 
+std::uint8_t WireReader::peek_u8() const {
+  if (remaining() < 1) throw ProtocolError("body truncated peeking u8");
+  return static_cast<std::uint8_t>(body_[pos_]);
+}
+
 void WireReader::expect_done() const {
   if (pos_ != body_.size()) {
     throw ProtocolError("trailing bytes after request body");
   }
+}
+
+std::uint64_t read_trace_header(WireReader& r) {
+  // A lone marker byte with no room for the id is left in place: op_from
+  // then rejects 0xF5 as an unknown opcode, which is the right answer for
+  // a truncated header too.
+  if (r.remaining() < 9 || r.peek_u8() != kTraceHeader) return 0;
+  (void)r.u8();
+  return r.u64();
+}
+
+std::size_t opcode_offset(std::span<const char> body) {
+  const bool traced = body.size() >= 9 &&
+                      static_cast<std::uint8_t>(body[0]) == kTraceHeader;
+  return traced ? 9 : 0;
 }
 
 // ---------------------------------------------------------------- framing --

@@ -63,6 +63,17 @@ class ProtocolError : public std::runtime_error {
 /// Hard bound on one frame's body (16 MiB ~ a 2M-key bulk insert).
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
+/// Optional request-body prefix carrying a client trace id:
+///
+///   [u8 kTraceHeader][u64 trace_id][normal request body...]
+///
+/// The marker byte sits outside the opcode range (ops are 1..11), so a
+/// server can tell a traced body from a legacy one by its first byte, and
+/// servers that predate tracing reject it as an unknown opcode instead of
+/// misparsing it.  Clients that never set a trace id produce byte-
+/// identical requests to older builds.
+inline constexpr std::uint8_t kTraceHeader = 0xF5;
+
 enum class Op : std::uint8_t {
   kPing = 1,
   kCreate = 2,
@@ -130,6 +141,9 @@ class WireReader {
   double f64();
   std::string str();  ///< u32 length (bounded by the remaining body) + bytes
 
+  /// Next byte without consuming it; throws ProtocolError at the end.
+  [[nodiscard]] std::uint8_t peek_u8() const;
+
   [[nodiscard]] std::size_t remaining() const { return body_.size() - pos_; }
 
   /// A well-formed body is consumed exactly; trailing bytes are an error.
@@ -139,6 +153,16 @@ class WireReader {
   std::span<const char> body_;
   std::size_t pos_ = 0;
 };
+
+/// Consume the optional trace header (see kTraceHeader) off the front of
+/// a request body and return its trace id, or 0 when the body starts with
+/// a plain opcode.  A marker byte not followed by a full id is left for
+/// op_from to reject.
+[[nodiscard]] std::uint64_t read_trace_header(WireReader& r);
+
+/// Offset of the opcode byte in a raw request body, skipping the trace
+/// header when present.  Does not validate the opcode.
+[[nodiscard]] std::size_t opcode_offset(std::span<const char> body);
 
 // ---------------------------------------------------------------- framing --
 

@@ -11,11 +11,16 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
+#include "common/build_info.hpp"
 #include "common/checkpoint.hpp"
+#include "obs/export.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "runtime/snapshot.hpp"
 #include "server/http.hpp"
 
@@ -115,6 +120,14 @@ SheServer::SheServer(ServerOptions opt)
       "wall time from complete request frame to complete response, ns");
   pipelines_gauge_ = &registry_.gauge("she_server_pipelines",
                                       "resident named pipelines");
+  slow_requests_ = &registry_.counter(
+      "she_server_slow_requests_total",
+      "requests slower than the configured slow_request_ms threshold");
+  registry_
+      .gauge("she_build_info",
+             "constant 1; build metadata carried in the labels",
+             {{"version", build_version()}, {"compiler", build_compiler()}})
+      .set(1);
   for (std::uint8_t raw = static_cast<std::uint8_t>(Op::kPing);
        raw <= static_cast<std::uint8_t>(Op::kShutdown); ++raw) {
     const Op op = static_cast<Op>(raw);
@@ -142,6 +155,11 @@ void SheServer::start() {
   if (::pipe(stop_pipe_) != 0) {
     throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
   }
+  start_steady_ns_ =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  if (opt_.enable_tracing) obs::trace::set_enabled(true);
   for (int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   listen_fd_ = listen_tcp(opt_.host, opt_.port, &port_);
   if (opt_.http_port >= 0) {
@@ -317,9 +335,11 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
       if (!read_frame(fd, body)) break;  // clean EOF at a frame boundary
       // SHUTDOWN answers before triggering the stop sequence, so the
       // client sees its acknowledgment even though stop() tears down this
-      // very connection moments later.
-      if (!body.empty() &&
-          body[0] == static_cast<char>(Op::kShutdown)) {
+      // very connection moments later.  The opcode sits after the optional
+      // trace header, if the client sent one.
+      const std::size_t op_at = opcode_offset(body);
+      if (body.size() > op_at &&
+          body[op_at] == static_cast<char>(Op::kShutdown)) {
         requests_by_op_[Op::kShutdown]->inc();
         WireWriter w;
         w.u8(static_cast<std::uint8_t>(Status::kOk));
@@ -327,12 +347,22 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
         request_stop();
         break;
       }
+      const bool tracing = obs::trace::enabled();
+      const obs::trace::ThreadCursor cursor =
+          tracing ? obs::trace::thread_cursor() : obs::trace::ThreadCursor{};
       const Clock::time_point t0 = Clock::now();
-      const std::vector<char> resp = dispatch(body);
-      request_latency_->observe(static_cast<std::uint64_t>(
+      OpInfo info;
+      const std::vector<char> resp = dispatch(body, info);
+      const std::uint64_t ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                t0)
-              .count()));
+              .count());
+      request_latency_->observe(ns);
+      observe_request(info, ns);
+      if (opt_.slow_request_ms != 0 &&
+          ns >= opt_.slow_request_ms * 1'000'000ull) {
+        maybe_log_slow(info, ns, cursor);
+      }
       write_frame(fd, resp);
     }
   } catch (const ProtocolError& e) {
@@ -380,12 +410,23 @@ void SheServer::handle_http(std::uint64_t id, int fd) {
       resp = http_response(405, "Method Not Allowed", "text/plain",
                            "only GET\n");
     } else if (req->target == "/healthz") {
-      resp = http_response(200, "OK", "text/plain", "ok\n");
+      resp = http_response(200, "OK", "application/json", render_healthz());
     } else if (req->target == "/metrics" ||
                req->target.rfind("/metrics?", 0) == 0) {
       resp = http_response(200, "OK",
                            "text/plain; version=0.0.4; charset=utf-8",
                            render_metrics());
+    } else if (req->target == "/trace" ||
+               req->target.rfind("/trace?", 0) == 0) {
+      // /trace?ms=N limits the export to spans from the last N ms
+      // (default 1000; ms=0 = everything still in the rings).
+      std::uint64_t window_ms = 1000;
+      const std::string::size_type q = req->target.find("ms=");
+      if (q != std::string::npos) {
+        window_ms = std::strtoull(req->target.c_str() + q + 3, nullptr, 10);
+      }
+      resp = http_response(200, "OK", "application/json",
+                           render_trace(window_ms));
     } else {
       resp = http_response(404, "Not Found", "text/plain", "not found\n");
     }
@@ -413,9 +454,78 @@ std::string SheServer::render_metrics() const {
   return os.str();
 }
 
+std::string SheServer::render_healthz() const {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  const std::int64_t up_s =
+      start_steady_ns_ > 0 ? (now_ns - start_steady_ns_) / 1'000'000'000
+                           : 0;
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"uptime_s\":" << up_s
+     << ",\"schema_version\":" << runtime::RuntimeStats::kSchemaVersion
+     << ",\"version\":\"" << obs::json_escape(build_version())
+     << "\",\"compiler\":\"" << obs::json_escape(build_compiler())
+     << "\",\"tracing\":" << (obs::trace::enabled() ? "true" : "false")
+     << ",\"pipelines\":" << manager_.size() << "}\n";
+  return os.str();
+}
+
+std::string SheServer::render_trace(std::uint64_t window_ms) {
+  std::ostringstream os;
+  obs::trace::export_chrome_trace(os, window_ms * 1'000'000ull);
+  return os.str();
+}
+
+void SheServer::observe_request(const OpInfo& info, std::uint64_t ns) {
+  registry_
+      .histogram("she_server_request_duration_ns",
+                 "wall time per request, by opcode and target pipeline, ns",
+                 {{"op", info.op},
+                  {"pipeline", info.pipeline.empty() ? "-" : info.pipeline}})
+      .observe(ns);
+}
+
+void SheServer::maybe_log_slow(const OpInfo& info, std::uint64_t ns,
+                               const obs::trace::ThreadCursor& cursor) {
+  slow_requests_->inc();
+  // Rate limit the log line itself to one per second so a latency storm
+  // cannot flood stderr; the counter above still sees every slow request.
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  std::int64_t last = last_slow_log_ns_.load(std::memory_order_relaxed);
+  if (now_ns - last < 1'000'000'000 ||
+      !last_slow_log_ns_.compare_exchange_strong(last, now_ns,
+                                                 std::memory_order_relaxed)) {
+    return;
+  }
+  std::ostringstream os;
+  os << "[she_server] slow request: op=" << info.op << " pipeline="
+     << (info.pipeline.empty() ? "-" : info.pipeline)
+     << " took_ms=" << ns / 1'000'000;
+  if (cursor.ring != nullptr) {
+    os << " spans=[";
+    const std::vector<obs::trace::CollectedSpan> spans =
+        obs::trace::spans_since(cursor);
+    bool first = true;
+    for (const obs::trace::CollectedSpan& s : spans) {
+      if (!first) os << ' ';
+      first = false;
+      os << s.name << ':' << s.dur_ns / 1'000'000 << "ms";
+    }
+    os << ']';
+  }
+  os << '\n';
+  std::fputs(os.str().c_str(), stderr);
+}
+
 // --------------------------------------------------------------- dispatch --
 
-std::vector<char> SheServer::dispatch(std::span<const char> body) {
+std::vector<char> SheServer::dispatch(std::span<const char> body,
+                                      OpInfo& info) {
   WireWriter resp;
   const auto fail = [](Status st, const std::string& msg) {
     WireWriter w;
@@ -425,7 +535,14 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
   };
   try {
     WireReader req(body);
+    // An optional trace header binds this request's spans — here and in
+    // every stage the work flows through — to the client-chosen trace id.
+    // Always stripped, even with tracing off: the body must parse.
+    const std::uint64_t trace_id = read_trace_header(req);
+    const obs::trace::TraceIdScope trace_scope(trace_id);
     const Op op = op_from(req.u8());
+    info.op = to_string(op);  // static literal; outlives the span ring
+    const obs::trace::SpanGuard span(info.op, "server");
     requests_by_op_[op]->inc();
     switch (op) {
       case Op::kPing: {
@@ -437,6 +554,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
         const std::string name = req.str();
         const std::string spec = req.str();
         req.expect_done();
+        info.pipeline = name;
         manager_.create(name, spec);
         pipelines_gauge_->set(static_cast<std::int64_t>(manager_.size()));
         resp.u8(static_cast<std::uint8_t>(Status::kOk));
@@ -446,6 +564,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
         const std::string name = req.str();
         const std::uint64_t key = req.u64();
         req.expect_done();
+        info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
         const std::uint64_t accepted =
@@ -463,6 +582,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
         std::vector<std::uint64_t> keys(n);
         for (std::uint32_t i = 0; i < n; ++i) keys[i] = req.u64();
         req.expect_done();
+        info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
         const std::uint64_t accepted = entry->insert_bulk(keys);
@@ -471,10 +591,11 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
         break;
       }
       case Op::kQuery:
-        return do_query(req);
+        return do_query(req, info);
       case Op::kStats: {
         const std::string name = req.str();
         req.expect_done();
+        info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
         resp.u8(static_cast<std::uint8_t>(Status::kOk));
@@ -484,6 +605,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
       case Op::kDrop: {
         const std::string name = req.str();
         req.expect_done();
+        info.pipeline = name;
         if (!manager_.drop(name)) {
           return fail(Status::kNotFound, "no pipeline '" + name + "'");
         }
@@ -495,6 +617,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
       case Op::kFlush: {
         const std::string name = req.str();
         req.expect_done();
+        info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
         const bool done =
@@ -541,7 +664,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body) {
   }
 }
 
-std::vector<char> SheServer::do_query(WireReader& req) {
+std::vector<char> SheServer::do_query(WireReader& req, OpInfo& info) {
   const auto fail = [](Status st, const std::string& msg) {
     WireWriter w;
     w.u8(static_cast<std::uint8_t>(st));
@@ -550,14 +673,28 @@ std::vector<char> SheServer::do_query(WireReader& req) {
   };
   const std::string name = req.str();
   const QueryType qt = query_type_from(req.u8());
+  info.pipeline = name;
   const auto entry = manager_.find(name);
   if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
   ConcurrentMonitor& mon = entry->monitor();
+  // Aggregate queries (cardinality, top-k) read every shard; the
+  // per-handler SnapshotReader cache skips deserialization for shards
+  // whose published version has not moved since this thread's last look.
+  const auto merged_report = [&](std::size_t top_k) {
+    SHE_TRACE_SPAN("query.shard_merge", "server");
+    std::vector<MonitorReport> parts;
+    parts.reserve(mon.shard_count());
+    for (std::size_t s = 0; s < mon.shard_count(); ++s) {
+      parts.push_back(cached_shard(*entry, s).report(top_k));
+    }
+    return MonitorReport::combine(parts, top_k);
+  };
   WireWriter resp;
   switch (qt) {
     case QueryType::kMembership: {
       const std::uint64_t key = req.u64();
       req.expect_done();
+      SHE_TRACE_SPAN("query.shard_read", "server");
       const bool present = cached_shard(*entry, mon.shard_of(key)).seen(key);
       resp.u8(static_cast<std::uint8_t>(Status::kOk));
       resp.u8(present ? 1 : 0);
@@ -566,13 +703,14 @@ std::vector<char> SheServer::do_query(WireReader& req) {
     case QueryType::kFrequency: {
       const std::uint64_t key = req.u64();
       req.expect_done();
+      SHE_TRACE_SPAN("query.shard_read", "server");
       resp.u8(static_cast<std::uint8_t>(Status::kOk));
       resp.u64(cached_shard(*entry, mon.shard_of(key)).frequency(key));
       break;
     }
     case QueryType::kCardinality: {
       req.expect_done();
-      const MonitorReport rep = mon.report(0);
+      const MonitorReport rep = merged_report(0);
       if (!rep.cardinality) {
         return fail(Status::kBadRequest,
                     "pipeline '" + name + "' does not track cardinality");
@@ -584,7 +722,7 @@ std::vector<char> SheServer::do_query(WireReader& req) {
     case QueryType::kTopK: {
       const std::uint32_t k = req.u32();
       req.expect_done();
-      const MonitorReport rep = mon.report(k);
+      const MonitorReport rep = merged_report(k);
       resp.u8(static_cast<std::uint8_t>(Status::kOk));
       resp.u32(static_cast<std::uint32_t>(rep.top.size()));
       for (const HeavyHitters::Entry& e : rep.top) {

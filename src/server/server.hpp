@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/pipeline_manager.hpp"
 #include "server/protocol.hpp"
 
@@ -40,6 +41,8 @@ struct ServerOptions {
   int http_port = 0;            ///< /metrics listener; 0 = ephemeral, -1 = off
   std::size_t max_connections = 256;  ///< concurrent protocol connections
   std::size_t flush_timeout_ms = 10000;  ///< FLUSH/SAVE barrier bound
+  bool enable_tracing = false;  ///< span collection on from start()
+  std::size_t slow_request_ms = 0;  ///< log requests slower than this; 0 = off
   PipelineManager::Options manager;
 };
 
@@ -83,11 +86,25 @@ class SheServer {
   /// The /metrics payload (also what the HTTP listener serves).
   [[nodiscard]] std::string render_metrics() const;
 
+  /// The /healthz payload: status, uptime, schema version, build info.
+  [[nodiscard]] std::string render_healthz() const;
+
+  /// The /trace payload: Chrome trace-event JSON of the spans retained in
+  /// the last `window_ms` milliseconds (0 = everything retained).
+  [[nodiscard]] static std::string render_trace(std::uint64_t window_ms);
+
  private:
   struct Conn {
     int fd = -1;
     std::thread thread;
     bool finished = false;
+  };
+
+  /// What a request turned out to be, filled in by dispatch() for the
+  /// per-op duration histogram and the slow-request log.
+  struct OpInfo {
+    const char* op = "unknown";
+    std::string pipeline;
   };
 
   void accept_loop();
@@ -97,8 +114,17 @@ class SheServer {
   void reap_finished();
 
   /// Dispatch one request body; always returns a response body.
-  std::vector<char> dispatch(std::span<const char> body);
-  std::vector<char> do_query(WireReader& req);
+  std::vector<char> dispatch(std::span<const char> body, OpInfo& info);
+  std::vector<char> do_query(WireReader& req, OpInfo& info);
+
+  /// she_server_request_duration_ns{op=...,pipeline=...} observation
+  /// (register-or-lookup per request; registration is mutex + small scan).
+  void observe_request(const OpInfo& info, std::uint64_t ns);
+
+  /// Rate-limited stderr line for requests over slow_request_ms, with the
+  /// span breakdown this handler thread recorded during the request.
+  void maybe_log_slow(const OpInfo& info, std::uint64_t ns,
+                      const obs::trace::ThreadCursor& cursor);
 
   ServerOptions opt_;
   PipelineManager manager_;
@@ -131,7 +157,10 @@ class SheServer {
   obs::Counter* protocol_errors_;
   obs::Histogram* request_latency_;
   obs::Gauge* pipelines_gauge_;
+  obs::Counter* slow_requests_;
   std::map<Op, obs::Counter*> requests_by_op_;
+  std::atomic<std::int64_t> last_slow_log_ns_{0};
+  std::int64_t start_steady_ns_ = 0;  ///< for /healthz uptime
 };
 
 }  // namespace she::server

@@ -33,6 +33,12 @@ void usage(std::ostream& os) {
         "(default 256)\n"
         "  --flush-timeout-ms N   FLUSH/SAVE barrier bound (default "
         "10000)\n"
+        "  --trace                collect request/pipeline spans; export "
+        "via\n"
+        "                         GET /trace[?ms=N] (Chrome trace JSON)\n"
+        "  --slow-ms N            log requests slower than N ms with a "
+        "span\n"
+        "                         breakdown (default 0 = off)\n"
         "  --help\n";
 }
 
@@ -112,6 +118,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.flush_timeout_ms = u;
+    } else if (arg == "--trace") {
+      opt.enable_tracing = true;
+    } else if (arg == "--slow-ms") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --slow-ms\n";
+        return 2;
+      }
+      opt.slow_request_ms = u;
     } else {
       std::cerr << "she_server: unknown option " << arg << "\n";
       usage(std::cerr);

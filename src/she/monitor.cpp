@@ -206,13 +206,12 @@ std::uint64_t ConcurrentMonitor::frequency(std::uint64_t key) const {
   return pipe_.snapshot(pipe_.shard_of(key)).frequency(key);
 }
 
-MonitorReport ConcurrentMonitor::report(std::size_t top_k) const {
+MonitorReport MonitorReport::combine(std::span<const MonitorReport> parts,
+                                     std::size_t top_k) {
   MonitorReport rep;
   double cardinality = 0;
   bool have_cardinality = false;
-  for (std::size_t s = 0; s < pipe_.shard_count(); ++s) {
-    StreamMonitor shard = pipe_.snapshot(s);
-    MonitorReport local = shard.report(top_k);
+  for (const MonitorReport& local : parts) {
     rep.items += local.items;
     if (local.cardinality) {
       cardinality += *local.cardinality;
@@ -228,6 +227,14 @@ MonitorReport ConcurrentMonitor::report(std::size_t top_k) const {
             });
   if (rep.top.size() > top_k) rep.top.resize(top_k);
   return rep;
+}
+
+MonitorReport ConcurrentMonitor::report(std::size_t top_k) const {
+  std::vector<MonitorReport> parts;
+  parts.reserve(pipe_.shard_count());
+  for (std::size_t s = 0; s < pipe_.shard_count(); ++s)
+    parts.push_back(pipe_.snapshot(s).report(top_k));
+  return MonitorReport::combine(parts, top_k);
 }
 
 double ConcurrentMonitor::jaccard(const ConcurrentMonitor& a,

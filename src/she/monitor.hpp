@@ -46,6 +46,15 @@ struct MonitorReport {
   std::uint64_t items = 0;                  ///< stream position
   std::optional<double> cardinality;        ///< distinct keys in window
   std::vector<HeavyHitters::Entry> top;     ///< heaviest keys, descending
+
+  /// Merge per-shard reports into one window view: items and cardinality
+  /// sum (shards partition the key space), top lists concatenate, re-sort
+  /// and truncate to `top_k`.  This is the merge ConcurrentMonitor::report
+  /// performs — exposed so callers holding cached per-shard snapshots
+  /// (the she_server query path) can combine them without fresh
+  /// deserialization.
+  [[nodiscard]] static MonitorReport combine(
+      std::span<const MonitorReport> parts, std::size_t top_k);
 };
 
 class StreamMonitor {

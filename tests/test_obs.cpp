@@ -431,6 +431,70 @@ TEST(Cli, MetricsRejectsBadFormat) {
             2);
 }
 
+// ------------------------- Prometheus conformance ---------------------------
+
+TEST(Export, PrometheusBucketBoundsStrictlyIncreaseAndStayMonotone) {
+  Registry r;
+  Histogram& h = r.histogram("wide_ns", "full-range exercise",
+                             {{"op", "query"}});
+  // One observation per power of two plus extremes: every bucket moves.
+  h.observe(0);
+  for (unsigned p = 0; p < 48; ++p) h.observe(std::uint64_t{1} << p);
+  h.observe(~std::uint64_t{0});
+  std::ostringstream os;
+  write_prometheus(os, r);
+  const std::string text = os.str();
+  // Walk the exposition in order: `le` bounds strictly increase, cumulative
+  // counts never decrease, and the series ends at le="+Inf" == _count.
+  std::istringstream in(text);
+  std::string line;
+  double prev_le = -1;
+  std::uint64_t prev_count = 0, buckets = 0, inf_count = 0;
+  while (std::getline(in, line)) {
+    const std::size_t le = line.find("le=\"");
+    if (line.rfind("wide_ns_bucket{", 0) != 0 || le == std::string::npos)
+      continue;
+    ++buckets;
+    const std::string bound = line.substr(le + 4, line.find('"', le + 4) -
+                                                     (le + 4));
+    const std::uint64_t count =
+        std::stoull(line.substr(line.find_last_of(' ') + 1));
+    EXPECT_GE(count, prev_count) << line;
+    prev_count = count;
+    if (bound == "+Inf") {
+      inf_count = count;
+    } else {
+      const double b = std::stod(bound);
+      EXPECT_GT(b, prev_le) << line;
+      prev_le = b;
+    }
+  }
+  EXPECT_GT(buckets, 2u);
+  EXPECT_EQ(inf_count, 50u);
+  EXPECT_EQ(prom_value(text, "wide_ns_count"), 50u);
+}
+
+TEST(Export, PrometheusHelpAndTypePrecedeSamples) {
+  Registry r;
+  r.counter("a_total", "a").inc();
+  r.histogram("b_ns", "b").observe(7);
+  std::ostringstream os;
+  write_prometheus(os, r);
+  const std::string text = os.str();
+  for (const char* name : {"a_total", "b_ns"}) {
+    const std::size_t help = text.find(std::string("# HELP ") + name);
+    const std::size_t type = text.find(std::string("# TYPE ") + name);
+    // Samples start at column 0 (comment lines also contain the name, but
+    // never at a line start); histograms expose name_bucket/name_sum/... so
+    // match on the common prefix.
+    const std::size_t first_sample = text.find(std::string("\n") + name);
+    ASSERT_NE(help, std::string::npos) << name;
+    ASSERT_NE(type, std::string::npos) << name;
+    EXPECT_LT(help, type) << name;
+    EXPECT_LT(type, first_sample) << name;
+  }
+}
+
 TEST(Cli, PipelineJsonModeStillEmitsStats) {
   const std::string path = temp_path("pipeline_metrics.json");
   std::ostringstream out;
@@ -444,6 +508,199 @@ TEST(Cli, PipelineJsonModeStillEmitsStats) {
                            std::to_string(runtime::RuntimeStats::kSchemaVersion)),
             std::string::npos);
   EXPECT_NE(slurp(path).find("\"schema_version\":1"), std::string::npos);
+}
+
+// --------------------------------- tracing ----------------------------------
+
+/// Every trace test starts from a clean, enabled collector and leaves the
+/// process-wide toggle off (other tests must not inherit it).
+struct TraceFixture : ::testing::Test {
+  void SetUp() override {
+    trace::set_enabled(true);
+    trace::reset();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+};
+
+TEST_F(TraceFixture, DisabledMacroRecordsNothing) {
+  trace::set_enabled(false);
+  for (int i = 0; i < 100; ++i) {
+    SHE_TRACE_SPAN("off.span", "test");
+  }
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST_F(TraceFixture, SpanCarriesNameCategoryAndTraceId) {
+  {
+    trace::TraceIdScope scope(0xabcdef);
+    SHE_TRACE_SPAN("outer", "test");
+    SHE_TRACE_SPAN("inner", "test2");
+  }
+  const auto spans = trace::collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start: outer opened first, closed last.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[0].cat, "test");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_STREQ(spans[1].cat, "test2");
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.trace_id, 0xabcdefu);
+    EXPECT_GE(s.start_ns, 0);
+  }
+  EXPECT_GE(spans[0].dur_ns, spans[1].dur_ns);  // outer encloses inner
+}
+
+TEST_F(TraceFixture, TraceIdScopeRestoresPrevious) {
+  trace::set_current_trace_id(7);
+  {
+    trace::TraceIdScope scope(99);
+    EXPECT_EQ(trace::current_trace_id(), 99u);
+  }
+  EXPECT_EQ(trace::current_trace_id(), 7u);
+  trace::set_current_trace_id(0);
+}
+
+TEST_F(TraceFixture, RingOverwritesOldestAndStaysBounded) {
+  const std::size_t n = 2 * trace::kRingCapacity + 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t = trace::now_ticks();
+    trace::record("bounded", "test", t, t, 0);
+  }
+  const auto spans = trace::collect();
+  EXPECT_LE(spans.size(), trace::kRingCapacity);
+  EXPECT_GT(spans.size(), trace::kRingCapacity / 2);
+  for (const auto& s : spans) EXPECT_STREQ(s.name, "bounded");
+}
+
+TEST_F(TraceFixture, ResetHidesRetainedSpans) {
+  { SHE_TRACE_SPAN("pre.reset", "test"); }
+  ASSERT_FALSE(trace::collect().empty());
+  trace::reset();
+  EXPECT_TRUE(trace::collect().empty());
+  { SHE_TRACE_SPAN("post.reset", "test"); }
+  const auto spans = trace::collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "post.reset");
+}
+
+TEST_F(TraceFixture, ThreadCursorSeesOnlyNewSpans) {
+  { SHE_TRACE_SPAN("before.cursor", "test"); }
+  const trace::ThreadCursor cur = trace::thread_cursor();
+  { SHE_TRACE_SPAN("first", "test"); }
+  { SHE_TRACE_SPAN("second", "test"); }
+  const auto spans = trace::spans_since(cur);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "first");  // oldest first
+  EXPECT_STREQ(spans[1].name, "second");
+}
+
+TEST_F(TraceFixture, CollectWindowFiltersOldSpans) {
+  { SHE_TRACE_SPAN("old", "test"); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  { SHE_TRACE_SPAN("recent", "test"); }
+  const auto recent = trace::collect(/*window_ns=*/30'000'000);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_STREQ(recent[0].name, "recent");
+  EXPECT_EQ(trace::collect(0).size(), 2u);  // 0 = everything retained
+}
+
+TEST_F(TraceFixture, ConcurrentRecordersAndCollectorsStayCoherent) {
+  // The tsan surface: writers hammer their rings while collectors scrape.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&stop, w] {
+      trace::TraceIdScope scope(static_cast<std::uint64_t>(w) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        SHE_TRACE_SPAN("worker.span", "test");
+      }
+    });
+  }
+  std::size_t total = 0;
+  for (int i = 0; i < 200 && total < 10'000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (const auto& s : trace::collect()) {
+      // Torn reads must have been discarded: every span is well-formed.
+      ASSERT_STREQ(s.name, "worker.span");
+      ASSERT_STREQ(s.cat, "test");
+      ASSERT_GE(s.trace_id, 1u);
+      ASSERT_LE(s.trace_id, 4u);
+      ++total;
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GT(total, 0u);
+}
+
+TEST_F(TraceFixture, RingsRecycleAcrossThreadChurn) {
+  // Many short-lived threads must not grow the ring registry without
+  // bound; their spans stay collectable after the threads are gone.
+  for (int round = 0; round < 32; ++round) {
+    std::thread([] { SHE_TRACE_SPAN("churn.span", "test"); }).join();
+  }
+  const auto spans = trace::collect();
+  std::size_t churn = 0;
+  std::set<std::uint32_t> tids;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) == "churn.span") {
+      ++churn;
+      tids.insert(s.tid);
+    }
+  }
+  EXPECT_EQ(churn, 32u);
+  // Sequential churn reuses parked rings instead of minting new ids.
+  EXPECT_LE(tids.size(), 4u);
+}
+
+TEST_F(TraceFixture, ChromeTraceExportIsWellFormed) {
+  {
+    trace::TraceIdScope scope(0x2a);
+    SHE_TRACE_SPAN("chrome \"quoted\"\n", "test");
+  }
+  std::ostringstream os;
+  trace::export_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"trace_id\":\"0x2a\""), std::string::npos);
+  // The name's quote and newline must arrive escaped (control characters
+  // go out as \u00XX).
+  EXPECT_NE(text.find("chrome \\\"quoted\\\"\\u000a"), std::string::npos);
+  // Structural sanity: balanced braces/brackets outside strings.
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+    } else if (ch == '"') {
+      in_str = true;
+    } else if (ch == '{' || ch == '[') {
+      ++depth;
+    } else if (ch == '}' || ch == ']') {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_str);
+}
+
+TEST_F(TraceFixture, TickClockIsMonotoneAndCalibrated) {
+  const std::uint64_t a = trace::now_ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const std::uint64_t b = trace::now_ticks();
+  ASSERT_GT(b, a);
+  const std::uint64_t ns = trace::ticks_to_ns(b - a);
+  // 10ms sleep must convert to something in [5ms, 500ms] — generous
+  // bounds, but a mis-calibrated clock is off by orders of magnitude.
+  EXPECT_GT(ns, 5'000'000u);
+  EXPECT_LT(ns, 500'000'000u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <csignal>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "server/http.hpp"
 #include "server/pipeline_manager.hpp"
 #include "server/protocol.hpp"
+#include "obs/trace.hpp"
+#include "runtime/runtime_stats.hpp"
 
 namespace she::server {
 namespace {
@@ -89,6 +92,36 @@ TEST(Wire, OpcodeValidation) {
 }
 
 // ------------------------------ spec parser --------------------------------
+
+TEST(Wire, TraceHeaderParsesAndStrips) {
+  // [0xF5][u64 id] before the body; read_trace_header consumes it only
+  // when present and whole.
+  std::vector<char> framed;
+  framed.push_back(static_cast<char>(kTraceHeader));
+  const std::uint64_t id = 0x1122334455667788ull;
+  for (int b = 0; b < 8; ++b)
+    framed.push_back(static_cast<char>((id >> (8 * b)) & 0xff));
+  framed.push_back(static_cast<char>(Op::kPing));
+  WireReader r(framed);
+  EXPECT_EQ(read_trace_header(r), id);
+  EXPECT_EQ(op_from(r.u8()), Op::kPing);
+  r.expect_done();
+  EXPECT_EQ(opcode_offset(framed), 9u);
+
+  // Untraced bodies are untouched.
+  const char plain[] = {static_cast<char>(Op::kPing)};
+  WireReader p({plain, 1});
+  EXPECT_EQ(read_trace_header(p), 0u);
+  EXPECT_EQ(op_from(p.u8()), Op::kPing);
+  EXPECT_EQ(opcode_offset({plain, 1}), 0u);
+
+  // A 0xF5 first byte without the full 9 bytes is not a trace header.
+  const char runt[] = {static_cast<char>(kTraceHeader), 1, 2};
+  WireReader q({runt, 3});
+  EXPECT_EQ(read_trace_header(q), 0u);
+  EXPECT_EQ(q.remaining(), 3u);  // nothing consumed
+  EXPECT_EQ(opcode_offset({runt, 3}), 0u);
+}
 
 TEST(SpecParser, DefaultsAndOverrides) {
   const PipelineSpec def = parse_sketch_spec("");
@@ -453,6 +486,185 @@ TEST(Server, JaccardAcrossPipelines) {
   EXPECT_LT(j, 0.45);
   // Self-similarity is exactly 1.
   EXPECT_EQ(c.query_jaccard("a", "a"), 1.0);
+}
+
+// --------------------------- tracing / healthz -----------------------------
+
+/// Body of an HTTP response (everything after the blank line).
+std::string http_body(const std::string& resp) {
+  const std::size_t at = resp.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : resp.substr(at + 4);
+}
+
+/// Restores the process-wide tracing toggle (a --trace server flips it on).
+struct TraceToggleGuard {
+  ~TraceToggleGuard() {
+    obs::trace::set_enabled(false);
+    obs::trace::reset();
+  }
+};
+
+TEST(Server, HealthzReportsBuildAndSchema) {
+  LiveServer live;
+  const std::string resp = http_get(live.server.http_port(), "/healthz");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  const std::string body = http_body(resp);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(body.find("\"schema_version\":" +
+                      std::to_string(runtime::RuntimeStats::kSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"compiler\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"tracing\":false"), std::string::npos);
+  EXPECT_NE(body.find("\"pipelines\":0"), std::string::npos);
+
+  const std::string metrics =
+      http_body(http_get(live.server.http_port(), "/metrics"));
+  EXPECT_NE(metrics.find("she_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.find("version=\""), std::string::npos);
+  EXPECT_NE(metrics.find("compiler=\""), std::string::npos);
+}
+
+TEST(Server, TracedRequestsAcceptedWithTracingDisabled) {
+  // The trace header is a wire extension the server must strip whether or
+  // not span collection is on.
+  LiveServer live;
+  SheClient c = live.client();
+  c.set_trace_id(0x51);
+  c.ping();
+  c.create("compat", "window=4K memory=64K");
+  std::vector<std::uint64_t> keys(512);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  EXPECT_EQ(c.insert_bulk("compat", keys), keys.size());
+  c.flush("compat");
+  EXPECT_TRUE(c.query_membership("compat", 7));
+  EXPECT_TRUE(obs::trace::collect().empty());  // nothing recorded while off
+}
+
+TEST(Server, TraceEndpointShowsRequestPipelineAndEstimatorSpans) {
+  TraceToggleGuard guard;
+  ServerOptions opt;
+  opt.enable_tracing = true;
+  LiveServer live(std::move(opt));
+  obs::trace::reset();  // only this test's spans
+  SheClient c = live.client();
+  c.create("traced", "window=8K memory=128K shards=1");
+  const std::uint64_t id = 0xbeef;
+  c.set_trace_id(id);
+  std::vector<std::uint64_t> keys(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i % 1024;
+  // Several bulks: every drain sweep after the first adopts the id.
+  for (int round = 0; round < 4; ++round)
+    ASSERT_EQ(c.insert_bulk("traced", keys), keys.size());
+  c.flush("traced");
+  (void)c.query_cardinality("traced");
+  (void)c.query_membership("traced", 42);
+
+  const std::string resp =
+      http_get(live.server.http_port(), "/trace?ms=0");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  const std::string body = http_body(resp);
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+  // The traced request chain: server op over pipeline drain over the
+  // estimator batch, all tagged with the client's trace id.
+  EXPECT_NE(body.find("\"name\":\"insert_bulk\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"pipeline.push_bulk\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"pipeline.drain\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"estimator.insert_batch\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"query.shard_merge\""), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\":\"0xbeef\""), std::string::npos);
+
+  // The id crossed the push → drain thread hop into the estimator batch.
+  bool estimator_tagged = false;
+  for (const auto& s : obs::trace::collect()) {
+    if (s.trace_id == id &&
+        (std::string_view(s.name) == "estimator.insert_batch" ||
+         std::string_view(s.name) == "pipeline.drain")) {
+      estimator_tagged = true;
+    }
+  }
+  EXPECT_TRUE(estimator_tagged);
+
+  // Per-op duration histograms picked up the labeled requests.
+  const std::string metrics =
+      http_body(http_get(live.server.http_port(), "/metrics"));
+  EXPECT_NE(metrics.find("she_server_request_duration_ns_bucket{op=\"insert_"
+                         "bulk\",pipeline=\"traced\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("she_server_request_duration_ns_count{op=\"query\","
+                         "pipeline=\"traced\""),
+            std::string::npos);
+}
+
+TEST(Server, SlowRequestCounterAndWindowedTrace) {
+  TraceToggleGuard guard;
+  ServerOptions opt;
+  opt.enable_tracing = true;
+  opt.slow_request_ms = 1;  // a 200k-key bulk parse + push is well past 1ms
+  LiveServer live(std::move(opt));
+  SheClient c = live.client();
+  c.create("slow", "window=16K memory=256K");
+  std::vector<std::uint64_t> keys(200'000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  ASSERT_EQ(c.insert_bulk("slow", keys), keys.size());
+  c.flush("slow");
+  const std::string metrics =
+      http_body(http_get(live.server.http_port(), "/metrics"));
+  const std::size_t at = metrics.find("she_server_slow_requests_total ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(metrics[metrics.find_first_not_of(' ', at + 31)], '0');
+
+  // A tiny window still yields valid (possibly near-empty) trace JSON.
+  const std::string body =
+      http_body(http_get(live.server.http_port(), "/trace?ms=1"));
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(Server, ConcurrentScrapesWhileIngesting) {
+  TraceToggleGuard guard;
+  ServerOptions opt;
+  opt.enable_tracing = true;
+  LiveServer live(std::move(opt));
+  {
+    SheClient setup = live.client();
+    setup.create("scrape", "window=8K memory=128K shards=2");
+  }
+  std::atomic<bool> stop{false};
+  std::thread ingester([&] {
+    SheClient c = live.client();
+    c.set_trace_id(0x77);
+    std::vector<std::uint64_t> keys(2048);
+    for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)c.insert_bulk("scrape", keys);
+    }
+  });
+  std::vector<std::thread> scrapers;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        const char* target = t == 0   ? "/metrics"
+                             : t == 1 ? "/healthz"
+                                      : "/trace?ms=100";
+        const std::string resp = http_get(live.server.http_port(), target);
+        if (resp.find("200 OK") == std::string::npos) bad.fetch_add(1);
+        if (t == 0 &&
+            resp.find("she_server_requests_total") == std::string::npos) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& s : scrapers) s.join();
+  stop.store(true);
+  ingester.join();
+  EXPECT_EQ(bad.load(), 0);
 }
 
 TEST(Server, SigtermCheckpointsRestartAnswersIdentically) {

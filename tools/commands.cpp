@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/checkpoint.hpp"
+#include "obs/trace.hpp"
 #include "server/client.hpp"
+#include "server/server.hpp"
 #include "common/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -584,6 +586,10 @@ int cmd_client(const ArgMap& args, std::ostream& out) {
   };
 
   server::SheClient client(host, port);
+  // Optional trace correlation: every request this invocation sends is
+  // prefixed with the trace-header wire extension carrying this id, so a
+  // server running with --trace attributes the spans to it.
+  if (args.has("trace-id")) client.set_trace_id(args.get_u64("trace-id", 0));
   if (op == "ping") {
     reject_unused(args);
     client.ping();
@@ -676,6 +682,64 @@ int cmd_client(const ArgMap& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_trace(const ArgMap& args, std::ostream& out) {
+  // Traced end-to-end replay: run an in-process she_server with tracing
+  // on, drive it over the real wire protocol (trace-id headers and all),
+  // and export everything the span rings captured as Chrome trace-event
+  // JSON.  Load the result in chrome://tracing or Perfetto to see each
+  // request's server op over the pipeline drains and estimator batches it
+  // caused.
+  const std::string out_path = args.get("out", "trace.json");
+  const std::uint64_t count = args.get_u64("count", 1u << 16);
+  const std::uint64_t queries = args.get_u64("queries", 8);
+  const std::string spec = args.get("spec", "");
+  reject_unused(args);
+
+  std::vector<obs::trace::CollectedSpan> spans;
+  {
+    server::ServerOptions opt;
+    opt.port = 0;       // ephemeral; nothing else should connect
+    opt.http_port = -1;
+    opt.enable_tracing = true;
+    server::SheServer server(std::move(opt));
+    server.start();
+    server::SheClient client("127.0.0.1", server.port());
+    std::uint64_t trace_id = 1;
+    client.set_trace_id(trace_id++);
+    client.create("traced", spec);
+    std::vector<std::uint64_t> chunk;
+    for (std::uint64_t i = 0; i < count;) {
+      chunk.clear();
+      const std::uint64_t n = std::min<std::uint64_t>(count - i, 8192);
+      for (std::uint64_t j = 0; j < n; ++j, ++i) chunk.push_back(i);
+      client.set_trace_id(trace_id++);
+      client.insert_bulk("traced", chunk);
+    }
+    client.set_trace_id(trace_id++);
+    client.flush("traced");
+    for (std::uint64_t q = 0; q < queries; ++q) {
+      client.set_trace_id(trace_id++);
+      (void)client.query_cardinality("traced");
+      client.set_trace_id(trace_id++);
+      (void)client.query_topk("traced", 8);
+      client.set_trace_id(trace_id++);
+      (void)client.query_membership("traced", q);
+    }
+    server.request_stop();
+    server.stop();  // final drains land in the rings before collection
+    spans = obs::trace::collect(0);
+  }
+  obs::trace::set_enabled(false);  // in-process callers must not inherit
+  obs::trace::reset();
+
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot write '" + out_path + "'");
+  obs::trace::write_chrome_trace(os, spans);
+  out << "wrote " << out_path << " (" << spans.size() << " spans, "
+      << count << " keys, " << 3 * queries << " queries)\n";
+  return 0;
+}
+
 std::string usage() {
   return
       "she_tool — sliding-window stream mining (SHE framework)\n"
@@ -723,8 +787,13 @@ std::string usage() {
       "               [--spec \"window=64K shards=2 ...\"] [--key K]\n"
       "               [--count N --key-base B --distinct D]\n"
       "               [--type membership|frequency|cardinality|topk|jaccard]\n"
-      "               [--k N] [--other NAME]\n"
-      "               (drive a running she_server over its binary protocol)\n"
+      "               [--k N] [--other NAME] [--trace-id ID]\n"
+      "               (drive a running she_server over its binary protocol;\n"
+      "               --trace-id tags requests for a --trace'd server)\n"
+      "  trace        [--out FILE (default trace.json)] [--count N]\n"
+      "               [--queries N] [--spec \"window=64K ...\"]\n"
+      "               (traced in-process server replay; writes Chrome\n"
+      "               trace-event JSON for chrome://tracing / Perfetto)\n"
       "\n"
       "sizes accept K/M/G suffixes (binary), e.g. --memory 64K\n"
       "every command also accepts --trace-text FILE (one key per line;\n"
@@ -749,6 +818,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
     if (cmd == "metrics") return cmd_metrics(args, out);
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "client") return cmd_client(args, out);
+    if (cmd == "trace") return cmd_trace(args, out);
     if (cmd == "help" || cmd == "--help") {
       out << usage();
       return 0;

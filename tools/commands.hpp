@@ -34,6 +34,7 @@ int cmd_pipeline(const ArgMap& args, std::ostream& out);
 int cmd_metrics(const ArgMap& args, std::ostream& out);
 int cmd_info(const ArgMap& args, std::ostream& out);
 int cmd_client(const ArgMap& args, std::ostream& out);
+int cmd_trace(const ArgMap& args, std::ostream& out);
 
 /// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown
 /// or missing subcommands.

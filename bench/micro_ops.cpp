@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "baselines/cvs.hpp"
+#include "common/simd.hpp"
 #include "baselines/ecm.hpp"
 #include "baselines/shll.hpp"
 #include "baselines/swamp.hpp"
@@ -230,6 +231,49 @@ void BM_SheMinHashInsertBatch(benchmark::State& state) {
 BENCHMARK(BM_SheMinHashInsertBatch)->Arg(64)->Arg(256);
 // ---- end scalar-vs-batch pairs --------------------------------------------
 
+// ---- simd-vs-scalar batch pairs -------------------------------------------
+// The same insert_batch loops with the SIMD stage 1 forced off, so the
+// *InsertBatch / *InsertBatchScalar gap isolates the vectorized front-end
+// (hashing + mark staging) from the batching/prefetch win the pair above
+// already measures.  BENCH_micro.json joins them as simd_speedup; CI
+// guards SHE-BF and SHE-CM at >= 2x on AVX2 runners.
+
+void BM_SheBloomInsertBatchScalar(benchmark::State& state) {
+  const simd::ScopedForceScalar scalar_only;
+  SheBloomFilter bf = large_bloom(state.range(0));
+  drive_batch_inserts(state, bf);
+}
+BENCHMARK(BM_SheBloomInsertBatchScalar)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_SheBitmapInsertBatchScalar(benchmark::State& state) {
+  const simd::ScopedForceScalar scalar_only;
+  SheBitmap bm = large_bitmap(state.range(0));
+  drive_batch_inserts(state, bm);
+}
+BENCHMARK(BM_SheBitmapInsertBatchScalar)->Arg(20)->Arg(24)->Arg(26);
+
+void BM_SheHllInsertBatchScalar(benchmark::State& state) {
+  const simd::ScopedForceScalar scalar_only;
+  SheHyperLogLog hll = large_hll(state.range(0));
+  drive_batch_inserts(state, hll);
+}
+BENCHMARK(BM_SheHllInsertBatchScalar)->Arg(11)->Arg(20);
+
+void BM_SheCmInsertBatchScalar(benchmark::State& state) {
+  const simd::ScopedForceScalar scalar_only;
+  SheCountMin cm = large_cm(state.range(0));
+  drive_batch_inserts(state, cm);
+}
+BENCHMARK(BM_SheCmInsertBatchScalar)->Arg(18)->Arg(22)->Arg(24)->Arg(26);
+
+void BM_SheMinHashInsertBatchScalar(benchmark::State& state) {
+  const simd::ScopedForceScalar scalar_only;
+  SheMinHash mh = large_minhash(state.range(0));
+  drive_batch_inserts(state, mh);
+}
+BENCHMARK(BM_SheMinHashInsertBatchScalar)->Arg(64)->Arg(256);
+// ---- end simd-vs-scalar batch pairs ---------------------------------------
+
 // ---- tracing overhead pair ------------------------------------------------
 // Identical batched SHE-CM insert loops: the baseline has no trace macro at
 // all, the TraceOff side runs SHE_TRACE_SPAN per chunk with tracing
@@ -430,6 +474,39 @@ void write_micro_json(const std::vector<MicroJsonCollector::Row>& rows,
        << ",\"speedup\":" << b.items_per_sec / s->items_per_sec << "}";
   }
   os << "]";
+  // SIMD-vs-scalar pairs: "BM_<Est>InsertBatch/<arg>" (native dispatch)
+  // against "BM_<Est>InsertBatchScalar/<arg>" (ScopedForceScalar), best-of
+  // across repetitions on both sides like the trace pair below.
+  os << ",\"simd_speedup\":[";
+  first = true;
+  std::vector<std::string> emitted;  // one pair per name across repetitions
+  for (const auto& b : rows) {
+    const std::size_t tag = b.name.find(batch_tag);
+    if (tag == std::string::npos) continue;
+    if (std::find(emitted.begin(), emitted.end(), b.name) != emitted.end())
+      continue;
+    emitted.push_back(b.name);
+    std::string scalar_name = b.name;
+    scalar_name.replace(tag, batch_tag.size() - 1, "InsertBatchScalar");
+    double native = b.items_per_sec, forced = 0;
+    for (const auto& r : rows) {
+      if (r.name == b.name) native = std::max(native, r.items_per_sec);
+      if (r.name == scalar_name) forced = std::max(forced, r.items_per_sec);
+    }
+    if (forced <= 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"estimator\":\"" << b.name.substr(3, tag - 3)
+       << "\",\"arg\":" << b.name.substr(tag + batch_tag.size())
+       << ",\"forced_scalar_items_per_sec\":" << forced
+       << ",\"simd_items_per_sec\":" << native
+       << ",\"speedup\":" << native / forced << "}";
+  }
+  os << "]";
+  // Which backend the vector kernels dispatched to while these numbers were
+  // taken — a speedup row is only meaningful alongside its ISA.
+  os << ",\"simd\":{\"isa\":\"" << simd::active_isa_name()
+     << "\",\"force_scalar\":" << (simd::force_scalar_env() ? 1 : 0) << "}";
   // Best-of across repetitions: throughput noise is one-sided (slowdowns
   // from scheduler/cache interference), so max-of-N estimates the true
   // rate on both sides and keeps the overhead comparison from reporting

@@ -1,6 +1,8 @@
 // Build metadata surfaced by /healthz and the she_build_info gauge.
 #pragma once
 
+#include "common/simd.hpp"
+
 namespace she {
 
 /// Project version as configured by CMake (SHE_VERSION), or "dev" for
@@ -22,6 +24,17 @@ namespace she {
 #else
   return "unknown";
 #endif
+}
+
+/// SIMD ISA the hot-path kernels dispatch to right now ("avx2", "neon",
+/// "scalar").  Reflects SHE_FORCE_SCALAR and programmatic overrides.
+[[nodiscard]] inline const char* build_simd_isa() noexcept {
+  return simd::active_isa_name();
+}
+
+/// "1" when SHE_FORCE_SCALAR pinned the scalar path from the environment.
+[[nodiscard]] inline const char* build_force_scalar() noexcept {
+  return simd::force_scalar_env() ? "1" : "0";
 }
 
 }  // namespace she

@@ -55,4 +55,45 @@ constexpr unsigned log2_pow2(std::uint64_t v) {
   return static_cast<unsigned>(std::countr_zero(v));
 }
 
+/// Division and modulo by a runtime-constant 32-bit divisor without a divide
+/// instruction (Lemire, Kaser & Kurz, "Faster remainder by direct
+/// computation").  Precompute once per estimator (`d` = cells or group
+/// width), then each `div`/`mod` is two multiplies — this is what keeps the
+/// vector slot-staging loops free of per-probe `udiv`.
+///
+/// Exact for every n, d in [0, 2^32): with M = floor(2^64 / d) + 1,
+///   n / d == mulhi64(M, n)  and  n % d == mulhi64(M * n, d).
+/// d == 1 is special-cased because its magic constant would wrap to zero.
+struct FastDiv32 {
+  std::uint64_t magic = 0;
+  std::uint32_t d = 1;
+
+  FastDiv32() = default;
+  constexpr explicit FastDiv32(std::uint32_t divisor) : d(divisor) {
+    if (d > 1) magic = ~std::uint64_t{0} / d + 1;
+  }
+
+  static constexpr std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b) {
+#if defined(__SIZEOF_INT128__)
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+#else
+    // Portable 64x64->high-64 via 32-bit halves (no platform in CI hits this).
+    const std::uint64_t al = a & 0xFFFFFFFFu, ah = a >> 32;
+    const std::uint64_t bl = b & 0xFFFFFFFFu, bh = b >> 32;
+    const std::uint64_t mid = ah * bl + ((al * bl) >> 32);
+    const std::uint64_t mid2 = al * bh + (mid & 0xFFFFFFFFu);
+    return ah * bh + (mid >> 32) + (mid2 >> 32);
+#endif
+  }
+
+  [[nodiscard]] constexpr std::uint32_t div(std::uint32_t n) const {
+    return d == 1 ? n : static_cast<std::uint32_t>(mulhi64(magic, n));
+  }
+
+  [[nodiscard]] constexpr std::uint32_t mod(std::uint32_t n) const {
+    return d == 1 ? 0 : static_cast<std::uint32_t>(mulhi64(magic * n, d));
+  }
+};
+
 }  // namespace she

@@ -15,30 +15,6 @@ PackedArray::PackedArray(std::size_t count, unsigned bits_per_cell)
     throw std::invalid_argument("PackedArray: bits_per_cell must be in [1,64]");
 }
 
-std::uint64_t PackedArray::get(std::size_t i) const {
-  if (i >= count_) throw std::out_of_range("PackedArray::get");
-  std::size_t bitpos = i * bits_;
-  std::size_t w = bitpos >> 6;
-  unsigned off = bitpos & 63;
-  std::uint64_t v = words_[w] >> off;
-  if (off + bits_ > 64) v |= words_[w + 1] << (64 - off);
-  return v & mask_;
-}
-
-void PackedArray::set(std::size_t i, std::uint64_t v) {
-  if (i >= count_) throw std::out_of_range("PackedArray::set");
-  v &= mask_;
-  std::size_t bitpos = i * bits_;
-  std::size_t w = bitpos >> 6;
-  unsigned off = bitpos & 63;
-  words_[w] = (words_[w] & ~(mask_ << off)) | (v << off);
-  if (off + bits_ > 64) {
-    unsigned spill = off + bits_ - 64;
-    std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
-    words_[w + 1] = (words_[w + 1] & ~spill_mask) | (v >> (bits_ - spill));
-  }
-}
-
 void PackedArray::add_saturating(std::size_t i, std::uint64_t delta) {
   std::uint64_t v = get(i);
   std::uint64_t room = mask_ - v;

@@ -47,11 +47,33 @@ class PackedArray {
 #endif
   }
 
-  /// Read cell `i`.
-  [[nodiscard]] std::uint64_t get(std::size_t i) const;
+  /// Read cell `i`.  Inline: the GroupClock mark probe sits on the insert
+  /// hot path (one read per hashed cell), where an out-of-line call would
+  /// cost more than the extraction itself.
+  [[nodiscard]] std::uint64_t get(std::size_t i) const {
+    if (i >= count_) throw std::out_of_range("PackedArray::get");
+    std::size_t bitpos = i * bits_;
+    std::size_t w = bitpos >> 6;
+    unsigned off = bitpos & 63;
+    std::uint64_t v = words_[w] >> off;
+    if (off + bits_ > 64) v |= words_[w + 1] << (64 - off);
+    return v & mask_;
+  }
 
   /// Write cell `i`; `v` must fit in the cell width.
-  void set(std::size_t i, std::uint64_t v);
+  void set(std::size_t i, std::uint64_t v) {
+    if (i >= count_) throw std::out_of_range("PackedArray::set");
+    v &= mask_;
+    std::size_t bitpos = i * bits_;
+    std::size_t w = bitpos >> 6;
+    unsigned off = bitpos & 63;
+    words_[w] = (words_[w] & ~(mask_ << off)) | (v << off);
+    if (off + bits_ > 64) {
+      unsigned spill = off + bits_ - 64;
+      std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
+      words_[w + 1] = (words_[w + 1] & ~spill_mask) | (v >> (bits_ - spill));
+    }
+  }
 
   /// Saturating increment of cell `i` by `delta` (clamps at max_value()).
   void add_saturating(std::size_t i, std::uint64_t delta = 1);

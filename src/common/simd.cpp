@@ -1,0 +1,68 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace she::simd {
+namespace {
+
+Isa detect() noexcept {
+#if defined(__aarch64__)
+  // NEON is baseline on AArch64; no runtime probe needed.
+  return Isa::kNeon;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") ? Isa::kAvx2 : Isa::kScalar;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+bool env_force_scalar() noexcept {
+  const char* v = std::getenv("SHE_FORCE_SCALAR");
+  if (v == nullptr || *v == '\0') return false;
+  // "0", "false", "off" (any case) mean "not forced"; anything else forces.
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
+
+// Both are computed exactly once; the env read is hoisted into a magic
+// static so a later setenv() in the same process cannot make two call sites
+// disagree about the configuration.
+std::atomic<bool>& force_flag() noexcept {
+  static std::atomic<bool> flag{env_force_scalar()};
+  return flag;
+}
+
+}  // namespace
+
+Isa detected_isa() noexcept {
+  static const Isa isa = detect();
+  return isa;
+}
+
+bool force_scalar() noexcept {
+  return force_flag().load(std::memory_order_relaxed);
+}
+
+bool force_scalar_env() noexcept {
+  static const bool env = env_force_scalar();
+  return env;
+}
+
+void set_force_scalar(bool on) noexcept {
+  force_flag().store(on, std::memory_order_relaxed);
+}
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+}  // namespace she::simd

@@ -1,0 +1,60 @@
+// Lane-parallel hash kernels behind the same seeded interfaces as
+// common/bobhash.hpp.
+//
+// Every kernel is *bit-identical* to its scalar reference:
+//
+//   bobhash32_keys(keys, n, seed, out)   out[i] == BobHash32(seed)(keys[i])
+//   bobhash32_seeds(key, seed0, n, out)  out[i] == BobHash32(seed0 + i)(key)
+//   hash64_keys(keys, n, seed, out)      out[i] == hash64(keys[i], seed)
+//
+// The identity holds because an 8-byte key hits exactly one lookup2 mix()
+// round (a = 0x9e3779b9 + lo32, b = 0x9e3779b9 + hi32, c = seed + 8), which
+// is pure 32-bit sub/xor/shift — the same ops in every lane.  Differential
+// tests assert the equality exhaustively; estimator state produced through
+// either path serializes identically.
+//
+// Dispatch (AVX2 / NEON / scalar) happens per call via simd::active_isa();
+// a call covers a whole block of keys, so the dispatch branch is amortized.
+// The scalar fallback simply loops over the reference implementations, which
+// is also the path taken under SHE_FORCE_SCALAR=1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/int_math.hpp"
+
+namespace she::simd {
+
+/// out[i] = BobHash32(seed)(keys[i]) for i in [0, n).
+void bobhash32_keys(const std::uint64_t* keys, std::size_t n,
+                    std::uint32_t seed, std::uint32_t* out) noexcept;
+
+/// out[i] = BobHash32(seed0 + i)(key) for i in [0, n) — the MinHash shape,
+/// where one key is hashed under many consecutive seeds.
+void bobhash32_seeds(std::uint64_t key, std::uint32_t seed0, std::size_t n,
+                     std::uint32_t* out) noexcept;
+
+/// out[b * k + h] = BobHash32(seed0 + h)(keys[b]) for b in [0, n), h in
+/// [0, k) — the k-probe insert shape, key-major.  One call hashes a whole
+/// block across every probe seed (the seed axis vectorizes per key), so the
+/// per-call dispatch cost is paid once per block instead of once per probe.
+void bobhash32_keys_multi(const std::uint64_t* keys, std::size_t n,
+                          std::uint32_t seed0, unsigned k,
+                          std::uint32_t* out) noexcept;
+
+/// out[i] = hash64(keys[i], seed) for i in [0, n).  (On NEON this runs the
+/// scalar loop: SplitMix64 needs a 64x64 multiply that NEON lacks.)
+void hash64_keys(const std::uint64_t* keys, std::size_t n, std::uint64_t seed,
+                 std::uint64_t* out) noexcept;
+
+/// pos[i] = mod_cells.mod(h[i]); gid[i] = div_group.div(pos[i]) for i in
+/// [0, n) — the hash -> cell -> group reduction every estimator stage runs
+/// after a hash sweep.  Bit-identical to the scalar FastDiv32 calls (which
+/// are themselves exact), vectorized 8-wide under AVX2 via the same
+/// half-word product decomposition FastDiv32 documents.
+void positions_groups(const std::uint32_t* h, std::size_t n,
+                      FastDiv32 mod_cells, FastDiv32 div_group,
+                      std::uint32_t* pos, std::uint32_t* gid) noexcept;
+
+}  // namespace she::simd

@@ -11,6 +11,7 @@ namespace she::obs::trace {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+thread_local bool t_suppress = false;
 }  // namespace detail
 
 // ----------------------------------------------------------------- clock --
@@ -203,7 +204,7 @@ SpanRing& thread_ring() {
 
 void record(const char* name, const char* cat, std::uint64_t start_ticks,
             std::uint64_t end_ticks, std::uint64_t trace_id) noexcept {
-  if (!enabled()) return;
+  if (!enabled() || suppressed()) return;
   Span s;
   s.name = name;
   s.cat = cat;

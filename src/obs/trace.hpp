@@ -41,6 +41,7 @@ namespace she::obs::trace {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern thread_local bool t_suppress;
 }  // namespace detail
 
 /// Is span collection on?  SHE_TRACE_SPAN checks this first; when false
@@ -49,9 +50,31 @@ extern std::atomic<bool> g_enabled;
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
+/// Is this thread inside a SuppressScope (an unsampled request)?  Only
+/// consulted after enabled() passes, so the tracing-off fast path stays
+/// one relaxed load + branch.
+[[nodiscard]] inline bool suppressed() noexcept { return detail::t_suppress; }
+
 /// Flip span collection (any thread, any time).  Spans already recorded
 /// stay in their rings until overwritten or reset().
 void set_enabled(bool on) noexcept;
+
+/// RAII: hide the calling thread's spans while in scope.  The server's
+/// 1-in-N request sampler wraps unsampled requests in one of these; every
+/// SHE_TRACE_SPAN below (dispatch, pipeline push, estimator batch) then
+/// records nothing, at the cost of one thread-local read per span start.
+class SuppressScope {
+ public:
+  SuppressScope() noexcept : prev_(detail::t_suppress) {
+    detail::t_suppress = true;
+  }
+  ~SuppressScope() { detail::t_suppress = prev_; }
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+
+ private:
+  bool prev_;
+};
 
 // ----------------------------------------------------------------- clock --
 
@@ -178,7 +201,7 @@ class TraceIdScope {
 class SpanGuard {
  public:
   SpanGuard(const char* name, const char* cat) noexcept {
-    if (enabled()) {
+    if (enabled() && !suppressed()) {
       name_ = name;
       cat_ = cat;
       start_ = now_ticks();

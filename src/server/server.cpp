@@ -126,7 +126,10 @@ SheServer::SheServer(ServerOptions opt)
   registry_
       .gauge("she_build_info",
              "constant 1; build metadata carried in the labels",
-             {{"version", build_version()}, {"compiler", build_compiler()}})
+             {{"version", build_version()},
+              {"compiler", build_compiler()},
+              {"simd", build_simd_isa()},
+              {"force_scalar", build_force_scalar()}})
       .set(1);
   for (std::uint8_t raw = static_cast<std::uint8_t>(Op::kPing);
        raw <= static_cast<std::uint8_t>(Op::kShutdown); ++raw) {
@@ -348,11 +351,27 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
         break;
       }
       const bool tracing = obs::trace::enabled();
+      // 1-in-N request sampling: unsampled requests run their dispatch
+      // under a SuppressScope, so every span on this handler thread (the
+      // op span and any inline estimator work) is skipped.  Spans recorded
+      // by pipeline drain threads are tied to the client trace id, not
+      // this thread, and are not sampled here.
+      const bool sampled =
+          !tracing || opt_.trace_sample <= 1 ||
+          request_seq_.fetch_add(1, std::memory_order_relaxed) %
+                  opt_.trace_sample ==
+              0;
       const obs::trace::ThreadCursor cursor =
           tracing ? obs::trace::thread_cursor() : obs::trace::ThreadCursor{};
       const Clock::time_point t0 = Clock::now();
       OpInfo info;
-      const std::vector<char> resp = dispatch(body, info);
+      std::vector<char> resp;
+      if (sampled) {
+        resp = dispatch(body, info);
+      } else {
+        const obs::trace::SuppressScope mute;
+        resp = dispatch(body, info);
+      }
       const std::uint64_t ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                t0)
@@ -467,7 +486,10 @@ std::string SheServer::render_healthz() const {
      << ",\"schema_version\":" << runtime::RuntimeStats::kSchemaVersion
      << ",\"version\":\"" << obs::json_escape(build_version())
      << "\",\"compiler\":\"" << obs::json_escape(build_compiler())
-     << "\",\"tracing\":" << (obs::trace::enabled() ? "true" : "false")
+     << "\",\"simd\":\"" << obs::json_escape(build_simd_isa())
+     << "\",\"force_scalar\":" << build_force_scalar()
+     << ",\"tracing\":" << (obs::trace::enabled() ? "true" : "false")
+     << ",\"trace_sample\":" << (opt_.trace_sample == 0 ? 1 : opt_.trace_sample)
      << ",\"pipelines\":" << manager_.size() << "}\n";
   return os.str();
 }

@@ -42,6 +42,7 @@ struct ServerOptions {
   std::size_t max_connections = 256;  ///< concurrent protocol connections
   std::size_t flush_timeout_ms = 10000;  ///< FLUSH/SAVE barrier bound
   bool enable_tracing = false;  ///< span collection on from start()
+  std::size_t trace_sample = 1;  ///< trace 1 in N requests; 1 = all, 0 = all
   std::size_t slow_request_ms = 0;  ///< log requests slower than this; 0 = off
   PipelineManager::Options manager;
 };
@@ -159,6 +160,7 @@ class SheServer {
   obs::Gauge* pipelines_gauge_;
   obs::Counter* slow_requests_;
   std::map<Op, obs::Counter*> requests_by_op_;
+  std::atomic<std::uint64_t> request_seq_{0};  ///< 1-in-N trace sampler
   std::atomic<std::int64_t> last_slow_log_ns_{0};
   std::int64_t start_steady_ns_ = 0;  ///< for /healthz uptime
 };

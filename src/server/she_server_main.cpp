@@ -36,6 +36,8 @@ void usage(std::ostream& os) {
         "  --trace                collect request/pipeline spans; export "
         "via\n"
         "                         GET /trace[?ms=N] (Chrome trace JSON)\n"
+        "  --trace-sample N       with --trace, record spans for 1 in N\n"
+        "                         requests (default 1 = every request)\n"
         "  --slow-ms N            log requests slower than N ms with a "
         "span\n"
         "                         breakdown (default 0 = off)\n"
@@ -120,6 +122,12 @@ int main(int argc, char** argv) {
       opt.flush_timeout_ms = u;
     } else if (arg == "--trace") {
       opt.enable_tracing = true;
+    } else if (arg == "--trace-sample") {
+      if (!parse_u64(value(), &u) || u == 0) {
+        std::cerr << "she_server: bad --trace-sample (want >= 1)\n";
+        return 2;
+      }
+      opt.trace_sample = u;
     } else if (arg == "--slow-ms") {
       if (!parse_u64(value(), &u)) {
         std::cerr << "she_server: bad --slow-ms\n";

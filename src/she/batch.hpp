@@ -125,6 +125,71 @@ void pipelined(std::span<const std::uint64_t> keys, unsigned k,
   }
 }
 
+/// Block-stage variant of pipelined(): stage 1 receives the whole block
+/// (`stage(begin, n, out)` must fill out[0 .. n*k) key-major and issue its
+/// own prefetches) instead of one (key, probe) at a time.  This is the entry
+/// point for the SIMD front-end — a lane-parallel stage hashes 8–16 keys per
+/// instruction and precomputes GroupClock marks division-free — while stage 2
+/// (tick + apply, the part that mutates cells in arrival order) remains the
+/// exact scalar loop, so observable state is identical whichever stage-1
+/// implementation ran.  Double-buffering is unchanged.
+template <typename StageFn, typename TickFn, typename ApplyFn>
+void pipelined_blocks(std::span<const std::uint64_t> keys, unsigned k,
+                      std::vector<Slot>& scratch, StageFn&& stage,
+                      TickFn&& tick, ApplyFn&& apply) {
+  const std::size_t block = block_keys(k);
+  scratch.resize(2 * block * k);
+  const std::size_t nkeys = keys.size();
+
+  auto drain = [&](std::size_t begin, std::size_t n, const Slot* in) {
+    for (std::size_t b = 0; b < n; ++b) {
+      tick();
+      for (unsigned h = 0; h < k; ++h) apply(keys[begin + b], h, *in++);
+    }
+  };
+
+  std::size_t cur = 0;
+  std::size_t cur_n = std::min(block, nkeys);
+  std::size_t buf = 0;
+  if (cur_n > 0) stage(cur, cur_n, scratch.data());
+  while (cur < nkeys) {
+    const std::size_t next = cur + cur_n;
+    const std::size_t next_n = next < nkeys ? std::min(block, nkeys - next) : 0;
+    if (next_n > 0) stage(next, next_n, scratch.data() + (1 - buf) * block * k);
+    drain(cur, cur_n, scratch.data() + buf * block * k);
+    cur = next;
+    cur_n = next_n;
+    buf = 1 - buf;
+  }
+}
+
+/// Block-stage variant of pipelined_query(), same contract as
+/// pipelined_blocks(): `stage(begin, n, out)` fills n*k slots key-major,
+/// `eval(index, slots)` sees each key's k staged slots in arrival order.
+template <typename StageFn, typename EvalFn>
+void pipelined_query_blocks(std::span<const std::uint64_t> keys, unsigned k,
+                            std::vector<Slot>& scratch, StageFn&& stage,
+                            EvalFn&& eval) {
+  const std::size_t block = block_keys(k);
+  scratch.resize(2 * block * k);
+  const std::size_t nkeys = keys.size();
+
+  std::size_t cur = 0;
+  std::size_t cur_n = std::min(block, nkeys);
+  std::size_t buf = 0;
+  if (cur_n > 0) stage(cur, cur_n, scratch.data());
+  while (cur < nkeys) {
+    const std::size_t next = cur + cur_n;
+    const std::size_t next_n = next < nkeys ? std::min(block, nkeys - next) : 0;
+    if (next_n > 0) stage(next, next_n, scratch.data() + (1 - buf) * block * k);
+    const Slot* in = scratch.data() + buf * block * k;
+    for (std::size_t b = 0; b < cur_n; ++b) eval(cur + b, in + b * k);
+    cur = next;
+    cur_n = next_n;
+    buf = 1 - buf;
+  }
+}
+
 /// Read-side variant: stage and prefetch a block of probe positions, then
 /// hand each key's `k` staged slots to `eval` in arrival order.  Evaluation
 /// sees exactly the slots the scalar query would probe; only the memory

@@ -3,7 +3,12 @@
 #include <stdexcept>
 
 #include "common/int_math.hpp"
+#include "common/simd.hpp"
 #include "obs/she_metrics.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace she {
 
@@ -34,9 +39,11 @@ std::uint64_t GroupClock::age(std::size_t gid, std::uint64_t t) const {
 }
 
 bool GroupClock::touch(std::size_t gid, std::uint64_t t) {
-  std::uint64_t cur = current_mark(gid, t);
-  std::uint64_t stored = marks_.get(gid);
-  if (stored == cur) return false;
+  return touch_precomputed(gid, current_mark(gid, t));
+}
+
+void GroupClock::record_clean(std::size_t gid, std::uint64_t cur) {
+  const std::uint64_t stored = marks_.get(gid);
   marks_.set(gid, cur);
   if (obs::enabled()) {
     obs::SheMetrics& m = obs::she_metrics();
@@ -46,7 +53,230 @@ bool GroupClock::touch(std::size_t gid, std::uint64_t t) {
     // error of Sec. 5.1), so this undercounts precisely when that occurs.
     m.groupclock_mark_flips.inc((cur - stored) & marks_.max_value());
   }
-  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batch mark/age staging.  Scalar loops are the reference; the AVX2 kernels
+// compute the same (cycle - (s < 0)) & mask / s + (s < 0 ? T : 0) forms on
+// 4 x i64 lanes.  NEON dispatch intentionally uses the scalar loops: with
+// only 2 x i64 lanes, no gather, and division already hoisted out, the
+// vector form has nothing left to win.
+// ---------------------------------------------------------------------------
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+// Pack the low dword of each 64-bit lane into the lower 128 bits.
+__attribute__((target("avx2"), always_inline)) inline __m128i pack_low32(
+    __m256i v) {
+  const __m256i perm =
+      _mm256_permutevar8x32_epi32(v, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+  return _mm256_castsi256_si128(perm);
+}
+
+__attribute__((target("avx2"))) void stage_gather_avx2(
+    const std::int64_t* offsets, const std::uint32_t* gids, std::size_t n,
+    std::int64_t cycle, std::int64_t rem, std::int64_t tcycle,
+    std::uint64_t mask, std::uint32_t* curs, std::uint64_t* ages) noexcept {
+  const __m256i vrem = _mm256_set1_epi64x(rem);
+  const __m256i vcyc = _mm256_set1_epi64x(cycle);
+  const __m256i vtc = _mm256_set1_epi64x(tcycle);
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i idx = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(gids + i)));
+    const __m256i off = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(offsets), idx, 8);
+    const __m256i s = _mm256_add_epi64(vrem, off);
+    const __m256i neg = _mm256_cmpgt_epi64(zero, s);  // all-ones where s < 0
+    const __m256i cur =
+        _mm256_and_si256(_mm256_add_epi64(vcyc, neg), vmask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(curs + i), pack_low32(cur));
+    if (ages != nullptr) {
+      const __m256i age = _mm256_add_epi64(s, _mm256_and_si256(neg, vtc));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages + i), age);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int64_t s = rem + offsets[gids[i]];
+    curs[i] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(cycle - (s < 0 ? 1 : 0)) & mask);
+    if (ages != nullptr)
+      ages[i] = static_cast<std::uint64_t>(s < 0 ? s + tcycle : s);
+  }
+}
+
+__attribute__((target("avx2"))) void stage_range_avx2(
+    const std::int64_t* offsets, std::size_t first, std::size_t n,
+    std::int64_t cycle, std::int64_t rem, std::int64_t tcycle,
+    std::uint64_t mask, std::uint32_t* curs, std::uint64_t* ages) noexcept {
+  const __m256i vrem = _mm256_set1_epi64x(rem);
+  const __m256i vcyc = _mm256_set1_epi64x(cycle);
+  const __m256i vtc = _mm256_set1_epi64x(tcycle);
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i off = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(offsets + first + i));
+    const __m256i s = _mm256_add_epi64(vrem, off);
+    const __m256i neg = _mm256_cmpgt_epi64(zero, s);
+    const __m256i cur =
+        _mm256_and_si256(_mm256_add_epi64(vcyc, neg), vmask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(curs + i), pack_low32(cur));
+    if (ages != nullptr) {
+      const __m256i age = _mm256_add_epi64(s, _mm256_and_si256(neg, vtc));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ages + i), age);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int64_t s = rem + offsets[first + i];
+    curs[i] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(cycle - (s < 0 ? 1 : 0)) & mask);
+    if (ages != nullptr)
+      ages[i] = static_cast<std::uint64_t>(s < 0 ? s + tcycle : s);
+  }
+}
+
+__attribute__((target("avx2"))) void stage_ramp_avx2(
+    const std::int64_t* offsets, const std::uint32_t* gids, std::size_t n,
+    std::int64_t cycle, std::int64_t rem0, std::uint64_t mask,
+    std::uint32_t* curs) noexcept {
+  // Precondition (checked by the caller): rem0 + n <= tcycle, so lane i has
+  // rem0 + i in [0, tcycle) and s = rem0 + i + d in (-tcycle, tcycle).
+  const __m256i vcyc = _mm256_set1_epi64x(cycle);
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ramp = _mm256_setr_epi64x(0, 1, 2, 3);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i idx = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(gids + i)));
+    const __m256i off = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(offsets), idx, 8);
+    const __m256i vrem = _mm256_add_epi64(
+        _mm256_set1_epi64x(rem0 + static_cast<std::int64_t>(i)), ramp);
+    const __m256i s = _mm256_add_epi64(vrem, off);
+    const __m256i neg = _mm256_cmpgt_epi64(zero, s);
+    const __m256i cur =
+        _mm256_and_si256(_mm256_add_epi64(vcyc, neg), vmask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(curs + i), pack_low32(cur));
+  }
+  for (; i < n; ++i) {
+    const std::int64_t s = rem0 + static_cast<std::int64_t>(i) + offsets[gids[i]];
+    curs[i] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(cycle - (s < 0 ? 1 : 0)) & mask);
+  }
+}
+
+__attribute__((target("avx2"))) void stage_rep_avx2(
+    const std::int64_t* offsets, const std::uint32_t* gids, std::size_t nkeys,
+    unsigned k, std::int64_t cycle, std::int64_t rem0, std::uint64_t mask,
+    std::uint32_t* curs) noexcept {
+  // Precondition (checked by the caller): rem0 + nkeys <= tcycle, so key b
+  // runs at rem0 + b in [0, tcycle) and no lane wraps a cycle boundary.
+  const __m256i vcyc = _mm256_set1_epi64x(cycle);
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i zero = _mm256_setzero_si256();
+  for (std::size_t b = 0; b < nkeys; ++b) {
+    const std::int64_t rem = rem0 + static_cast<std::int64_t>(b);
+    const __m256i vrem = _mm256_set1_epi64x(rem);
+    const std::uint32_t* g = gids + b * k;
+    std::uint32_t* c = curs + b * k;
+    unsigned h = 0;
+    for (; h + 4 <= k; h += 4) {
+      const __m256i idx = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(g + h)));
+      const __m256i off = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(offsets), idx, 8);
+      const __m256i s = _mm256_add_epi64(vrem, off);
+      const __m256i neg = _mm256_cmpgt_epi64(zero, s);
+      const __m256i cur =
+          _mm256_and_si256(_mm256_add_epi64(vcyc, neg), vmask);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + h), pack_low32(cur));
+    }
+    for (; h < k; ++h) {
+      const std::int64_t s = rem + offsets[g[h]];
+      c[h] = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(cycle - (s < 0 ? 1 : 0)) & mask);
+    }
+  }
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+void GroupClock::stage_marks(const std::uint32_t* gids, std::size_t n,
+                             TimeParts p, std::uint32_t* curs,
+                             std::uint64_t* ages) const {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    stage_gather_avx2(offsets_.data(), gids, n, p.cycle, p.rem,
+                      static_cast<std::int64_t>(tcycle_), marks_.max_value(),
+                      curs, ages);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    curs[i] = static_cast<std::uint32_t>(current_mark_at(p, gids[i]));
+    if (ages != nullptr) ages[i] = age_at(p, gids[i]);
+  }
+}
+
+void GroupClock::stage_marks_range(std::size_t first, std::size_t n,
+                                   TimeParts p, std::uint32_t* curs,
+                                   std::uint64_t* ages) const {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    stage_range_avx2(offsets_.data(), first, n, p.cycle, p.rem,
+                     static_cast<std::int64_t>(tcycle_), marks_.max_value(),
+                     curs, ages);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    curs[i] = static_cast<std::uint32_t>(current_mark_at(p, first + i));
+    if (ages != nullptr) ages[i] = age_at(p, first + i);
+  }
+}
+
+void GroupClock::stage_marks_ramp(const std::uint32_t* gids, std::size_t n,
+                                  TimeParts p0, std::uint32_t* curs) const {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    stage_ramp_avx2(offsets_.data(), gids, n, p0.cycle, p0.rem,
+                    marks_.max_value(), curs);
+    return;
+  }
+#endif
+  TimeParts p = p0;
+  for (std::size_t i = 0; i < n; ++i) {
+    curs[i] = static_cast<std::uint32_t>(current_mark_at(p, gids[i]));
+    tick(p);
+  }
+}
+
+void GroupClock::stage_marks_rep(const std::uint32_t* gids, std::size_t nkeys,
+                                 unsigned k, TimeParts p0,
+                                 std::uint32_t* curs) const {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    stage_rep_avx2(offsets_.data(), gids, nkeys, k, p0.cycle, p0.rem,
+                   marks_.max_value(), curs);
+    return;
+  }
+#endif
+  TimeParts p = p0;
+  for (std::size_t b = 0; b < nkeys; ++b) {
+    for (unsigned h = 0; h < k; ++h) {
+      curs[b * k + h] = static_cast<std::uint32_t>(
+          current_mark_at(p, gids[b * k + h]));
+    }
+    tick(p);
+  }
 }
 
 void GroupClock::reset() {

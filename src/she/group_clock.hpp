@@ -76,6 +76,110 @@ class GroupClock {
   /// and return true — the caller must reset the group's cells.
   bool touch(std::size_t gid, std::uint64_t t);
 
+  // --- Division-free batch staging -----------------------------------------
+  //
+  // current_mark()/age() each cost one 64-bit division, which dominates the
+  // staged insert loop once hashing is vectorized.  The batch paths instead
+  // carry the time in decomposed form, t = cycle * Tcycle + rem with
+  // rem in [0, Tcycle): since every offset d_gid lies in (-Tcycle, 0],
+  // s = rem + d_gid lies in (-Tcycle, Tcycle) and
+  //
+  //     current_mark = (cycle - (s < 0 ? 1 : 0)) mod 2^mark_bits
+  //     age          = s < 0 ? s + Tcycle : s
+  //
+  // — one division per batch (in split()) instead of one per probe, and the
+  // per-probe part is pure add/compare/mask, which is what the AVX2 kernels
+  // below vectorize.  All of these produce bit-identical results to the
+  // division forms; tests/test_simd.cpp asserts it.
+
+  /// Time t decomposed as cycle * Tcycle + rem, rem in [0, Tcycle).
+  struct TimeParts {
+    std::int64_t cycle = 0;
+    std::int64_t rem = 0;
+  };
+
+  [[nodiscard]] TimeParts split(std::uint64_t t) const {
+    return {static_cast<std::int64_t>(t / tcycle_),
+            static_cast<std::int64_t>(t % tcycle_)};
+  }
+
+  /// Advance decomposed time by one item (t -> t + 1).
+  void tick(TimeParts& p) const {
+    if (++p.rem == static_cast<std::int64_t>(tcycle_)) {
+      p.rem = 0;
+      ++p.cycle;
+    }
+  }
+
+  /// Advance decomposed time from `from` to `to` (to >= from).  Small steps
+  /// stay division-free; a jump of a full cycle or more re-splits.
+  void advance(TimeParts& p, std::uint64_t from, std::uint64_t to) const {
+    const std::uint64_t delta = to - from;
+    if (delta >= tcycle_) {
+      p = split(to);
+      return;
+    }
+    p.rem += static_cast<std::int64_t>(delta);
+    if (p.rem >= static_cast<std::int64_t>(tcycle_)) {
+      p.rem -= static_cast<std::int64_t>(tcycle_);
+      ++p.cycle;
+    }
+  }
+
+  /// current_mark(gid, t) for p == split(t), division-free.
+  [[nodiscard]] std::uint64_t current_mark_at(TimeParts p, std::size_t gid) const {
+    const std::int64_t s = p.rem + offsets_[gid];
+    return static_cast<std::uint64_t>(p.cycle - (s < 0 ? 1 : 0)) &
+           marks_.max_value();
+  }
+
+  /// age(gid, t) for p == split(t), division-free.
+  [[nodiscard]] std::uint64_t age_at(TimeParts p, std::size_t gid) const {
+    const std::int64_t s = p.rem + offsets_[gid];
+    return static_cast<std::uint64_t>(
+        s < 0 ? s + static_cast<std::int64_t>(tcycle_) : s);
+  }
+
+  /// The stored (possibly lagging) mark of a group.
+  [[nodiscard]] std::uint64_t stored_mark(std::size_t gid) const {
+    return marks_.get(gid);
+  }
+
+  /// CheckGroup against a mark precomputed by stage_marks*(): observable
+  /// behavior (state + metrics) identical to touch(gid, t).  The fresh-mark
+  /// case — all but one probe per group per cycle — is a single inline
+  /// compare; only an actual cleaning takes the out-of-line path.
+  bool touch_precomputed(std::size_t gid, std::uint64_t cur) {
+    if (marks_.get(gid) == cur) return false;
+    record_clean(gid, cur);
+    return true;
+  }
+
+  /// curs[i] = current_mark_at(p, gids[i]); ages[i] = age_at(p, gids[i]) when
+  /// `ages` is non-null.  Vectorized (gathered offsets) under AVX2 dispatch.
+  void stage_marks(const std::uint32_t* gids, std::size_t n, TimeParts p,
+                   std::uint32_t* curs, std::uint64_t* ages = nullptr) const;
+
+  /// Same, over the contiguous group range [first, first + n) — the shape of
+  /// full-array query scans and MinHash slot sweeps.
+  void stage_marks_range(std::size_t first, std::size_t n, TimeParts p,
+                         std::uint32_t* curs,
+                         std::uint64_t* ages = nullptr) const;
+
+  /// curs[i] = current mark of gids[i] at time t0 + i, where p0 == split(t0):
+  /// the insert-batch shape, one item per slot.  Caller must guarantee
+  /// p0.rem + n <= tcycle() so no lane wraps a cycle boundary (the estimators
+  /// fall back to per-key staging when that fails, e.g. tiny test windows).
+  void stage_marks_ramp(const std::uint32_t* gids, std::size_t n, TimeParts p0,
+                        std::uint32_t* curs) const;
+
+  /// curs[b * k + h] = current mark of gids[b * k + h] at time t0 + b, for b
+  /// in [0, nkeys), h in [0, k): the k-probe insert shape, where key b's k
+  /// slots all run at that key's time.  Same precondition as the ramp form,
+  /// over keys: p0.rem + nkeys <= tcycle().
+  void stage_marks_rep(const std::uint32_t* gids, std::size_t nkeys,
+                       unsigned k, TimeParts p0, std::uint32_t* curs) const;
+
   /// Reset every mark to the state at time 0 (used by estimator clear()).
   void reset();
 
@@ -84,6 +188,10 @@ class GroupClock {
   static GroupClock load(BinaryReader& in);
 
  private:
+  /// Slow path of touch_precomputed(): store the new mark and account the
+  /// cleaning in metrics.  Precondition: marks_.get(gid) != cur.
+  void record_clean(std::size_t gid, std::uint64_t cur);
+
   std::uint64_t tcycle_;
   std::vector<std::int64_t> offsets_;
   PackedArray marks_;

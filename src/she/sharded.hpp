@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/bobhash.hpp"
+#include "common/simd_hash.hpp"
 
 namespace she {
 
@@ -102,10 +103,19 @@ template <typename Estimator>
 void Sharded<Estimator>::insert_bulk(std::span<const std::uint64_t> keys,
                                      unsigned threads) {
   const std::size_t n_shards = shards_.size();
-  // Partition pass: per-shard key lists in arrival order.
+  // Partition pass: per-shard key lists in arrival order.  The routing
+  // hashes run through the lane-parallel hash64 kernel a chunk at a time
+  // (identical values to the scalar hash64, so identical routing).
   std::vector<std::vector<std::uint64_t>> parts(n_shards);
   for (auto& p : parts) p.reserve(keys.size() / n_shards + 16);
-  for (std::uint64_t key : keys) parts[shard_of(key)].push_back(key);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t h[kChunk];
+  for (std::size_t c0 = 0; c0 < keys.size(); c0 += kChunk) {
+    const std::size_t n = std::min(kChunk, keys.size() - c0);
+    simd::hash64_keys(keys.data() + c0, n, route_seed_, h);
+    for (std::size_t j = 0; j < n; ++j)
+      parts[static_cast<std::size_t>(h[j] % n_shards)].push_back(keys[c0 + j]);
+  }
 
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/she_metrics.hpp"
+#include "she/batch_simd.hpp"
 #include "sketch/bitmap.hpp"
 
 namespace she {
@@ -35,9 +36,26 @@ void SheBitmap::insert_at(std::uint64_t key, std::uint64_t t) {
 }
 
 void SheBitmap::insert_batch(std::span<const std::uint64_t> keys) {
+  insert_many(keys, nullptr);
+}
+
+void SheBitmap::insert_at_batch(std::span<const std::uint64_t> keys,
+                                std::span<const std::uint64_t> times) {
+  batch::validate_insert_times(keys, times, time_, "SheBitmap");
+  insert_many(keys, times.data());
+}
+
+void SheBitmap::insert_many(std::span<const std::uint64_t> keys,
+                            const std::uint64_t* times) {
+  if (batch::simd_eligible(cfg_.cells)) {
+    insert_many_simd(keys, times);
+    return;
+  }
+  // Scalar reference path (also the SHE_FORCE_SCALAR path).
   // Cache-resident arrays are not worth prefetching (batch.hpp).
   const bool warm_bits = bits_.memory_bytes() >= batch::kPrefetchFootprint;
   const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  std::size_t idx = 0;
   batch::pipelined(
       keys, 1, scratch_,
       [this](std::uint64_t key, unsigned) {
@@ -47,13 +65,61 @@ void SheBitmap::insert_batch(std::span<const std::uint64_t> keys) {
         if (warm_bits) bits_.prefetch(s.pos, true);
         if (warm_marks) clock_.prefetch(s.pos / cfg_.group_cells, true);
       },
-      [this] {
-        ++time_;
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
         if (obs::enabled()) obs::she_metrics().hash_calls.inc();
       },
       [this](std::uint64_t, unsigned, const batch::Slot& s) {
         std::size_t gid = s.pos / cfg_.group_cells;
         if (clock_.touch(gid, time_)) {
+          std::size_t first = gid * cfg_.group_cells;
+          bits_.clear_range(first, std::min(cfg_.group_cells, cfg_.cells - first));
+        }
+        bits_.set(s.pos);
+      });
+}
+
+void SheBitmap::insert_many_simd(std::span<const std::uint64_t> keys,
+                                 const std::uint64_t* times) {
+  const bool warm_bits = bits_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  const FastDiv32 mod_cells(static_cast<std::uint32_t>(cfg_.cells));
+  const FastDiv32 div_group(static_cast<std::uint32_t>(cfg_.group_cells));
+  const batch::MarkStager stager(clock_, time_, times);
+  std::size_t idx = 0;
+  batch::pipelined_blocks(
+      keys, 1, scratch_,
+      // Stage 1: one SIMD hash sweep per block (k = 1), FastDiv reduction,
+      // precomputed marks.  aux = cur << 32 | gid.
+      [&](std::size_t begin, std::size_t n, batch::Slot* out) {
+        std::uint32_t h32[batch::kMaxBlock];
+        std::uint32_t pos[batch::kMaxBlock];
+        std::uint32_t gid[batch::kMaxBlock];
+        std::uint32_t cur[batch::kMaxBlock];
+        simd::bobhash32_keys(keys.data() + begin, n, cfg_.seed, h32);
+        simd::positions_groups(h32, n, mod_cells, div_group, pos, gid);
+        stager.stage(begin, n, gid, cur);
+        for (std::size_t b = 0; b < n; ++b) {
+          out[b].pos = pos[b];
+          out[b].aux = (std::uint64_t{cur[b]} << 32) | gid[b];
+          if (warm_bits) bits_.prefetch(pos[b], true);
+          if (warm_marks) clock_.prefetch(gid[b], true);
+        }
+      },
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc();
+      },
+      // Stage 2: scalar CheckGroup + set, against the staged mark.
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        const std::size_t gid = s.aux & 0xFFFFFFFFu;
+        if (clock_.touch_precomputed(gid, s.aux >> 32)) {
           std::size_t first = gid * cfg_.group_cells;
           bits_.clear_range(first, std::min(cfg_.group_cells, cfg_.cells - first));
         }
@@ -78,14 +144,27 @@ double SheBitmap::cardinality() const {
   obs::AgeClassCounts cls;
   std::size_t zeros = 0;
   std::size_t observed = 0;
-  for (std::size_t g = 0; g < clock_.groups(); ++g) {
-    std::uint64_t age = clock_.age(g, time_);
-    if (track) cls.add(age, cfg_.window);
-    if (!legal_age(age)) continue;
-    std::size_t first = g * cfg_.group_cells;
-    std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
-    observed += count;
-    zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
+  // Ages and staleness marks are staged in chunks through the vectorized
+  // GroupClock kernels (same values as the per-group age()/stale() calls,
+  // one division per scan instead of two per group).
+  const GroupClock::TimeParts now = clock_.split(time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t groups = clock_.groups();
+  for (std::size_t g0 = 0; g0 < groups; g0 += kChunk) {
+    const std::size_t n = std::min(kChunk, groups - g0);
+    clock_.stage_marks_range(g0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t g = g0 + j;
+      if (track) cls.add(age[j], cfg_.window);
+      if (!legal_age(age[j])) continue;
+      std::size_t first = g * cfg_.group_cells;
+      std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+      observed += count;
+      zeros += clock_.stored_mark(g) != cur[j] ? count
+                                               : bits_.zeros_range(first, count);
+    }
   }
   cls.commit(track);
   return fixed::linear_counting(zeros, observed, static_cast<double>(cfg_.cells));
@@ -100,14 +179,24 @@ double SheBitmap::cardinality(std::uint64_t window) const {
   obs::AgeClassCounts cls;
   std::size_t zeros = 0;
   std::size_t observed = 0;
-  for (std::size_t g = 0; g < clock_.groups(); ++g) {
-    std::uint64_t age = clock_.age(g, time_);
-    if (track) cls.add(age, window);
-    if (age < lower || age >= upper) continue;
-    std::size_t first = g * cfg_.group_cells;
-    std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
-    observed += count;
-    zeros += clock_.stale(g, time_) ? count : bits_.zeros_range(first, count);
+  const GroupClock::TimeParts now = clock_.split(time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t groups = clock_.groups();
+  for (std::size_t g0 = 0; g0 < groups; g0 += kChunk) {
+    const std::size_t n = std::min(kChunk, groups - g0);
+    clock_.stage_marks_range(g0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t g = g0 + j;
+      if (track) cls.add(age[j], window);
+      if (age[j] < lower || age[j] >= upper) continue;
+      std::size_t first = g * cfg_.group_cells;
+      std::size_t count = std::min(cfg_.group_cells, cfg_.cells - first);
+      observed += count;
+      zeros += clock_.stored_mark(g) != cur[j] ? count
+                                               : bits_.zeros_range(first, count);
+    }
   }
   cls.commit(track);
   if (observed == 0) return 0.0;  // no group's age matches this sub-window yet

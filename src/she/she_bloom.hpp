@@ -34,14 +34,23 @@ class SheBloomFilter {
   /// Insert a batch (bit-for-bit equivalent to insert() per key, in
   /// order).  Runs the generic she::batch pipeline: hashes are computed a
   /// block ahead and the touched bit and mark lines prefetched, hiding
-  /// DRAM latency when the bit array outgrows the cache — ~1.3-1.4x on
-  /// multi-MB filters (micro_ops: BM_SheBloomInsertBatch vs ScalarLarge).
+  /// DRAM latency when the bit array outgrows the cache.  Under vector
+  /// dispatch (common/simd.hpp) stage 1 additionally hashes 8–16 keys per
+  /// instruction and precomputes GroupClock marks; stage 2 and all
+  /// observable state stay bit-identical to the scalar path.
   void insert_batch(std::span<const std::uint64_t> keys);
 
   /// Time-based windows: insert at explicit timestamp `t` (monotone
   /// non-decreasing; throws std::invalid_argument if it moves backwards).
   /// With insert_at, `window` counts time units instead of items.
   void insert_at(std::uint64_t key, std::uint64_t t);
+
+  /// Batched insert_at: key[i] inserted at times[i] (monotone
+  /// non-decreasing, validated up front; throws like insert_at).  Runs the
+  /// same batch/SIMD pipeline as insert_batch, so time-based wrappers get
+  /// the staged hot path instead of the scalar per-item loop.
+  void insert_at_batch(std::span<const std::uint64_t> keys,
+                       std::span<const std::uint64_t> times);
 
   /// Advance the clock to `t` without inserting, so queries reflect the
   /// window (t - N, t] even during arrival gaps.
@@ -92,6 +101,13 @@ class SheBloomFilter {
   [[nodiscard]] std::size_t position(std::uint64_t key, unsigned i) const {
     return BobHash32(cfg_.seed + i)(key) % cfg_.cells;
   }
+
+  // Shared batch-insert core: times == nullptr means +1 per key.  Picks the
+  // SIMD or scalar-reference stage 1; stage 2 is identical either way.
+  void insert_many(std::span<const std::uint64_t> keys,
+                   const std::uint64_t* times);
+  void insert_many_simd(std::span<const std::uint64_t> keys,
+                        const std::uint64_t* times);
 
   SheConfig cfg_;
   unsigned hashes_;

@@ -5,6 +5,7 @@
 
 #include "common/int_math.hpp"
 #include "obs/she_metrics.hpp"
+#include "she/batch_simd.hpp"
 #include "sketch/hyperloglog.hpp"
 
 namespace she {
@@ -43,9 +44,26 @@ void SheHyperLogLog::insert_at(std::uint64_t key, std::uint64_t t) {
 }
 
 void SheHyperLogLog::insert_batch(std::span<const std::uint64_t> keys) {
+  insert_many(keys, nullptr);
+}
+
+void SheHyperLogLog::insert_at_batch(std::span<const std::uint64_t> keys,
+                                     std::span<const std::uint64_t> times) {
+  batch::validate_insert_times(keys, times, time_, "SheHyperLogLog");
+  insert_many(keys, times.data());
+}
+
+void SheHyperLogLog::insert_many(std::span<const std::uint64_t> keys,
+                                 const std::uint64_t* times) {
+  if (batch::simd_eligible(cfg_.cells)) {
+    insert_many_simd(keys, times);
+    return;
+  }
+  // Scalar reference path (also the SHE_FORCE_SCALAR path).
   // Cache-resident arrays are not worth prefetching (batch.hpp).
   const bool warm_regs = regs_.memory_bytes() >= batch::kPrefetchFootprint;
   const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  std::size_t idx = 0;
   batch::pipelined(
       keys, 1, scratch_,
       [this](std::uint64_t key, unsigned) {
@@ -59,13 +77,64 @@ void SheHyperLogLog::insert_batch(std::span<const std::uint64_t> keys) {
         if (warm_regs) regs_.prefetch(s.pos, true);
         if (warm_marks) clock_.prefetch(s.pos, true);  // w = 1: reg == group
       },
-      [this] {
-        ++time_;
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
         if (obs::enabled()) obs::she_metrics().hash_calls.inc(2);
       },
       [this](std::uint64_t, unsigned, const batch::Slot& s) {
         if (clock_.touch(s.pos, time_)) regs_.set(s.pos, 0);
         if (s.aux > regs_.get(s.pos)) regs_.set(s.pos, s.aux);
+      });
+}
+
+void SheHyperLogLog::insert_many_simd(std::span<const std::uint64_t> keys,
+                                      const std::uint64_t* times) {
+  const bool warm_regs = regs_.memory_bytes() >= batch::kPrefetchFootprint;
+  const bool warm_marks = clock_.memory_bytes() >= batch::kPrefetchFootprint;
+  const FastDiv32 mod_cells(static_cast<std::uint32_t>(cfg_.cells));
+  const batch::MarkStager stager(clock_, time_, times);
+  const std::uint64_t max_rank = regs_.max_value();
+  std::size_t idx = 0;
+  batch::pipelined_blocks(
+      keys, 1, scratch_,
+      // Stage 1: two SIMD hash sweeps (register index + rank source), ranks
+      // clamped, marks precomputed.  w = 1, so group id == register index;
+      // aux = cur << 8 | rank (rank <= 33 fits a byte).
+      [&](std::size_t begin, std::size_t n, batch::Slot* out) {
+        std::uint32_t hidx[batch::kMaxBlock];
+        std::uint32_t hrank[batch::kMaxBlock];
+        std::uint32_t pos[batch::kMaxBlock];
+        std::uint32_t gid[batch::kMaxBlock];
+        std::uint32_t cur[batch::kMaxBlock];
+        simd::bobhash32_keys(keys.data() + begin, n, cfg_.seed, hidx);
+        simd::bobhash32_keys(keys.data() + begin, n, cfg_.seed + 0x5eed, hrank);
+        // w = 1: the unit div_group makes the kernel copy pos into gid.
+        simd::positions_groups(hidx, n, mod_cells, FastDiv32(1), pos, gid);
+        stager.stage(begin, n, gid, cur);
+        for (std::size_t b = 0; b < n; ++b) {
+          std::uint64_t rank = hll_rank(hrank[b], kValueBits);
+          if (rank > max_rank) rank = max_rank;
+          out[b].pos = pos[b];
+          out[b].aux = (std::uint64_t{cur[b]} << 8) | rank;
+          if (warm_regs) regs_.prefetch(pos[b], true);
+          if (warm_marks) clock_.prefetch(pos[b], true);
+        }
+      },
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc(2);
+      },
+      // Stage 2: scalar CheckGroup + max-merge, against the staged mark.
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        if (clock_.touch_precomputed(s.pos, s.aux >> 8)) regs_.set(s.pos, 0);
+        const std::uint64_t rank = s.aux & 0xFFu;
+        if (rank > regs_.get(s.pos)) regs_.set(s.pos, rank);
       });
 }
 
@@ -87,14 +156,26 @@ double SheHyperLogLog::cardinality() const {
   double sum = 0.0;
   std::size_t observed = 0;
   std::size_t zeros = 0;
-  for (std::size_t i = 0; i < regs_.size(); ++i) {
-    std::uint64_t age = clock_.age(i, time_);
-    if (track) cls.add(age, cfg_.window);
-    if (!legal_age(age)) continue;
-    ++observed;
-    std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
-    if (r == 0) ++zeros;
-    sum += std::ldexp(1.0, -static_cast<int>(r));
+  // Ages and staleness marks are staged in chunks through the vectorized
+  // GroupClock kernels (same values as the per-register age()/stale()
+  // calls, one division per scan instead of two per register).
+  const GroupClock::TimeParts now = clock_.split(time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t regs = regs_.size();
+  for (std::size_t i0 = 0; i0 < regs; i0 += kChunk) {
+    const std::size_t n = std::min(kChunk, regs - i0);
+    clock_.stage_marks_range(i0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = i0 + j;
+      if (track) cls.add(age[j], cfg_.window);
+      if (!legal_age(age[j])) continue;
+      ++observed;
+      std::uint64_t r = clock_.stored_mark(i) != cur[j] ? 0 : regs_.get(i);
+      if (r == 0) ++zeros;
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+    }
   }
   cls.commit(track);
   return fixed::HyperLogLog::estimate(sum, observed,
@@ -112,14 +193,23 @@ double SheHyperLogLog::cardinality(std::uint64_t window) const {
   double sum = 0.0;
   std::size_t observed = 0;
   std::size_t zeros = 0;
-  for (std::size_t i = 0; i < regs_.size(); ++i) {
-    std::uint64_t age = clock_.age(i, time_);
-    if (track) cls.add(age, window);
-    if (age < lower || age >= upper) continue;
-    ++observed;
-    std::uint64_t r = clock_.stale(i, time_) ? 0 : regs_.get(i);
-    if (r == 0) ++zeros;
-    sum += std::ldexp(1.0, -static_cast<int>(r));
+  const GroupClock::TimeParts now = clock_.split(time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t regs = regs_.size();
+  for (std::size_t i0 = 0; i0 < regs; i0 += kChunk) {
+    const std::size_t n = std::min(kChunk, regs - i0);
+    clock_.stage_marks_range(i0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = i0 + j;
+      if (track) cls.add(age[j], window);
+      if (age[j] < lower || age[j] >= upper) continue;
+      ++observed;
+      std::uint64_t r = clock_.stored_mark(i) != cur[j] ? 0 : regs_.get(i);
+      if (r == 0) ++zeros;
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+    }
   }
   cls.commit(track);
   if (observed == 0) return 0.0;

@@ -40,6 +40,12 @@ class SheHyperLogLog {
   /// With insert_at, `window` counts time units instead of items.
   void insert_at(std::uint64_t key, std::uint64_t t);
 
+  /// Batched insert_at: key[i] inserted at times[i] (monotone
+  /// non-decreasing, validated up front; throws like insert_at).  Runs the
+  /// same batch/SIMD pipeline as insert_batch.
+  void insert_at_batch(std::span<const std::uint64_t> keys,
+                       std::span<const std::uint64_t> times);
+
   /// Advance the clock to `t` without inserting, so queries reflect the
   /// window (t - N, t] even during arrival gaps.
   void advance_to(std::uint64_t t);
@@ -82,6 +88,13 @@ class SheHyperLogLog {
   GroupClock clock_;
   PackedArray regs_;  // 5-bit ranks, 0 = empty
   std::uint64_t time_ = 0;
+  // Shared batch-insert core: times == nullptr means +1 per key.  Picks the
+  // SIMD or scalar-reference stage 1; stage 2 is identical either way.
+  void insert_many(std::span<const std::uint64_t> keys,
+                   const std::uint64_t* times);
+  void insert_many_simd(std::span<const std::uint64_t> keys,
+                        const std::uint64_t* times);
+
   std::vector<batch::Slot> scratch_;  // insert_batch staging (not state)
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/she_metrics.hpp"
+#include "she/batch_simd.hpp"
 
 namespace she {
 
@@ -34,21 +35,86 @@ void SheMinHash::insert_at(std::uint64_t key, std::uint64_t t) {
 }
 
 void SheMinHash::insert_batch(std::span<const std::uint64_t> keys) {
+  insert_many(keys, nullptr);
+}
+
+void SheMinHash::insert_at_batch(std::span<const std::uint64_t> keys,
+                                 std::span<const std::uint64_t> times) {
+  batch::validate_insert_times(keys, times, time_, "SheMinHash");
+  insert_many(keys, times.data());
+}
+
+void SheMinHash::insert_many(std::span<const std::uint64_t> keys,
+                             const std::uint64_t* times) {
+  if (batch::simd_eligible(cfg_.cells)) {
+    insert_many_simd(keys, times);
+    return;
+  }
+  // Scalar reference path (also the SHE_FORCE_SCALAR path).
   const auto k = static_cast<unsigned>(sig_.size());
+  std::size_t idx = 0;
   batch::pipelined(
       keys, k, scratch_,
       [this](std::uint64_t key, unsigned i) {
         return batch::Slot{i, value(key, i)};
       },
       [](const batch::Slot&) {},  // sequential signature scan: already warm
-      [this] {
-        ++time_;
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
         if (obs::enabled()) obs::she_metrics().hash_calls.inc(sig_.size());
       },
       [this](std::uint64_t, unsigned, const batch::Slot& s) {
         if (clock_.touch(s.pos, time_)) sig_[s.pos] = kEmpty;
         sig_[s.pos] = std::min(sig_[s.pos],
                                static_cast<std::uint32_t>(s.aux));
+      });
+}
+
+void SheMinHash::insert_many_simd(std::span<const std::uint64_t> keys,
+                                  const std::uint64_t* times) {
+  const auto k = static_cast<unsigned>(sig_.size());
+  const std::size_t m = sig_.size();
+  const batch::MarkStager stager(clock_, time_, times);
+  // Every slot of a key shares that key's time, so marks are staged with one
+  // range sweep per key (slots ARE the groups: w = 1).  Buffers live outside
+  // the block lambda; m can exceed kMaxBlock so they cannot sit on the
+  // per-block stack arrays the other estimators use.
+  std::vector<std::uint32_t> vals(m);
+  std::vector<std::uint32_t> curs(m);
+  std::size_t idx = 0;
+  batch::pipelined_blocks(
+      keys, k, scratch_,
+      // Stage 1: lane-parallel hashing across the seed axis (one key, m
+      // consecutive seeds), marks staged per key.  aux = cur << 32 | value.
+      [&](std::size_t begin, std::size_t n, batch::Slot* out) {
+        for (std::size_t b = 0; b < n; ++b) {
+          simd::bobhash32_seeds(keys[begin + b], cfg_.seed, m, vals.data());
+          const GroupClock::TimeParts p =
+              clock_.split(stager.time_of(begin + b));
+          clock_.stage_marks_range(0, m, p, curs.data());
+          batch::Slot* slot = out + b * m;
+          for (std::size_t i = 0; i < m; ++i) {
+            slot[i].pos = i;
+            slot[i].aux =
+                (std::uint64_t{curs[i]} << 32) | (vals[i] & 0xFFFFFFu);
+          }
+        }
+      },
+      [this, times, &idx] {
+        if (times != nullptr)
+          time_ = times[idx++];
+        else
+          ++time_;
+        if (obs::enabled()) obs::she_metrics().hash_calls.inc(sig_.size());
+      },
+      // Stage 2: scalar CheckGroup + min, against the staged mark.
+      [this](std::uint64_t, unsigned, const batch::Slot& s) {
+        if (clock_.touch_precomputed(s.pos, s.aux >> 32)) sig_[s.pos] = kEmpty;
+        sig_[s.pos] = std::min(sig_[s.pos],
+                               static_cast<std::uint32_t>(s.aux & 0xFFFFFFFFu));
       });
 }
 

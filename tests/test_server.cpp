@@ -25,6 +25,7 @@
 #include "server/http.hpp"
 #include "server/pipeline_manager.hpp"
 #include "server/protocol.hpp"
+#include "common/simd.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime_stats.hpp"
 
@@ -518,13 +519,44 @@ TEST(Server, HealthzReportsBuildAndSchema) {
   EXPECT_NE(body.find("\"version\":\""), std::string::npos);
   EXPECT_NE(body.find("\"compiler\":\""), std::string::npos);
   EXPECT_NE(body.find("\"tracing\":false"), std::string::npos);
+  EXPECT_NE(body.find("\"trace_sample\":1"), std::string::npos);
   EXPECT_NE(body.find("\"pipelines\":0"), std::string::npos);
+  // Dispatched SIMD backend + scalar override state, for fleet debugging.
+  EXPECT_NE(body.find("\"simd\":\"" + std::string(simd::active_isa_name()) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"force_scalar\":" +
+                      std::string(simd::force_scalar_env() ? "1" : "0")),
+            std::string::npos);
 
   const std::string metrics =
       http_body(http_get(live.server.http_port(), "/metrics"));
   EXPECT_NE(metrics.find("she_build_info{"), std::string::npos);
   EXPECT_NE(metrics.find("version=\""), std::string::npos);
   EXPECT_NE(metrics.find("compiler=\""), std::string::npos);
+  EXPECT_NE(metrics.find("simd=\""), std::string::npos);
+  EXPECT_NE(metrics.find("force_scalar=\""), std::string::npos);
+}
+
+TEST(Server, TraceSamplingRecordsOneInN) {
+  TraceToggleGuard guard;
+  ServerOptions opt;
+  opt.enable_tracing = true;
+  opt.trace_sample = 4;
+  LiveServer live(std::move(opt));
+  obs::trace::reset();  // only this test's spans
+  SheClient c = live.client();
+  for (int i = 0; i < 8; ++i) c.ping();
+  // Requests 0 and 4 of the 1-in-4 sampler record; the other six run under
+  // SuppressScope and leave nothing in the rings.
+  std::size_t ping_spans = 0;
+  for (const auto& s : obs::trace::collect())
+    if (std::string_view(s.name) == "ping") ++ping_spans;
+  EXPECT_EQ(ping_spans, 2u);
+
+  const std::string body =
+      http_body(http_get(live.server.http_port(), "/healthz"));
+  EXPECT_NE(body.find("\"trace_sample\":4"), std::string::npos);
 }
 
 TEST(Server, TracedRequestsAcceptedWithTracingDisabled) {

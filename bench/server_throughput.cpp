@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,10 +53,12 @@ std::string spec() {
 }
 
 double insert_run(SheServer& server, std::size_t clients,
-                  const stream::Trace& trace) {
-  const std::string name = "bench-ins-" + std::to_string(clients);
+                  const stream::Trace& trace,
+                  const std::string& extra_spec = "") {
+  const std::string name = "bench-ins-" + std::to_string(clients) +
+                           (extra_spec.empty() ? "" : "-wal");
   SheClient admin("127.0.0.1", server.port());
-  admin.create(name, spec());
+  admin.create(name, spec() + extra_spec);
 
   std::atomic<std::uint64_t> accepted{0};
   const auto t0 = std::chrono::steady_clock::now();
@@ -155,14 +158,21 @@ void write_report(const std::string& path,
 }
 
 void run_all(const std::string& out_path) {
+  // A durable root lets the WAL rows run on the same server; pipelines
+  // without wal= in their spec never touch it.
+  const auto wal_root =
+      std::filesystem::temp_directory_path() / "she_bench_server_wal";
+  std::filesystem::remove_all(wal_root);
   ServerOptions opt;
   opt.http_port = -1;  // protocol only; /metrics costs nothing when off
+  opt.manager.checkpoint_root = wal_root.string();
   SheServer server(std::move(opt));
   server.start();
   auto trace = caida_like(kInsertItems);
 
   std::vector<std::string> rows;
   Table ins_table({"clients", "insert Mitems/s"});
+  Table wal_table({"wal", "insert Mitems/s"});
   Table qry_table({"clients", "q/s", "p50 us", "p99 us"});
   for (std::size_t clients : {1u, 4u, 16u}) {
     const double ips = insert_run(server, clients, trace);
@@ -170,6 +180,19 @@ void run_all(const std::string& out_path) {
     std::ostringstream row;
     row << "{\"mode\":\"insert\",\"clients\":" << clients
         << ",\"items_per_sec\":" << ips << "}";
+    rows.push_back(row.str());
+    std::printf("JSON %s\n", row.str().c_str());
+  }
+  // The durability tax: the same 4-client bulk-insert load with the
+  // write-ahead backlog log off vs group-committed fsync (1 MiB interval).
+  for (const char* wal : {"off", "fsync"}) {
+    const bool on = std::string_view(wal) == "fsync";
+    const double ips = insert_run(
+        server, 4, trace, on ? " wal=fsync wal-fsync-bytes=1M" : "");
+    wal_table.add(wal, fmt(ips / 1e6));
+    std::ostringstream row;
+    row << "{\"mode\":\"insert_wal\",\"wal\":\"" << wal
+        << "\",\"clients\":4,\"items_per_sec\":" << ips << "}";
     rows.push_back(row.str());
     std::printf("JSON %s\n", row.str().c_str());
   }
@@ -185,9 +208,11 @@ void run_all(const std::string& out_path) {
     std::printf("JSON %s\n", row.str().c_str());
   }
   ins_table.print(std::cout);
+  wal_table.print(std::cout);
   qry_table.print(std::cout);
   server.request_stop();
   server.stop();
+  std::filesystem::remove_all(wal_root);
   write_report(out_path, rows);
 }
 

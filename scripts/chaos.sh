@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Chaos harness: loop kill -9 against a live she_server mid-ingest and
+# assert zero-loss, exactly-once delivery end to end.
+#
+# Two passes over the identical deterministic workload:
+#
+#   1. reference — one server, no faults, clean shutdown; final query
+#      answers are recorded.
+#   2. chaos — the same inserts, but every iteration the server is
+#      kill -9'd while a bulk insert is in flight, then restarted with
+#      --resume.  The surviving she_tool invocation (one client identity,
+#      monotonic sequence numbers) rides its reconnect backoff through
+#      the outage; the write-ahead backlog log replays accepted-but-
+#      undrained frames and its sequence table absorbs the client's
+#      lost-ack replays.  One iteration additionally arms an injected
+#      torn WAL write (fault-injection builds), which the client absorbs
+#      as a retryable server error.
+#
+# The final answers of both passes must be byte-identical — losing or
+# double-counting even one item shifts the estimates and fails the diff.
+#
+# Environment: SERVER, TOOL, PORT, ITERS override the defaults below.
+set -euo pipefail
+
+SERVER=${SERVER:-./build/src/server/she_server}
+TOOL=${TOOL:-./build/tools/she_tool}
+PORT=${PORT:-7272}
+ITERS=${ITERS:-4}
+
+# Per-iteration workload.  Keys are deterministic (key-base + i mod
+# distinct), so both passes insert the identical sequence and the final
+# window state is a pure function of it.
+COUNT=600000
+DISTINCT=20000
+SPEC="window=16K memory=256K shards=2 producers=2 queue=1024 seed=11"
+# Durable ingest: group-committed fsync with a small interval so the
+# insert stream is slow enough for the kill to land mid-flight.
+WAL_ARGS="--wal-mode fsync --wal-fsync-bytes 16384"
+
+WORK=$(mktemp -d)
+SRV=0
+cleanup() {
+  [ "$SRV" -ne 0 ] && kill -9 "$SRV" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+CLIENT="$TOOL client --port $PORT"
+# The chaos-side client must outlive server restarts: generous io
+# deadline, enough retries that capped exponential backoff (2 s) spans
+# the longest resume.
+RCLIENT="$CLIENT --timeout-ms 30000 --retries 400"
+
+boot() { # boot <checkpoint-root> [extra she_server args...]
+  local root=$1
+  shift
+  "$SERVER" --port "$PORT" --http-port -1 --checkpoint-root "$root" \
+    $WAL_ARGS "$@" &
+  SRV=$!
+  for _ in $(seq 1 150); do
+    if $CLIENT --op ping >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "chaos: server on port $PORT failed to come up" >&2
+  return 1
+}
+
+run_inserts() { # run_inserts <client-prefix> <pass-dir> <kill|no-kill> <iter>
+  local cl=$1 dir=$2 kill_mode=$3 it=$4
+  if [ "$kill_mode" = kill ]; then
+    $cl --op bulk --name flows --count $COUNT --distinct $DISTINCT \
+      --key-base $((it * 1000000)) >"$dir/bulk-$it.txt" &
+    local bulk=$!
+    # Let the stream get going, then yank the server mid-flight.
+    sleep 0.3
+    kill -9 "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    SRV=0
+    local inject=""
+    if [ "$it" -eq 2 ]; then
+      # One restart also tears the first post-resume WAL append; the
+      # client sees a typed server error and replays the frame.
+      inject="--inject wal-torn"
+    fi
+    # shellcheck disable=SC2086  # inject is deliberately word-split
+    boot "$dir/ckpt" --resume $inject
+    wait "$bulk"
+  else
+    $cl --op bulk --name flows --count $COUNT --distinct $DISTINCT \
+      --key-base $((it * 1000000)) >"$dir/bulk-$it.txt"
+  fi
+  grep -q "accepted $COUNT/$COUNT" "$dir/bulk-$it.txt"
+}
+
+record_answers() { # record_answers <out-file>
+  $CLIENT --op flush --name flows
+  {
+    $CLIENT --op query --name flows --type cardinality
+    # Keys from the final iteration's range are still in the window.
+    $CLIENT --op query --name flows --type frequency \
+      --key $((ITERS * 1000000 + 17))
+    $CLIENT --op query --name flows --type frequency \
+      --key $((ITERS * 1000000 + 4242))
+  } >"$1"
+}
+
+echo "== reference pass (no faults) =="
+boot "$WORK/ref"
+$CLIENT --op create --name flows --spec "$SPEC"
+for it in $(seq 1 "$ITERS"); do
+  run_inserts "$CLIENT" "$WORK" no-kill "$it"
+done
+record_answers "$WORK/ref-answers.txt"
+$CLIENT --op shutdown
+wait "$SRV"
+SRV=0
+cat "$WORK/ref-answers.txt"
+
+echo "== chaos pass (kill -9 each iteration) =="
+boot "$WORK/chaos/ckpt"
+$CLIENT --op create --name flows --spec "$SPEC"
+for it in $(seq 1 "$ITERS"); do
+  echo "-- iteration $it: kill -9 mid-insert --"
+  run_inserts "$RCLIENT" "$WORK/chaos" kill "$it"
+done
+record_answers "$WORK/chaos-answers.txt"
+$CLIENT --op shutdown
+wait "$SRV"
+SRV=0
+cat "$WORK/chaos-answers.txt"
+
+diff "$WORK/ref-answers.txt" "$WORK/chaos-answers.txt"
+echo "chaos: $ITERS kill -9 iterations, final answers byte-identical"

@@ -1,0 +1,227 @@
+// Per-shard write-ahead backlog log.
+//
+// The durable checkpoint (common/checkpoint.hpp) captures estimator state
+// at the drain offset it had reached; everything *accepted but not yet
+// drained* — items sitting in the SPSC rings — used to vanish at a crash.
+// The WAL closes that gap: `IngestPipeline::push_bulk` appends each
+// accepted per-shard sub-batch here *before* ring enqueue, so resume can
+// replay the suffix of accepted items past the newest checkpoint's offset
+// and reconstruct the estimator byte-identically.
+//
+// Frame layout ("SHWL", little-endian, 48-byte header):
+//
+//   [ 0, 4)  magic "SHWL"
+//   [ 4, 6)  u16 version (1)
+//   [ 6, 8)  u16 kind: 0 = data, 1 = seq-table
+//   [ 8,16)  u64 seq — per-log frame number, strictly increasing from 1
+//   [16,24)  u64 start_offset — shard items accepted before this frame
+//            (data); compaction low-water base (seq-table)
+//   [24,32)  u64 client_id (0 = no client identity, never deduplicated)
+//   [32,40)  u64 client_seq — the client's idempotence sequence number
+//   [40,44)  u32 payload_len
+//   [44,48)  u32 CRC-32 over header [0,44) chained into the payload
+//
+// Data payloads are the accepted keys as u64 LE; seq-table payloads are
+// repeated (u64 client_id, u64 high_seq) pairs, written at the head of a
+// compacted log so the idempotence filter survives frame retirement.
+//
+// Crash contract: appends go to the end of the file in order, so a crash
+// at any instant leaves a valid frame prefix plus at most one torn tail.
+// `read_wal` accepts exactly that shape — it stops at the first frame
+// that fails validation and reports the bytes behind it for truncation —
+// and anything else (mid-log corruption) also truncates there, keeping
+// the longest crash-consistent prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace she {
+
+/// Durability mode of the backlog log.
+enum class WalMode {
+  kOff,    ///< no log; accepted-but-undrained items are lost at a crash
+  kAsync,  ///< append without fsync (survives kill -9, not power loss)
+  kFsync,  ///< group-commit fdatasync bounded by `fsync_interval_bytes`
+};
+
+[[nodiscard]] WalMode wal_mode_from(std::string_view name);
+[[nodiscard]] const char* to_string(WalMode m);
+
+/// A torn, truncated, or corrupted log structure (reads), or a failed
+/// append/fsync (writes).  Appends that throw leave the batch *unacked*:
+/// the client replays it and the idempotence filter makes that exact.
+class WalError : public SerializeError {
+ public:
+  using SerializeError::SerializeError;
+};
+
+inline constexpr char kWalMagic[4] = {'S', 'H', 'W', 'L'};
+inline constexpr std::uint16_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderBytes = 48;
+inline constexpr std::uint16_t kWalData = 0;
+inline constexpr std::uint16_t kWalSeqTable = 1;
+
+/// One decoded frame.
+struct WalFrame {
+  std::uint16_t kind = kWalData;
+  std::uint64_t seq = 0;
+  std::uint64_t start_offset = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t client_seq = 0;
+  std::vector<char> payload;
+
+  /// Data-frame keys (payload decoded as u64 LE).
+  [[nodiscard]] std::vector<std::uint64_t> keys() const;
+  /// Items covered: data frames span [start_offset, end_offset()).
+  [[nodiscard]] std::uint64_t end_offset() const {
+    return start_offset + (kind == kWalData ? payload.size() / 8 : 0);
+  }
+};
+
+/// Encode a frame (header + CRC + payload) ready for appending.
+[[nodiscard]] std::vector<char> frame_wal(const WalFrame& f);
+
+/// Highest applied client sequence number per client id — the idempotence
+/// filter that makes INSERT_BULK replay exactly-once per shard.  Client id
+/// 0 means "no identity" and is never deduplicated.
+class ClientSeqTable {
+ public:
+  /// Record (client_id, client_seq); returns false — a duplicate, the
+  /// caller must skip the batch — when client_seq <= the recorded mark.
+  bool record(std::uint64_t client_id, std::uint64_t client_seq) {
+    if (client_id == 0) return true;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = high_.try_emplace(client_id, client_seq);
+    if (inserted) return true;
+    if (client_seq <= it->second) return false;
+    it->second = client_seq;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t high(std::uint64_t client_id) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = high_.find(client_id);
+    return it == high_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::map<std::uint64_t, std::uint64_t> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_;
+  }
+
+  void restore(const std::map<std::uint64_t, std::uint64_t>& m) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [id, seq] : m) {
+      auto [it, inserted] = high_.try_emplace(id, seq);
+      if (!inserted && it->second < seq) it->second = seq;
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> high_;
+};
+
+/// Result of scanning a log file: the longest valid frame prefix.
+struct WalScan {
+  std::vector<WalFrame> frames;  ///< data frames only, in append order
+  std::map<std::uint64_t, std::uint64_t> client_seqs;  ///< id → high seq
+  std::uint64_t next_seq = 1;     ///< first unused frame seq
+  std::uint64_t end_offset = 0;   ///< shard items covered by the log
+  std::uint64_t valid_bytes = 0;  ///< prefix length that parsed
+  std::uint64_t dropped_bytes = 0;  ///< torn/corrupt tail behind it
+};
+
+/// Scan `path` (missing file → empty scan).  Never throws on torn tails —
+/// they are the *expected* crash shape — but counts them in
+/// `she_wal_torn_tail_total`.  Throws WalError only on filesystem read
+/// errors.
+[[nodiscard]] WalScan read_wal(const std::string& path);
+
+/// Fault hooks threaded in by the runtime's SHE_FAULT_INJECTION harness
+/// (common/ cannot depend on runtime/).  Both default to "no fault".
+struct WalFaultHooks {
+  /// Returns how many bytes of the encoded frame actually reach the file;
+  /// anything short of frame_bytes simulates a crash mid-write — the
+  /// prefix is written and flushed, then the append throws WalError.
+  std::function<std::size_t(std::uint64_t seq, std::size_t frame_bytes)> torn;
+  /// True = the mode-required fdatasync must report failure this append.
+  std::function<bool(std::uint64_t seq)> fail_fsync;
+};
+
+/// Append handle for one shard's log.  Thread-safe: producers for the
+/// same shard serialize on an internal mutex (appends are batched — one
+/// frame per push_bulk sub-batch — so the lock is cold).
+class ShardWal {
+ public:
+  struct Options {
+    WalMode mode = WalMode::kAsync;
+    /// kFsync group-commit bound: unsynced bytes before the next append
+    /// forces an fdatasync.  0 = every append syncs (strictest).
+    std::size_t fsync_interval_bytes = 0;
+    /// Compaction rewrites only logs at least this large (a full-file
+    /// rewrite per checkpoint would dominate small windows).
+    std::size_t compact_min_bytes = std::size_t{4} << 20;
+    WalFaultHooks hooks;
+  };
+
+  /// Open (creating if needed) the log at `path` for appending, first
+  /// truncating any torn tail the caller's `scan` found.
+  ShardWal(std::string path, Options opt, const WalScan& scan);
+  ~ShardWal();
+  ShardWal(const ShardWal&) = delete;
+  ShardWal& operator=(const ShardWal&) = delete;
+
+  /// Append one data frame for an accepted sub-batch; the frame's
+  /// start_offset is assigned internally (the log's current end), which
+  /// keeps offsets contiguous under concurrent producers.  Returns false
+  /// — nothing written, caller must skip the batch — when (client_id,
+  /// client_seq) is a known duplicate.  Throws WalError when the bytes
+  /// cannot be made as durable as the mode promises; the frame may then
+  /// be torn on disk, which resume tolerates and replay dedupes.
+  bool append(std::span<const std::uint64_t> keys, std::uint64_t client_id,
+              std::uint64_t client_seq);
+
+  /// Retire frames wholly below `low_water` (the oldest *retained*
+  /// checkpoint generation's offset — older generations may still be the
+  /// resume base, so their replay suffix must survive).  Rewrites the log
+  /// as a seq-table frame plus surviving data frames; cheap no-op unless
+  /// everything can go or the file has grown past `compact_min_bytes`.
+  void compact(std::uint64_t low_water);
+
+  /// Force the durability the mode promises (checkpoint barrier / close).
+  void flush();
+
+  [[nodiscard]] ClientSeqTable& seq_table() { return seqs_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void reopen_locked(std::uint64_t file_bytes);
+  void repair_locked();  ///< truncate bytes past the last whole frame
+
+  std::string path_;
+  Options opt_;
+  ClientSeqTable seqs_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t end_offset_ = 0;  ///< items covered by frames on disk
+  std::uint64_t file_bytes_ = 0;  ///< bytes of whole, accepted frames
+  std::uint64_t disk_bytes_ = 0;  ///< actual file size (>= file_bytes_
+                                  ///< after a failed append left a tail)
+  std::uint64_t base_offset_ = 0;  ///< compaction low-water already applied
+  std::size_t unsynced_bytes_ = 0;
+};
+
+}  // namespace she

@@ -15,6 +15,15 @@
 //                       CRC rejection)
 //   kCheckpointTruncate the shard's `at`-th checkpoint frame is cut in
 //                       half before hitting disk (drives length rejection)
+//   kWalTornWrite       the shard's WAL frame with seq `at` is cut inside
+//                       its header before the append fails (a crash mid-
+//                       write; drives torn-tail truncation on recovery)
+//   kWalPartialFrame    same, but the whole header and half the payload
+//                       land (the other torn shape: valid-looking prefix,
+//                       CRC mismatch)
+//   kWalShortFsync      the mode-required fdatasync for the WAL frame with
+//                       seq `at` reports failure — the batch is written
+//                       but must NOT be acked (drives replay + dedup)
 //
 // Cost model: the whole harness is compiled out unless SHE_FAULT_INJECTION
 // is defined (a CMake option, ON by default so tools and tests work out of
@@ -44,6 +53,9 @@ enum class Point {
   kConsumerStall,
   kCheckpointBitFlip,
   kCheckpointTruncate,
+  kWalTornWrite,
+  kWalPartialFrame,
+  kWalShortFsync,
 };
 
 inline constexpr std::size_t kAnyShard = static_cast<std::size_t>(-1);
@@ -90,9 +102,13 @@ class InjectedFault : public std::runtime_error {
   else if (parts[0] == "stall") s.point = Point::kConsumerStall;
   else if (parts[0] == "ckpt-bitflip") s.point = Point::kCheckpointBitFlip;
   else if (parts[0] == "ckpt-truncate") s.point = Point::kCheckpointTruncate;
+  else if (parts[0] == "wal-torn") s.point = Point::kWalTornWrite;
+  else if (parts[0] == "wal-partial") s.point = Point::kWalPartialFrame;
+  else if (parts[0] == "wal-short-fsync") s.point = Point::kWalShortFsync;
   else
     throw std::invalid_argument(
-        "fault point must be throw|stall|ckpt-bitflip|ckpt-truncate: " + text);
+        "fault point must be throw|stall|ckpt-bitflip|ckpt-truncate|"
+        "wal-torn|wal-partial|wal-short-fsync: " + text);
   auto number = [&](const std::string& t) -> std::uint64_t {
     std::size_t pos = 0;
     std::uint64_t v = 0;
@@ -198,6 +214,28 @@ inline void maybe_corrupt_frame(std::size_t shard, std::uint64_t ordinal,
     frame.resize(frame.size() / 2);
 }
 
+/// WAL-append hook: the byte count of the encoded frame that actually
+/// reaches the file (the append then throws, simulating a crash mid-
+/// write).  kWalTornWrite cuts inside the header; kWalPartialFrame writes
+/// the whole header plus half the payload.  `seq` is the frame's WAL
+/// sequence number, compared against the spec's `at`.
+inline std::size_t maybe_torn_wal(std::size_t shard, std::uint64_t seq,
+                                  std::size_t frame_bytes,
+                                  std::size_t header_bytes) {
+  if (injector().fire(Point::kWalTornWrite, shard, seq))
+    return header_bytes / 2;
+  if (injector().fire(Point::kWalPartialFrame, shard, seq))
+    return header_bytes + (frame_bytes - header_bytes) / 2;
+  return frame_bytes;
+}
+
+/// WAL-fsync hook: true = this frame's mode-required fdatasync must
+/// report failure (the append throws after writing; the batch stays
+/// unacked and the client's replay exercises the dedup path).
+inline bool maybe_fail_fsync(std::size_t shard, std::uint64_t seq) {
+  return injector().fire(Point::kWalShortFsync, shard, seq).has_value();
+}
+
 #else  // !SHE_FAULT_INJECTION — zero-cost stubs, nothing to branch on.
 
 class Injector {
@@ -219,6 +257,11 @@ inline void maybe_throw(std::size_t, std::uint64_t) {}
 inline void maybe_stall(std::size_t, std::uint64_t) {}
 inline void maybe_corrupt_frame(std::size_t, std::uint64_t,
                                 std::vector<char>&) {}
+inline std::size_t maybe_torn_wal(std::size_t, std::uint64_t,
+                                  std::size_t frame_bytes, std::size_t) {
+  return frame_bytes;
+}
+inline bool maybe_fail_fsync(std::size_t, std::uint64_t) { return false; }
 
 #endif  // SHE_FAULT_INJECTION
 

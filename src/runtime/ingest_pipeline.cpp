@@ -54,6 +54,14 @@ void PipelineOptions::validate() const {
         "PipelineOptions: supervise needs supervisor_interval_ms > 0");
   if (rate_window_s == 0)
     throw std::invalid_argument("PipelineOptions: rate_window_s must be > 0");
+  if (wal_mode != WalMode::kOff && checkpoint_dir.empty())
+    throw std::invalid_argument(
+        "PipelineOptions: the WAL needs a checkpoint_dir (the log lives "
+        "beside the shard checkpoints it backstops)");
+  if (wal_mode != WalMode::kOff && policy == Backpressure::kDropNewest)
+    throw std::invalid_argument(
+        "PipelineOptions: the WAL needs a lossless backpressure policy "
+        "(a logged item must not be droppable; use block or block-timeout)");
 }
 
 }  // namespace she::runtime

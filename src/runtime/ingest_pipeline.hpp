@@ -37,6 +37,17 @@
 //     hands its shard over losslessly.  Restarts are capped at
 //     `max_restarts` per shard; beyond it the shard is abandoned and
 //     pushes to it fail fast.
+//   * Write-ahead backlog log (common/wal.hpp): checkpoints capture the
+//     drained prefix, but items *accepted and still queued* used to be
+//     lost by design at a crash.  With `wal_mode != kOff`, every accepted
+//     batch is appended to `<checkpoint_dir>/shard-<s>.wal` *before* ring
+//     enqueue, drain progress (the checkpoint offset) is the durable
+//     low-water mark that retires frames at compaction, and resume
+//     replays the logged suffix past the newest checkpoint — so kill -9
+//     at any instant reconstructs the accepted stream.  Batches carrying
+//     a client identity (client_id, client_seq) are deduplicated against
+//     a per-shard sequence table that survives restarts inside the log,
+//     making client-side INSERT_BULK replay exactly-once per shard.
 //   * Fault injection: the deterministic hooks in
 //     runtime/fault_injection.hpp (compiled out unless
 //     SHE_FAULT_INJECTION) let tests and `she_tool pipeline --inject`
@@ -96,6 +107,7 @@
 
 #include "common/bobhash.hpp"
 #include "common/checkpoint.hpp"
+#include "common/wal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fault_injection.hpp"
@@ -141,6 +153,13 @@ struct PipelineOptions {
                                        ///< shard (1 = overwrite in place)
   bool resume = false;                 ///< reload checkpoint_dir at startup
   std::size_t rate_window_s = 10;      ///< windowed items/s view width
+
+  // Write-ahead backlog log (requires checkpoint_dir and a lossless
+  // backpressure policy; see the class comment).
+  WalMode wal_mode = WalMode::kOff;
+  std::size_t wal_fsync_bytes = 0;     ///< kFsync group-commit bound;
+                                       ///< 0 = fdatasync every append
+  std::size_t wal_compact_bytes = std::size_t{4} << 20;  ///< rewrite floor
 
   void validate() const;  ///< throws std::invalid_argument on bad fields
 };
@@ -200,6 +219,58 @@ class IngestPipeline {
         sh->consumed = ck->stream_offset;
         sh->consumed_at_publish = ck->stream_offset;
         sh->last_checkpoint = ck->stream_offset;
+      }
+      if (opt_.wal_mode != WalMode::kOff) {
+        // Scan the backlog log, replay the accepted suffix past the
+        // checkpoint into the estimator (in logged order — for a single
+        // producer that is arrival order, so the result is byte-identical
+        // to the unfaulted run), and open the log for appending with the
+        // torn tail truncated.
+        const WalScan scan = read_wal(wal_path(s));
+        if (opt_.resume) {
+          std::uint64_t pos = sh->consumed;
+          for (const WalFrame& f : scan.frames) {
+            if (f.end_offset() <= pos) continue;  // already checkpointed
+            const std::vector<std::uint64_t> keys = f.keys();
+            const std::size_t skip = static_cast<std::size_t>(
+                pos > f.start_offset ? pos - f.start_offset : 0);
+            const std::span<const std::uint64_t> rest(keys.data() + skip,
+                                                      keys.size() - skip);
+            if constexpr (requires { sh->est.insert_batch(rest); })
+              sh->est.insert_batch(rest);
+            else
+              for (std::uint64_t k : rest) sh->est.insert(k);
+            pos = f.end_offset();
+            sh->wal_replayed->inc(rest.size());
+          }
+          pos = std::max(pos, scan.end_offset);
+          sh->resume_offset = pos;
+          sh->consumed = pos;
+          sh->consumed_at_publish = pos;
+        }
+        if (!opt_.resume) {
+          // A fresh (non-resuming) pipeline must not append after stale
+          // frames from an earlier life of this directory.
+          std::error_code ec;
+          std::filesystem::remove(wal_path(s), ec);
+        }
+        ShardWal::Options wopt;
+        wopt.mode = opt_.wal_mode;
+        wopt.fsync_interval_bytes = opt_.wal_fsync_bytes;
+        wopt.compact_min_bytes = opt_.wal_compact_bytes;
+        wopt.hooks.torn = [s](std::uint64_t seq, std::size_t frame_bytes) {
+          return fault::maybe_torn_wal(s, seq, frame_bytes, kWalHeaderBytes);
+        };
+        wopt.hooks.fail_fsync = [s](std::uint64_t seq) {
+          return fault::maybe_fail_fsync(s, seq);
+        };
+        sh->wal = std::make_unique<ShardWal>(wal_path(s), std::move(wopt),
+                                             opt_.resume ? scan : WalScan{});
+        // Seed the generation history conservatively: checkpoint files
+        // from before this restart may still be retained with offsets we
+        // no longer know, so compaction must not pass the resume base
+        // until `checkpoint_keep` fresh generations have rotated them out.
+        sh->ckpt_history.assign(opt_.checkpoint_keep, sh->last_checkpoint);
       }
       serialize_to(image, sh->est);
       sh->snap = std::make_unique<SeqlockSlot>(2 * image.size() +
@@ -274,6 +345,22 @@ class IngestPipeline {
   /// dead (faulted, unsupervised or abandoned) shard, or the pipeline is
   /// closing.
   bool push(std::size_t producer, std::uint64_t key) {
+    if (opt_.wal_mode != WalMode::kOff) {
+      // Every accepted item must be logged, or the WAL's offsets stop
+      // matching the checkpoint's consumed counts.
+      return push_bulk(producer, std::span<const std::uint64_t>(&key, 1)) == 1;
+    }
+    return push_impl(producer, key, 0);
+  }
+
+ private:
+  /// The enqueue core.  `deadline_ns` (absolute, steady-clock ns; 0 =
+  /// none) bounds any blocking spin on top of the configured policy —
+  /// the server threads its per-request deadline through here so an
+  /// overloaded or wedged shard sheds the push instead of wedging the
+  /// handler thread.
+  bool push_impl(std::size_t producer, std::uint64_t key,
+                 std::int64_t deadline_ns) {
     thread_local std::uint64_t push_seq = 0;
     const bool timed = obs::enabled() && ((++push_seq & 63u) == 0);
     const std::int64_t t0 = timed ? now_ns() : 0;
@@ -287,11 +374,12 @@ class IngestPipeline {
       }
       const std::int64_t stall_start = now_ns();
       stall_events_->inc();  // one episode, however long the spin lasts
-      const std::int64_t deadline =
+      std::int64_t deadline =
           opt_.policy == Backpressure::kBlockTimeout
               ? stall_start +
                     static_cast<std::int64_t>(opt_.push_timeout_ms) * 1'000'000
               : std::numeric_limits<std::int64_t>::max();
+      if (deadline_ns != 0) deadline = std::min(deadline, deadline_ns);
       const auto charge_stall = [&] {
         stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
       };
@@ -339,12 +427,64 @@ class IngestPipeline {
     return true;
   }
 
+ public:
   /// push() each key in order; returns how many were accepted.
   std::size_t push_bulk(std::size_t producer,
                         std::span<const std::uint64_t> keys) {
+    return push_bulk(producer, keys, 0, 0, 0);
+  }
+
+  /// push_bulk with a client identity and an optional absolute deadline.
+  ///
+  /// Keys are grouped per shard (preserving arrival order within each
+  /// shard); each non-empty sub-batch is WAL-appended before enqueue when
+  /// the log is configured.  A sub-batch whose (client_id, client_seq)
+  /// was already applied to that shard — a client replaying after a lost
+  /// ack — is skipped and counted as accepted: the earlier delivery
+  /// covered it, so the replay is exactly-once per shard.  client_id 0
+  /// means "no identity" (no dedup).
+  ///
+  /// `deadline_ns` (steady-clock absolute, 0 = none) bounds blocking:
+  /// past it, remaining pushes fail fast instead of wedging the caller.
+  /// A sub-batch that was logged but could not be fully enqueued (dead
+  /// shard, deadline) is *durable but not yet live* — its tail surfaces
+  /// at the next resume, and the return value counts only live items.
+  std::size_t push_bulk(std::size_t producer,
+                        std::span<const std::uint64_t> keys,
+                        std::uint64_t client_id, std::uint64_t client_seq,
+                        std::int64_t deadline_ns = 0) {
     SHE_TRACE_SPAN("pipeline.push_bulk", "pipeline");
+    if (opt_.wal_mode == WalMode::kOff && client_id == 0) {
+      std::size_t accepted = 0;
+      for (std::uint64_t k : keys)
+        accepted += push_impl(producer, k, deadline_ns) ? 1 : 0;
+      return accepted;
+    }
+    // Group per shard, preserving order.  thread_local scratch: bulk
+    // callers are long-lived handler threads.
+    thread_local std::vector<std::vector<std::uint64_t>> groups;
+    groups.resize(opt_.shards);
+    for (auto& g : groups) g.clear();
+    for (std::uint64_t k : keys) groups[shard_of(k)].push_back(k);
     std::size_t accepted = 0;
-    for (std::uint64_t k : keys) accepted += push(producer, k) ? 1 : 0;
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      const std::vector<std::uint64_t>& g = groups[s];
+      if (g.empty()) continue;
+      Shard& sh = *shards_[s];
+      if (sh.wal != nullptr) {
+        if (!sh.wal->append(g, client_id, client_seq)) {
+          sh.wal_dups->inc(g.size());
+          accepted += g.size();  // the earlier delivery already covered it
+          continue;
+        }
+      } else if (!sh.seqs.record(client_id, client_seq)) {
+        sh.wal_dups->inc(g.size());
+        accepted += g.size();
+        continue;
+      }
+      for (std::uint64_t k : g)
+        accepted += push_impl(producer, k, deadline_ns) ? 1 : 0;
+    }
     return accepted;
   }
 
@@ -510,6 +650,16 @@ class IngestPipeline {
     std::uint64_t ckpt_ordinal = 0;      ///< worker-only: frames written
     std::uint64_t resume_offset = 0;     ///< fixed at construction
     std::uint64_t hwm_local = 0;         ///< worker-only mirror
+    /// Backlog log (wal_mode != kOff); producers append under its mutex.
+    std::unique_ptr<ShardWal> wal;
+    /// In-memory idempotence filter when the WAL is off but clients still
+    /// send identities (the WAL embeds its own table when on).
+    ClientSeqTable seqs;
+    /// Worker-only: offsets of the last `checkpoint_keep` checkpoint
+    /// frames, oldest first.  The WAL compaction low-water is the *oldest*
+    /// retained generation — resume may fall back past a corrupt newest
+    /// frame, and that older base still needs its replay suffix.
+    std::vector<std::uint64_t> ckpt_history;
     // Supervision handshake.  The worker's plain fields above are read by
     // the supervisor only after it observed kFaulted/kExited (released by
     // the exiting worker) and joined the thread.
@@ -539,6 +689,8 @@ class IngestPipeline {
     obs::Counter* lost = nullptr;
     obs::Counter* replayed = nullptr;
     obs::Counter* checkpoints = nullptr;
+    obs::Counter* wal_replayed = nullptr;
+    obs::Counter* wal_dups = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Gauge* queue_depth = nullptr;
   };
@@ -575,6 +727,12 @@ class IngestPipeline {
     sh.checkpoints = &registry_.counter("she_pipeline_checkpoints_total",
                                         "durable checkpoint frames written",
                                         shard_label);
+    sh.wal_replayed = &registry_.counter(
+        "she_pipeline_wal_replayed_total",
+        "items re-inserted from the backlog log at resume", shard_label);
+    sh.wal_dups = &registry_.counter(
+        "she_pipeline_wal_duplicates_total",
+        "keys skipped as already-applied client replays", shard_label);
     sh.queue_hwm = &registry_.gauge("she_pipeline_queue_hwm",
                                     "deepest single ring observed",
                                     shard_label);
@@ -592,6 +750,10 @@ class IngestPipeline {
 
   [[nodiscard]] std::string checkpoint_path(std::size_t s) const {
     return opt_.checkpoint_dir + "/shard-" + std::to_string(s) + ".ckpt";
+  }
+
+  [[nodiscard]] std::string wal_path(std::size_t s) const {
+    return opt_.checkpoint_dir + "/shard-" + std::to_string(s) + ".wal";
   }
 
   /// A shard whose ring will never drain again: dead by exception with no
@@ -632,6 +794,20 @@ class IngestPipeline {
     ++sh.ckpt_ordinal;
     sh.checkpoints->inc();
     sh.last_checkpoint = sh.consumed_at_publish;
+    if (sh.wal != nullptr) {
+      // A durable checkpoint retires the WAL frames below the *oldest*
+      // generation rotate_checkpoints still keeps: resume may fall back
+      // that far past corrupt newer frames, and replays forward from it.
+      sh.ckpt_history.push_back(sh.consumed_at_publish);
+      while (sh.ckpt_history.size() > opt_.checkpoint_keep)
+        sh.ckpt_history.erase(sh.ckpt_history.begin());
+      try {
+        sh.wal->compact(sh.ckpt_history.front());
+      } catch (const WalError&) {
+        // Compaction is an optimization; a failed rewrite leaves the old
+        // (longer but valid) log in place and retries next checkpoint.
+      }
+    }
     checkpoint_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
   }
 

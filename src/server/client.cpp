@@ -1,65 +1,184 @@
 #include "server/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 
 namespace she::server {
+namespace {
 
-SheClient::SheClient(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string target = host.empty() ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot parse host '" + target +
-                             "' (want an IPv4 address)");
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot connect to " + target + ":" +
-                             std::to_string(port) + ": " +
-                             std::strerror(err));
-  }
-  // Strict request/response protocol with small frames: Nagle only adds
-  // latency here, never useful coalescing.
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+/// Non-zero random identity; the zero id means "no identity" on the wire.
+std::uint64_t random_client_id() {
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return id == 0 ? 1 : id;
 }
 
-SheClient::~SheClient() {
-  if (fd_ >= 0) ::close(fd_);
+void set_io_deadline(int fd, std::uint64_t ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
+
+/// connect(2) bounded by `timeout_ms` (0 = plain blocking connect).
+/// Throws IoTimeout when the deadline expires, std::runtime_error on
+/// every other failure.  Leaves the fd in blocking mode.
+void connect_bounded(int fd, const sockaddr_in& addr, const std::string& where,
+                     std::uint64_t timeout_ms) {
+  const auto* sa = reinterpret_cast<const sockaddr*>(&addr);
+  if (timeout_ms == 0) {
+    if (::connect(fd, sa, sizeof(addr)) != 0) {
+      throw std::runtime_error("cannot connect to " + where + ": " +
+                               std::strerror(errno));
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, sa, sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      throw std::runtime_error("cannot connect to " + where + ": " +
+                               std::strerror(errno));
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    int r;
+    do {
+      r = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) {
+      throw IoTimeout("connect to " + where + " timed out after " +
+                      std::to_string(timeout_ms) + "ms");
+    }
+    if (r < 0) {
+      throw std::runtime_error("cannot connect to " + where + ": poll: " +
+                               std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw std::runtime_error("cannot connect to " + where + ": " +
+                               std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+}
+
+}  // namespace
+
+SheClient::SheClient(const std::string& host, std::uint16_t port,
+                     ClientOptions opt)
+    : host_(host.empty() ? "127.0.0.1" : host),
+      port_(port),
+      opt_(std::move(opt)),
+      client_id_(opt_.client_id != 0 ? opt_.client_id : random_client_id()) {
+  connect_now();
+}
+
+SheClient::~SheClient() { disconnect(); }
 
 SheClient::SheClient(SheClient&& other) noexcept
-    : fd_(other.fd_), trace_id_(other.trace_id_) {
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      opt_(std::move(other.opt_)),
+      fd_(other.fd_),
+      trace_id_(other.trace_id_),
+      client_id_(other.client_id_),
+      seq_(other.seq_) {
   other.fd_ = -1;
 }
 
 SheClient& SheClient::operator=(SheClient&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
+    disconnect();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    opt_ = std::move(other.opt_);
     fd_ = other.fd_;
     trace_id_ = other.trace_id_;
+    client_id_ = other.client_id_;
+    seq_ = other.seq_;
     other.fd_ = -1;
   }
   return *this;
 }
 
-std::vector<char> SheClient::roundtrip_raw(std::span<const char> body) {
+void SheClient::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void SheClient::connect_now() {
+  disconnect();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("cannot parse host '" + host_ +
+                             "' (want an IPv4 address)");
+  }
+  try {
+    connect_bounded(fd, addr, host_ + ":" + std::to_string(port_),
+                    opt_.connect_timeout_ms);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  // Strict request/response protocol with small frames: Nagle only adds
+  // latency here, never useful coalescing.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_io_deadline(fd, opt_.io_timeout_ms);
+  fd_ = fd;
+
+  if (!opt_.auth_token.empty()) {
+    // Authenticate before anything else touches the connection.  Failure
+    // closes the fd so a half-authenticated client can never leak out.
+    try {
+      WireWriter w;
+      w.u8(static_cast<std::uint8_t>(Op::kAuth));
+      w.str(opt_.auth_token);
+      const std::vector<char> resp = exchange_raw(w.body());
+      WireReader r(resp);
+      const auto status = static_cast<Status>(r.u8());
+      if (status != Status::kOk) {
+        std::string msg;
+        try {
+          msg = r.str();
+        } catch (const ProtocolError&) {
+          msg = "(no message)";
+        }
+        throw ClientError(status, msg);
+      }
+    } catch (...) {
+      disconnect();
+      throw;
+    }
+  }
+}
+
+std::vector<char> SheClient::exchange_raw(std::span<const char> body) {
   write_frame(fd_, body);
   std::vector<char> resp;
   if (!read_frame(fd_, resp)) {
@@ -68,37 +187,88 @@ std::vector<char> SheClient::roundtrip_raw(std::span<const char> body) {
   return resp;
 }
 
-std::vector<char> SheClient::roundtrip(const WireWriter& req) {
-  std::vector<char> resp;
+std::vector<char> SheClient::roundtrip_raw(std::span<const char> body) {
+  if (fd_ < 0) connect_now();
+  try {
+    return exchange_raw(body);
+  } catch (...) {
+    // The stream is desynchronized (partial send, missing response, or a
+    // late one still in flight); never reuse the connection.
+    disconnect();
+    throw;
+  }
+}
+
+std::vector<char> SheClient::roundtrip(const WireWriter& req, bool replayable,
+                                       ClientSeq cs) {
+  // Headers are prepended once and the identical bytes are re-sent on
+  // every replay — same client_seq, so the server dedups lost-ack
+  // retries instead of double-counting them.
+  std::vector<char> out;
+  out.reserve(9 + 17 + req.body().size());
   if (trace_id_ != 0) {
-    std::vector<char> traced;
-    traced.reserve(9 + req.body().size());
-    traced.push_back(static_cast<char>(kTraceHeader));
+    out.push_back(static_cast<char>(kTraceHeader));
     for (int i = 0; i < 8; ++i)
-      traced.push_back(static_cast<char>((trace_id_ >> (8 * i)) & 0xff));
-    traced.insert(traced.end(), req.body().begin(), req.body().end());
-    resp = roundtrip_raw(traced);
-  } else {
-    resp = roundtrip_raw(req.body());
+      out.push_back(static_cast<char>((trace_id_ >> (8 * i)) & 0xff));
   }
-  WireReader r(resp);
-  const auto status = static_cast<Status>(r.u8());
-  if (status != Status::kOk) {
-    std::string msg;
+  if (cs.client_id != 0) {
+    out.push_back(static_cast<char>(kSeqHeader));
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<char>((cs.client_id >> (8 * i)) & 0xff));
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<char>((cs.client_seq >> (8 * i)) & 0xff));
+  }
+  out.insert(out.end(), req.body().begin(), req.body().end());
+
+  std::uint64_t backoff_ms = opt_.backoff_initial_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
     try {
-      msg = r.str();
-    } catch (const ProtocolError&) {
-      msg = "(no message)";
+      if (fd_ < 0) connect_now();
+      const std::vector<char> resp = exchange_raw(out);
+      WireReader r(resp);
+      const auto status = static_cast<Status>(r.u8());
+      if (status != Status::kOk) {
+        std::string msg;
+        try {
+          msg = r.str();
+        } catch (const ProtocolError&) {
+          msg = "(no message)";
+        }
+        throw ClientError(status, msg);
+      }
+      return {resp.begin() + 1, resp.end()};
+    } catch (const IoTimeout&) {
+      // A missed io deadline means the response may still arrive later;
+      // drop the stream.  The caller owns the clock — retrying here
+      // would silently double their deadline.
+      disconnect();
+      throw;
+    } catch (const ClientError& e) {
+      // Overload is shed before any work, so replaying it is safe for
+      // every op.  A generic server error (e.g. a failed backlog-log
+      // append under fault injection) is only retried when the request
+      // carries a sequence header: the server's dedup table then makes
+      // the replay exactly-once no matter how far the failed attempt got.
+      const bool retryable =
+          e.status() == Status::kOverloaded ||
+          (e.status() == Status::kError && cs.client_id != 0);
+      if (!retryable || attempt >= opt_.max_retries) throw;
+    } catch (const std::exception&) {
+      disconnect();
+      if (!replayable || attempt >= opt_.max_retries) throw;
     }
-    throw ClientError(status, msg);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    backoff_ms = std::min(std::max<std::uint64_t>(backoff_ms, 1) * 2,
+                          opt_.backoff_max_ms);
   }
-  return {resp.begin() + 1, resp.end()};
 }
 
 void SheClient::ping() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kPing));
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/true);
 }
 
 void SheClient::create(const std::string& name, const std::string& spec) {
@@ -106,34 +276,34 @@ void SheClient::create(const std::string& name, const std::string& spec) {
   w.u8(static_cast<std::uint8_t>(Op::kCreate));
   w.str(name);
   w.str(spec);
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/false);
 }
 
 void SheClient::drop(const std::string& name) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kDrop));
   w.str(name);
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/false);
 }
 
 void SheClient::save(const std::string& name) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kSave));
   w.str(name);
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/false);
 }
 
 void SheClient::flush(const std::string& name) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kFlush));
   w.str(name);
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/false);
 }
 
 std::vector<std::string> SheClient::list() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kList));
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   WireReader r(payload);
   const std::uint32_t n = r.u32();
   std::vector<std::string> names;
@@ -146,7 +316,7 @@ std::string SheClient::stats_json(const std::string& name) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kStats));
   w.str(name);
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   WireReader r(payload);
   return r.str();
 }
@@ -156,7 +326,8 @@ std::uint64_t SheClient::insert(const std::string& name, std::uint64_t key) {
   w.u8(static_cast<std::uint8_t>(Op::kInsert));
   w.str(name);
   w.u64(key);
-  const std::vector<char> payload = roundtrip(w);
+  const ClientSeq cs{client_id_, ++seq_};
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true, cs);
   return WireReader(payload).u64();
 }
 
@@ -167,7 +338,8 @@ std::uint64_t SheClient::insert_bulk(const std::string& name,
   w.str(name);
   w.u32(static_cast<std::uint32_t>(keys.size()));
   for (const std::uint64_t k : keys) w.u64(k);
-  const std::vector<char> payload = roundtrip(w);
+  const ClientSeq cs{client_id_, ++seq_};
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true, cs);
   return WireReader(payload).u64();
 }
 
@@ -177,7 +349,7 @@ bool SheClient::query_membership(const std::string& name, std::uint64_t key) {
   w.str(name);
   w.u8(static_cast<std::uint8_t>(QueryType::kMembership));
   w.u64(key);
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   return WireReader(payload).u8() != 0;
 }
 
@@ -188,7 +360,7 @@ std::uint64_t SheClient::query_frequency(const std::string& name,
   w.str(name);
   w.u8(static_cast<std::uint8_t>(QueryType::kFrequency));
   w.u64(key);
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   return WireReader(payload).u64();
 }
 
@@ -197,7 +369,7 @@ double SheClient::query_cardinality(const std::string& name) {
   w.u8(static_cast<std::uint8_t>(Op::kQuery));
   w.str(name);
   w.u8(static_cast<std::uint8_t>(QueryType::kCardinality));
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   return WireReader(payload).f64();
 }
 
@@ -208,7 +380,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> SheClient::query_topk(
   w.str(name);
   w.u8(static_cast<std::uint8_t>(QueryType::kTopK));
   w.u32(k);
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   WireReader r(payload);
   const std::uint32_t n = r.u32();
   std::vector<std::pair<std::uint64_t, std::uint64_t>> top;
@@ -228,14 +400,14 @@ double SheClient::query_jaccard(const std::string& name,
   w.str(name);
   w.u8(static_cast<std::uint8_t>(QueryType::kJaccard));
   w.str(other);
-  const std::vector<char> payload = roundtrip(w);
+  const std::vector<char> payload = roundtrip(w, /*replayable=*/true);
   return WireReader(payload).f64();
 }
 
 void SheClient::shutdown_server() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kShutdown));
-  roundtrip(w);
+  roundtrip(w, /*replayable=*/false);
 }
 
 }  // namespace she::server

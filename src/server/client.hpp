@@ -1,9 +1,28 @@
-// SheClient — typed, blocking client for the she_server protocol.
+// SheClient — typed, deadline-aware client for the she_server protocol.
 //
 // One TCP connection, one outstanding request at a time (the protocol has
 // no request ids; responses come back in order).  Error statuses surface
 // as ClientError carrying the wire status and the server's message.  Used
 // by `she_tool client`, the server tests, and bench/server_throughput.
+//
+// Robustness contract (all knobs in ClientOptions; defaults preserve the
+// original blocking behavior):
+//   - connect_timeout_ms bounds connection establishment (non-blocking
+//     connect + poll); io_timeout_ms bounds every socket read/write
+//     (SO_RCVTIMEO/SO_SNDTIMEO).  A missed deadline surfaces as IoTimeout
+//     and drops the connection — a late response would desynchronize the
+//     request/response stream otherwise.
+//   - When a send/receive fails mid-request, replay-safe requests
+//     (inserts, queries, PING/LIST/STATS) are retried over a fresh
+//     connection with exponential backoff.  INSERT/INSERT_BULK are tagged
+//     with (client_id, client_seq) on the wire, so a replay of a batch
+//     whose ack was lost is deduplicated server-side: acked again,
+//     counted once.  State-changing ops (CREATE/DROP/SAVE/FLUSH/
+//     SHUTDOWN) are never silently replayed.
+//   - kOverloaded answers (admission control) are retried with the same
+//     backoff; every other error status propagates immediately.
+//   - auth_token, when set, is presented via AUTH on every (re)connect
+//     before anything else is sent.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +47,29 @@ class ClientError : public std::runtime_error {
   Status status_;
 };
 
+/// Timeout / retry / identity knobs.  The defaults are the legacy
+/// behavior: block forever, retry nothing.
+struct ClientOptions {
+  std::uint64_t connect_timeout_ms = 0;  ///< 0 = blocking connect
+  std::uint64_t io_timeout_ms = 0;       ///< 0 = no read/write deadline
+  std::string auth_token;                ///< sent as AUTH when non-empty
+  /// Reconnect-and-replay attempts for replay-safe requests (0 = fail on
+  /// the first transport error, like the legacy client).
+  std::size_t max_retries = 0;
+  std::uint64_t backoff_initial_ms = 50;  ///< doubles per retry...
+  std::uint64_t backoff_max_ms = 2000;    ///< ...up to this ceiling
+  /// Idempotence identity prefixed to INSERT/INSERT_BULK; 0 = draw a
+  /// random non-zero id per client.  Replays of the same (id, seq) are
+  /// deduplicated by the server's per-shard sequence tables.
+  std::uint64_t client_id = 0;
+};
+
 class SheClient {
  public:
-  /// Connect to host:port (IPv4); throws std::runtime_error on failure.
-  SheClient(const std::string& host, std::uint16_t port);
+  /// Connect to host:port (IPv4); throws std::runtime_error on failure,
+  /// IoTimeout when connect_timeout_ms expires first.
+  SheClient(const std::string& host, std::uint16_t port,
+            ClientOptions opt = {});
   ~SheClient();
 
   SheClient(SheClient&& other) noexcept;
@@ -48,7 +86,8 @@ class SheClient {
   [[nodiscard]] std::string stats_json(const std::string& name);
 
   /// Returns how many keys the pipeline accepted (drop-policy pipelines
-  /// may accept fewer than sent).
+  /// may accept fewer than sent).  Each call takes the next client_seq;
+  /// internal replays reuse it, so a retried batch is counted once.
   std::uint64_t insert(const std::string& name, std::uint64_t key);
   std::uint64_t insert_bulk(const std::string& name,
                             std::span<const std::uint64_t> keys);
@@ -67,7 +106,8 @@ class SheClient {
   void shutdown_server();
 
   /// Send a raw, possibly malformed body and return the raw response body
-  /// (status byte included).  For protocol tests.
+  /// (status byte included).  For protocol tests; reconnects when needed
+  /// but never retries.
   std::vector<char> roundtrip_raw(std::span<const char> body);
 
   /// Tag every subsequent request with a trace id (prefixed on the wire
@@ -76,16 +116,35 @@ class SheClient {
   void set_trace_id(std::uint64_t id) { trace_id_ = id; }
   [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
 
+  /// The idempotence identity inserts are tagged with.
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+  /// client_seq of the most recent insert/insert_bulk (0 = none yet).
+  [[nodiscard]] std::uint64_t last_seq() const { return seq_; }
+
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
-  /// Send `body` (with the trace header when a trace id is set), read the
-  /// response, throw ClientError on non-OK, return the payload after the
-  /// status byte.
-  std::vector<char> roundtrip(const WireWriter& req);
+  /// Establish the connection (bounded by connect_timeout_ms), apply the
+  /// io deadline to the fd, and present the auth token when configured.
+  void connect_now();
+  void disconnect() noexcept;
 
+  /// Send `body` (headers included) and read one response frame.
+  std::vector<char> exchange_raw(std::span<const char> body);
+
+  /// Send `req` prefixed with the trace/seq headers, parse the status,
+  /// throw ClientError on non-OK, return the payload after the status
+  /// byte.  Reconnects and replays per the options when `replayable`.
+  std::vector<char> roundtrip(const WireWriter& req, bool replayable,
+                              ClientSeq cs = {});
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions opt_;
   int fd_ = -1;
   std::uint64_t trace_id_ = 0;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace she::server

@@ -99,6 +99,10 @@ PipelineSpec parse_sketch_spec(const std::string& text) {
       spec.pipeline.push_timeout_ms = parse_size(key, need());
     } else if (key == "checkpoint-every") {
       spec.pipeline.checkpoint_interval = parse_size(key, need());
+    } else if (key == "wal") {
+      spec.wal = wal_mode_from(need());
+    } else if (key == "wal-fsync-bytes") {
+      spec.wal_fsync_bytes = parse_size(key, need());
     } else if (key == "hll") {
       spec.monitor.use_hll = true;
     } else if (key == "similarity") {
@@ -154,7 +158,8 @@ PipelineManager::Entry::Entry(std::string name, std::string spec_text,
       slots_(spec.pipeline.producers) {}
 
 std::size_t PipelineManager::Entry::insert_bulk(
-    std::span<const std::uint64_t> keys) {
+    std::span<const std::uint64_t> keys, std::uint64_t client_id,
+    std::uint64_t client_seq, std::int64_t deadline_ns) {
   // Producer slots serialize push() per index (the IngestPipeline
   // contract) while letting up to `slots_` handler threads ingest
   // concurrently: sweep for a free slot, fall back to blocking on the
@@ -163,11 +168,13 @@ std::size_t PipelineManager::Entry::insert_bulk(
   for (std::size_t i = 0; i < slots_; ++i) {
     const std::size_t s = (start + i) % slots_;
     std::unique_lock<std::mutex> lk(slot_mu_[s], std::try_to_lock);
-    if (lk.owns_lock()) return monitor_.push_bulk(s, keys);
+    if (lk.owns_lock()) {
+      return monitor_.push_bulk(s, keys, client_id, client_seq, deadline_ns);
+    }
   }
   const std::size_t s = start % slots_;
   std::lock_guard<std::mutex> lk(slot_mu_[s]);
-  return monitor_.push_bulk(s, keys);
+  return monitor_.push_bulk(s, keys, client_id, client_seq, deadline_ns);
 }
 
 void PipelineManager::Entry::close_once() {
@@ -206,6 +213,14 @@ std::shared_ptr<PipelineManager::Entry> PipelineManager::create_internal(
     spec.pipeline.checkpoint_dir = dir_for(name);
     spec.pipeline.checkpoint_keep = opt_.checkpoint_keep;
     spec.pipeline.resume = resume;
+    spec.pipeline.wal_mode = spec.wal.value_or(opt_.default_wal_mode);
+    spec.pipeline.wal_fsync_bytes =
+        spec.wal_fsync_bytes.value_or(opt_.wal_fsync_bytes);
+    spec.pipeline.validate();  // wal x policy combinations re-checked
+  } else if (spec.wal.value_or(WalMode::kOff) != WalMode::kOff) {
+    throw std::invalid_argument(
+        "wal=" + std::string(to_string(*spec.wal)) +
+        " needs a durable server (start she_server with --checkpoint-root)");
   }
 
   std::unique_lock lock(mu_);

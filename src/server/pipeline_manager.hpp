@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -37,10 +38,15 @@ class AlreadyExists : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// A parsed sketch spec: what to estimate + how to run it.
+/// A parsed sketch spec: what to estimate + how to run it.  The WAL
+/// fields stay separate from the pipeline options because they only apply
+/// once the manager has assigned a checkpoint directory: unset means
+/// "server default".
 struct PipelineSpec {
   MonitorConfig monitor;
   runtime::PipelineOptions pipeline;
+  std::optional<WalMode> wal;                  ///< spec `wal=off|async|fsync`
+  std::optional<std::size_t> wal_fsync_bytes;  ///< spec `wal-fsync-bytes=N`
 };
 
 /// Parse the CREATE spec language: whitespace-separated `key=value` pairs
@@ -63,6 +69,10 @@ class PipelineManager {
     std::string checkpoint_root;     ///< empty = nothing durable
     std::size_t checkpoint_keep = 1; ///< frame generations per shard
     bool resume = false;             ///< resume_all() on construction
+    /// Backlog-log default for pipelines whose spec says nothing about
+    /// `wal=`; requires a checkpoint_root to take effect.
+    WalMode default_wal_mode = WalMode::kOff;
+    std::size_t wal_fsync_bytes = 0;  ///< default kFsync group-commit bound
   };
 
   /// One resident pipeline.  Insert paths borrow a producer slot; queries
@@ -83,7 +93,16 @@ class PipelineManager {
 
     /// Push keys through a borrowed producer slot; returns accepted count
     /// (0 once the entry is closed).
-    std::size_t insert_bulk(std::span<const std::uint64_t> keys);
+    std::size_t insert_bulk(std::span<const std::uint64_t> keys) {
+      return insert_bulk(keys, 0, 0, 0);
+    }
+
+    /// insert_bulk carrying the client's idempotence identity (replays
+    /// dedupe per shard) and an absolute steady-clock deadline (0 = none)
+    /// bounding backpressure blocking.
+    std::size_t insert_bulk(std::span<const std::uint64_t> keys,
+                            std::uint64_t client_id, std::uint64_t client_seq,
+                            std::int64_t deadline_ns);
 
     /// Drain + final checkpoint + join workers; idempotent and safe to
     /// race with insert_bulk (late pushes are rejected, not lost memory).

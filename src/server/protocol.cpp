@@ -25,6 +25,9 @@ bool read_exact(int fd, void* dst, std::size_t n, bool eof_ok) {
       throw ProtocolError("connection closed mid-frame");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw IoTimeout("read timed out");
+    }
     throw std::runtime_error(std::string("read failed: ") +
                              std::strerror(errno));
   }
@@ -59,6 +62,7 @@ const char* to_string(Op op) {
     case Op::kFlush: return "flush";
     case Op::kList: return "list";
     case Op::kShutdown: return "shutdown";
+    case Op::kAuth: return "auth";
   }
   return "unknown";
 }
@@ -71,6 +75,8 @@ const char* to_string(Status st) {
     case Status::kExists: return "exists";
     case Status::kBadRequest: return "bad_request";
     case Status::kTimeout: return "timeout";
+    case Status::kUnauthorized: return "unauthorized";
+    case Status::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -88,7 +94,7 @@ const char* to_string(QueryType q) {
 
 Op op_from(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(Op::kPing) ||
-      raw > static_cast<std::uint8_t>(Op::kShutdown)) {
+      raw > static_cast<std::uint8_t>(Op::kAuth)) {
     throw ProtocolError("unknown opcode " + std::to_string(raw));
   }
   return static_cast<Op>(raw);
@@ -180,10 +186,26 @@ std::uint64_t read_trace_header(WireReader& r) {
   return r.u64();
 }
 
+ClientSeq read_seq_header(WireReader& r) {
+  // Like the trace header: a truncated marker is left for op_from to
+  // reject as an unknown opcode.
+  if (r.remaining() < 17 || r.peek_u8() != kSeqHeader) return {};
+  (void)r.u8();
+  ClientSeq cs;
+  cs.client_id = r.u64();
+  cs.client_seq = r.u64();
+  return cs;
+}
+
 std::size_t opcode_offset(std::span<const char> body) {
-  const bool traced = body.size() >= 9 &&
-                      static_cast<std::uint8_t>(body[0]) == kTraceHeader;
-  return traced ? 9 : 0;
+  std::size_t at = 0;
+  if (body.size() - at >= 9 &&
+      static_cast<std::uint8_t>(body[at]) == kTraceHeader)
+    at += 9;
+  if (body.size() - at >= 17 &&
+      static_cast<std::uint8_t>(body[at]) == kSeqHeader)
+    at += 17;
+  return at;
 }
 
 // ---------------------------------------------------------------- framing --
@@ -213,6 +235,9 @@ void write_all(int fd, const void* data, std::size_t n) {
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw IoTimeout("write timed out");
+    }
     throw std::runtime_error(std::string("write failed: ") +
                              std::strerror(errno));
   }

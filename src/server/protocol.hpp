@@ -33,6 +33,8 @@
 //   FLUSH        str name                    (drain-then-publish barrier)
 //   LIST
 //   SHUTDOWN
+//   AUTH         str token                   (required first op when the
+//                                             server has an auth file)
 //
 // Response bodies (after `u8 status`; error statuses carry `str message`):
 //   PING/CREATE/DROP/SAVE/FLUSH/SHUTDOWN: -
@@ -60,6 +62,16 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A socket read/write missed its deadline (SO_RCVTIMEO / SO_SNDTIMEO on
+/// the fd).  Distinct from generic transport errors so deadline-aware
+/// callers can treat "slow" differently from "broken" — the connection is
+/// desynchronized either way (a late response may still arrive), so the
+/// fd must be dropped before retrying.
+class IoTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Hard bound on one frame's body (16 MiB ~ a 2M-key bulk insert).
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
@@ -67,12 +79,22 @@ inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 ///
 ///   [u8 kTraceHeader][u64 trace_id][normal request body...]
 ///
-/// The marker byte sits outside the opcode range (ops are 1..11), so a
+/// The marker byte sits outside the opcode range (ops are 1..12), so a
 /// server can tell a traced body from a legacy one by its first byte, and
 /// servers that predate tracing reject it as an unknown opcode instead of
 /// misparsing it.  Clients that never set a trace id produce byte-
 /// identical requests to older builds.
 inline constexpr std::uint8_t kTraceHeader = 0xF5;
+
+/// Optional request-body prefix carrying the client's idempotence
+/// identity, placed *after* the trace header when both are present:
+///
+///   [trace header?][u8 kSeqHeader][u64 client_id][u64 client_seq][body...]
+///
+/// INSERT_BULK requests tagged this way are deduplicated per shard by
+/// (client_id, client_seq): a replay after a lost ack is acked again
+/// without double-counting.  client_id 0 is reserved for "no identity".
+inline constexpr std::uint8_t kSeqHeader = 0xF6;
 
 enum class Op : std::uint8_t {
   kPing = 1,
@@ -86,6 +108,7 @@ enum class Op : std::uint8_t {
   kFlush = 9,
   kList = 10,
   kShutdown = 11,
+  kAuth = 12,
 };
 
 enum class QueryType : std::uint8_t {
@@ -98,11 +121,13 @@ enum class QueryType : std::uint8_t {
 
 enum class Status : std::uint8_t {
   kOk = 0,
-  kError = 1,       ///< internal failure (message attached)
-  kNotFound = 2,    ///< no pipeline under that name
-  kExists = 3,      ///< CREATE of a name already taken
-  kBadRequest = 4,  ///< malformed body, bad spec, unsupported query
-  kTimeout = 5,     ///< FLUSH/SAVE barrier did not complete in time
+  kError = 1,         ///< internal failure (message attached)
+  kNotFound = 2,      ///< no pipeline under that name
+  kExists = 3,        ///< CREATE of a name already taken
+  kBadRequest = 4,    ///< malformed body, bad spec, unsupported query
+  kTimeout = 5,       ///< barrier or per-request deadline expired
+  kUnauthorized = 6,  ///< AUTH required/failed; retrying is pointless
+  kOverloaded = 7,    ///< admission control shed the request; retry later
 };
 
 [[nodiscard]] const char* to_string(Op op);
@@ -160,8 +185,19 @@ class WireReader {
 /// op_from to reject.
 [[nodiscard]] std::uint64_t read_trace_header(WireReader& r);
 
+/// Client idempotence identity (see kSeqHeader); absent = {0, 0}.
+struct ClientSeq {
+  std::uint64_t client_id = 0;
+  std::uint64_t client_seq = 0;
+};
+
+/// Consume the optional sequence header off the front of a request body
+/// (call after read_trace_header).  A marker byte not followed by both
+/// ids is left for op_from to reject.
+[[nodiscard]] ClientSeq read_seq_header(WireReader& r);
+
 /// Offset of the opcode byte in a raw request body, skipping the trace
-/// header when present.  Does not validate the opcode.
+/// and sequence headers when present.  Does not validate the opcode.
 [[nodiscard]] std::size_t opcode_offset(std::span<const char> body);
 
 // ---------------------------------------------------------------- framing --

@@ -9,11 +9,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -123,6 +125,19 @@ SheServer::SheServer(ServerOptions opt)
   slow_requests_ = &registry_.counter(
       "she_server_slow_requests_total",
       "requests slower than the configured slow_request_ms threshold");
+  unauthorized_total_ = &registry_.counter(
+      "she_server_unauthorized_total",
+      "requests rejected kUnauthorized (missing or failed AUTH)");
+  overloaded_total_ = &registry_.counter(
+      "she_server_overloaded_total",
+      "requests shed kOverloaded by admission control (in-flight or "
+      "bytes-per-second quota)");
+  deadline_shed_total_ = &registry_.counter(
+      "she_server_deadline_shed_total",
+      "requests answered kTimeout because the per-request deadline expired "
+      "mid-operation");
+  inflight_gauge_ = &registry_.gauge(
+      "she_server_inflight_requests", "requests currently being dispatched");
   registry_
       .gauge("she_build_info",
              "constant 1; build metadata carried in the labels",
@@ -132,7 +147,7 @@ SheServer::SheServer(ServerOptions opt)
               {"force_scalar", build_force_scalar()}})
       .set(1);
   for (std::uint8_t raw = static_cast<std::uint8_t>(Op::kPing);
-       raw <= static_cast<std::uint8_t>(Op::kShutdown); ++raw) {
+       raw <= static_cast<std::uint8_t>(Op::kAuth); ++raw) {
     const Op op = static_cast<Op>(raw);
     requests_by_op_[op] =
         &registry_.counter("she_server_requests_total",
@@ -163,6 +178,23 @@ void SheServer::start() {
           Clock::now().time_since_epoch())
           .count();
   if (opt_.enable_tracing) obs::trace::set_enabled(true);
+  if (!opt_.auth_token_file.empty()) {
+    std::ifstream in(opt_.auth_token_file);
+    if (!in) {
+      throw std::runtime_error("cannot read auth token file '" +
+                               opt_.auth_token_file + "'");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+      if (!line.empty()) auth_tokens_.push_back(line);
+    }
+    if (auth_tokens_.empty()) {
+      throw std::runtime_error("auth token file '" + opt_.auth_token_file +
+                               "' holds no tokens");
+    }
+  }
   for (int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   listen_fd_ = listen_tcp(opt_.host, opt_.port, &port_);
   if (opt_.http_port >= 0) {
@@ -333,14 +365,62 @@ void SheServer::http_loop() {
 void SheServer::handle_conn(std::uint64_t id, int fd) {
   active_connections_->add(1);
   std::vector<char> body;
+  // Connection auth state: identity 0 until a successful AUTH (identity =
+  // 1-based token line).  With no token file, everything runs as 0.
+  bool authed = auth_tokens_.empty();
+  std::uint64_t auth_id = 0;
+  const auto answer = [&](Status st, const std::string& msg) {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(st));
+    w.str(msg);
+    write_frame(fd, w.body());
+  };
   try {
     while (!stop_requested_.load(std::memory_order_acquire)) {
       if (!read_frame(fd, body)) break;  // clean EOF at a frame boundary
+      const std::size_t op_at = opcode_offset(body);
+      // AUTH is handled here — it mutates connection state dispatch()
+      // cannot see — and is never quota-gated (a client must always be
+      // able to identify itself).
+      if (body.size() > op_at && body[op_at] == static_cast<char>(Op::kAuth)) {
+        requests_by_op_[Op::kAuth]->inc();
+        try {
+          WireReader r(body);
+          (void)read_trace_header(r);
+          (void)read_seq_header(r);
+          (void)r.u8();  // opcode
+          const std::string token = r.str();
+          r.expect_done();
+          const auto it =
+              std::find(auth_tokens_.begin(), auth_tokens_.end(), token);
+          if (auth_tokens_.empty() || it != auth_tokens_.end()) {
+            authed = true;
+            auth_id = auth_tokens_.empty()
+                          ? 0
+                          : static_cast<std::uint64_t>(
+                                it - auth_tokens_.begin()) + 1;
+            WireWriter w;
+            w.u8(static_cast<std::uint8_t>(Status::kOk));
+            write_frame(fd, w.body());
+          } else {
+            unauthorized_total_->inc();
+            answer(Status::kUnauthorized, "unknown auth token");
+          }
+        } catch (const ProtocolError& e) {
+          protocol_errors_->inc();
+          answer(Status::kBadRequest, e.what());
+        }
+        continue;
+      }
+      if (!authed) {
+        unauthorized_total_->inc();
+        answer(Status::kUnauthorized, "AUTH required before any other op");
+        continue;
+      }
       // SHUTDOWN answers before triggering the stop sequence, so the
       // client sees its acknowledgment even though stop() tears down this
       // very connection moments later.  The opcode sits after the optional
       // trace header, if the client sent one.
-      const std::size_t op_at = opcode_offset(body);
       if (body.size() > op_at &&
           body[op_at] == static_cast<char>(Op::kShutdown)) {
         requests_by_op_[Op::kShutdown]->inc();
@@ -349,6 +429,17 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
         write_frame(fd, w.body());
         request_stop();
         break;
+      }
+      // Admission: shed *before* any work so an overloaded server answers
+      // within the client's deadline instead of queueing behind it.
+      const Admission adm = admit(auth_id, body.size());
+      if (adm != Admission::kAdmit) {
+        overloaded_total_->inc();
+        answer(Status::kOverloaded,
+               adm == Admission::kOverloadedGlobal
+                   ? "server overloaded (global quota); retry with backoff"
+                   : "client quota exceeded; retry with backoff");
+        continue;
       }
       const bool tracing = obs::trace::enabled();
       // 1-in-N request sampling: unsampled requests run their dispatch
@@ -364,14 +455,28 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
       const obs::trace::ThreadCursor cursor =
           tracing ? obs::trace::thread_cursor() : obs::trace::ThreadCursor{};
       const Clock::time_point t0 = Clock::now();
+      ReqCtx ctx;
+      if (opt_.request_deadline_ms != 0) {
+        ctx.deadline_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t0.time_since_epoch())
+                .count() +
+            static_cast<std::int64_t>(opt_.request_deadline_ms) * 1'000'000;
+      }
       OpInfo info;
       std::vector<char> resp;
-      if (sampled) {
-        resp = dispatch(body, info);
-      } else {
-        const obs::trace::SuppressScope mute;
-        resp = dispatch(body, info);
+      try {
+        if (sampled) {
+          resp = dispatch(body, info, ctx);
+        } else {
+          const obs::trace::SuppressScope mute;
+          resp = dispatch(body, info, ctx);
+        }
+      } catch (...) {
+        release(auth_id);
+        throw;
       }
+      release(auth_id);
       const std::uint64_t ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                                t0)
@@ -490,6 +595,16 @@ std::string SheServer::render_healthz() const {
      << "\",\"force_scalar\":" << build_force_scalar()
      << ",\"tracing\":" << (obs::trace::enabled() ? "true" : "false")
      << ",\"trace_sample\":" << (opt_.trace_sample == 0 ? 1 : opt_.trace_sample)
+     << ",\"auth_required\":" << (auth_tokens_.empty() ? "false" : "true")
+     << ",\"request_deadline_ms\":" << opt_.request_deadline_ms
+     << ",\"max_inflight\":" << opt_.max_inflight << ",\"inflight\":";
+  {
+    std::lock_guard lk(admission_mu_);
+    os << inflight_;
+  }
+  os << ",\"overloaded_total\":" << overloaded_total_->value()
+     << ",\"unauthorized_total\":" << unauthorized_total_->value()
+     << ",\"deadline_shed_total\":" << deadline_shed_total_->value()
      << ",\"pipelines\":" << manager_.size() << "}\n";
   return os.str();
 }
@@ -544,10 +659,75 @@ void SheServer::maybe_log_slow(const OpInfo& info, std::uint64_t ns,
   std::fputs(os.str().c_str(), stderr);
 }
 
+// -------------------------------------------------------------- admission --
+
+bool SheServer::TokenBucket::take(double cost, double per_sec,
+                                  std::int64_t now_ns) {
+  if (per_sec <= 0) return true;  // unlimited
+  const double cap = per_sec;     // burst: one second of budget
+  if (last_ns == 0) tokens = cap;
+  else
+    tokens = std::min(
+        cap, tokens + static_cast<double>(now_ns - last_ns) * 1e-9 * per_sec);
+  last_ns = now_ns;
+  // A request costing more than the burst would starve forever under a
+  // strict `tokens >= cost` check; requiring only a full burst — while
+  // still charging the whole cost, driving the bucket into debt — lets
+  // oversize batches through at the configured long-run rate.
+  if (tokens < std::min(cost, cap)) return false;
+  tokens -= cost;
+  return true;
+}
+
+SheServer::Admission SheServer::admit(std::uint64_t client,
+                                      std::size_t bytes) {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count();
+  std::lock_guard lk(admission_mu_);
+  if (opt_.max_inflight != 0 && inflight_ >= opt_.max_inflight) {
+    return Admission::kOverloadedGlobal;
+  }
+  ClientQuota& cq = client_quota_[client];
+  if (opt_.max_inflight_per_client != 0 &&
+      cq.inflight >= opt_.max_inflight_per_client) {
+    return Admission::kOverloadedClient;
+  }
+  // Bytes budget: check the per-client bucket first so one hog drains its
+  // own allowance before touching the shared pool.  Rejections must not
+  // consume tokens, so the global take happens only after the client take
+  // passed — and is refunded never (a global rejection after a client
+  // take is the one ordering wrinkle; at these granularities it is noise).
+  if (!cq.bytes.take(static_cast<double>(bytes),
+                     static_cast<double>(opt_.bytes_per_sec_per_client),
+                     now_ns)) {
+    return Admission::kOverloadedClient;
+  }
+  if (!global_bytes_.take(static_cast<double>(bytes),
+                          static_cast<double>(opt_.bytes_per_sec), now_ns)) {
+    return Admission::kOverloadedGlobal;
+  }
+  ++inflight_;
+  ++cq.inflight;
+  inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+  return Admission::kAdmit;
+}
+
+void SheServer::release(std::uint64_t client) {
+  std::lock_guard lk(admission_mu_);
+  if (inflight_ > 0) --inflight_;
+  const auto it = client_quota_.find(client);
+  if (it != client_quota_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+  inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+}
+
 // --------------------------------------------------------------- dispatch --
 
 std::vector<char> SheServer::dispatch(std::span<const char> body,
-                                      OpInfo& info) {
+                                      OpInfo& info, ReqCtx ctx) {
   WireWriter resp;
   const auto fail = [](Status st, const std::string& msg) {
     WireWriter w;
@@ -562,6 +742,9 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
     // Always stripped, even with tracing off: the body must parse.
     const std::uint64_t trace_id = read_trace_header(req);
     const obs::trace::TraceIdScope trace_scope(trace_id);
+    // Optional idempotence identity: INSERT/INSERT_BULK tagged with it
+    // dedupe per shard on replay; other ops ignore it.
+    const ClientSeq cs = read_seq_header(req);
     const Op op = op_from(req.u8());
     info.op = to_string(op);  // static literal; outlives the span ring
     const obs::trace::SpanGuard span(info.op, "server");
@@ -590,7 +773,13 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
         const std::uint64_t accepted =
-            entry->insert_bulk(std::span<const std::uint64_t>(&key, 1));
+            entry->insert_bulk(std::span<const std::uint64_t>(&key, 1),
+                               cs.client_id, cs.client_seq, ctx.deadline_ns);
+        if (accepted < 1 && ctx.deadline_ns != 0 &&
+            Clock::now().time_since_epoch().count() >= ctx.deadline_ns) {
+          deadline_shed_total_->inc();
+          return fail(Status::kTimeout, "request deadline exceeded");
+        }
         resp.u8(static_cast<std::uint8_t>(Status::kOk));
         resp.u64(accepted);
         break;
@@ -607,13 +796,25 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
-        const std::uint64_t accepted = entry->insert_bulk(keys);
+        const std::uint64_t accepted = entry->insert_bulk(
+            keys, cs.client_id, cs.client_seq, ctx.deadline_ns);
+        if (accepted < n && ctx.deadline_ns != 0 &&
+            Clock::now().time_since_epoch().count() >= ctx.deadline_ns) {
+          // Shed, not wedged: the deadline cut the backpressure spin
+          // short.  An idempotent client replays with the same sequence
+          // number and the per-shard dedup makes the retry exactly-once.
+          deadline_shed_total_->inc();
+          return fail(Status::kTimeout,
+                      "request deadline exceeded (" +
+                          std::to_string(accepted) + " of " +
+                          std::to_string(n) + " accepted; replay is safe)");
+        }
         resp.u8(static_cast<std::uint8_t>(Status::kOk));
         resp.u64(accepted);
         break;
       }
       case Op::kQuery:
-        return do_query(req, info);
+        return do_query(req, info, ctx);
       case Op::kStats: {
         const std::string name = req.str();
         req.expect_done();
@@ -642,10 +843,21 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         info.pipeline = name;
         const auto entry = manager_.find(name);
         if (!entry) return fail(Status::kNotFound, "no pipeline '" + name + "'");
-        const bool done =
-            op == Op::kSave
-                ? entry->monitor().save_now(opt_.flush_timeout_ms)
-                : entry->monitor().flush(opt_.flush_timeout_ms);
+        std::size_t timeout_ms = opt_.flush_timeout_ms;
+        if (ctx.deadline_ns != 0) {
+          const std::int64_t left_ms =
+              (ctx.deadline_ns - Clock::now().time_since_epoch().count()) /
+              1'000'000;
+          if (left_ms <= 0) {
+            deadline_shed_total_->inc();
+            return fail(Status::kTimeout, "request deadline exceeded");
+          }
+          timeout_ms = std::min<std::size_t>(
+              timeout_ms, static_cast<std::size_t>(left_ms));
+        }
+        const bool done = op == Op::kSave
+                              ? entry->monitor().save_now(timeout_ms)
+                              : entry->monitor().flush(timeout_ms);
         if (!done) {
           return fail(Status::kTimeout,
                       std::string(op == Op::kSave ? "save" : "flush") +
@@ -670,6 +882,21 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         request_stop();
         break;
       }
+      case Op::kAuth: {
+        // Normally handled in handle_conn (it owns the connection's auth
+        // state).  Direct (in-process) dispatch has no connection, so the
+        // token is validated statelessly.
+        const std::string token = req.str();
+        req.expect_done();
+        if (!auth_tokens_.empty() &&
+            std::find(auth_tokens_.begin(), auth_tokens_.end(), token) ==
+                auth_tokens_.end()) {
+          unauthorized_total_->inc();
+          return fail(Status::kUnauthorized, "unknown auth token");
+        }
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
     }
     return resp.body();
   } catch (const ProtocolError& e) {
@@ -686,7 +913,8 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
   }
 }
 
-std::vector<char> SheServer::do_query(WireReader& req, OpInfo& info) {
+std::vector<char> SheServer::do_query(WireReader& req, OpInfo& info,
+                                      ReqCtx ctx) {
   const auto fail = [](Status st, const std::string& msg) {
     WireWriter w;
     w.u8(static_cast<std::uint8_t>(st));
@@ -761,9 +989,22 @@ std::vector<char> SheServer::do_query(WireReader& req, OpInfo& info) {
         return fail(Status::kNotFound, "no pipeline '" + other_name + "'");
       }
       // SHE-MH signatures compare at matching stream times; flush both so
-      // the published snapshots reflect everything accepted so far.
-      mon.flush(opt_.flush_timeout_ms);
-      other->monitor().flush(opt_.flush_timeout_ms);
+      // the published snapshots reflect everything accepted so far.  The
+      // request deadline bounds the barriers like it does FLUSH itself.
+      std::size_t timeout_ms = opt_.flush_timeout_ms;
+      if (ctx.deadline_ns != 0) {
+        const std::int64_t left_ms =
+            (ctx.deadline_ns - Clock::now().time_since_epoch().count()) /
+            1'000'000;
+        if (left_ms <= 0) {
+          deadline_shed_total_->inc();
+          return fail(Status::kTimeout, "request deadline exceeded");
+        }
+        timeout_ms =
+            std::min<std::size_t>(timeout_ms, static_cast<std::size_t>(left_ms));
+      }
+      mon.flush(timeout_ms);
+      other->monitor().flush(timeout_ms);
       const double j = ConcurrentMonitor::jaccard(mon, other->monitor());
       resp.u8(static_cast<std::uint8_t>(Status::kOk));
       resp.f64(j);

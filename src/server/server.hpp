@@ -44,6 +44,19 @@ struct ServerOptions {
   bool enable_tracing = false;  ///< span collection on from start()
   std::size_t trace_sample = 1;  ///< trace 1 in N requests; 1 = all, 0 = all
   std::size_t slow_request_ms = 0;  ///< log requests slower than this; 0 = off
+  /// Admission control.  `auth_token_file` names a file with one token per
+  /// line; when set, every connection must AUTH before any other op (the
+  /// 1-based line number becomes its client identity for quotas).  Quotas
+  /// of 0 mean unlimited.  `request_deadline_ms` bounds each request's
+  /// wall time: the budget is threaded into backpressure blocking so an
+  /// overloaded shard sheds the request (kTimeout) instead of wedging the
+  /// handler thread.
+  std::string auth_token_file;
+  std::uint64_t request_deadline_ms = 0;   ///< 0 = no per-request deadline
+  std::size_t max_inflight = 0;            ///< global concurrent requests
+  std::size_t max_inflight_per_client = 0; ///< per auth identity
+  std::uint64_t bytes_per_sec = 0;         ///< global ingest budget
+  std::uint64_t bytes_per_sec_per_client = 0;  ///< per auth identity
   PipelineManager::Options manager;
 };
 
@@ -108,15 +121,42 @@ class SheServer {
     std::string pipeline;
   };
 
+  /// Per-request context from the connection handler: the absolute
+  /// steady-clock deadline (0 = none) threaded into blocking paths.
+  struct ReqCtx {
+    std::int64_t deadline_ns = 0;
+  };
+
+  /// Refill-on-demand token bucket, burst = one second of the rate.
+  /// Guarded by admission_mu_.
+  struct TokenBucket {
+    double tokens = 0;
+    std::int64_t last_ns = 0;
+    bool take(double cost, double per_sec, std::int64_t now_ns);
+  };
+
+  struct ClientQuota {
+    TokenBucket bytes;
+    std::size_t inflight = 0;
+  };
+
+  /// Admission verdict for one request; releases in-flight counts on
+  /// destruction when admitted.
+  enum class Admission { kAdmit, kOverloadedGlobal, kOverloadedClient };
+
   void accept_loop();
   void http_loop();
   void handle_conn(std::uint64_t id, int fd);
   void handle_http(std::uint64_t id, int fd);
   void reap_finished();
 
+  Admission admit(std::uint64_t client, std::size_t bytes);
+  void release(std::uint64_t client);
+
   /// Dispatch one request body; always returns a response body.
-  std::vector<char> dispatch(std::span<const char> body, OpInfo& info);
-  std::vector<char> do_query(WireReader& req, OpInfo& info);
+  std::vector<char> dispatch(std::span<const char> body, OpInfo& info,
+                             ReqCtx ctx);
+  std::vector<char> do_query(WireReader& req, OpInfo& info, ReqCtx ctx);
 
   /// she_server_request_duration_ns{op=...,pipeline=...} observation
   /// (register-or-lookup per request; registration is mutex + small scan).
@@ -152,6 +192,14 @@ class SheServer {
   bool stopped_ = false;
   bool signals_installed_ = false;
 
+  // Admission state.  auth_tokens_ is loaded once in start() and read-only
+  // afterwards; the quota maps are guarded by admission_mu_.
+  std::vector<std::string> auth_tokens_;
+  mutable std::mutex admission_mu_;
+  TokenBucket global_bytes_;
+  std::map<std::uint64_t, ClientQuota> client_quota_;
+  std::size_t inflight_ = 0;  ///< guarded by admission_mu_
+
   obs::Registry registry_;
   obs::Counter* connections_total_;
   obs::Gauge* active_connections_;
@@ -159,6 +207,10 @@ class SheServer {
   obs::Histogram* request_latency_;
   obs::Gauge* pipelines_gauge_;
   obs::Counter* slow_requests_;
+  obs::Counter* unauthorized_total_;
+  obs::Counter* overloaded_total_;
+  obs::Counter* deadline_shed_total_;
+  obs::Gauge* inflight_gauge_;
   std::map<Op, obs::Counter*> requests_by_op_;
   std::atomic<std::uint64_t> request_seq_{0};  ///< 1-in-N trace sampler
   std::atomic<std::int64_t> last_slow_log_ns_{0};

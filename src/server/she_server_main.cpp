@@ -12,8 +12,10 @@
 // every pipeline on the way down.  Exit code 0 on a clean shutdown.
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
+#include "runtime/fault_injection.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -41,6 +43,27 @@ void usage(std::ostream& os) {
         "  --slow-ms N            log requests slower than N ms with a "
         "span\n"
         "                         breakdown (default 0 = off)\n"
+        "  --wal-mode MODE        backlog-log default for durable pipelines:\n"
+        "                         off | async | fsync (default off; needs\n"
+        "                         --checkpoint-root)\n"
+        "  --wal-fsync-bytes N    group-commit bound for --wal-mode fsync:\n"
+        "                         fdatasync at least every N appended bytes\n"
+        "                         (default 0 = every append)\n"
+        "  --auth-token-file F    require AUTH with a token from F (one per\n"
+        "                         line) before any other op\n"
+        "  --request-deadline-ms N  shed requests still working after N ms\n"
+        "                         with status timeout (default 0 = off)\n"
+        "  --max-inflight N       global concurrent-request cap; excess is\n"
+        "                         answered overloaded (default 0 = off)\n"
+        "  --max-inflight-per-client N  same cap per authenticated client\n"
+        "  --bytes-per-sec N      global request-byte budget; excess is\n"
+        "                         answered overloaded (default 0 = off)\n"
+        "  --bytes-per-sec-per-client N  same budget per authenticated "
+        "client\n"
+        "  --inject SPEC          arm a fault-injection spec "
+        "(point[:shard[:at[:param]]]);\n"
+        "                         repeatable; needs an SHE_FAULT_INJECTION "
+        "build\n"
         "  --help\n";
 }
 
@@ -134,6 +157,66 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.slow_request_ms = u;
+    } else if (arg == "--wal-mode") {
+      try {
+        opt.manager.default_wal_mode = she::wal_mode_from(value());
+      } catch (const std::exception& e) {
+        std::cerr << "she_server: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg == "--wal-fsync-bytes") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --wal-fsync-bytes\n";
+        return 2;
+      }
+      opt.manager.wal_fsync_bytes = static_cast<std::size_t>(u);
+    } else if (arg == "--auth-token-file") {
+      opt.auth_token_file = value();
+    } else if (arg == "--request-deadline-ms") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --request-deadline-ms\n";
+        return 2;
+      }
+      opt.request_deadline_ms = u;
+    } else if (arg == "--max-inflight") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --max-inflight\n";
+        return 2;
+      }
+      opt.max_inflight = static_cast<std::size_t>(u);
+    } else if (arg == "--max-inflight-per-client") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --max-inflight-per-client\n";
+        return 2;
+      }
+      opt.max_inflight_per_client = static_cast<std::size_t>(u);
+    } else if (arg == "--bytes-per-sec") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --bytes-per-sec\n";
+        return 2;
+      }
+      opt.bytes_per_sec = u;
+    } else if (arg == "--bytes-per-sec-per-client") {
+      if (!parse_u64(value(), &u)) {
+        std::cerr << "she_server: bad --bytes-per-sec-per-client\n";
+        return 2;
+      }
+      opt.bytes_per_sec_per_client = u;
+    } else if (arg == "--inject") {
+#if defined(SHE_FAULT_INJECTION)
+      try {
+        she::runtime::fault::injector().arm(
+            she::runtime::fault::parse_spec(value()));
+      } catch (const std::exception& e) {
+        std::cerr << "she_server: bad --inject: " << e.what() << "\n";
+        return 2;
+      }
+#else
+      std::cerr << "she_server: --inject " << value()
+                << " ignored: this build has no SHE_FAULT_INJECTION "
+                   "harness\n";
+      return 2;
+#endif
     } else {
       std::cerr << "she_server: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -142,6 +225,11 @@ int main(int argc, char** argv) {
   }
   if (opt.manager.resume && opt.manager.checkpoint_root.empty()) {
     std::cerr << "she_server: --resume requires --checkpoint-root\n";
+    return 2;
+  }
+  if (opt.manager.default_wal_mode != she::WalMode::kOff &&
+      opt.manager.checkpoint_root.empty()) {
+    std::cerr << "she_server: --wal-mode requires --checkpoint-root\n";
     return 2;
   }
 

@@ -145,6 +145,16 @@ class ConcurrentMonitor {
     return pipe_.push_bulk(producer, keys);
   }
 
+  /// push_bulk with a client idempotence identity (replays after lost
+  /// acks dedupe per shard) and an absolute steady-clock deadline (0 =
+  /// none) bounding any backpressure blocking.
+  std::size_t push_bulk(std::size_t producer,
+                        std::span<const std::uint64_t> keys,
+                        std::uint64_t client_id, std::uint64_t client_seq,
+                        std::int64_t deadline_ns = 0) {
+    return pipe_.push_bulk(producer, keys, client_id, client_seq, deadline_ns);
+  }
+
   /// Drain-then-publish barrier (IngestPipeline::sync): after this
   /// returns true, snapshot queries see every previously accepted push.
   bool flush(std::size_t timeout_ms = 5000) {

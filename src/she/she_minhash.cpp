@@ -132,16 +132,30 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b) {
   obs::AgeClassCounts cls;
   std::size_t match = 0;
   std::size_t compared = 0;
-  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
-    // Ages are identical on both sides (same cfg, same time).
-    std::uint64_t age = a.clock_.age(i, a.time_);
-    if (track) cls.add(age, a.cfg_.window);
-    if (!a.legal_age(age)) continue;
-    std::uint32_t va = a.effective_slot(i);
-    std::uint32_t vb = b.effective_slot(i);
-    if (va == kEmpty && vb == kEmpty) continue;  // neither window seen here
-    ++compared;
-    if (va == vb) ++match;
+  // Ages and current marks are staged in chunks through the vectorized
+  // GroupClock kernels.  Both are identical on both sides (same cfg, same
+  // time, deterministic per-group offsets), so one staging sweep serves
+  // both signatures; only the *stored* marks differ per side.
+  const GroupClock::TimeParts now = a.clock_.split(a.time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t m = a.sig_.size();
+  for (std::size_t i0 = 0; i0 < m; i0 += kChunk) {
+    const std::size_t n = std::min(kChunk, m - i0);
+    a.clock_.stage_marks_range(i0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = i0 + j;
+      if (track) cls.add(age[j], a.cfg_.window);
+      if (!a.legal_age(age[j])) continue;
+      const std::uint32_t va =
+          a.clock_.stored_mark(i) != cur[j] ? kEmpty : a.sig_[i];
+      const std::uint32_t vb =
+          b.clock_.stored_mark(i) != cur[j] ? kEmpty : b.sig_[i];
+      if (va == kEmpty && vb == kEmpty) continue;  // neither window seen here
+      ++compared;
+      if (va == vb) ++match;
+    }
   }
   cls.commit(track);
   return compared == 0 ? 0.0
@@ -163,15 +177,26 @@ double SheMinHash::jaccard(const SheMinHash& a, const SheMinHash& b,
   obs::AgeClassCounts cls;
   std::size_t match = 0;
   std::size_t compared = 0;
-  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
-    std::uint64_t age = a.clock_.age(i, a.time_);
-    if (track) cls.add(age, window);
-    if (age < lower || age >= upper) continue;
-    std::uint32_t va = a.effective_slot(i);
-    std::uint32_t vb = b.effective_slot(i);
-    if (va == kEmpty && vb == kEmpty) continue;
-    ++compared;
-    if (va == vb) ++match;
+  const GroupClock::TimeParts now = a.clock_.split(a.time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t m = a.sig_.size();
+  for (std::size_t i0 = 0; i0 < m; i0 += kChunk) {
+    const std::size_t n = std::min(kChunk, m - i0);
+    a.clock_.stage_marks_range(i0, n, now, cur, age);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = i0 + j;
+      if (track) cls.add(age[j], window);
+      if (age[j] < lower || age[j] >= upper) continue;
+      const std::uint32_t va =
+          a.clock_.stored_mark(i) != cur[j] ? kEmpty : a.sig_[i];
+      const std::uint32_t vb =
+          b.clock_.stored_mark(i) != cur[j] ? kEmpty : b.sig_[i];
+      if (va == kEmpty && vb == kEmpty) continue;
+      ++compared;
+      if (va == vb) ++match;
+    }
   }
   cls.commit(track);
   return compared == 0 ? 0.0
@@ -199,22 +224,32 @@ std::vector<double> SheMinHash::jaccard_batch(
   const bool track = obs::enabled();
   std::vector<obs::AgeClassCounts> cls(track ? nw : 0);
   std::vector<std::size_t> match(nw, 0), compared(nw, 0);
-  // One scan of both signatures for every queried window.
-  for (std::size_t i = 0; i < a.sig_.size(); ++i) {
-    std::uint64_t age = a.clock_.age(i, a.time_);
-    std::uint32_t va = 0, vb = 0;
-    bool slots_known = false;
-    for (std::size_t j = 0; j < nw; ++j) {
-      if (track) cls[j].add(age, windows[j]);
-      if (age < lower[j] || age >= upper[j]) continue;
-      if (!slots_known) {
-        va = a.effective_slot(i);
-        vb = b.effective_slot(i);
-        slots_known = true;
+  // One scan of both signatures for every queried window, ages and
+  // current marks staged per chunk through the vectorized clock kernels.
+  const GroupClock::TimeParts now = a.clock_.split(a.time_);
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t age[kChunk];
+  std::uint32_t cur[kChunk];
+  const std::size_t m = a.sig_.size();
+  for (std::size_t i0 = 0; i0 < m; i0 += kChunk) {
+    const std::size_t n = std::min(kChunk, m - i0);
+    a.clock_.stage_marks_range(i0, n, now, cur, age);
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      const std::size_t i = i0 + jj;
+      std::uint32_t va = 0, vb = 0;
+      bool slots_known = false;
+      for (std::size_t j = 0; j < nw; ++j) {
+        if (track) cls[j].add(age[jj], windows[j]);
+        if (age[jj] < lower[j] || age[jj] >= upper[j]) continue;
+        if (!slots_known) {
+          va = a.clock_.stored_mark(i) != cur[jj] ? kEmpty : a.sig_[i];
+          vb = b.clock_.stored_mark(i) != cur[jj] ? kEmpty : b.sig_[i];
+          slots_known = true;
+        }
+        if (va == kEmpty && vb == kEmpty) continue;
+        ++compared[j];
+        if (va == vb) ++match[j];
       }
-      if (va == kEmpty && vb == kEmpty) continue;
-      ++compared[j];
-      if (va == vb) ++match[j];
     }
   }
   std::vector<double> result(nw, 0.0);

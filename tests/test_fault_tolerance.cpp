@@ -11,11 +11,13 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <typeinfo>
 
 #include "common/crc32.hpp"
+#include "common/wal.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/fault_injection.hpp"
@@ -340,6 +342,16 @@ TEST(FaultSpec, ParsesAllForms) {
   EXPECT_EQ(s.shard, 2u);
   s = fault::parse_spec("ckpt-truncate:0");
   EXPECT_EQ(s.point, fault::Point::kCheckpointTruncate);
+  s = fault::parse_spec("wal-torn:0:5");
+  EXPECT_EQ(s.point, fault::Point::kWalTornWrite);
+  EXPECT_EQ(s.shard, 0u);
+  EXPECT_EQ(s.at, 5u);
+  s = fault::parse_spec("wal-partial:any:2");
+  EXPECT_EQ(s.point, fault::Point::kWalPartialFrame);
+  EXPECT_EQ(s.shard, fault::kAnyShard);
+  EXPECT_EQ(s.at, 2u);
+  s = fault::parse_spec("wal-short-fsync");
+  EXPECT_EQ(s.point, fault::Point::kWalShortFsync);
   EXPECT_THROW((void)fault::parse_spec("frob"), std::invalid_argument);
   EXPECT_THROW((void)fault::parse_spec("throw:x"), std::invalid_argument);
   EXPECT_THROW((void)fault::parse_spec("throw:0:1:2:3"), std::invalid_argument);
@@ -653,6 +665,264 @@ TEST_F(FaultTolerance, DeadShardAbortsBlockedPushes) {
   EXPECT_GT(st.dropped, 0u);
   EXPECT_TRUE(pipe.faulted());
   pipe.close();
+}
+
+// ------------------- write-ahead backlog log (zero-loss) --------------------
+
+/// The zero-loss acceptance scenario: ingest through the WAL with a
+/// seq-tagged client identity, kill shard 0's worker mid-stream (the moral
+/// equivalent of kill -9 — accepted items past the last checkpoint live
+/// only in the backlog log), then resume.  The WAL holds every accepted
+/// item in arrival order, so the resumed estimator must be byte-for-byte
+/// identical to an unfaulted sequential run — and a client replaying its
+/// last batch with the same sequence number must be deduplicated.
+template <typename Estimator>
+void wal_crash_replay_byte_identical(
+    const std::function<Estimator(std::size_t)>& factory, std::size_t shards,
+    const char* tag) {
+  const auto trace = stream::distinct_trace(30'000, 23);
+  const std::string dir = temp_dir((std::string("wal_crash_") + tag).c_str());
+
+  Sharded<Estimator> reference(shards, factory);
+  for (auto k : trace) reference.insert(k);
+
+  PipelineOptions opt;
+  opt.shards = shards;
+  opt.producers = 1;
+  opt.queue_capacity = 1024;
+  opt.publish_interval = 512;
+  opt.policy = Backpressure::kBlock;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 2048;
+  opt.wal_mode = WalMode::kAsync;
+
+  constexpr std::uint64_t kClient = 99;
+  constexpr std::size_t kChunk = 500;
+  std::uint64_t seq = 0;
+  std::span<const std::uint64_t> last_chunk;
+  std::uint64_t last_seq = 0;
+
+  // Run 1: the injected throw kills shard 0's worker for good mid-stream.
+  // Accepted items keep landing in the WAL even when the ring push fails —
+  // durable-but-not-yet-live is exactly the state resume must repair.
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 10'000, 0});
+  {
+    IngestPipeline<Estimator> pipe(opt, factory);
+    pipe.start();
+    for (std::size_t i = 0; i < trace.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, trace.size() - i);
+      last_chunk = std::span<const std::uint64_t>(trace.data() + i, n);
+      last_seq = ++seq;
+      (void)pipe.push_bulk(0, last_chunk, kClient, last_seq, 0);
+    }
+    pipe.close();
+    EXPECT_TRUE(pipe.faulted());
+  }
+  fault::injector().clear();
+
+  // Run 2: resume replays the backlog past each shard's newest checkpoint.
+  // No trace replay from the driver is needed — the log held everything.
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<Estimator> pipe(ropt, factory);
+  std::vector<std::uint64_t> per_shard(shards, 0);
+  for (auto k : trace) ++per_shard[pipe.shard_of(k)];
+  for (std::size_t s = 0; s < shards; ++s)
+    EXPECT_EQ(pipe.resume_offset(s), per_shard[s]) << "shard " << s;
+
+  // A client that never saw the ack for its final batch replays it with the
+  // same sequence number: accepted (so the client unblocks) but applied
+  // zero times — the dedup table survived the restart through the log.
+  pipe.start();
+  ASSERT_EQ(pipe.push_bulk(0, last_chunk, kClient, last_seq, 0),
+            last_chunk.size());
+  pipe.close();
+  EXPECT_FALSE(pipe.faulted());
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(serialized(pipe.snapshot(s)), serialized(reference.shard(s)))
+        << "shard " << s << " state diverged across kill + WAL resume";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, WalCrashReplayByteIdenticalSheBloom) {
+  wal_crash_replay_byte_identical<SheBloomFilter>(
+      [](std::size_t s) {
+        SheConfig cfg;
+        cfg.window = 2048;
+        cfg.cells = 1 << 14;
+        cfg.group_cells = 64;
+        cfg.alpha = 2.0;
+        cfg.seed = static_cast<std::uint32_t>(s);
+        return SheBloomFilter(cfg, 8);
+      },
+      2, "bloom");
+}
+
+TEST_F(FaultTolerance, WalCrashReplayByteIdenticalSheCountMin) {
+  wal_crash_replay_byte_identical<SheCountMin>(
+      [](std::size_t s) {
+        SheConfig cfg;
+        cfg.window = 8192;
+        cfg.cells = 1 << 13;
+        cfg.group_cells = 64;
+        cfg.alpha = 1.0;
+        cfg.seed = static_cast<std::uint32_t>(s);
+        return SheCountMin(cfg, 8);
+      },
+      2, "cm");
+}
+
+TEST_F(FaultTolerance, WalCrashReplayByteIdenticalSheBitmap) {
+  wal_crash_replay_byte_identical<SheBitmap>(
+      [](std::size_t s) {
+        SheConfig cfg;
+        cfg.window = 8192;
+        cfg.cells = 1 << 13;
+        cfg.group_cells = 64;
+        cfg.alpha = 0.2;
+        cfg.seed = static_cast<std::uint32_t>(s);
+        return SheBitmap(cfg);
+      },
+      2, "bitmap");
+}
+
+TEST_F(FaultTolerance, WalCrashReplayByteIdenticalSheHyperLogLog) {
+  wal_crash_replay_byte_identical<SheHyperLogLog>(
+      [](std::size_t s) {
+        SheConfig cfg;
+        cfg.window = 8192;
+        cfg.cells = 512;
+        cfg.group_cells = 1;
+        cfg.alpha = 0.2;
+        cfg.seed = static_cast<std::uint32_t>(s);
+        return SheHyperLogLog(cfg);
+      },
+      2, "hll");
+}
+
+TEST_F(FaultTolerance, WalCrashReplayByteIdenticalSheMinHash) {
+  wal_crash_replay_byte_identical<SheMinHash>(
+      [](std::size_t s) {
+        SheConfig cfg;
+        cfg.window = 1024;
+        cfg.cells = 128;
+        cfg.group_cells = 1;
+        cfg.alpha = 0.2;
+        cfg.seed = static_cast<std::uint32_t>(s);
+        return SheMinHash(cfg);
+      },
+      1, "minhash");
+}
+
+/// A failed WAL append (torn write, partial frame, or short fsync) must
+/// surface as a typed WalError with the batch NOT recorded as durable, so
+/// the client's retry under the same sequence number lands exactly once —
+/// and a duplicate replay after the ack is suppressed, both before and
+/// after a restart.
+void wal_failed_append_retry(fault::Point point, WalMode mode,
+                             const char* tag) {
+  const std::string dir = temp_dir((std::string("wal_retry_") + tag).c_str());
+  const auto trace = stream::distinct_trace(4'000, 47);
+  const auto factory = bf_factory(1, 8192);
+
+  Sharded<SheBloomFilter> reference(1, factory);
+  for (auto k : trace) reference.insert(k);
+
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.publish_interval = 256;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 1u << 20;  // only the final close() frame
+  opt.wal_mode = mode;
+
+  const std::size_t half = trace.size() / 2;
+  const std::span<const std::uint64_t> first(trace.data(), half);
+  const std::span<const std::uint64_t> second(trace.data() + half,
+                                              trace.size() - half);
+  constexpr std::uint64_t kClient = 7;
+
+  // The injected fault hits WAL frame seq 2 — the second batch's append.
+  fault::injector().arm({point, 0, 2, 0});
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, factory);
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, first, kClient, 1, 0), first.size());
+    EXPECT_THROW((void)pipe.push_bulk(0, second, kClient, 2, 0), WalError);
+    // The failed append must not have recorded seq 2 as durable: the retry
+    // is accepted and applied exactly once ...
+    ASSERT_EQ(pipe.push_bulk(0, second, kClient, 2, 0), second.size());
+    // ... and a lost-ack duplicate of the now-durable batch is absorbed.
+    ASSERT_EQ(pipe.push_bulk(0, second, kClient, 2, 0), second.size());
+    pipe.close();
+    EXPECT_FALSE(pipe.faulted());
+    EXPECT_EQ(serialized(pipe.snapshot(0)), serialized(reference.shard(0)));
+  }
+  fault::injector().clear();
+
+  // Restart: the dedup table rides the log, so the same duplicate replay
+  // is still suppressed and the state stays byte-identical.
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<SheBloomFilter> pipe(ropt, factory);
+  EXPECT_EQ(pipe.resume_offset(0), trace.size());
+  pipe.start();
+  ASSERT_EQ(pipe.push_bulk(0, second, kClient, 2, 0), second.size());
+  pipe.close();
+  EXPECT_EQ(serialized(pipe.snapshot(0)), serialized(reference.shard(0)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, WalTornWriteRetryLandsExactlyOnce) {
+  wal_failed_append_retry(fault::Point::kWalTornWrite, WalMode::kAsync,
+                          "torn");
+}
+
+TEST_F(FaultTolerance, WalPartialFrameRetryLandsExactlyOnce) {
+  wal_failed_append_retry(fault::Point::kWalPartialFrame, WalMode::kAsync,
+                          "partial");
+}
+
+TEST_F(FaultTolerance, WalShortFsyncRetryLandsExactlyOnce) {
+  wal_failed_append_retry(fault::Point::kWalShortFsync, WalMode::kFsync,
+                          "short_fsync");
+}
+
+TEST_F(FaultTolerance, AllCheckpointGenerationsCorruptFailsLoudly) {
+  // Retention is not a license to resume from nothing: when every retained
+  // generation is demonstrably corrupt, the resume constructor must throw
+  // the typed error instead of silently starting fresh.
+  const std::string dir = temp_dir("all_gens_corrupt");
+  const auto trace = stream::distinct_trace(12'000, 51);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.publish_interval = 512;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 1024;
+  opt.checkpoint_keep = 2;
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, bf_factory(1, 8192));
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+    pipe.close();
+  }
+  const std::string base = dir + "/shard-0.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(base));
+  ASSERT_TRUE(std::filesystem::exists(base + ".1"));
+  for (const std::string& path : {base, base + ".1"}) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  const std::uint64_t before = corrupt_count();
+  EXPECT_THROW(IngestPipeline<SheBloomFilter>(ropt, bf_factory(1, 8192)),
+               CheckpointError);
+  EXPECT_GE(corrupt_count(), before + 2);  // both generations rejected loudly
+  std::filesystem::remove_all(dir);
 }
 
 // ----------------------- concurrency (tsan-focused) -------------------------

@@ -14,6 +14,8 @@
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -26,7 +28,9 @@
 #include "server/pipeline_manager.hpp"
 #include "server/protocol.hpp"
 #include "common/simd.hpp"
+#include "common/wal.hpp"
 #include "obs/trace.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/runtime_stats.hpp"
 
 namespace she::server {
@@ -84,9 +88,11 @@ TEST(Wire, TrailingBytesRejected) {
 
 TEST(Wire, OpcodeValidation) {
   EXPECT_THROW((void)op_from(0), ProtocolError);
+  EXPECT_THROW((void)op_from(13), ProtocolError);
   EXPECT_THROW((void)op_from(200), ProtocolError);
   EXPECT_EQ(op_from(1), Op::kPing);
   EXPECT_EQ(op_from(11), Op::kShutdown);
+  EXPECT_EQ(op_from(12), Op::kAuth);
   EXPECT_THROW((void)query_type_from(0), ProtocolError);
   EXPECT_THROW((void)query_type_from(99), ProtocolError);
   EXPECT_EQ(query_type_from(5), QueryType::kJaccard);
@@ -122,6 +128,45 @@ TEST(Wire, TraceHeaderParsesAndStrips) {
   EXPECT_EQ(read_trace_header(q), 0u);
   EXPECT_EQ(q.remaining(), 3u);  // nothing consumed
   EXPECT_EQ(opcode_offset({runt, 3}), 0u);
+}
+
+TEST(Wire, SeqHeaderParsesAndStrips) {
+  // [0xF6][u64 client_id][u64 client_seq] after the optional trace header;
+  // read_seq_header consumes it only when present and whole.
+  auto u64le = [](std::vector<char>& out, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b)
+      out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  };
+  std::vector<char> framed;
+  framed.push_back(static_cast<char>(kSeqHeader));
+  u64le(framed, 0xAB);
+  u64le(framed, 42);
+  framed.push_back(static_cast<char>(Op::kPing));
+  WireReader r(framed);
+  const ClientSeq cs = read_seq_header(r);
+  EXPECT_EQ(cs.client_id, 0xABu);
+  EXPECT_EQ(cs.client_seq, 42u);
+  EXPECT_EQ(op_from(r.u8()), Op::kPing);
+  r.expect_done();
+  EXPECT_EQ(opcode_offset(framed), 17u);
+
+  // Trace header then seq header: both are skipped to find the opcode.
+  std::vector<char> both;
+  both.push_back(static_cast<char>(kTraceHeader));
+  u64le(both, 7);
+  both.insert(both.end(), framed.begin(), framed.end());
+  EXPECT_EQ(opcode_offset(both), 26u);
+
+  // Untagged bodies are untouched, and a runt 0xF6 is not a seq header.
+  const char plain[] = {static_cast<char>(Op::kPing)};
+  WireReader p({plain, 1});
+  EXPECT_EQ(read_seq_header(p).client_id, 0u);
+  EXPECT_EQ(p.remaining(), 1u);
+  const char runt[] = {static_cast<char>(kSeqHeader), 1, 2, 3};
+  WireReader q({runt, 4});
+  EXPECT_EQ(read_seq_header(q).client_id, 0u);
+  EXPECT_EQ(q.remaining(), 4u);  // nothing consumed
+  EXPECT_EQ(opcode_offset({runt, 4}), 0u);
 }
 
 TEST(SpecParser, DefaultsAndOverrides) {
@@ -740,6 +785,332 @@ TEST(Server, SigtermCheckpointsRestartAnswersIdentically) {
     EXPECT_EQ(c.query_frequency("flows", k), freqs[k]) << "key " << k;
     EXPECT_EQ(c.query_membership("flows", k), present[k]) << "key " << k;
   }
+}
+
+// -------------------- admission control / zero-loss ingest ------------------
+
+/// Little-endian u64 append, for hand-built wire frames.
+void put_u64le(std::vector<char>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b)
+    out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+
+/// An INSERT_BULK body tagged with an explicit (client_id, client_seq) so a
+/// test can replay the *same* sequence number byte-for-byte.
+std::vector<char> seq_tagged_bulk(std::uint64_t client_id,
+                                  std::uint64_t client_seq,
+                                  const std::string& name,
+                                  const std::vector<std::uint64_t>& keys) {
+  std::vector<char> body;
+  body.push_back(static_cast<char>(kSeqHeader));
+  put_u64le(body, client_id);
+  put_u64le(body, client_seq);
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kInsertBulk));
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t k : keys) w.u64(k);
+  body.insert(body.end(), w.body().begin(), w.body().end());
+  return body;
+}
+
+TEST(Server, DuplicateSeqReplayIsIdempotent) {
+  LiveServer live;
+  SheClient c = live.client();
+  c.create("dd", "window=16K memory=128K shards=1");
+
+  std::vector<std::uint64_t> keys(500, 7);  // one hot key, exact frequency
+  const std::vector<char> body = seq_tagged_bulk(5, 1, "dd", keys);
+  for (int replay = 0; replay < 3; ++replay) {
+    const std::vector<char> resp = c.roundtrip_raw(body);
+    ASSERT_FALSE(resp.empty());
+    EXPECT_EQ(static_cast<Status>(resp[0]), Status::kOk);
+    WireReader r(resp);
+    (void)r.u8();
+    // Every replay is acked with the full count (the client unblocks) ...
+    EXPECT_EQ(r.u64(), keys.size());
+  }
+  c.flush("dd");
+  // ... but the batch was applied exactly once.
+  EXPECT_EQ(c.query_frequency("dd", 7), keys.size());
+
+  // A fresh sequence number from the same client is new work.
+  const std::vector<char> next = seq_tagged_bulk(5, 2, "dd", keys);
+  EXPECT_EQ(static_cast<Status>(c.roundtrip_raw(next)[0]), Status::kOk);
+  c.flush("dd");
+  EXPECT_EQ(c.query_frequency("dd", 7), 2 * keys.size());
+}
+
+TEST(Server, AuthGateTokensAndTypedRejection) {
+  const std::string dir = temp_dir("server_auth");
+  const std::string token_file = dir + "/tokens";
+  {
+    std::ofstream f(token_file);
+    f << "alpha-token\nbeta-token\n";
+  }
+  ServerOptions opt;
+  opt.auth_token_file = token_file;
+  LiveServer live(std::move(opt));
+
+  // Every op before AUTH is rejected with the typed status — and the
+  // connection survives to authenticate afterwards.
+  SheClient c = live.client();
+  try {
+    c.ping();
+    FAIL() << "expected kUnauthorized";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), Status::kUnauthorized);
+  }
+  {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kAuth));
+    w.str("alpha-token");
+    const std::vector<char> resp = c.roundtrip_raw(w.body());
+    EXPECT_EQ(static_cast<Status>(resp[0]), Status::kOk);
+  }
+  c.ping();  // authed now
+
+  // A wrong token is rejected but not connection-fatal.
+  SheClient bad = live.client();
+  {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Op::kAuth));
+    w.str("nope");
+    const std::vector<char> resp = bad.roundtrip_raw(w.body());
+    EXPECT_EQ(static_cast<Status>(resp[0]), Status::kUnauthorized);
+  }
+  try {
+    bad.ping();
+    FAIL() << "expected kUnauthorized";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), Status::kUnauthorized);
+  }
+
+  // The deadline-aware client authenticates on every (re)connect; a bad
+  // token surfaces as the typed error from the constructor.
+  ClientOptions good;
+  good.auth_token = "beta-token";
+  SheClient authed("127.0.0.1", live.server.port(), good);
+  authed.create("locked", "window=4K memory=64K");
+  EXPECT_EQ(authed.insert("locked", 9), 1u);
+  ClientOptions wrong;
+  wrong.auth_token = "stolen";
+  EXPECT_THROW(SheClient("127.0.0.1", live.server.port(), wrong), ClientError);
+
+  const std::string body =
+      http_body(http_get(live.server.http_port(), "/healthz"));
+  EXPECT_NE(body.find("\"auth_required\":true"), std::string::npos);
+  const std::string metrics = live.server.render_metrics();
+  EXPECT_NE(metrics.find("she_server_unauthorized_total"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Server, OverQuotaLoadShedsFastWithTypedError) {
+  ServerOptions opt;
+  opt.bytes_per_sec = 64 * 1024;  // burst capacity: one second of budget
+  LiveServer live(std::move(opt));
+  SheClient c = live.client();
+  c.create("ov", "window=8K memory=64K shards=1");
+
+  // ~32 KiB per request: the 4x-quota burst must hit the typed overload
+  // rejection, and the rejection must come back fast (shed before work,
+  // not queued behind it).
+  std::vector<std::uint64_t> keys(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  bool overloaded = false;
+  for (int i = 0; i < 8 && !overloaded; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      (void)c.insert_bulk("ov", keys);
+    } catch (const ClientError& e) {
+      ASSERT_EQ(e.status(), Status::kOverloaded);
+      EXPECT_NE(std::string(e.what()).find("retry"), std::string::npos);
+      EXPECT_LT(std::chrono::steady_clock::now() - t0,
+                std::chrono::milliseconds(1000));
+      overloaded = true;
+    }
+  }
+  EXPECT_TRUE(overloaded) << "4x quota load never hit kOverloaded";
+  c.ping();  // rejection is per-request, the connection keeps serving
+
+  const std::string body =
+      http_body(http_get(live.server.http_port(), "/healthz"));
+  EXPECT_NE(body.find("\"overloaded_total\":"), std::string::npos);
+  const std::string metrics = live.server.render_metrics();
+  const std::size_t at = metrics.find("she_server_overloaded_total ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(metrics[metrics.find_first_not_of(' ', at + 28)], '0');
+
+  // An overload-aware client with backoff retries through the window the
+  // bucket needs to refill and eventually lands the batch.
+  ClientOptions copt;
+  copt.max_retries = 20;
+  copt.backoff_initial_ms = 100;
+  copt.backoff_max_ms = 400;
+  SheClient patient("127.0.0.1", live.server.port(), copt);
+  EXPECT_EQ(patient.insert_bulk("ov", keys), keys.size());
+}
+
+TEST(Server, BatchLargerThanBurstStillAdmitted) {
+  ServerOptions opt;
+  opt.bytes_per_sec = 16 * 1024;  // burst capacity: 16 KiB
+  LiveServer live(std::move(opt));
+  SheClient c = live.client();
+  c.create("big", "window=8K memory=64K shards=1");
+
+  // ~32 KiB — double the burst.  A strict bucket check would starve this
+  // forever; a full bucket must admit it (going into debt) so oversize
+  // batches make progress at the configured long-run rate.
+  std::vector<std::uint64_t> keys(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i + 1;
+  // Let the CREATE's charge refill so the burst is whole again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(c.insert_bulk("big", keys), keys.size());
+
+  // The debt is real: an immediate second oversize batch is shed.
+  bool overloaded = false;
+  try {
+    (void)c.insert_bulk("big", keys);
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), Status::kOverloaded);
+    overloaded = true;
+  }
+  EXPECT_TRUE(overloaded) << "debt from the oversize batch was not charged";
+
+  // And a patient client rides the refill through the debt.
+  ClientOptions copt;
+  copt.max_retries = 30;
+  copt.backoff_initial_ms = 100;
+  copt.backoff_max_ms = 500;
+  SheClient patient("127.0.0.1", live.server.port(), copt);
+  EXPECT_EQ(patient.insert_bulk("big", keys), keys.size());
+}
+
+#if defined(SHE_FAULT_INJECTION)
+
+/// Clears the process-global fault injector around a test body.
+struct InjectorGuard {
+  InjectorGuard() { runtime::fault::injector().clear(); }
+  ~InjectorGuard() { runtime::fault::injector().clear(); }
+};
+
+TEST(Server, RequestDeadlineShedsInsteadOfWedging) {
+  InjectorGuard guard;
+  ServerOptions opt;
+  opt.request_deadline_ms = 200;
+  LiveServer live(std::move(opt));
+  SheClient c = live.client();
+  c.create("dl", "window=16K memory=128K shards=1 producers=1 queue=256 "
+                 "policy=block");
+
+  // Wedge the drain thread for 3 s early in the stream.  The ring fills,
+  // the handler's backpressure spin hits the request deadline, and the
+  // server answers kTimeout long before the stall clears.
+  runtime::fault::injector().arm(
+      {runtime::fault::Point::kConsumerStall, 0, 1'000, 3'000});
+  std::vector<std::uint64_t> keys(20'000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)c.insert_bulk("dl", keys);
+    FAIL() << "expected kTimeout";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), Status::kTimeout);
+    EXPECT_NE(std::string(e.what()).find("replay is safe"),
+              std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(2'500));
+  c.ping();  // the handler thread was shed, not wedged
+
+  const std::string metrics = live.server.render_metrics();
+  const std::size_t at = metrics.find("she_server_deadline_shed_total ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(metrics[metrics.find_first_not_of(' ', at + 31)], '0');
+  const std::string body =
+      http_body(http_get(live.server.http_port(), "/healthz"));
+  EXPECT_NE(body.find("\"request_deadline_ms\":200"), std::string::npos);
+}
+
+#endif  // SHE_FAULT_INJECTION
+
+TEST(Server, WalSpecRequiresDurableRoot) {
+  // Without a checkpoint root there is nowhere durable to put a backlog
+  // log: the spec is rejected up front, not silently degraded.
+  LiveServer live;
+  SheClient c = live.client();
+  try {
+    c.create("w", "wal=async");
+    FAIL() << "expected kBadRequest";
+  } catch (const ClientError& e) {
+    EXPECT_EQ(e.status(), Status::kBadRequest);
+  }
+
+  const std::string root = temp_dir("server_wal_spec");
+  ServerOptions opt;
+  opt.manager.checkpoint_root = root;
+  LiveServer durable(std::move(opt));
+  SheClient d = durable.client();
+  d.create("w", "wal=fsync wal-fsync-bytes=64K shards=1 window=8K memory=64K");
+  std::vector<std::uint64_t> keys(2048);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  EXPECT_EQ(d.insert_bulk("w", keys), keys.size());
+  // The per-shard backlog log exists under the pipeline's directory.
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(root) / "w" / "shard-0.wal"));
+}
+
+TEST(Server, ClientReplaysInsertsAcrossServerRestartExactTotals) {
+  const std::string root = temp_dir("server_client_replay");
+  std::uint16_t port = 0;
+  ClientOptions copt;
+  copt.connect_timeout_ms = 2'000;
+  copt.io_timeout_ms = 5'000;
+  copt.max_retries = 40;
+  copt.backoff_initial_ms = 25;
+  copt.backoff_max_ms = 250;
+  copt.client_id = 0xC0FFEE;
+
+  std::vector<std::uint64_t> batch(1'000, 7);  // exact frequency accounting
+  std::optional<LiveServer> live;
+  {
+    ServerOptions opt;
+    opt.manager.checkpoint_root = root;
+    opt.manager.default_wal_mode = WalMode::kAsync;
+    live.emplace(std::move(opt));
+  }
+  port = live->server.port();
+  // ONE client object survives the restart: its sequence counter keeps
+  // counting, so post-restart inserts are new work, not replays.
+  SheClient c("127.0.0.1", port, copt);
+  c.create("flows", "window=32K memory=256K shards=1 producers=1 seed=3");
+  EXPECT_EQ(c.insert_bulk("flows", batch), batch.size());
+  EXPECT_EQ(c.insert_bulk("flows", batch), batch.size());
+  live->server.stop();
+  live->server.wait();
+  live.reset();
+
+  // Same port, resumed state: the client's next insert rides its
+  // exponential-backoff reconnect and lands exactly once.
+  {
+    ServerOptions opt;
+    opt.host = "127.0.0.1";
+    opt.port = port;
+    opt.manager.checkpoint_root = root;
+    opt.manager.default_wal_mode = WalMode::kAsync;
+    opt.manager.resume = true;
+    live.emplace(std::move(opt));
+  }
+  EXPECT_EQ(c.insert_bulk("flows", batch), batch.size());
+  c.flush("flows");
+  EXPECT_EQ(c.query_frequency("flows", 7), 3 * batch.size());
+  // And a wire-level replay of an already-acked sequence number is still
+  // absorbed after the restart — the idempotence table rode the log.
+  const std::vector<char> dup = seq_tagged_bulk(0xC0FFEE, 2, "flows", batch);
+  EXPECT_EQ(static_cast<Status>(c.roundtrip_raw(dup)[0]), Status::kOk);
+  c.flush("flows");
+  EXPECT_EQ(c.query_frequency("flows", 7), 3 * batch.size());
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

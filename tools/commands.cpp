@@ -585,7 +585,17 @@ int cmd_client(const ArgMap& args, std::ostream& out) {
     return args.get_u64(flag, 0);
   };
 
-  server::SheClient client(host, port);
+  // Deadline-aware transport: --timeout-ms bounds every connect and
+  // socket read/write; a missed deadline exits 3 (distinct from usage
+  // errors' 2 and server errors' 1) so scripts can tell "slow" apart
+  // from "wrong".  --retries enables reconnect + idempotent replay.
+  server::ClientOptions copt;
+  copt.io_timeout_ms = args.get_u64("timeout-ms", 0);
+  copt.connect_timeout_ms = args.get_u64("connect-timeout-ms",
+                                         copt.io_timeout_ms);
+  copt.auth_token = args.get("token", "");
+  copt.max_retries = static_cast<std::size_t>(args.get_u64("retries", 0));
+  server::SheClient client(host, port, copt);
   // Optional trace correlation: every request this invocation sends is
   // prefixed with the trace-header wire extension carrying this id, so a
   // server running with --trace attributes the spans to it.
@@ -788,8 +798,14 @@ std::string usage() {
       "               [--count N --key-base B --distinct D]\n"
       "               [--type membership|frequency|cardinality|topk|jaccard]\n"
       "               [--k N] [--other NAME] [--trace-id ID]\n"
+      "               [--timeout-ms N] [--connect-timeout-ms N]\n"
+      "               [--token T] [--retries N]\n"
       "               (drive a running she_server over its binary protocol;\n"
-      "               --trace-id tags requests for a --trace'd server)\n"
+      "               --trace-id tags requests for a --trace'd server;\n"
+      "               --timeout-ms bounds connect + every read/write and\n"
+      "               exits 3 on a missed deadline; --token authenticates\n"
+      "               against --auth-token-file servers; --retries replays\n"
+      "               idempotent requests over a fresh connection)\n"
       "  trace        [--out FILE (default trace.json)] [--count N]\n"
       "               [--queries N] [--spec \"window=64K ...\"]\n"
       "               (traced in-process server replay; writes Chrome\n"
@@ -825,6 +841,18 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
     }
     out << "unknown command '" << cmd << "'\n\n" << usage();
     return 2;
+  } catch (const server::IoTimeout& e) {
+    out << "timeout: " << e.what() << "\n";
+    return 3;
+  } catch (const server::ClientError& e) {
+    // A server-side deadline shed is still a deadline: same exit as a
+    // transport timeout so callers need one check.
+    if (e.status() == server::Status::kTimeout) {
+      out << "timeout: " << e.what() << "\n";
+      return 3;
+    }
+    out << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";
     return 2;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include "obs/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -334,10 +336,24 @@ void ShardWal::compact(std::uint64_t low_water) {
   for (const WalFrame& f : scan.frames)
     if (f.end_offset() > low_water) base = std::min(base, f.start_offset);
 
+  // Rewrite into a tmp file, make the replacement as durable as the mode
+  // promises, then rename over the log.  The pre-compaction file is only
+  // replaced by the rename itself: any failure before that point keeps
+  // the (longer, still valid) old log.
   const std::string tmp = path_ + ".tmp";
   {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw WalError("wal: cannot open " + tmp);
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) throw WalError("wal: cannot open " + tmp);
+    const auto fail = [&out, &tmp](const std::string& msg) {
+      std::fclose(out);
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);
+      throw WalError(msg);
+    };
+    const auto put = [&](const std::vector<char>& bytes) {
+      if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size())
+        fail("wal: short write to " + tmp);
+    };
     std::uint64_t seq = 1;
     WalFrame table;
     table.kind = kWalSeqTable;
@@ -351,17 +367,27 @@ void ShardWal::compact(std::uint64_t low_water) {
       put_le<std::uint64_t>(table.payload.data() + p + 8, hi);
       p += 16;
     }
-    const std::vector<char> tb = frame_wal(table);
-    os.write(tb.data(), static_cast<std::streamsize>(tb.size()));
+    put(frame_wal(table));
     for (const WalFrame& f : scan.frames) {
       if (f.end_offset() <= low_water) continue;  // fully checkpointed
       WalFrame keep = f;
       keep.seq = seq++;
-      const std::vector<char> fb = frame_wal(keep);
-      os.write(fb.data(), static_cast<std::streamsize>(fb.size()));
+      put(frame_wal(keep));
     }
-    os.flush();
-    if (!os) throw WalError("wal: short write to " + tmp);
+    if (std::fflush(out) != 0) fail("wal: flush failed on " + tmp);
+#if defined(__unix__) || defined(__APPLE__)
+    // In kFsync mode the surviving frames were already made durable in
+    // the old log; the replacement must be durable *before* it takes the
+    // log's name, or a power loss shortly after the rename could surface
+    // an empty or partial rewrite where fsync'd frames used to be.
+    if (opt_.mode == WalMode::kFsync && ::fsync(fileno(out)) != 0)
+      fail("wal: fsync failed on " + tmp);
+#endif
+    if (std::fclose(out) != 0) {
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);
+      throw WalError("wal: close failed on " + tmp);
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path_, ec);
@@ -369,6 +395,20 @@ void ShardWal::compact(std::uint64_t low_water) {
     std::filesystem::remove(tmp, ec);
     throw WalError("wal: cannot rename " + tmp + " to " + path_);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  if (opt_.mode == WalMode::kFsync) {
+    // Persist the rename.  Best-effort: if the directory update is lost
+    // to a power cut, the pre-compaction file reappears whole — longer,
+    // but a valid log covering the same accepted suffix.
+    const std::filesystem::path dir =
+        std::filesystem::path(path_).parent_path();
+    const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+#endif
   const WalScan after = read_wal(path_);
   base_offset_ = base;
   next_seq_ = after.next_seq;

@@ -58,10 +58,17 @@ void PipelineOptions::validate() const {
     throw std::invalid_argument(
         "PipelineOptions: the WAL needs a checkpoint_dir (the log lives "
         "beside the shard checkpoints it backstops)");
+  // kDropNewest rejects items one by one *inside* an accepted batch,
+  // which the log cannot express — a logged-but-dropped key would be
+  // replayed at resume and double counted.  kBlockTimeout is safe with
+  // the WAL: ring space for the whole sub-batch is reserved before the
+  // append (IngestPipeline::wal_push), so an expiry sheds the batch
+  // with nothing logged and nothing acked — never after durability.
   if (wal_mode != WalMode::kOff && policy == Backpressure::kDropNewest)
     throw std::invalid_argument(
-        "PipelineOptions: the WAL needs a lossless backpressure policy "
-        "(a logged item must not be droppable; use block or block-timeout)");
+        "PipelineOptions: the WAL needs an all-or-nothing backpressure "
+        "policy (a logged item must not be droppable; use block or "
+        "block-timeout — timeouts shed before the append)");
 }
 
 }  // namespace she::runtime

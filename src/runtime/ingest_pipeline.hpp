@@ -39,15 +39,29 @@
 //     pushes to it fail fast.
 //   * Write-ahead backlog log (common/wal.hpp): checkpoints capture the
 //     drained prefix, but items *accepted and still queued* used to be
-//     lost by design at a crash.  With `wal_mode != kOff`, every accepted
-//     batch is appended to `<checkpoint_dir>/shard-<s>.wal` *before* ring
-//     enqueue, drain progress (the checkpoint offset) is the durable
+//     lost by design at a crash.  With `wal_mode != kOff`, each accepted
+//     per-shard sub-batch commits through the shard's WAL lane
+//     (wal_push): one critical section that reserves ring space *first*
+//     — a request deadline or BlockTimeout expiry sheds the batch before
+//     anything reaches the log — then appends it to
+//     `<checkpoint_dir>/shard-<s>.wal` and enqueues it whole, in log
+//     order, on ring 0 regardless of producer index.  Drain order
+//     therefore equals log-append order, which is what lets the
+//     checkpoint offset (a count of drained items) identify the exact
+//     log prefix a checkpoint covers: drain progress is the durable
 //     low-water mark that retires frames at compaction, and resume
 //     replays the logged suffix past the newest checkpoint — so kill -9
-//     at any instant reconstructs the accepted stream.  Batches carrying
-//     a client identity (client_id, client_seq) are deduplicated against
-//     a per-shard sequence table that survives restarts inside the log,
-//     making client-side INSERT_BULK replay exactly-once per shard.
+//     at any instant reconstructs the accepted stream byte-identically.
+//     Only a terminally dead shard (faulted without a supervisor, or
+//     abandoned) accepts batches into the log without enqueueing them;
+//     that is safe because nothing drains or checkpoints there again,
+//     so the logged tail surfaces, in order, at the next resume.  A
+//     supervised restart's rollback gap (published snapshot .. consumed)
+//     is healed back from the log instead of being counted lost.
+//     Batches carrying a client identity (client_id, client_seq) are
+//     deduplicated against a per-shard sequence table that survives
+//     restarts inside the log, making client-side INSERT_BULK replay
+//     exactly-once per shard.
 //   * Fault injection: the deterministic hooks in
 //     runtime/fault_injection.hpp (compiled out unless
 //     SHE_FAULT_INJECTION) let tests and `she_tool pipeline --inject`
@@ -86,8 +100,12 @@
 // arrival order, so the result is bit-identical to sequential routing
 // through Sharded<T> (tested), and a checkpoint+resume replay that skips
 // each shard's recorded prefix reproduces the unfaulted run byte for byte.
-// With several producers the per-shard interleaving is nondeterministic,
-// like any concurrent ingest.
+// With several producers and no WAL the per-shard interleaving is
+// nondeterministic, like any concurrent ingest.  With the WAL on, all
+// producers serialize through the shard's WAL lane and drain order equals
+// log-append order regardless of producer count — the interleaving is
+// whatever order the lane admitted the batches, and crash+resume
+// reproduces exactly that order.
 #pragma once
 
 #include <algorithm>
@@ -222,11 +240,16 @@ class IngestPipeline {
       }
       if (opt_.wal_mode != WalMode::kOff) {
         // Scan the backlog log, replay the accepted suffix past the
-        // checkpoint into the estimator (in logged order — for a single
-        // producer that is arrival order, so the result is byte-identical
-        // to the unfaulted run), and open the log for appending with the
-        // torn tail truncated.
-        const WalScan scan = read_wal(wal_path(s));
+        // checkpoint into the estimator (in logged order — the WAL lane
+        // enqueues in log order for any producer count, so logged order
+        // is drain order and the result is byte-identical to the
+        // unfaulted run), and open the log for appending with the torn
+        // tail truncated.  The checkpoint offset identifies an exact log
+        // prefix because a batch is only logged once ring space for it
+        // is reserved: sheds happen before the append, and a frame past
+        // the checkpoint is always un-applied in its entirety beyond
+        // `consumed`.
+        WalScan scan = read_wal(wal_path(s));
         if (opt_.resume) {
           std::uint64_t pos = sh->consumed;
           for (const WalFrame& f : scan.frames) {
@@ -247,6 +270,11 @@ class IngestPipeline {
           sh->resume_offset = pos;
           sh->consumed = pos;
           sh->consumed_at_publish = pos;
+          // If the checkpoint is ahead of the log (log file lost or
+          // fully compacted away), new frames must still start at the
+          // checkpoint offset — an append below `consumed` would be
+          // skipped as "already checkpointed" at the next resume.
+          scan.end_offset = std::max(scan.end_offset, pos);
         }
         if (!opt_.resume) {
           // A fresh (non-resuming) pipeline must not append after stale
@@ -354,6 +382,8 @@ class IngestPipeline {
   }
 
  private:
+  struct Shard;  // defined below; referenced by the push helpers' signatures
+
   /// The enqueue core.  `deadline_ns` (absolute, steady-clock ns; 0 =
   /// none) bounds any blocking spin on top of the configured policy —
   /// the server threads its per-request deadline through here so an
@@ -427,6 +457,119 @@ class IngestPipeline {
     return true;
   }
 
+  /// Wait until `ring` (the shard's WAL lane) has at least `want` free
+  /// slots.  Returns true when the space is there — or when the shard
+  /// went terminally dead mid-wait, which the caller re-checks and routes
+  /// to the durable-only path.  Returns false when the batch must be
+  /// shed: pipeline closing, request deadline passed, or BlockTimeout
+  /// expiry.  The free-space count is exact from the producer side: the
+  /// caller holds the shard's wal_mu (sole producer on this ring) and the
+  /// consumer only ever frees slots.
+  bool wait_ring_space(Shard& sh, SpscRing& ring, std::size_t want,
+                       std::int64_t deadline_ns) {
+    const auto free_now = [&ring] {
+      return ring.capacity() - ring.size_approx();
+    };
+    if (free_now() >= want) return true;
+    const std::int64_t stall_start = now_ns();
+    stall_events_->inc();
+    std::int64_t deadline =
+        opt_.policy == Backpressure::kBlockTimeout
+            ? stall_start +
+                  static_cast<std::int64_t>(opt_.push_timeout_ms) * 1'000'000
+            : std::numeric_limits<std::int64_t>::max();
+    if (deadline_ns != 0) deadline = std::min(deadline, deadline_ns);
+    bool ok = true;
+    std::int64_t backoff_us = 0;
+    for (;;) {
+      if (!accepting_.load(std::memory_order_acquire)) {
+        ok = false;
+        break;
+      }
+      if (shard_dead(sh)) break;
+      if (free_now() >= want) break;
+      if (now_ns() >= deadline) {
+        push_timeouts_->inc();
+        ok = false;
+        break;
+      }
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us = std::min<std::int64_t>(backoff_us * 2, 1000);
+      } else {
+        std::this_thread::yield();
+        if (opt_.policy == Backpressure::kBlockTimeout || deadline_ns != 0)
+          backoff_us = 1;
+      }
+    }
+    stall_ns_->inc(static_cast<std::uint64_t>(now_ns() - stall_start));
+    return ok;
+  }
+
+  /// The WAL lane: commit one per-shard sub-batch atomically — dedup
+  /// check, ring-space admission, log append, enqueue — under the shard's
+  /// wal_mu.  All WAL-mode enqueues go through ring 0 in log-append order
+  /// regardless of `producer`, so drain order equals log order and the
+  /// checkpoint's drained-item count identifies the exact log prefix it
+  /// covers.  Returns g.size() when the batch is durable (acked) or a
+  /// known duplicate, 0 when it was shed with nothing logged and nothing
+  /// recorded (a retry is clean); a WalError from the append propagates
+  /// with nothing acked.
+  std::size_t wal_push(std::size_t producer, Shard& sh,
+                       std::span<const std::uint64_t> g,
+                       std::uint64_t client_id, std::uint64_t client_seq,
+                       std::int64_t deadline_ns) {
+    std::lock_guard<std::mutex> lk(sh.wal_mu);
+    if (!accepting_.load(std::memory_order_acquire)) return 0;
+    if (client_id != 0 &&
+        client_seq <= sh.wal->seq_table().high(client_id)) {
+      // Duplicate of an already-applied delivery: ack without waiting on
+      // ring space — the retry must not block behind a full ring.
+      sh.wal_dups->inc(g.size());
+      return g.size();
+    }
+    SpscRing& ring = *sh.rings[0];
+    if (!shard_dead(sh)) {
+      // Admission before durability: reserve ring space for the whole
+      // batch (capped at the ring's capacity for oversize batches) so a
+      // request deadline or BlockTimeout expiry sheds it *before*
+      // anything reaches the log.  A logged batch is therefore never
+      // abandoned mid-log, which is what keeps checkpoint offsets
+      // aligned with log positions.
+      if (!wait_ring_space(sh, ring, std::min(g.size(), ring.capacity()),
+                           deadline_ns))
+        return 0;
+    }
+    if (!sh.wal->append(g, client_id, client_seq)) {
+      sh.wal_dups->inc(g.size());
+      return g.size();  // the earlier delivery already covered it
+    }
+    if (!shard_dead(sh)) {
+      // Committed: enqueue the whole batch in log order.  Space for
+      // min(size, capacity) items is already reserved; an oversize tail
+      // rides the live drain.  Only terminal shard death aborts the
+      // loop, and then the logged tail surfaces, in order, at the next
+      // resume — a dead shard never drains or checkpoints again, so no
+      // later batch can be applied *behind* it.
+      std::size_t i = 0;
+      while (i < g.size()) {
+        if (ring.try_push(g[i])) {
+          ++i;
+          continue;
+        }
+        if (shard_dead(sh)) break;
+        std::this_thread::yield();
+      }
+      if (obs::trace::enabled()) {
+        const std::uint64_t trace_id = obs::trace::current_trace_id();
+        if (trace_id != 0)
+          sh.last_trace_id.store(trace_id, std::memory_order_relaxed);
+      }
+    }
+    produced_[producer]->inc(g.size());
+    return g.size();
+  }
+
  public:
   /// push() each key in order; returns how many were accepted.
   std::size_t push_bulk(std::size_t producer,
@@ -437,18 +580,22 @@ class IngestPipeline {
   /// push_bulk with a client identity and an optional absolute deadline.
   ///
   /// Keys are grouped per shard (preserving arrival order within each
-  /// shard); each non-empty sub-batch is WAL-appended before enqueue when
-  /// the log is configured.  A sub-batch whose (client_id, client_seq)
-  /// was already applied to that shard — a client replaying after a lost
-  /// ack — is skipped and counted as accepted: the earlier delivery
-  /// covered it, so the replay is exactly-once per shard.  client_id 0
-  /// means "no identity" (no dedup).
+  /// shard); with the log configured each non-empty sub-batch commits
+  /// through the shard's WAL lane (see wal_push): all-or-nothing — either
+  /// the whole sub-batch is logged and enqueued in log order (counted
+  /// accepted), or it is shed before anything reaches the log (counted
+  /// rejected, retry is clean).  A sub-batch whose (client_id,
+  /// client_seq) was already applied to that shard — a client replaying
+  /// after a lost ack — is skipped and counted as accepted: the earlier
+  /// delivery covered it, so the replay is exactly-once per shard.
+  /// client_id 0 means "no identity" (no dedup).
   ///
   /// `deadline_ns` (steady-clock absolute, 0 = none) bounds blocking:
-  /// past it, remaining pushes fail fast instead of wedging the caller.
-  /// A sub-batch that was logged but could not be fully enqueued (dead
-  /// shard, deadline) is *durable but not yet live* — its tail surfaces
-  /// at the next resume, and the return value counts only live items.
+  /// past it, remaining sub-batches fail fast instead of wedging the
+  /// caller.  Only a terminally dead shard still accepts a sub-batch
+  /// into the log without enqueueing it (*durable but not yet live*);
+  /// its items surface at the next resume, in order, and are counted
+  /// accepted here because they are part of the recoverable stream.
   std::size_t push_bulk(std::size_t producer,
                         std::span<const std::uint64_t> keys,
                         std::uint64_t client_id, std::uint64_t client_seq,
@@ -472,14 +619,13 @@ class IngestPipeline {
       if (g.empty()) continue;
       Shard& sh = *shards_[s];
       if (sh.wal != nullptr) {
-        if (!sh.wal->append(g, client_id, client_seq)) {
-          sh.wal_dups->inc(g.size());
-          accepted += g.size();  // the earlier delivery already covered it
-          continue;
-        }
-      } else if (!sh.seqs.record(client_id, client_seq)) {
+        accepted += wal_push(producer, sh, g, client_id, client_seq,
+                             deadline_ns);
+        continue;
+      }
+      if (!sh.seqs.record(client_id, client_seq)) {
         sh.wal_dups->inc(g.size());
-        accepted += g.size();
+        accepted += g.size();  // the earlier delivery already covered it
         continue;
       }
       for (std::uint64_t k : g)
@@ -650,8 +796,13 @@ class IngestPipeline {
     std::uint64_t ckpt_ordinal = 0;      ///< worker-only: frames written
     std::uint64_t resume_offset = 0;     ///< fixed at construction
     std::uint64_t hwm_local = 0;         ///< worker-only mirror
-    /// Backlog log (wal_mode != kOff); producers append under its mutex.
+    /// Backlog log (wal_mode != kOff).
     std::unique_ptr<ShardWal> wal;
+    /// The WAL lane: serializes every WAL-mode sub-batch commit for this
+    /// shard (dedup peek, ring-space reservation, append, enqueue on
+    /// ring 0) so log-append order equals enqueue order equals drain
+    /// order for any number of producers.  See wal_push().
+    std::mutex wal_mu;
     /// In-memory idempotence filter when the WAL is off but clients still
     /// send identities (the WAL embeds its own table when on).
     ClientSeqTable seqs;
@@ -955,9 +1106,46 @@ class IngestPipeline {
     }
   }
 
+  /// Re-insert log items [consumed_at_publish, consumed) into the
+  /// freshly-rolled-back estimator; returns the offset healed up to.
+  /// Runs on the supervisor thread after the dead worker was joined, so
+  /// it owns sh.est; a concurrent producer may be appending past
+  /// `consumed`, but the range we read is already flushed to the file
+  /// (it was applied by the worker, so its append long since returned).
+  std::uint64_t wal_heal(Shard& sh) {
+    std::uint64_t pos = sh.consumed_at_publish;
+    if (pos >= sh.consumed) return sh.consumed;
+    WalScan scan;
+    try {
+      scan = read_wal(wal_path(sh.index));
+    } catch (const std::exception&) {
+      return pos;
+    }
+    for (const WalFrame& f : scan.frames) {
+      if (f.end_offset() <= pos) continue;
+      if (f.start_offset > pos) break;  // hole — caller accounts the rest
+      const std::vector<std::uint64_t> keys = f.keys();
+      const std::size_t lo = static_cast<std::size_t>(pos - f.start_offset);
+      const std::size_t hi = static_cast<std::size_t>(std::min<std::uint64_t>(
+          keys.size(), sh.consumed - f.start_offset));
+      const std::span<const std::uint64_t> part(keys.data() + lo, hi - lo);
+      if constexpr (requires { sh.est.insert_batch(part); })
+        sh.est.insert_batch(part);
+      else
+        for (std::uint64_t k : part) sh.est.insert(k);
+      sh.wal_replayed->inc(part.size());
+      pos = f.start_offset + hi;
+      if (pos >= sh.consumed) break;
+    }
+    return pos;
+  }
+
   /// Join the dead worker, restore the shard (rolling back to the last
   /// published snapshot after a fault — the live estimator may be
-  /// mid-batch garbage), account lost/replayed items, relaunch.
+  /// mid-batch garbage), account lost/replayed items, relaunch.  With the
+  /// WAL on, the rollback gap [consumed_at_publish, consumed) is healed
+  /// back from the log (every applied item was logged first), so nothing
+  /// is lost and the checkpoint offset keeps identifying a log prefix.
   void restart_shard(std::size_t s, bool rollback) {
     Shard& sh = *shards_[s];
     if (workers_[s].joinable()) workers_[s].join();
@@ -976,8 +1164,19 @@ class IngestPipeline {
         sh.state.store(WorkerState::kAbandoned, std::memory_order_release);
         return;
       }
-      sh.lost->inc(sh.consumed - sh.consumed_at_publish);
-      sh.consumed = sh.consumed_at_publish;
+      if (sh.wal != nullptr) {
+        const std::uint64_t healed = wal_heal(sh);
+        if (healed < sh.consumed) {
+          // A hole in the log below `consumed` (should be impossible:
+          // items are logged before they are applied).  The unhealable
+          // range is gone from the live estimator; account it like the
+          // no-WAL path would.
+          sh.lost->inc(sh.consumed - healed);
+        }
+      } else {
+        sh.lost->inc(sh.consumed - sh.consumed_at_publish);
+        sh.consumed = sh.consumed_at_publish;
+      }
     }
     sh.since_publish = 0;
     sh.replayed->inc(backlog);

@@ -91,6 +91,32 @@ int listen_tcp(const std::string& host, std::uint16_t port,
 /// successor with the same name.  The caller must hold the entry's
 /// shared_ptr for the duration of the call (keeps the slot alive); stale
 /// readers for dropped pipelines are never dereferenced, only evicted.
+/// Constant-time token equality: the comparison cost depends only on the
+/// candidate's length (which the peer chose and already knows), never on
+/// how many leading bytes match a stored token — no early exit, so
+/// response timing cannot be used to guess a token byte by byte.
+bool token_eq_consttime(const std::string& candidate,
+                        const std::string& stored) {
+  if (stored.empty()) return candidate.empty();
+  unsigned diff = static_cast<unsigned>(candidate.size() ^ stored.size());
+  for (std::size_t i = 0; i < candidate.size(); ++i)
+    diff |= static_cast<unsigned>(
+        static_cast<unsigned char>(candidate[i]) ^
+        static_cast<unsigned char>(stored[i % stored.size()]));
+  return diff == 0;
+}
+
+/// 1-based index of the stored token matching `candidate`, 0 when none.
+/// Scans the whole list even after a match so the timing is independent
+/// of which (if any) token matched.
+std::size_t match_token(const std::vector<std::string>& tokens,
+                        const std::string& candidate) {
+  std::size_t found = 0;
+  for (std::size_t t = 0; t < tokens.size(); ++t)
+    if (token_eq_consttime(candidate, tokens[t]) && found == 0) found = t + 1;
+  return found;
+}
+
 const StreamMonitor& cached_shard(const PipelineManager::Entry& entry,
                                   std::size_t shard) {
   using Reader = runtime::SnapshotReader<StreamMonitor>;
@@ -391,14 +417,10 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
           (void)r.u8();  // opcode
           const std::string token = r.str();
           r.expect_done();
-          const auto it =
-              std::find(auth_tokens_.begin(), auth_tokens_.end(), token);
-          if (auth_tokens_.empty() || it != auth_tokens_.end()) {
+          const std::size_t match = match_token(auth_tokens_, token);
+          if (auth_tokens_.empty() || match != 0) {
             authed = true;
-            auth_id = auth_tokens_.empty()
-                          ? 0
-                          : static_cast<std::uint64_t>(
-                                it - auth_tokens_.begin()) + 1;
+            auth_id = static_cast<std::uint64_t>(match);  // 0: no token file
             WireWriter w;
             w.u8(static_cast<std::uint8_t>(Status::kOk));
             write_frame(fd, w.body());
@@ -888,9 +910,7 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         // token is validated statelessly.
         const std::string token = req.str();
         req.expect_done();
-        if (!auth_tokens_.empty() &&
-            std::find(auth_tokens_.begin(), auth_tokens_.end(), token) ==
-                auth_tokens_.end()) {
+        if (!auth_tokens_.empty() && match_token(auth_tokens_, token) == 0) {
           unauthorized_total_->inc();
           return fail(Status::kUnauthorized, "unknown auth token");
         }

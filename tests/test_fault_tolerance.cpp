@@ -890,6 +890,163 @@ TEST_F(FaultTolerance, WalShortFsyncRetryLandsExactlyOnce) {
                           "short_fsync");
 }
 
+TEST_F(FaultTolerance, WalShedsBeforeLoggingOnBlockTimeout) {
+  // A BlockTimeout (or request-deadline) expiry against a full ring must
+  // shed the batch *before* anything reaches the log: a shed batch is
+  // never durable, its client seq is never recorded, and the retry lands
+  // exactly once.  Were the append to happen first, the log would hold a
+  // durable-but-never-live batch mid-stream and every later checkpoint
+  // offset would name the wrong log prefix.
+  const std::string dir = temp_dir("wal_shed_before_log");
+  const auto factory = bf_factory(1, 8192);
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 64;
+  opt.policy = Backpressure::kBlockTimeout;
+  opt.push_timeout_ms = 50;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 1u << 20;
+  opt.wal_mode = WalMode::kAsync;
+
+  std::vector<std::uint64_t> b1(64), b2(10);
+  for (std::size_t i = 0; i < b1.size(); ++i) b1[i] = i;
+  for (std::size_t i = 0; i < b2.size(); ++i) b2[i] = 1000 + i;
+  Sharded<SheBloomFilter> reference(1, factory);
+  for (auto k : b1) reference.insert(k);
+  for (auto k : b2) reference.insert(k);
+
+  constexpr std::uint64_t kClient = 5;
+  std::string final_image;
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, factory);
+    // Workers not started yet: the first batch fills the ring exactly,
+    // the second cannot reserve space and must time out with nothing
+    // logged and nothing recorded.
+    ASSERT_EQ(pipe.push_bulk(0, b1, kClient, 1, 0), b1.size());
+    ASSERT_EQ(pipe.push_bulk(0, b2, kClient, 2, 0), 0u);
+    EXPECT_EQ(pipe.stats().push_timeouts, 1u);
+    {
+      const WalScan scan = read_wal(dir + "/shard-0.wal");
+      ASSERT_EQ(scan.frames.size(), 1u);  // the shed batch never hit the log
+      EXPECT_EQ(scan.end_offset, b1.size());
+    }
+    // The same-seq retry is accepted once the ring has room — it was
+    // never marked durable — and a post-ack duplicate is absorbed.
+    pipe.start();
+    ASSERT_EQ(pipe.push_bulk(0, b2, kClient, 2, 0), b2.size());
+    ASSERT_EQ(pipe.push_bulk(0, b2, kClient, 2, 0), b2.size());
+    pipe.close();
+    final_image = serialized(pipe.snapshot(0));
+    EXPECT_EQ(final_image, serialized(reference.shard(0)));
+  }
+
+  // And the log agrees: resume reconstructs the same state.
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<SheBloomFilter> rpipe(ropt, factory);
+  EXPECT_EQ(rpipe.resume_offset(0), b1.size() + b2.size());
+  rpipe.close();
+  EXPECT_EQ(serialized(rpipe.snapshot(0)), final_image);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, WalMultiProducerCrashReplayByteIdentical) {
+  // With the WAL on, every sub-batch is logged and enqueued in one
+  // critical section on the shard's WAL lane, so drain order equals
+  // log-append order no matter which producer slot carried the batch —
+  // and a crash+resume replay reconstructs exactly that order.  (Batches
+  // here rotate across three producer indices from one thread, so the
+  // admitted order is the call order and the reference is sequential.)
+  const auto factory = bf_factory(1, 16'384);
+  const auto trace = stream::distinct_trace(20'000, 29);
+  const std::string dir = temp_dir("wal_multiproducer");
+  Sharded<SheBloomFilter> reference(1, factory);
+  for (auto k : trace) reference.insert(k);
+
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 3;
+  opt.queue_capacity = 512;
+  opt.publish_interval = 256;
+  opt.policy = Backpressure::kBlock;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 2048;
+  opt.wal_mode = WalMode::kAsync;
+
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 9'000, 0});
+  {
+    IngestPipeline<SheBloomFilter> pipe(opt, factory);
+    pipe.start();
+    constexpr std::size_t kChunk = 250;
+    std::size_t producer = 0;
+    for (std::size_t i = 0; i < trace.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, trace.size() - i);
+      (void)pipe.push_bulk(
+          producer, std::span<const std::uint64_t>(trace.data() + i, n));
+      producer = (producer + 1) % opt.producers;
+    }
+    pipe.close();
+    EXPECT_TRUE(pipe.faulted());
+  }
+  fault::injector().clear();
+
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<SheBloomFilter> pipe(ropt, factory);
+  EXPECT_EQ(pipe.resume_offset(0), trace.size());
+  pipe.close();
+  EXPECT_EQ(serialized(pipe.snapshot(0)), serialized(reference.shard(0)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTolerance, WalSupervisedRestartHealsRollbackFromLog) {
+  // A supervised fault rolls the estimator back to its last published
+  // snapshot; without the WAL the items applied since are gone (counted
+  // in items_lost).  With the WAL on they were all logged before they
+  // were applied, so the restart heals them back from the log: nothing
+  // is lost, the live state stays byte-identical to a sequential run,
+  // and checkpoint offsets written after the restart still name exact
+  // log prefixes — verified by the resume replay at the end.
+  const auto factory = bf_factory(1, 16'384);
+  const auto trace = stream::distinct_trace(30'000, 37);
+  const std::string dir = temp_dir("wal_restart_heal");
+  Sharded<SheBloomFilter> reference(1, factory);
+  for (auto k : trace) reference.insert(k);
+
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.producers = 1;
+  opt.queue_capacity = 512;
+  opt.publish_interval = 256;
+  opt.policy = Backpressure::kBlock;
+  opt.supervise = true;
+  opt.supervisor_interval_ms = 2;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_interval = 2048;
+  opt.wal_mode = WalMode::kAsync;
+  fault::injector().arm({fault::Point::kWorkerThrow, 0, 8'000, 0});
+
+  IngestPipeline<SheBloomFilter> pipe(opt, factory);
+  pipe.start();
+  ASSERT_EQ(pipe.push_bulk(0, trace), trace.size());
+  pipe.close();
+  const auto st = pipe.stats();
+  EXPECT_EQ(st.worker_faults, 1u);
+  EXPECT_GE(st.worker_restarts, 1u);
+  EXPECT_EQ(st.items_lost, 0u);  // healed from the log, not lost
+  EXPECT_EQ(serialized(pipe.snapshot(0)), serialized(reference.shard(0)));
+  fault::injector().clear();
+
+  PipelineOptions ropt = opt;
+  ropt.resume = true;
+  IngestPipeline<SheBloomFilter> rpipe(ropt, factory);
+  EXPECT_EQ(rpipe.resume_offset(0), trace.size());
+  rpipe.close();
+  EXPECT_EQ(serialized(rpipe.snapshot(0)), serialized(reference.shard(0)));
+  std::filesystem::remove_all(dir);
+}
+
 TEST_F(FaultTolerance, AllCheckpointGenerationsCorruptFailsLoudly) {
   // Retention is not a license to resume from nothing: when every retained
   // generation is demonstrably corrupt, the resume constructor must throw

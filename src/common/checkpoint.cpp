@@ -65,19 +65,39 @@ obs::Counter& corrupt_counter() {
 
 std::vector<char> frame_checkpoint(std::uint64_t stream_offset,
                                    std::span<const char> payload) {
-  std::vector<char> out(kCheckpointHeaderBytes + payload.size());
+  return frame_checkpoint(stream_offset, std::span<const std::uint64_t>{},
+                          payload);
+}
+
+std::vector<char> frame_checkpoint(
+    std::uint64_t stream_offset,
+    std::span<const std::uint64_t> producer_offsets,
+    std::span<const char> payload) {
+  const bool v2 = !producer_offsets.empty();
+  const std::size_t vec_bytes = v2 ? 4 + 8 * producer_offsets.size() : 0;
+  std::vector<char> out(kCheckpointHeaderBytes + vec_bytes + payload.size());
   std::memcpy(out.data(), kCheckpointMagic, 4);
-  put_le<std::uint32_t>(out.data() + 4, kCheckpointVersion);
+  put_le<std::uint32_t>(out.data() + 4,
+                        v2 ? kCheckpointVersionProducers : kCheckpointVersion);
   put_le<std::uint64_t>(out.data() + 8, stream_offset);
   put_le<std::uint64_t>(out.data() + 16, payload.size());
-  // The CRC covers the header prefix too, chained into the payload, so a
-  // bit flip in the stream offset is as loud as one in the payload.
-  std::uint32_t c = crc32(out.data(), 24);
-  c = crc32(payload.data(), payload.size(), c);
-  put_le<std::uint32_t>(out.data() + 24, c);
+  if (v2) {
+    put_le<std::uint32_t>(out.data() + kCheckpointHeaderBytes,
+                          static_cast<std::uint32_t>(producer_offsets.size()));
+    for (std::size_t i = 0; i < producer_offsets.size(); ++i)
+      put_le<std::uint64_t>(out.data() + kCheckpointHeaderBytes + 4 + 8 * i,
+                            producer_offsets[i]);
+  }
   if (!payload.empty())
-    std::memcpy(out.data() + kCheckpointHeaderBytes, payload.data(),
-                payload.size());
+    std::memcpy(out.data() + kCheckpointHeaderBytes + vec_bytes,
+                payload.data(), payload.size());
+  // The CRC covers the header prefix too, chained into everything after
+  // the CRC field (producer vector + payload), so a bit flip in the
+  // stream offset or a producer count is as loud as one in the payload.
+  std::uint32_t c = crc32(out.data(), 24);
+  c = crc32(out.data() + kCheckpointHeaderBytes,
+            out.size() - kCheckpointHeaderBytes, c);
+  put_le<std::uint32_t>(out.data() + 24, c);
   return out;
 }
 
@@ -88,20 +108,35 @@ CheckpointData parse_checkpoint(const char* data, std::size_t n) {
   if (std::memcmp(data, kCheckpointMagic, 4) != 0)
     reject("bad magic (not a checkpoint file)");
   const auto version = get_le<std::uint32_t>(data + 4);
-  if (version != kCheckpointVersion)
+  if (version != kCheckpointVersion && version != kCheckpointVersionProducers)
     reject("unsupported frame version " + std::to_string(version));
   CheckpointData out;
   out.stream_offset = get_le<std::uint64_t>(data + 8);
   const auto payload_len = get_le<std::uint64_t>(data + 16);
   const auto expected_crc = get_le<std::uint32_t>(data + 24);
-  if (payload_len != n - kCheckpointHeaderBytes)
+  std::size_t at = kCheckpointHeaderBytes;
+  if (version == kCheckpointVersionProducers) {
+    if (n < at + 4) reject("truncated producer-offset vector");
+    const auto count = get_le<std::uint32_t>(data + at);
+    // A count no plausible shard configuration reaches: treat it as
+    // corruption rather than attempting the allocation it implies.
+    if (count > 65536) reject("implausible producer count " +
+                              std::to_string(count));
+    if (n < at + 4 + std::size_t{8} * count)
+      reject("truncated producer-offset vector");
+    out.producer_offsets.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      out.producer_offsets[i] = get_le<std::uint64_t>(data + at + 4 + 8 * i);
+    at += 4 + std::size_t{8} * count;
+  }
+  if (payload_len != n - at)
     reject("payload length " + std::to_string(payload_len) +
-           " does not match the " + std::to_string(n - kCheckpointHeaderBytes) +
+           " does not match the " + std::to_string(n - at) +
            " bytes present (truncated or trailing garbage)");
-  const char* payload = data + kCheckpointHeaderBytes;
+  const char* payload = data + at;
   std::uint32_t actual_crc = crc32(data, 24);
-  actual_crc =
-      crc32(payload, static_cast<std::size_t>(payload_len), actual_crc);
+  actual_crc = crc32(data + kCheckpointHeaderBytes, n - kCheckpointHeaderBytes,
+                     actual_crc);
   if (actual_crc != expected_crc)
     reject("CRC mismatch (corrupted header or payload)");
   out.payload.assign(payload, payload + payload_len);
@@ -110,29 +145,38 @@ CheckpointData parse_checkpoint(const char* data, std::size_t n) {
 
 void write_file_atomic(const std::string& path, std::span<const char> bytes) {
   const std::string tmp = path + ".tmp";
+  // ENOSPC/EIO from any step is a *disk* fault, not a caller bug: report
+  // it as the typed DiskFault so the ingest runtime can park the pipeline
+  // in degraded read-only mode instead of crashing the worker.
+  const auto fail = [&tmp](const std::string& what, int err) -> void {
+    std::remove(tmp.c_str());
+    const std::string msg = "checkpoint: " + what + " " + tmp +
+                            (err != 0 ? std::string(": ") + std::strerror(err)
+                                      : std::string());
+    if (is_disk_fault_errno(err)) throw DiskFault(msg, err);
+    throw std::runtime_error(msg);
+  };
+  errno = 0;
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
-  const bool wrote =
-      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                           bytes.size();
-  bool flushed = std::fflush(f) == 0;
+  if (!f) fail("cannot open", errno);
+  errno = 0;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = ok && std::fflush(f) == 0;
 #if defined(__unix__) || defined(__APPLE__)
   // Frame durability, not just atomicity: reach the disk before the
   // rename makes the new frame visible.
-  flushed = flushed && ::fsync(fileno(f)) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
 #endif
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !flushed || !closed) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: short write to " + tmp);
+  int err = ok ? 0 : errno;
+  if (std::fclose(f) != 0 && ok) {
+    ok = false;
+    err = errno;
   }
+  if (!ok) fail("short write to", err);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
-                             path + ": " + ec.message());
-  }
+  if (ec) fail("cannot rename", ec.value());
 }
 
 std::optional<CheckpointData> try_read_checkpoint_file(

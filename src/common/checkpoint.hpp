@@ -10,13 +10,22 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------
 //        0     4  magic "SHCP"
-//        4     4  frame version (u32, little-endian, currently 1)
+//        4     4  frame version (u32, little-endian, 1 or 2)
 //        8     8  stream offset (items applied when the snapshot was taken)
 //       16     8  payload length in bytes
-//       24     4  CRC-32 (IEEE) of bytes [0, 24) chained with the payload —
-//                 a flipped bit anywhere in the frame (including the stream
-//                 offset) fails the checksum
-//       28     n  payload (estimator save() bytes)
+//       24     4  CRC-32 (IEEE) of bytes [0, 24) chained with everything
+//                 after the CRC field — a flipped bit anywhere in the frame
+//                 (including the stream offset) fails the checksum
+//  version 2 only:
+//       28     4  producer count P (u32)
+//       32   8*P  per-producer consumed-item offsets (u64 each) — how many
+//                 of the stream-offset items each producer lane contributed
+//  then:
+//        *     n  payload (estimator save() bytes)
+//
+// Version 1 frames (no producer vector) are still accepted by the parser;
+// writers emit version 1 when no per-producer offsets are supplied, so
+// pre-existing frames and fixtures stay byte-identical.
 //
 // Readers reject anything that fails magic, version, length or CRC checks
 // with a typed CheckpointError — never a crash, hang or silent load — and
@@ -46,24 +55,38 @@ class CheckpointError : public SerializeError {
 
 inline constexpr char kCheckpointMagic[4] = {'S', 'H', 'C', 'P'};
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersionProducers = 2;
 inline constexpr std::size_t kCheckpointHeaderBytes = 28;
 
 /// A parsed frame: the recorded ingest position plus the raw payload.
+/// `producer_offsets` is empty for version-1 frames; version-2 frames
+/// record how many of the stream-offset items each producer lane had
+/// contributed when the snapshot was taken.
 struct CheckpointData {
   std::uint64_t stream_offset = 0;
+  std::vector<std::uint64_t> producer_offsets;
   std::vector<char> payload;
 };
 
-/// Wrap `payload` in a magic/version/offset/length/CRC frame.
+/// Wrap `payload` in a magic/version/offset/length/CRC frame (version 1).
 [[nodiscard]] std::vector<char> frame_checkpoint(std::uint64_t stream_offset,
                                                  std::span<const char> payload);
+
+/// Like above, but additionally records the per-producer offset vector
+/// (version 2).  An empty vector degrades to a version-1 frame.
+[[nodiscard]] std::vector<char> frame_checkpoint(
+    std::uint64_t stream_offset,
+    std::span<const std::uint64_t> producer_offsets,
+    std::span<const char> payload);
 
 /// Validate and unwrap a frame.  Throws CheckpointError (and increments
 /// `she_checkpoint_corrupt_total`) on any structural or checksum failure.
 [[nodiscard]] CheckpointData parse_checkpoint(const char* data, std::size_t n);
 
 /// Write `bytes` to `path` via "<path>.tmp" + flush(+fsync) + atomic
-/// rename.  Throws std::runtime_error on I/O failure.
+/// rename.  Throws DiskFault when the failure's errno says the disk is
+/// unhealthy (ENOSPC/EDQUOT/EIO/EROFS — survivable, the caller can go
+/// degraded and retry later), std::runtime_error otherwise.
 void write_file_atomic(const std::string& path, std::span<const char> bytes);
 
 /// Read and parse `path`; nullopt iff the file does not exist (a fresh

@@ -11,6 +11,7 @@
 // discovered element by element.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <istream>
 #include <optional>
@@ -28,6 +29,32 @@ namespace she {
 class SerializeError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// True when `err` (an errno) says the *disk* is unhealthy — out of space,
+/// quota, media error, or mounted read-only — as opposed to a structural
+/// problem with the bytes being written.
+[[nodiscard]] inline bool is_disk_fault_errno(int err) noexcept {
+  return err == ENOSPC || err == EIO || err == EROFS
+#if defined(EDQUOT)
+         || err == EDQUOT
+#endif
+      ;
+}
+
+/// A durable write (WAL append, checkpoint frame) failed because the disk
+/// is unhealthy.  Unlike the structural SerializeError family this is a
+/// *survivable, possibly transient* condition: the ingest runtime parks
+/// the affected pipeline in degraded read-only mode and probes for
+/// recovery instead of treating the write path as broken forever.
+class DiskFault : public SerializeError {
+ public:
+  DiskFault(const std::string& msg, int err)
+      : SerializeError(msg), errno_(err) {}
+  [[nodiscard]] int error() const noexcept { return errno_; }
+
+ private:
+  int errno_;
 };
 
 class BinaryWriter {

@@ -87,6 +87,10 @@ std::size_t parse_frame(const char* data, std::size_t n, std::size_t at,
 
 }  // namespace
 
+std::size_t parse_wal_frame(std::span<const char> bytes, WalFrame& f) {
+  return parse_frame(bytes.data(), bytes.size(), 0, f);
+}
+
 WalMode wal_mode_from(std::string_view name) {
   if (name == "off") return WalMode::kOff;
   if (name == "async") return WalMode::kAsync;
@@ -242,6 +246,12 @@ bool ShardWal::append(std::span<const std::uint64_t> keys,
   // would be treated as a duplicate and the batch silently lost.
   if (client_id != 0 && client_seq <= seqs_.high(client_id)) return false;
   if (disk_bytes_ != file_bytes_) repair_locked();
+  if (opt_.hooks.fail_errno) {
+    if (const int err = opt_.hooks.fail_errno(next_seq_); err != 0)
+      throw DiskFault("wal: injected disk fault on " + path_ + ": " +
+                          std::strerror(err),
+                      err);
+  }
 
   WalFrame f;
   f.kind = kWalData;
@@ -254,14 +264,26 @@ bool ShardWal::append(std::span<const std::uint64_t> keys,
     put_le<std::uint64_t>(f.payload.data() + 8 * i, keys[i]);
   const std::vector<char> bytes = frame_wal(f);
 
+  // Real write/flush failures: an unknown number of bytes may have
+  // reached the file, so force a repair before the next append, and
+  // surface a disk-unhealthy errno as the typed DiskFault.
+  const auto fail_write = [this](const std::string& what) -> void {
+    const int err = errno;
+    disk_bytes_ = file_bytes_ + 1;  // unknown tail: repair before reuse
+    const std::string msg =
+        "wal: " + what + " " + path_ +
+        (err != 0 ? std::string(": ") + std::strerror(err) : std::string());
+    if (is_disk_fault_errno(err)) throw DiskFault(msg, err);
+    throw WalError(msg);
+  };
   std::size_t to_write = bytes.size();
   if (opt_.hooks.torn) to_write = std::min(to_write, opt_.hooks.torn(f.seq, bytes.size()));
   const bool torn = to_write < bytes.size();
+  errno = 0;
   if (to_write > 0 &&
       std::fwrite(bytes.data(), 1, to_write, file_) != to_write)
-    throw WalError("wal: short write to " + path_);
-  if (std::fflush(file_) != 0)
-    throw WalError("wal: flush failed on " + path_);
+    fail_write("short write to");
+  if (std::fflush(file_) != 0) fail_write("flush failed on");
   if (torn) {
     // Injected crash mid-write: the prefix is on disk, the append fails.
     // The caller drops the batch unacked; the next append (or recovery
@@ -276,17 +298,25 @@ bool ShardWal::append(std::span<const std::uint64_t> keys,
     const std::size_t pending = unsynced_bytes_ + bytes.size();
     if (pending > opt_.fsync_interval_bytes) {
       bool ok = true;
-      if (opt_.hooks.fail_fsync && opt_.hooks.fail_fsync(f.seq)) ok = false;
+      int err = 0;
+      if (opt_.hooks.fail_fsync && opt_.hooks.fail_fsync(f.seq)) {
+        ok = false;
+      }
 #if defined(__unix__) || defined(__APPLE__)
-      else ok = ::fsync(fileno(file_)) == 0;
+      else {
+        ok = ::fsync(fileno(file_)) == 0;
+        if (!ok) err = errno;
+      }
 #endif
       if (!ok) {
         // The frame is written but its durability is unknown: cut it so
         // the retry re-appends cleanly instead of duplicating the keys.
         disk_bytes_ = file_bytes_ + bytes.size();
         repair_locked();
-        throw WalError("wal: fsync failed on " + path_ +
-                       " — batch durability unknown, not acking");
+        const std::string msg = "wal: fsync failed on " + path_ +
+                                " — batch durability unknown, not acking";
+        if (is_disk_fault_errno(err)) throw DiskFault(msg, err);
+        throw WalError(msg);
       }
       unsynced_bytes_ = 0;
     } else {
@@ -298,6 +328,8 @@ bool ShardWal::append(std::span<const std::uint64_t> keys,
   next_seq_ = f.seq + 1;
   end_offset_ = f.end_offset();
   seqs_.record(client_id, client_seq);
+  if (opt_.observer)
+    opt_.observer(f, std::span<const char>(bytes.data(), bytes.size()));
   return true;
 }
 

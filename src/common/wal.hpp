@@ -61,6 +61,9 @@ enum class WalMode {
 /// A torn, truncated, or corrupted log structure (reads), or a failed
 /// append/fsync (writes).  Appends that throw leave the batch *unacked*:
 /// the client replays it and the idempotence filter makes that exact.
+/// Appends that fail because the *disk* is unhealthy (ENOSPC/EIO) throw
+/// the sibling DiskFault (common/io.hpp) instead, which callers treat as
+/// survivable: park the pipeline read-only, probe, recover.
 class WalError : public SerializeError {
  public:
   using SerializeError::SerializeError;
@@ -91,6 +94,13 @@ struct WalFrame {
 
 /// Encode a frame (header + CRC + payload) ready for appending.
 [[nodiscard]] std::vector<char> frame_wal(const WalFrame& f);
+
+/// Validate and decode the frame at the front of `bytes`; returns its
+/// total encoded size, or 0 when the bytes are not a whole valid frame.
+/// Replication peers use this to verify frames received off the wire with
+/// the same checks the recovery scan applies on disk.
+[[nodiscard]] std::size_t parse_wal_frame(std::span<const char> bytes,
+                                          WalFrame& f);
 
 /// Highest applied client sequence number per client id — the idempotence
 /// filter that makes INSERT_BULK replay exactly-once per shard.  Client id
@@ -158,6 +168,10 @@ struct WalFaultHooks {
   std::function<std::size_t(std::uint64_t seq, std::size_t frame_bytes)> torn;
   /// True = the mode-required fdatasync must report failure this append.
   std::function<bool(std::uint64_t seq)> fail_fsync;
+  /// Nonzero = this append fails before anything reaches the file, as if
+  /// write(2) set that errno (ENOSPC/EIO) — the append throws DiskFault
+  /// and the pipeline drops into degraded read-only mode.
+  std::function<int(std::uint64_t seq)> fail_errno;
 };
 
 /// Append handle for one shard's log.  Thread-safe: producers for the
@@ -174,6 +188,13 @@ class ShardWal {
     /// rewrite per checkpoint would dominate small windows).
     std::size_t compact_min_bytes = std::size_t{4} << 20;
     WalFaultHooks hooks;
+    /// Called after each append that is as durable as the mode promises,
+    /// with the decoded frame and its encoded bytes, still under the
+    /// per-shard append lock — observers therefore see frames in exact
+    /// log order.  Replication tails the log through this; keep it cheap
+    /// (hand the bytes to a queue, never block on a socket here).
+    std::function<void(const WalFrame&, std::span<const char> encoded)>
+        observer;
   };
 
   /// Open (creating if needed) the log at `path` for appending, first

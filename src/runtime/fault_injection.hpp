@@ -24,6 +24,11 @@
 //   kWalShortFsync      the mode-required fdatasync for the WAL frame with
 //                       seq `at` reports failure — the batch is written
 //                       but must NOT be acked (drives replay + dedup)
+//   kWalNoSpace         the WAL append for frame seq `at` fails with
+//                       ENOSPC before anything reaches the file (drives
+//                       degraded read-only mode + recovery probe)
+//   kCheckpointEio      the shard's `at`-th checkpoint write fails with
+//                       EIO (drives degraded mode from the snapshot path)
 //
 // Cost model: the whole harness is compiled out unless SHE_FAULT_INJECTION
 // is defined (a CMake option, ON by default so tools and tests work out of
@@ -37,6 +42,7 @@
 // spec fires at most once.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -56,6 +62,8 @@ enum class Point {
   kWalTornWrite,
   kWalPartialFrame,
   kWalShortFsync,
+  kWalNoSpace,
+  kCheckpointEio,
 };
 
 inline constexpr std::size_t kAnyShard = static_cast<std::size_t>(-1);
@@ -105,10 +113,12 @@ class InjectedFault : public std::runtime_error {
   else if (parts[0] == "wal-torn") s.point = Point::kWalTornWrite;
   else if (parts[0] == "wal-partial") s.point = Point::kWalPartialFrame;
   else if (parts[0] == "wal-short-fsync") s.point = Point::kWalShortFsync;
+  else if (parts[0] == "wal-enospc") s.point = Point::kWalNoSpace;
+  else if (parts[0] == "ckpt-eio") s.point = Point::kCheckpointEio;
   else
     throw std::invalid_argument(
         "fault point must be throw|stall|ckpt-bitflip|ckpt-truncate|"
-        "wal-torn|wal-partial|wal-short-fsync: " + text);
+        "wal-torn|wal-partial|wal-short-fsync|wal-enospc|ckpt-eio: " + text);
   auto number = [&](const std::string& t) -> std::uint64_t {
     std::size_t pos = 0;
     std::uint64_t v = 0;
@@ -236,6 +246,20 @@ inline bool maybe_fail_fsync(std::size_t shard, std::uint64_t seq) {
   return injector().fire(Point::kWalShortFsync, shard, seq).has_value();
 }
 
+/// WAL-append hook: the errno this append must fail with before anything
+/// reaches the file (0 = healthy).  Drives degraded read-only mode.
+inline int maybe_disk_errno(std::size_t shard, std::uint64_t seq) {
+  if (injector().fire(Point::kWalNoSpace, shard, seq)) return ENOSPC;
+  return 0;
+}
+
+/// Checkpoint-write hook: true = the shard's `ordinal`-th checkpoint
+/// write must fail with EIO (the frame never replaces the previous one;
+/// the pipeline goes degraded instead of crashing the worker).
+inline bool maybe_ckpt_eio(std::size_t shard, std::uint64_t ordinal) {
+  return injector().fire(Point::kCheckpointEio, shard, ordinal).has_value();
+}
+
 #else  // !SHE_FAULT_INJECTION — zero-cost stubs, nothing to branch on.
 
 class Injector {
@@ -262,6 +286,8 @@ inline std::size_t maybe_torn_wal(std::size_t, std::uint64_t,
   return frame_bytes;
 }
 inline bool maybe_fail_fsync(std::size_t, std::uint64_t) { return false; }
+inline int maybe_disk_errno(std::size_t, std::uint64_t) { return 0; }
+inline bool maybe_ckpt_eio(std::size_t, std::uint64_t) { return false; }
 
 #endif  // SHE_FAULT_INJECTION
 

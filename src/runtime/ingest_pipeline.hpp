@@ -147,6 +147,15 @@ enum class Backpressure {
 /// std::invalid_argument.
 [[nodiscard]] Backpressure backpressure_from(const std::string& name);
 
+/// A push was rejected because the pipeline is in degraded read-only mode
+/// after a disk fault (ENOSPC/EIO from the WAL or checkpoint writer).
+/// Queries and snapshots keep working; writes fail fast with this typed
+/// error until a recovery probe finds the disk healthy again.
+class DegradedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct PipelineOptions {
   std::size_t shards = 1;
   std::size_t producers = 1;
@@ -178,6 +187,21 @@ struct PipelineOptions {
   std::size_t wal_fsync_bytes = 0;     ///< kFsync group-commit bound;
                                        ///< 0 = fdatasync every append
   std::size_t wal_compact_bytes = std::size_t{4} << 20;  ///< rewrite floor
+
+  /// Called after each durable WAL append with the shard index, the
+  /// decoded frame, and its encoded bytes, under that shard's append
+  /// lock (frames arrive in exact log order per shard).  Replication
+  /// tails the pipeline through this; keep it cheap — enqueue, never
+  /// block on a socket.
+  std::function<void(std::size_t shard, const WalFrame& frame,
+                     std::span<const char> encoded)>
+      wal_observer;
+
+  /// Degraded read-only mode: after a DiskFault from the WAL or
+  /// checkpoint writer, at most one disk-recovery probe runs per this
+  /// many milliseconds (on the push path); until one succeeds, writes
+  /// throw DegradedError.
+  std::size_t degraded_probe_ms = 1000;
 
   void validate() const;  ///< throws std::invalid_argument on bad fields
 };
@@ -219,6 +243,12 @@ class IngestPipeline {
     rate_gauge_ = &registry_.gauge(
         "she_pipeline_rate_items_per_sec",
         "drained items/s over the last rate_window_s seconds");
+    degraded_gauge_ = &registry_.gauge(
+        "she_degraded",
+        "1 while the pipeline is read-only after a disk fault");
+    disk_faults_ = &registry_.counter(
+        "she_pipeline_disk_faults_total",
+        "WAL/checkpoint writes that failed with a disk-unhealthy errno");
     if (!opt_.checkpoint_dir.empty())
       std::filesystem::create_directories(opt_.checkpoint_dir);
     std::vector<char> image;
@@ -232,11 +262,18 @@ class IngestPipeline {
                    : std::make_unique<Shard>(factory(s));
       sh->index = s;
       bind_metrics(*sh, s);
+      sh->producer_offsets.assign(opt_.producers, 0);
       if (ck) {
         sh->resume_offset = ck->stream_offset;
         sh->consumed = ck->stream_offset;
         sh->consumed_at_publish = ck->stream_offset;
         sh->last_checkpoint = ck->stream_offset;
+        // Version-2 frames record each producer lane's contribution to
+        // the stream offset; restore it so post-resume frames stay
+        // cumulative.  (Version-1 frames and producer-count changes
+        // degrade to zeros / truncation.)
+        sh->producer_offsets = ck->producer_offsets;
+        sh->producer_offsets.resize(opt_.producers, 0);
       }
       if (opt_.wal_mode != WalMode::kOff) {
         // Scan the backlog log, replay the accepted suffix past the
@@ -265,6 +302,8 @@ class IngestPipeline {
               for (std::uint64_t k : rest) sh->est.insert(k);
             pos = f.end_offset();
             sh->wal_replayed->inc(rest.size());
+            // WAL-mode items all drain through lane 0 (the WAL lane).
+            sh->producer_offsets[0] += rest.size();
           }
           pos = std::max(pos, scan.end_offset);
           sh->resume_offset = pos;
@@ -292,6 +331,16 @@ class IngestPipeline {
         wopt.hooks.fail_fsync = [s](std::uint64_t seq) {
           return fault::maybe_fail_fsync(s, seq);
         };
+        wopt.hooks.fail_errno = [s](std::uint64_t seq) {
+          return fault::maybe_disk_errno(s, seq);
+        };
+        if (opt_.wal_observer) {
+          auto cb = opt_.wal_observer;
+          wopt.observer = [cb, s](const WalFrame& f,
+                                  std::span<const char> encoded) {
+            cb(s, f, encoded);
+          };
+        }
         sh->wal = std::make_unique<ShardWal>(wal_path(s), std::move(wopt),
                                              opt_.resume ? scan : WalScan{});
         // Seed the generation history conservatively: checkpoint files
@@ -349,6 +398,13 @@ class IngestPipeline {
     return false;
   }
 
+  /// True while the pipeline is parked read-only after a disk fault
+  /// (pushes throw DegradedError; queries and snapshots keep working).
+  /// Any thread.
+  [[nodiscard]] bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
   /// Launch one worker thread per shard (plus the supervisor and the
   /// queue-depth sampler when configured).
   void start() {
@@ -373,6 +429,7 @@ class IngestPipeline {
   /// dead (faulted, unsupervised or abandoned) shard, or the pipeline is
   /// closing.
   bool push(std::size_t producer, std::uint64_t key) {
+    check_degraded();
     if (opt_.wal_mode != WalMode::kOff) {
       // Every accepted item must be logged, or the WAL's offsets stop
       // matching the checkpoint's consumed counts.
@@ -540,7 +597,18 @@ class IngestPipeline {
                            deadline_ns))
         return 0;
     }
-    if (!sh.wal->append(g, client_id, client_seq)) {
+    bool logged = false;
+    try {
+      logged = sh.wal->append(g, client_id, client_seq);
+    } catch (const DiskFault& e) {
+      // The disk under the log is sick (ENOSPC/EIO): park the pipeline
+      // read-only and tell the caller with the typed error.  Nothing was
+      // acked and nothing reached the ring, so a post-recovery retry is
+      // clean and deduplicated.
+      enter_degraded(e.what());
+      throw DegradedError(e.what());
+    }
+    if (!logged) {
       sh.wal_dups->inc(g.size());
       return g.size();  // the earlier delivery already covered it
     }
@@ -601,6 +669,7 @@ class IngestPipeline {
                         std::uint64_t client_id, std::uint64_t client_seq,
                         std::int64_t deadline_ns = 0) {
     SHE_TRACE_SPAN("pipeline.push_bulk", "pipeline");
+    check_degraded();
     if (opt_.wal_mode == WalMode::kOff && client_id == 0) {
       std::size_t accepted = 0;
       for (std::uint64_t k : keys)
@@ -806,6 +875,13 @@ class IngestPipeline {
     /// In-memory idempotence filter when the WAL is off but clients still
     /// send identities (the WAL embeds its own table when on).
     ClientSeqTable seqs;
+    /// Worker-only: items each producer lane has contributed to
+    /// `consumed` (recorded in version-2 checkpoint frames, restored at
+    /// resume).  In WAL mode everything drains through lane 0, so lane 0
+    /// carries the whole offset.  After a no-WAL rollback the lanes may
+    /// overcount the restored `consumed` — contribution counters, not
+    /// exact offsets, on that path.
+    std::vector<std::uint64_t> producer_offsets;
     /// Worker-only: offsets of the last `checkpoint_keep` checkpoint
     /// frames, oldest first.  The WAL compaction low-water is the *oldest*
     /// retained generation — resume may fall back past a corrupt newest
@@ -934,14 +1010,28 @@ class IngestPipeline {
   /// hook may corrupt the frame on purpose.
   void write_checkpoint(Shard& sh) {
     SHE_TRACE_SPAN("pipeline.checkpoint", "pipeline");
+    if (degraded_.load(std::memory_order_acquire))
+      return;  // disk is sick: keep the previous generation until recovery
     const std::int64_t t0 = now_ns();
     std::vector<char> frame = frame_checkpoint(
         sh.consumed_at_publish,
+        std::span<const std::uint64_t>(sh.producer_offsets.data(),
+                                       sh.producer_offsets.size()),
         std::span<const char>(sh.scratch.data(), sh.scratch.size()));
     fault::maybe_corrupt_frame(sh.index, sh.ckpt_ordinal, frame);
-    rotate_checkpoints(checkpoint_path(sh.index), opt_.checkpoint_keep);
-    write_file_atomic(checkpoint_path(sh.index),
-                      std::span<const char>(frame.data(), frame.size()));
+    try {
+      if (fault::maybe_ckpt_eio(sh.index, sh.ckpt_ordinal))
+        throw DiskFault(
+            "checkpoint: injected EIO on " + checkpoint_path(sh.index), EIO);
+      rotate_checkpoints(checkpoint_path(sh.index), opt_.checkpoint_keep);
+      write_file_atomic(checkpoint_path(sh.index),
+                        std::span<const char>(frame.data(), frame.size()));
+    } catch (const DiskFault& e) {
+      // Survivable: the previous generation stays in place and the
+      // pipeline parks read-only instead of killing the worker.
+      enter_degraded(e.what());
+      return;
+    }
     ++sh.ckpt_ordinal;
     sh.checkpoints->inc();
     sh.last_checkpoint = sh.consumed_at_publish;
@@ -960,6 +1050,58 @@ class IngestPipeline {
       }
     }
     checkpoint_hist_->observe(static_cast<std::uint64_t>(now_ns() - t0));
+  }
+
+  /// Park the pipeline read-only after a survivable disk fault.  Any
+  /// thread (push callers and shard workers both land here).
+  void enter_degraded(const std::string& why) {
+    disk_faults_->inc();
+    {
+      std::lock_guard<std::mutex> lk(degraded_mu_);
+      degraded_msg_ = why;
+    }
+    // Start the probe clock now so the first recovery attempt waits a
+    // full interval — the fault is fresh, the disk almost certainly
+    // still sick.
+    last_probe_ns_.store(now_ns(), std::memory_order_relaxed);
+    degraded_gauge_->set(1);
+    degraded_.store(true, std::memory_order_release);
+  }
+
+  /// Push-path gate: fail fast with the typed error while degraded,
+  /// running at most one disk-recovery probe per degraded_probe_ms.
+  void check_degraded() {
+    if (!degraded_.load(std::memory_order_acquire)) return;
+    if (try_recover()) return;
+    std::lock_guard<std::mutex> lk(degraded_mu_);
+    throw DegradedError("pipeline degraded (read-only): " + degraded_msg_);
+  }
+
+  /// One caller per probe interval actually touches the disk: a tiny
+  /// durable write-and-remove in the checkpoint directory — the same
+  /// filesystem the WAL and checkpoint writers need.  Returns true when
+  /// this call cleared degraded mode.
+  bool try_recover() {
+    const std::int64_t interval =
+        static_cast<std::int64_t>(opt_.degraded_probe_ms) * 1'000'000;
+    std::int64_t last = last_probe_ns_.load(std::memory_order_relaxed);
+    const std::int64_t now = now_ns();
+    if (now - last < interval) return false;
+    if (!last_probe_ns_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed))
+      return false;  // another pusher won this probe slot
+    try {
+      const std::string probe = opt_.checkpoint_dir + "/.probe";
+      static constexpr char kProbe[] = {'o', 'k'};
+      write_file_atomic(probe, std::span<const char>(kProbe, sizeof kProbe));
+      std::error_code ec;
+      std::filesystem::remove(probe, ec);
+    } catch (const std::exception&) {
+      return false;  // still sick; next probe after the interval
+    }
+    degraded_gauge_->set(0);
+    degraded_.store(false, std::memory_order_release);
+    return true;
   }
 
   void worker_entry(std::size_t si) {
@@ -998,8 +1140,8 @@ class IngestPipeline {
           tracing ? obs::trace::now_ticks() : 0;
       std::size_t got = 0;
       std::size_t depth_total = 0;
-      for (auto& ring_ptr : sh.rings) {
-        SpscRing& ring = *ring_ptr;
+      for (std::size_t p = 0; p < sh.rings.size(); ++p) {
+        SpscRing& ring = *sh.rings[p];
         const std::size_t depth = ring.size_approx();
         depth_total += depth;
         if (depth > sh.hwm_local) {
@@ -1017,6 +1159,7 @@ class IngestPipeline {
               for (std::size_t i = 0; i < n; ++i) sh.est.insert(buf[i]);
           }
           got += n;
+          sh.producer_offsets[p] += n;
           if (n < buf.size()) break;  // ring (momentarily) empty; next ring
         }
       }
@@ -1243,6 +1386,8 @@ class IngestPipeline {
   obs::Counter* stall_events_ = nullptr;
   obs::Counter* push_timeouts_ = nullptr;
   obs::Gauge* rate_gauge_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+  obs::Counter* disk_faults_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<obs::Counter*> produced_;  ///< one per producer
   std::vector<std::thread> workers_;     ///< indexed by shard
@@ -1254,6 +1399,10 @@ class IngestPipeline {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::int64_t> last_probe_ns_{0};
+  std::mutex degraded_mu_;
+  std::string degraded_msg_;  ///< guarded by degraded_mu_
   std::atomic<std::int64_t> start_ns_{0};
   std::atomic<std::int64_t> stop_ns_{0};
 };

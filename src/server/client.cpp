@@ -1,5 +1,7 @@
 #include "server/client.hpp"
 
+#include "server/replica.hpp"  // parse_endpoint
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -84,18 +86,29 @@ void connect_bounded(int fd, const sockaddr_in& addr, const std::string& where,
 
 SheClient::SheClient(const std::string& host, std::uint16_t port,
                      ClientOptions opt)
-    : host_(host.empty() ? "127.0.0.1" : host),
-      port_(port),
+    : endpoints_{{host.empty() ? "127.0.0.1" : host, port}},
       opt_(std::move(opt)),
       client_id_(opt_.client_id != 0 ? opt_.client_id : random_client_id()) {
+  connect_now();
+}
+
+SheClient::SheClient(const std::vector<std::string>& endpoints,
+                     ClientOptions opt)
+    : opt_(std::move(opt)),
+      client_id_(opt_.client_id != 0 ? opt_.client_id : random_client_id()) {
+  if (endpoints.empty()) {
+    throw std::invalid_argument("SheClient needs at least one endpoint");
+  }
+  endpoints_.reserve(endpoints.size());
+  for (const std::string& e : endpoints) endpoints_.push_back(parse_endpoint(e));
   connect_now();
 }
 
 SheClient::~SheClient() { disconnect(); }
 
 SheClient::SheClient(SheClient&& other) noexcept
-    : host_(std::move(other.host_)),
-      port_(other.port_),
+    : endpoints_(std::move(other.endpoints_)),
+      current_(other.current_),
       opt_(std::move(other.opt_)),
       fd_(other.fd_),
       trace_id_(other.trace_id_),
@@ -107,8 +120,8 @@ SheClient::SheClient(SheClient&& other) noexcept
 SheClient& SheClient::operator=(SheClient&& other) noexcept {
   if (this != &other) {
     disconnect();
-    host_ = std::move(other.host_);
-    port_ = other.port_;
+    endpoints_ = std::move(other.endpoints_);
+    current_ = other.current_;
     opt_ = std::move(other.opt_);
     fd_ = other.fd_;
     trace_id_ = other.trace_id_;
@@ -119,27 +132,49 @@ SheClient& SheClient::operator=(SheClient&& other) noexcept {
   return *this;
 }
 
+void SheClient::rotate() noexcept {
+  if (endpoints_.size() > 1) current_ = (current_ + 1) % endpoints_.size();
+}
+
 void SheClient::disconnect() noexcept {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
 }
 
 void SheClient::connect_now() {
+  // Try every endpoint once, starting at current_ so a client that failed
+  // over sticks with the endpoint that worked.  The last failure wins when
+  // none of them answers; roundtrip()'s backoff loop wraps the whole scan.
   disconnect();
+  std::exception_ptr last;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::size_t idx = (current_ + i) % endpoints_.size();
+    try {
+      connect_endpoint(endpoints_[idx].first, endpoints_[idx].second);
+      current_ = idx;
+      return;
+    } catch (...) {
+      last = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+void SheClient::connect_endpoint(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw std::runtime_error("cannot parse host '" + host_ +
+    throw std::runtime_error("cannot parse host '" + host +
                              "' (want an IPv4 address)");
   }
   try {
-    connect_bounded(fd, addr, host_ + ":" + std::to_string(port_),
+    connect_bounded(fd, addr, host + ":" + std::to_string(port),
                     opt_.connect_timeout_ms);
   } catch (...) {
     ::close(fd);
@@ -249,12 +284,23 @@ std::vector<char> SheClient::roundtrip(const WireWriter& req, bool replayable,
       // append under fault injection) is only retried when the request
       // carries a sequence header: the server's dedup table then makes
       // the replay exactly-once no matter how far the failed attempt got.
-      const bool retryable =
-          e.status() == Status::kOverloaded ||
-          (e.status() == Status::kError && cs.client_id != 0);
+      // kReadOnly means a standby answered (it sheds writes before any
+      // work): rotate to the next endpoint and replay — during a
+      // failover the promoted server eventually takes the request.
+      bool retryable = e.status() == Status::kOverloaded ||
+                       (e.status() == Status::kError && cs.client_id != 0);
+      if (e.status() == Status::kReadOnly) {
+        disconnect();
+        rotate();
+        retryable = true;
+      }
       if (!retryable || attempt >= opt_.max_retries) throw;
     } catch (const std::exception&) {
+      // Transport failure: the server may be gone for good — aim the
+      // reconnect at the next endpoint first (connect_now still falls
+      // back through the full list).
       disconnect();
+      rotate();
       if (!replayable || attempt >= opt_.max_retries) throw;
     }
     if (backoff_ms > 0) {
@@ -408,6 +454,12 @@ void SheClient::shutdown_server() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kShutdown));
   roundtrip(w, /*replayable=*/false);
+}
+
+void SheClient::promote() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kPromote));
+  roundtrip(w, /*replayable=*/true);  // idempotent on the server
 }
 
 }  // namespace she::server

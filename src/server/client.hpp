@@ -70,6 +70,14 @@ class SheClient {
   /// IoTimeout when connect_timeout_ms expires first.
   SheClient(const std::string& host, std::uint16_t port,
             ClientOptions opt = {});
+
+  /// Failover client: candidate endpoints ("host:port"), tried in order
+  /// starting from the first that connects.  A transport error — or a
+  /// kReadOnly answer from a not-yet-promoted standby — rotates to the
+  /// next endpoint before the retry; seq-tagged inserts make the replayed
+  /// batch exactly-once on whichever server ends up taking it.
+  explicit SheClient(const std::vector<std::string>& endpoints,
+                     ClientOptions opt = {});
   ~SheClient();
 
   SheClient(SheClient&& other) noexcept;
@@ -105,6 +113,10 @@ class SheClient {
   /// Ask the server to begin its shutdown sequence (acknowledged first).
   void shutdown_server();
 
+  /// Standby → primary: drain the replication stream and start taking
+  /// writes.  Idempotent (a primary answers OK without doing anything).
+  void promote();
+
   /// Send a raw, possibly malformed body and return the raw response body
   /// (status byte included).  For protocol tests; reconnects when needed
   /// but never retries.
@@ -124,9 +136,13 @@ class SheClient {
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
-  /// Establish the connection (bounded by connect_timeout_ms), apply the
-  /// io deadline to the fd, and present the auth token when configured.
+  /// Establish a connection to some endpoint (bounded by
+  /// connect_timeout_ms per endpoint), apply the io deadline to the fd,
+  /// and present the auth token when configured.  Tries endpoints
+  /// round-robin starting at current_; throws the last failure when none
+  /// answers.
   void connect_now();
+  void connect_endpoint(const std::string& host, std::uint16_t port);
   void disconnect() noexcept;
 
   /// Send `body` (headers included) and read one response frame.
@@ -138,8 +154,11 @@ class SheClient {
   std::vector<char> roundtrip(const WireWriter& req, bool replayable,
                               ClientSeq cs = {});
 
-  std::string host_;
-  std::uint16_t port_ = 0;
+  /// Rotate current_ to the next endpoint (no-op with one endpoint).
+  void rotate() noexcept;
+
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints_;
+  std::size_t current_ = 0;  ///< index of the endpoint fd_ points at
   ClientOptions opt_;
   int fd_ = -1;
   std::uint64_t trace_id_ = 0;

@@ -1,5 +1,7 @@
 #include "server/pipeline_manager.hpp"
 
+#include "server/replica.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
@@ -99,6 +101,8 @@ PipelineSpec parse_sketch_spec(const std::string& text) {
       spec.pipeline.push_timeout_ms = parse_size(key, need());
     } else if (key == "checkpoint-every") {
       spec.pipeline.checkpoint_interval = parse_size(key, need());
+    } else if (key == "degraded-probe-ms") {
+      spec.pipeline.degraded_probe_ms = parse_size(key, need());
     } else if (key == "wal") {
       spec.wal = wal_mode_from(need());
     } else if (key == "wal-fsync-bytes") {
@@ -198,7 +202,11 @@ std::string PipelineManager::dir_for(const std::string& name) const {
 
 std::shared_ptr<PipelineManager::Entry> PipelineManager::create(
     const std::string& name, const std::string& spec_text) {
-  return create_internal(name, spec_text, /*resume=*/false);
+  auto entry = create_internal(name, spec_text, /*resume=*/false);
+  // Announce after the pipeline is live so a standby applying the record
+  // can never observe the name before the primary serves it.
+  if (opt_.hub) opt_.hub->publish_create(name, spec_text);
+  return entry;
 }
 
 std::shared_ptr<PipelineManager::Entry> PipelineManager::create_internal(
@@ -216,6 +224,17 @@ std::shared_ptr<PipelineManager::Entry> PipelineManager::create_internal(
     spec.pipeline.wal_mode = spec.wal.value_or(opt_.default_wal_mode);
     spec.pipeline.wal_fsync_bytes =
         spec.wal_fsync_bytes.value_or(opt_.wal_fsync_bytes);
+    if (opt_.hub && spec.pipeline.wal_mode != WalMode::kOff) {
+      // Fan durable WAL appends out to REPLICATE subscribers.  The
+      // observer runs under the shard's append lock, so the hub only
+      // enqueues (bounded per-subscriber queues, never a socket write).
+      ReplicationHub* hub = opt_.hub;
+      spec.pipeline.wal_observer = [hub, name](std::size_t shard,
+                                               const WalFrame& f,
+                                               std::span<const char> enc) {
+        hub->publish_wal(name, shard, f, enc);
+      };
+    }
     spec.pipeline.validate();  // wal x policy combinations re-checked
   } else if (spec.wal.value_or(WalMode::kOff) != WalMode::kOff) {
     throw std::invalid_argument(
@@ -282,7 +301,52 @@ bool PipelineManager::drop(const std::string& name) {
     std::error_code ec;
     fs::remove_all(dir_for(name), ec);
   }
+  if (opt_.hub) opt_.hub->publish_drop(name);
   return true;
+}
+
+std::shared_ptr<PipelineManager::Entry> PipelineManager::adopt(
+    const std::string& name, const std::string& spec_text) {
+  // Forget any resident instance WITHOUT touching its directory: the
+  // replica client has already replaced the files with the primary's, and
+  // close_once() on the old entry must happen before the resume so its
+  // workers are gone (it may still write final checkpoint frames into the
+  // directory, which is why the client drops stale pipelines *before*
+  // receiving files — adopt's close here is a belt-and-braces fallback).
+  std::shared_ptr<Entry> old;
+  {
+    std::unique_lock lock(mu_);
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [&](const auto& p) { return p.first == name; });
+    if (it != entries_.end()) {
+      old = it->second;
+      entries_.erase(it);
+    }
+  }
+  if (old) old->close_once();
+  return create_internal(name, spec_text, /*resume=*/true);
+}
+
+std::size_t PipelineManager::degraded_count() const {
+  std::shared_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, e] : entries_) {
+    if (e->monitor().degraded()) ++n;
+  }
+  return n;
+}
+
+std::vector<PipelineManager::BootstrapItem>
+PipelineManager::bootstrap_snapshot() const {
+  std::shared_lock lock(mu_);
+  std::vector<BootstrapItem> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, e] : entries_) {
+    out.push_back({n, e->spec_text(),
+                   opt_.checkpoint_root.empty() ? std::string() : dir_for(n)});
+  }
+  return out;
 }
 
 std::vector<std::string> PipelineManager::names() const {

@@ -32,6 +32,8 @@
 
 namespace she::server {
 
+class ReplicationHub;
+
 /// CREATE of a name that is already resident.
 class AlreadyExists : public std::runtime_error {
  public:
@@ -53,7 +55,8 @@ struct PipelineSpec {
 /// and bare flags.  Keys: window, memory (both take K/M/G suffixes),
 /// shards, producers, queue, publish, batch, policy (block | drop |
 /// block-timeout), push-timeout-ms, hll, similarity, similarity-slots,
-/// hh-slots, expected-cardinality, checkpoint-every, seed; flags:
+/// hh-slots, expected-cardinality, checkpoint-every, degraded-probe-ms,
+/// seed; flags:
 /// no-membership, no-cardinality, no-frequency.  Unknown tokens, malformed
 /// numbers, and invalid combinations (similarity with shards > 1 — SHE-MH
 /// jaccard needs lock-step per-shard streams, which hash routing breaks)
@@ -73,6 +76,9 @@ class PipelineManager {
     /// `wal=`; requires a checkpoint_root to take effect.
     WalMode default_wal_mode = WalMode::kOff;
     std::size_t wal_fsync_bytes = 0;  ///< default kFsync group-commit bound
+    /// When set, every durable pipeline's WAL appends are fanned out to
+    /// the hub (REPLICATE subscribers), and CREATE/DROP are announced.
+    ReplicationHub* hub = nullptr;
   };
 
   /// One resident pipeline.  Insert paths borrow a producer slot; queries
@@ -145,6 +151,25 @@ class PipelineManager {
   /// Close the pipeline and delete its checkpoint directory.  False when
   /// the name is not resident.
   bool drop(const std::string& name);
+
+  /// Replication bootstrap: close and forget any resident pipeline under
+  /// `name` *without* deleting its checkpoint directory, then re-create it
+  /// from `spec_text` resuming from the files currently in that directory
+  /// (which the replica client just received from the primary).
+  std::shared_ptr<Entry> adopt(const std::string& name,
+                               const std::string& spec_text);
+
+  /// Pipelines parked read-only after a disk fault (for /healthz).
+  [[nodiscard]] std::size_t degraded_count() const;
+
+  /// One resident pipeline as the REPLICATE handler ships it: name, spec,
+  /// and the on-disk directory whose files are sent verbatim.
+  struct BootstrapItem {
+    std::string name;
+    std::string spec_text;
+    std::string dir;  ///< empty when the manager is not durable
+  };
+  [[nodiscard]] std::vector<BootstrapItem> bootstrap_snapshot() const;
 
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;

@@ -63,6 +63,8 @@ const char* to_string(Op op) {
     case Op::kList: return "list";
     case Op::kShutdown: return "shutdown";
     case Op::kAuth: return "auth";
+    case Op::kReplicate: return "replicate";
+    case Op::kPromote: return "promote";
   }
   return "unknown";
 }
@@ -77,6 +79,8 @@ const char* to_string(Status st) {
     case Status::kTimeout: return "timeout";
     case Status::kUnauthorized: return "unauthorized";
     case Status::kOverloaded: return "overloaded";
+    case Status::kReadOnly: return "read_only";
+    case Status::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -94,7 +98,7 @@ const char* to_string(QueryType q) {
 
 Op op_from(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(Op::kPing) ||
-      raw > static_cast<std::uint8_t>(Op::kAuth)) {
+      raw > static_cast<std::uint8_t>(Op::kPromote)) {
     throw ProtocolError("unknown opcode " + std::to_string(raw));
   }
   return static_cast<Op>(raw);

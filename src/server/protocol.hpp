@@ -35,6 +35,12 @@
 //   SHUTDOWN
 //   AUTH         str token                   (required first op when the
 //                                             server has an auth file)
+//   REPLICATE    u64 proto_version           (standby subscribes; the
+//                                             connection becomes a one-way
+//                                             replication stream of
+//                                             records, see replica.hpp)
+//   PROMOTE                                  (standby only: drain the
+//                                             stream, become primary)
 //
 // Response bodies (after `u8 status`; error statuses carry `str message`):
 //   PING/CREATE/DROP/SAVE/FLUSH/SHUTDOWN: -
@@ -79,7 +85,7 @@ inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 ///
 ///   [u8 kTraceHeader][u64 trace_id][normal request body...]
 ///
-/// The marker byte sits outside the opcode range (ops are 1..12), so a
+/// The marker byte sits outside the opcode range (ops are 1..14), so a
 /// server can tell a traced body from a legacy one by its first byte, and
 /// servers that predate tracing reject it as an unknown opcode instead of
 /// misparsing it.  Clients that never set a trace id produce byte-
@@ -109,6 +115,8 @@ enum class Op : std::uint8_t {
   kList = 10,
   kShutdown = 11,
   kAuth = 12,
+  kReplicate = 13,
+  kPromote = 14,
 };
 
 enum class QueryType : std::uint8_t {
@@ -128,6 +136,8 @@ enum class Status : std::uint8_t {
   kTimeout = 5,       ///< barrier or per-request deadline expired
   kUnauthorized = 6,  ///< AUTH required/failed; retrying is pointless
   kOverloaded = 7,    ///< admission control shed the request; retry later
+  kReadOnly = 8,      ///< standby replica: writes go to the primary
+  kDegraded = 9,      ///< pipeline is read-only after a disk fault
 };
 
 [[nodiscard]] const char* to_string(Op op);

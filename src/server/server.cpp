@@ -34,14 +34,24 @@ using Clock = std::chrono::steady_clock;
 /// Self-pipe write end for the process signal handler.  One server per
 /// process may install handlers; enforced in install_signal_handlers().
 std::atomic<int> g_signal_stop_fd{-1};
+std::atomic<int> g_signal_promote_fd{-1};
 struct sigaction g_old_sigterm;
 struct sigaction g_old_sigint;
+struct sigaction g_old_sigusr2;
 
 extern "C" void she_server_on_signal(int) {
   // Async-signal-safe: one atomic load + one write(2).
   const int fd = g_signal_stop_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     const char byte = 's';
+    [[maybe_unused]] const ssize_t r = ::write(fd, &byte, 1);
+  }
+}
+
+extern "C" void she_server_on_promote_signal(int) {
+  const int fd = g_signal_promote_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'p';
     [[maybe_unused]] const ssize_t r = ::write(fd, &byte, 1);
   }
 }
@@ -132,8 +142,24 @@ const StreamMonitor& cached_shard(const PipelineManager::Entry& entry,
 
 }  // namespace
 
+PipelineManager::Options SheServer::manager_options() {
+  PipelineManager::Options m = opt_.manager;
+  m.hub = &hub_;
+  return m;
+}
+
 SheServer::SheServer(ServerOptions opt)
-    : opt_(std::move(opt)), manager_(opt_.manager) {
+    : opt_(std::move(opt)), hub_(registry_), manager_(manager_options()) {
+  if (opt_.role != "primary" && opt_.role != "standby") {
+    throw std::invalid_argument("role must be primary or standby, not '" +
+                                opt_.role + "'");
+  }
+  if (opt_.role == "standby" && opt_.follow.empty()) {
+    throw std::invalid_argument("role=standby needs --follow host:port");
+  }
+  if (opt_.role != "standby" && !opt_.follow.empty()) {
+    throw std::invalid_argument("--follow only makes sense with role=standby");
+  }
   connections_total_ = &registry_.counter(
       "she_server_connections_total",
       "protocol connections accepted over the server lifetime");
@@ -173,7 +199,7 @@ SheServer::SheServer(ServerOptions opt)
               {"force_scalar", build_force_scalar()}})
       .set(1);
   for (std::uint8_t raw = static_cast<std::uint8_t>(Op::kPing);
-       raw <= static_cast<std::uint8_t>(Op::kAuth); ++raw) {
+       raw <= static_cast<std::uint8_t>(Op::kPromote); ++raw) {
     const Op op = static_cast<Op>(raw);
     requests_by_op_[op] =
         &registry_.counter("she_server_requests_total",
@@ -187,6 +213,10 @@ SheServer::~SheServer() {
   request_stop();
   stop();
   for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (int& fd : promote_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
@@ -222,11 +252,24 @@ void SheServer::start() {
     }
   }
   for (int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  if (::pipe(promote_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  for (int fd : promote_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   listen_fd_ = listen_tcp(opt_.host, opt_.port, &port_);
   if (opt_.http_port >= 0) {
     http_fd_ = listen_tcp(opt_.host,
                           static_cast<std::uint16_t>(opt_.http_port),
                           &http_port_);
+  }
+  if (opt_.role == "standby") {
+    standby_.store(true, std::memory_order_release);
+    ReplicaClientOptions ro;
+    ro.endpoints = opt_.follow;
+    ro.auth_token = opt_.follow_token;
+    replica_ = std::make_unique<ReplicaClient>(std::move(ro), manager_,
+                                               registry_);
+    replica_->start();
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
   if (http_fd_ >= 0) http_thread_ = std::thread([this] { http_loop(); });
@@ -280,13 +323,18 @@ void SheServer::stop() {
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (http_fd_ >= 0) ::close(http_fd_);
     listen_fd_ = http_fd_ = -1;
+    // Stop following before the pipelines close (the replica thread
+    // applies into them).
+    if (replica_) replica_->stop();
     // Drain-then-checkpoint every pipeline: a resumed server answers
     // queries as of this moment.
     manager_.close_all();
     if (signals_installed_) {
       g_signal_stop_fd.store(-1, std::memory_order_relaxed);
+      g_signal_promote_fd.store(-1, std::memory_order_relaxed);
       ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
       ::sigaction(SIGINT, &g_old_sigint, nullptr);
+      ::sigaction(SIGUSR2, &g_old_sigusr2, nullptr);
       signals_installed_ = false;
     }
     {
@@ -309,12 +357,24 @@ void SheServer::install_signal_handlers() {
   if (!g_signal_stop_fd.compare_exchange_strong(expected, stop_pipe_[1])) {
     throw std::logic_error("signal handlers already routed to a server");
   }
+  g_signal_promote_fd.store(promote_pipe_[1], std::memory_order_relaxed);
   struct sigaction sa{};
   sa.sa_handler = she_server_on_signal;
   ::sigemptyset(&sa.sa_mask);
   ::sigaction(SIGTERM, &sa, &g_old_sigterm);
   ::sigaction(SIGINT, &sa, &g_old_sigint);
+  struct sigaction pa{};
+  pa.sa_handler = she_server_on_promote_signal;
+  ::sigemptyset(&pa.sa_mask);
+  ::sigaction(SIGUSR2, &pa, &g_old_sigusr2);
   signals_installed_ = true;
+}
+
+void SheServer::promote() {
+  if (!standby_.exchange(false, std::memory_order_acq_rel)) return;
+  std::fputs("[she_server] PROMOTE: draining replication stream\n", stderr);
+  if (replica_) replica_->promote();
+  std::fputs("[she_server] PROMOTE: serving as primary\n", stderr);
 }
 
 // ---------------------------------------------------------- accept loops --
@@ -341,13 +401,20 @@ void SheServer::reap_finished() {
 void SheServer::accept_loop() {
   for (;;) {
     reap_finished();
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int r = ::poll(fds, 2, 500);
+    pollfd fds[3] = {{listen_fd_, POLLIN, 0},
+                     {stop_pipe_[0], POLLIN, 0},
+                     {promote_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 3, 500);
     if (r < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[1].revents != 0) break;
+    if (fds[2].revents & POLLIN) {
+      char byte;
+      [[maybe_unused]] const ssize_t rd = ::read(promote_pipe_[0], &byte, 1);
+      promote();
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
@@ -438,6 +505,41 @@ void SheServer::handle_conn(std::uint64_t id, int fd) {
         unauthorized_total_->inc();
         answer(Status::kUnauthorized, "AUTH required before any other op");
         continue;
+      }
+      // REPLICATE turns this connection into a one-way record stream: no
+      // more requests arrive on it, so it leaves the request loop (and is
+      // never admission-gated — a standby must be able to catch up while
+      // the server sheds client load).
+      if (body.size() > op_at &&
+          body[op_at] == static_cast<char>(Op::kReplicate)) {
+        requests_by_op_[Op::kReplicate]->inc();
+        bool ok = false;
+        try {
+          WireReader r(body);
+          (void)read_trace_header(r);
+          (void)read_seq_header(r);
+          (void)r.u8();  // opcode
+          const std::uint64_t ver = r.u64();
+          r.expect_done();
+          if (ver != kReplicationProtoVersion) {
+            answer(Status::kBadRequest,
+                   "unsupported replication protocol version " +
+                       std::to_string(ver));
+          } else {
+            ok = true;
+          }
+        } catch (const ProtocolError& e) {
+          protocol_errors_->inc();
+          answer(Status::kBadRequest, e.what());
+        }
+        if (!ok) continue;
+        WireWriter w;
+        w.u8(static_cast<std::uint8_t>(Status::kOk));
+        write_frame(fd, w.body());
+        serve_replication(fd, manager_, hub_, [this] {
+          return stop_requested_.load(std::memory_order_acquire);
+        });
+        break;
       }
       // SHUTDOWN answers before triggering the stop sequence, so the
       // client sees its acknowledgment even though stop() tears down this
@@ -608,8 +710,13 @@ std::string SheServer::render_healthz() const {
   const std::int64_t up_s =
       start_steady_ns_ > 0 ? (now_ns - start_steady_ns_) / 1'000'000'000
                            : 0;
+  const std::size_t degraded = manager_.degraded_count();
   std::ostringstream os;
-  os << "{\"status\":\"ok\",\"uptime_s\":" << up_s
+  os << "{\"status\":\"" << (degraded != 0 ? "degraded" : "ok")
+     << "\",\"role\":\""
+     << (standby_.load(std::memory_order_acquire) ? "standby" : "primary")
+     << "\",\"degraded_pipelines\":" << degraded
+     << ",\"uptime_s\":" << up_s
      << ",\"schema_version\":" << runtime::RuntimeStats::kSchemaVersion
      << ",\"version\":\"" << obs::json_escape(build_version())
      << "\",\"compiler\":\"" << obs::json_escape(build_compiler())
@@ -626,8 +733,14 @@ std::string SheServer::render_healthz() const {
   }
   os << ",\"overloaded_total\":" << overloaded_total_->value()
      << ",\"unauthorized_total\":" << unauthorized_total_->value()
-     << ",\"deadline_shed_total\":" << deadline_shed_total_->value()
-     << ",\"pipelines\":" << manager_.size() << "}\n";
+     << ",\"deadline_shed_total\":" << deadline_shed_total_->value();
+  if (replica_) {
+    os << ",\"replication\":{\"connected\":"
+       << (replica_->connected() ? "true" : "false")
+       << ",\"synced\":" << (replica_->synced() ? "true" : "false")
+       << ",\"lag_items\":" << replica_->lag_items() << "}";
+  }
+  os << ",\"pipelines\":" << manager_.size() << "}\n";
   return os.str();
 }
 
@@ -771,6 +884,15 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
     info.op = to_string(op);  // static literal; outlives the span ring
     const obs::trace::SpanGuard span(info.op, "server");
     requests_by_op_[op]->inc();
+    // A standby serves reads from its replicated state but never takes
+    // writes: the primary owns the stream, and a divergent standby could
+    // not be promoted.  Typed kReadOnly so clients fail over, not retry.
+    if (standby_.load(std::memory_order_acquire) &&
+        (op == Op::kCreate || op == Op::kInsert || op == Op::kInsertBulk ||
+         op == Op::kDrop)) {
+      return fail(Status::kReadOnly,
+                  "standby replica: writes go to the primary");
+    }
     switch (op) {
       case Op::kPing: {
         req.expect_done();
@@ -917,6 +1039,18 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
         resp.u8(static_cast<std::uint8_t>(Status::kOk));
         break;
       }
+      case Op::kReplicate: {
+        // Normally short-circuited in handle_conn (the connection becomes
+        // a record stream); a dispatch-level REPLICATE has no stream.
+        return fail(Status::kBadRequest,
+                    "REPLICATE requires a dedicated connection");
+      }
+      case Op::kPromote: {
+        req.expect_done();
+        promote();
+        resp.u8(static_cast<std::uint8_t>(Status::kOk));
+        break;
+      }
     }
     return resp.body();
   } catch (const ProtocolError& e) {
@@ -928,6 +1062,10 @@ std::vector<char> SheServer::dispatch(std::span<const char> body,
     return fail(Status::kExists, e.what());
   } catch (const std::invalid_argument& e) {
     return fail(Status::kBadRequest, e.what());
+  } catch (const runtime::DegradedError& e) {
+    // Disk fault parked the pipeline read-only: typed so clients can tell
+    // "this node cannot take writes right now" from a generic failure.
+    return fail(Status::kDegraded, e.what());
   } catch (const std::exception& e) {
     return fail(Status::kError, e.what());
   }

@@ -28,10 +28,13 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "server/pipeline_manager.hpp"
 #include "server/protocol.hpp"
+#include "server/replica.hpp"
 
 namespace she::server {
 
@@ -57,6 +60,14 @@ struct ServerOptions {
   std::size_t max_inflight_per_client = 0; ///< per auth identity
   std::uint64_t bytes_per_sec = 0;         ///< global ingest budget
   std::uint64_t bytes_per_sec_per_client = 0;  ///< per auth identity
+  /// Replication role.  "primary" (default) serves everything and streams
+  /// to any REPLICATE subscriber.  "standby" follows the `follow`
+  /// endpoints (hot-standby: bootstraps + tails the primary's WALs),
+  /// serves reads, answers writes kReadOnly, and flips to primary on the
+  /// PROMOTE op or SIGUSR2.
+  std::string role = "primary";
+  std::vector<std::string> follow;  ///< primary endpoints, "host:port"
+  std::string follow_token;         ///< AUTH token for the primary, if any
   PipelineManager::Options manager;
 };
 
@@ -83,10 +94,21 @@ class SheServer {
   /// close every pipeline (final checkpoints).  Idempotent.
   void stop();
 
-  /// Route SIGTERM/SIGINT to request_stop() on this server.  At most one
-  /// server per process may install handlers; stop() restores the old
-  /// dispositions.
+  /// Route SIGTERM/SIGINT to request_stop() — and SIGUSR2 to promote() —
+  /// on this server.  At most one server per process may install handlers;
+  /// stop() restores the old dispositions.
   void install_signal_handlers();
+
+  /// Standby → primary: drain what the replication stream already holds,
+  /// stop following, start accepting writes.  Idempotent; no-op on a
+  /// server that is already primary.  Wired to the PROMOTE op and SIGUSR2.
+  void promote();
+
+  /// True while the server answers writes with kReadOnly (standby role,
+  /// not yet promoted).
+  [[nodiscard]] bool standby() const {
+    return standby_.load(std::memory_order_acquire);
+  }
 
   /// Bound ports, valid after start() (useful with port 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -167,12 +189,20 @@ class SheServer {
   void maybe_log_slow(const OpInfo& info, std::uint64_t ns,
                       const obs::trace::ThreadCursor& cursor);
 
+  /// opt_.manager with the hub pointer patched in (manager_ init helper).
+  [[nodiscard]] PipelineManager::Options manager_options();
+
   ServerOptions opt_;
+  obs::Registry registry_;
+  ReplicationHub hub_;  ///< must outlive manager_ (WAL observers hold it)
   PipelineManager manager_;
+  std::unique_ptr<ReplicaClient> replica_;  ///< standby role only
+  std::atomic<bool> standby_{false};
 
   int listen_fd_ = -1;
   int http_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};  ///< [0] polled by loops, [1] written once
+  int promote_pipe_[2] = {-1, -1};  ///< SIGUSR2 → accept_loop → promote()
   std::uint16_t port_ = 0;
   std::uint16_t http_port_ = 0;
 
@@ -200,7 +230,6 @@ class SheServer {
   std::map<std::uint64_t, ClientQuota> client_quota_;
   std::size_t inflight_ = 0;  ///< guarded by admission_mu_
 
-  obs::Registry registry_;
   obs::Counter* connections_total_;
   obs::Gauge* active_connections_;
   obs::Counter* protocol_errors_;

@@ -64,6 +64,13 @@ void usage(std::ostream& os) {
         "(point[:shard[:at[:param]]]);\n"
         "                         repeatable; needs an SHE_FAULT_INJECTION "
         "build\n"
+        "  --role ROLE            primary (default) or standby; standby\n"
+        "                         follows --follow, serves reads, answers\n"
+        "                         writes read_only until PROMOTE/SIGUSR2\n"
+        "  --follow HOST:PORT     primary endpoint to replicate from\n"
+        "                         (repeatable or comma-separated; requires\n"
+        "                         --role standby and --checkpoint-root)\n"
+        "  --follow-token TOK     AUTH token presented to the primary\n"
         "  --help\n";
 }
 
@@ -202,6 +209,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.bytes_per_sec_per_client = u;
+    } else if (arg == "--role") {
+      opt.role = value();
+    } else if (arg == "--follow") {
+      // Repeatable, and each value may carry a comma-separated list.
+      std::string list = value();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string one =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!one.empty()) opt.follow.push_back(one);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--follow-token") {
+      opt.follow_token = value();
     } else if (arg == "--inject") {
 #if defined(SHE_FAULT_INJECTION)
       try {
@@ -232,13 +255,20 @@ int main(int argc, char** argv) {
     std::cerr << "she_server: --wal-mode requires --checkpoint-root\n";
     return 2;
   }
+  if (opt.role == "standby" && opt.manager.checkpoint_root.empty()) {
+    std::cerr << "she_server: --role standby requires --checkpoint-root "
+                 "(bootstrap lands the primary's files there)\n";
+    return 2;
+  }
 
   try {
+    const std::string role = opt.role;
     she::server::SheServer server(std::move(opt));
     server.start();
     server.install_signal_handlers();
     std::cout << "she_server listening proto=" << server.port()
-              << " http=" << server.http_port() << std::endl;
+              << " http=" << server.http_port() << " role=" << role
+              << std::endl;
     server.wait();
   } catch (const std::exception& e) {
     std::cerr << "she_server: " << e.what() << "\n";

@@ -178,6 +178,10 @@ class ConcurrentMonitor {
   /// not yet restarted by the supervisor.
   [[nodiscard]] bool faulted() const { return pipe_.faulted(); }
 
+  /// True while the pipeline is parked read-only after a disk fault
+  /// (pushes throw runtime::DegradedError; queries keep working).
+  [[nodiscard]] bool degraded() const { return pipe_.degraded(); }
+
   /// Snapshot queries (see class comment for semantics).
   [[nodiscard]] bool seen(std::uint64_t key) const;
   [[nodiscard]] std::uint64_t frequency(std::uint64_t key) const;

@@ -3,6 +3,9 @@
 #include "commands.hpp"
 
 #include <cstdio>
+
+#include "common/checkpoint.hpp"
+#include "common/wal.hpp"
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -415,6 +418,48 @@ TEST(Cli, InfoOnUnknownFileFormat) {
   EXPECT_EQ(run_cli({"she_tool", "info", "--file", path}, out), 1);
   EXPECT_NE(out.str().find("unknown format"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(Cli, VerifyScrubsCheckpointsAndWals) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(temp_path("cli_verify_root"));
+  fs::remove_all(root);
+  fs::create_directories(root / "pipe");
+
+  const std::vector<char> payload = {'s', 't', 'a', 't', 'e'};
+  const std::string ckpt = (root / "pipe" / "shard-0.ckpt").string();
+  she::write_file_atomic(ckpt, she::frame_checkpoint(42, payload));
+  {
+    she::ShardWal wal((root / "pipe" / "shard-0.wal").string(), {},
+                      she::WalScan{});
+    const std::uint64_t keys[] = {1, 2, 3};
+    ASSERT_TRUE(wal.append(keys, /*client_id=*/7, /*client_seq=*/1));
+    wal.flush();
+  }
+
+  std::ostringstream ok;
+  EXPECT_EQ(run_cli({"she_tool", "verify", "--dir", root.string()}, ok), 0)
+      << ok.str();
+  EXPECT_NE(ok.str().find("0 corrupt"), std::string::npos) << ok.str();
+
+  // Flip one payload byte: the checkpoint's CRC must catch it and the
+  // scrub must name the file and exit nonzero.
+  {
+    std::fstream f(ckpt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('X');
+  }
+  std::ostringstream bad;
+  EXPECT_EQ(run_cli({"she_tool", "verify", "--dir", root.string()}, bad), 1);
+  EXPECT_NE(bad.str().find("CORRUPT"), std::string::npos) << bad.str();
+  EXPECT_NE(bad.str().find("shard-0.ckpt"), std::string::npos) << bad.str();
+
+  std::ostringstream js;
+  EXPECT_EQ(run_cli({"she_tool", "verify", "--dir", root.string(), "--json"},
+                    js),
+            1);
+  EXPECT_NE(js.str().find("\"corrupt\":1"), std::string::npos) << js.str();
+  fs::remove_all(root);
 }
 
 }  // namespace

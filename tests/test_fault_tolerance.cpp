@@ -79,6 +79,38 @@ TEST(Checkpoint, EmptyPayloadRoundTrips) {
   EXPECT_TRUE(back.payload.empty());
 }
 
+TEST(Checkpoint, ProducerOffsetVectorRoundTripsAsVersion2) {
+  const auto payload = sample_payload();
+  const std::uint64_t offsets[] = {100, 0, 23456789};
+  const auto frame = frame_checkpoint(
+      100 + 0 + 23456789, std::span<const std::uint64_t>(offsets),
+      std::span<const char>(payload.data(), payload.size()));
+  ASSERT_EQ(frame.size(),
+            kCheckpointHeaderBytes + 4 + 3 * 8 + payload.size());
+  const CheckpointData back = parse_checkpoint(frame.data(), frame.size());
+  EXPECT_EQ(back.stream_offset, 100u + 23456789u);
+  ASSERT_EQ(back.producer_offsets.size(), 3u);
+  EXPECT_EQ(back.producer_offsets[0], 100u);
+  EXPECT_EQ(back.producer_offsets[1], 0u);
+  EXPECT_EQ(back.producer_offsets[2], 23456789u);
+  EXPECT_EQ(back.payload, payload);
+
+  // A bit flip inside the producer vector fails the CRC like any other.
+  auto bad = frame;
+  bad[kCheckpointHeaderBytes + 9] ^= 0x4;
+  EXPECT_THROW((void)parse_checkpoint(bad.data(), bad.size()),
+               CheckpointError);
+
+  // An empty vector degrades to a version-1 frame: older readers (and
+  // fixtures) see byte-identical output from the two-argument writer.
+  const auto v1 = frame_checkpoint(
+      7, std::span<const std::uint64_t>(),
+      std::span<const char>(payload.data(), payload.size()));
+  EXPECT_EQ(v1, frame_checkpoint(
+                    7, std::span<const char>(payload.data(), payload.size())));
+  EXPECT_TRUE(parse_checkpoint(v1.data(), v1.size()).producer_offsets.empty());
+}
+
 TEST(Checkpoint, RejectsBitFlipAnywhere) {
   const auto payload = sample_payload();
   const auto frame = frame_checkpoint(

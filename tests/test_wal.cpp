@@ -302,6 +302,81 @@ TEST(ShardWal, CompactRetiresCheckpointedFramesKeepsSeqTable) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ShardWal, CompactCrashShapesNeverLoseTheOldLog) {
+  // Compaction rewrites into "<path>.tmp" and renames over the log, so a
+  // crash at any instant leaves either the old log (crash before the
+  // rename — possibly with a stale tmp beside it) or the new one (crash
+  // after).  Both shapes must recover to the same replay suffix and
+  // dedup state.
+  const std::string dir = temp_dir("wal_compact_crash");
+  const std::string path = dir + "/shard-0.wal";
+  ShardWal::Options opt;
+  opt.compact_min_bytes = 0;
+  const std::uint64_t b1[] = {1, 2, 3};
+  const std::uint64_t b2[] = {4, 5};
+  const std::uint64_t b3[] = {6, 7};
+  {
+    ShardWal wal(path, opt, WalScan{});
+    ASSERT_TRUE(wal.append(b1, 21, 1));
+    ASSERT_TRUE(wal.append(b2, 21, 2));
+    ASSERT_TRUE(wal.append(b3, 22, 1));
+  }
+
+  // Crash shape 1: a previous compaction died mid-rewrite, leaving a
+  // partial tmp file.  Recovery reads only the log; the next compaction
+  // truncates and replaces the leftover.
+  const std::string tmp = path + ".tmp";
+  write_file(tmp, std::vector<char>{'h', 'a', 'l', 'f'});
+  WalScan scan = read_wal(path);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  {
+    ShardWal wal(path, opt, scan);
+    wal.compact(5);  // retires b1 and b2; b3 survives
+  }
+  EXPECT_FALSE(std::filesystem::exists(tmp)) << "tmp renamed over the log";
+  scan = read_wal(path);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].start_offset, 5u);
+  EXPECT_EQ(scan.end_offset, 7u);
+  EXPECT_EQ(scan.client_seqs.at(21), 2u);  // dedup state via the seq table
+  EXPECT_EQ(scan.client_seqs.at(22), 1u);
+
+  // Crash shape 2: power cut right before the rename — the old (longer)
+  // log is still in place next to a *complete* tmp rewrite.  The tmp is
+  // dead weight: recovery scans the log, and appends continue on it.
+  const auto old_log = file_bytes(path);
+  write_file(tmp, old_log);  // any complete file: it must be ignored
+  scan = read_wal(path);
+  {
+    ShardWal wal(path, opt, scan);
+    EXPECT_FALSE(wal.append(b2, 21, 2));  // replay still dedups
+    const std::uint64_t b4[] = {8};
+    EXPECT_TRUE(wal.append(b4, 21, 3));
+  }
+  scan = read_wal(path);
+  ASSERT_EQ(scan.frames.size(), 2u);
+  EXPECT_EQ(scan.frames[1].start_offset, 7u);
+  EXPECT_EQ(scan.end_offset, 8u);
+
+  // Crash shape 3: torn tail *behind* a compacted log (the crash hit a
+  // later append).  The recovery scan keeps the seq-table + frames and
+  // drops only the tail; a fresh compact still works on the result.
+  auto bytes = file_bytes(path);
+  bytes.insert(bytes.end(), {'t', 'o', 'r', 'n'});
+  write_file(path, bytes);
+  scan = read_wal(path);
+  EXPECT_EQ(scan.dropped_bytes, 4u);
+  {
+    ShardWal wal(path, opt, scan);
+    wal.compact(8);  // everything retires
+  }
+  scan = read_wal(path);
+  EXPECT_TRUE(scan.frames.empty());
+  EXPECT_EQ(scan.end_offset, 8u);
+  EXPECT_EQ(scan.client_seqs.at(21), 3u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ShardWal, FsyncModeGroupCommitAndConcurrentAppends) {
   const std::string dir = temp_dir("wal_fsync");
   const std::string path = dir + "/shard-0.wal";

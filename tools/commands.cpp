@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/checkpoint.hpp"
+#include "common/wal.hpp"
 #include "obs/trace.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
@@ -578,6 +579,7 @@ int cmd_info(const ArgMap& args, std::ostream& out) {
 int cmd_client(const ArgMap& args, std::ostream& out) {
   const std::string host = args.get("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.get_u64("port", 7070));
+  const std::string endpoints = args.get("endpoints", "");
   const std::string op = args.require("op");
   const auto require_u64 = [&](const char* flag) {
     if (!args.has(flag))
@@ -595,7 +597,24 @@ int cmd_client(const ArgMap& args, std::ostream& out) {
                                          copt.io_timeout_ms);
   copt.auth_token = args.get("token", "");
   copt.max_retries = static_cast<std::size_t>(args.get_u64("retries", 0));
-  server::SheClient client(host, port, copt);
+  // --endpoints "h1:p1,h2:p2" builds the failover client: a dead or
+  // read-only (standby) server rotates the request to the next endpoint;
+  // seq-tagged inserts make the replay exactly-once.
+  server::SheClient client = [&] {
+    if (endpoints.empty()) return server::SheClient(host, port, copt);
+    std::vector<std::string> eps;
+    std::size_t start = 0;
+    while (start <= endpoints.size()) {
+      const std::size_t comma = endpoints.find(',', start);
+      const std::string one = comma == std::string::npos
+                                  ? endpoints.substr(start)
+                                  : endpoints.substr(start, comma - start);
+      if (!one.empty()) eps.push_back(one);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return server::SheClient(eps, copt);
+  }();
   // Optional trace correlation: every request this invocation sends is
   // prefixed with the trace-header wire extension carrying this id, so a
   // server running with --trace attributes the spans to it.
@@ -686,6 +705,10 @@ int cmd_client(const ArgMap& args, std::ostream& out) {
     reject_unused(args);
     client.shutdown_server();
     out << "shutdown requested\n";
+  } else if (op == "promote") {
+    reject_unused(args);
+    client.promote();
+    out << "promoted\n";
   } else {
     throw std::invalid_argument("unknown --op '" + op + "'");
   }
@@ -750,6 +773,91 @@ int cmd_trace(const ArgMap& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_verify(const ArgMap& args, std::ostream& out) {
+  // Offline scrub of a server checkpoint root (or one pipeline's
+  // directory, or a single file): every checkpoint generation is parsed
+  // through the same CRC-framed reader a resume uses, and every WAL is
+  // scanned frame by frame.  Anything that fails — bad magic, CRC
+  // mismatch, torn or corrupt tail bytes — is listed, counted in
+  // she_scrub_corrupt_total, and makes the exit status nonzero, so a cron
+  // job can page before a failover discovers the damage the hard way.
+  namespace fs = std::filesystem;
+  const std::string root = args.require("dir");
+  const bool json = args.has("json");
+  const bool quiet = args.has("quiet");
+  reject_unused(args);
+  if (!fs::exists(root))
+    throw std::invalid_argument("verify: no such path '" + root + "'");
+
+  TelemetryScope telemetry(true);
+  auto& corrupt_total = obs::default_registry().counter(
+      "she_scrub_corrupt_total",
+      "files the offline scrub found damaged (bad CRC, torn tail)");
+
+  std::vector<fs::path> paths;
+  if (fs::is_regular_file(root)) {
+    paths.emplace_back(root);
+  } else {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file(ec)) paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+  }
+
+  std::uint64_t scanned = 0, frames = 0, corrupt = 0;
+  const auto note = [&](const fs::path& p, const std::string& why) {
+    ++corrupt;
+    corrupt_total.inc();
+    if (!json) out << "CORRUPT  " << p.string() << ": " << why << "\n";
+  };
+  for (const fs::path& p : paths) {
+    const std::string name = p.filename().string();
+    if (name.find(".ckpt") != std::string::npos) {
+      ++scanned;
+      try {
+        const CheckpointData ck = read_checkpoint_file(p.string());
+        ++frames;
+        if (!json && !quiet)
+          out << "ok       " << p.string() << ": checkpoint, offset "
+              << ck.stream_offset << ", " << ck.payload.size()
+              << " payload bytes\n";
+      } catch (const CheckpointError& e) {
+        note(p, e.what());
+      }
+    } else if (name.size() >= 4 && name.ends_with(".wal")) {
+      ++scanned;
+      try {
+        const WalScan scan = read_wal(p.string());
+        frames += scan.frames.size();
+        if (scan.dropped_bytes > 0) {
+          note(p, std::to_string(scan.dropped_bytes) +
+                      " torn/corrupt tail bytes after a valid prefix of " +
+                      std::to_string(scan.valid_bytes));
+        } else if (!json && !quiet) {
+          out << "ok       " << p.string() << ": wal, "
+              << scan.frames.size() << " data frames, end offset "
+              << scan.end_offset << "\n";
+        }
+      } catch (const WalError& e) {
+        note(p, e.what());
+      }
+    }
+    // Everything else (traces, tmp files, foreign data) is not ours to
+    // judge; skip it silently.
+  }
+
+  if (json) {
+    out << "{\"scanned\":" << scanned << ",\"frames\":" << frames
+        << ",\"corrupt\":" << corrupt << "}\n";
+  } else {
+    out << "scrubbed " << scanned << " files (" << frames << " valid frames), "
+        << corrupt << " corrupt\n";
+  }
+  return corrupt == 0 ? 0 : 1;
+}
+
 std::string usage() {
   return
       "she_tool — sliding-window stream mining (SHE framework)\n"
@@ -793,7 +901,8 @@ std::string usage() {
       "               CRC-framed pipeline checkpoint — frames are\n"
       "               validated before being described)\n"
       "  client       --op ping|create|insert|bulk|query|stats|drop|save|\n"
-      "               flush|list|shutdown [--host A] [--port N] [--name X]\n"
+      "               flush|list|shutdown|promote [--host A] [--port N]\n"
+      "               [--endpoints H1:P1,H2:P2,...] [--name X]\n"
       "               [--spec \"window=64K shards=2 ...\"] [--key K]\n"
       "               [--count N --key-base B --distinct D]\n"
       "               [--type membership|frequency|cardinality|topk|jaccard]\n"
@@ -805,7 +914,14 @@ std::string usage() {
       "               --timeout-ms bounds connect + every read/write and\n"
       "               exits 3 on a missed deadline; --token authenticates\n"
       "               against --auth-token-file servers; --retries replays\n"
-      "               idempotent requests over a fresh connection)\n"
+      "               idempotent requests over a fresh connection;\n"
+      "               --endpoints enables failover: a dead or read-only\n"
+      "               standby server rotates the request to the next one)\n"
+      "  verify       --dir DIR [--json] [--quiet]\n"
+      "               (offline CRC scrub of a checkpoint root: validates\n"
+      "               every checkpoint generation and WAL frame; lists\n"
+      "               damage, counts it in she_scrub_corrupt_total, and\n"
+      "               exits 1 when anything is corrupt)\n"
       "  trace        [--out FILE (default trace.json)] [--count N]\n"
       "               [--queries N] [--spec \"window=64K ...\"]\n"
       "               (traced in-process server replay; writes Chrome\n"
@@ -835,6 +951,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out) {
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "client") return cmd_client(args, out);
     if (cmd == "trace") return cmd_trace(args, out);
+    if (cmd == "verify") return cmd_verify(args, out);
     if (cmd == "help" || cmd == "--help") {
       out << usage();
       return 0;

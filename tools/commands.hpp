@@ -15,6 +15,9 @@
 //                enabled and dump the SHE-internals metric registry
 //   info         describe a trace or estimator checkpoint file
 //   client       drive a running she_server over its binary protocol
+//   verify       offline CRC scrub of a checkpoint root: every checkpoint
+//                generation and WAL file is validated; damage is listed,
+//                counted in she_scrub_corrupt_total, and exits nonzero
 #pragma once
 
 #include <ostream>
@@ -35,6 +38,7 @@ int cmd_metrics(const ArgMap& args, std::ostream& out);
 int cmd_info(const ArgMap& args, std::ostream& out);
 int cmd_client(const ArgMap& args, std::ostream& out);
 int cmd_trace(const ArgMap& args, std::ostream& out);
+int cmd_verify(const ArgMap& args, std::ostream& out);
 
 /// Dispatch `argv[1]` to a command; prints usage and returns 2 on unknown
 /// or missing subcommands.
